@@ -1,0 +1,67 @@
+//! Bench: ablations beyond the paper — GradualSleep slice count and
+//! the extension policies (TimeoutSleep, AdaptiveSleep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuleak_core::accounting::{account_intervals, simulate_intervals};
+use fuleak_core::closed_form::BoundaryPolicy;
+use fuleak_core::policy::{AdaptiveSleep, TimeoutSleep};
+use fuleak_core::{breakeven_interval, EnergyModel, TechnologyParams};
+use fuleak_workloads::synthetic::bimodal_intervals;
+
+fn bench(c: &mut Criterion) {
+    let model = EnergyModel::new(TechnologyParams::near_term(), 0.5).unwrap();
+    let t_be = breakeven_interval(&model);
+    let w = bimodal_intervals(9, 20_000, 3, 200, 0.2, 4);
+
+    // Slice-count ablation: the paper's breakeven-many slices should
+    // beat both extremes on bimodal traffic.
+    let energy = |slices: u32| {
+        account_intervals(
+            &model,
+            BoundaryPolicy::GradualSleep { slices },
+            w.active_cycles,
+            &w.idle_intervals,
+        )
+        .energy
+        .total()
+    };
+    let paper_choice = energy(t_be.round() as u32);
+    assert!(paper_choice < energy(1));
+    assert!(paper_choice < energy(1024));
+
+    c.bench_function("ablation_slice_sweep", |b| {
+        b.iter(|| {
+            for slices in [1u32, 2, 4, 8, 16, 20, 32, 64, 128] {
+                std::hint::black_box(energy(slices));
+            }
+        })
+    });
+    c.bench_function("ablation_adaptive_controllers", |b| {
+        b.iter(|| {
+            let mut t = TimeoutSleep::new(t_be.round() as u64 / 2);
+            std::hint::black_box(simulate_intervals(
+                &model,
+                &mut t,
+                w.active_cycles,
+                &w.idle_intervals,
+            ));
+            let mut a = AdaptiveSleep::new(t_be, 0.25);
+            std::hint::black_box(simulate_intervals(
+                &model,
+                &mut a,
+                w.active_cycles,
+                &w.idle_intervals,
+            ));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench: regenerate Figure 3 (sleep vs uncontrolled idle on the
+//! 500-gate circuit model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuleak_experiments::analytic;
+
+fn bench(c: &mut Criterion) {
+    // Shape check: breakeven near 17 cycles at alpha = 0.1.
+    let rows = analytic::fig3();
+    let a01: Vec<_> = rows.iter().filter(|r| r.alpha == 0.1).collect();
+    assert!(a01[10].sleep_pj > a01[10].uncontrolled_pj);
+    assert!(a01[20].sleep_pj < a01[20].uncontrolled_pj);
+    c.bench_function("fig3_series", |b| {
+        b.iter(|| std::hint::black_box(analytic::fig3()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench: regenerate Figures 4a-4d (breakeven sweep and closed-form
+//! policy energies).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuleak_experiments::analytic;
+
+fn bench(c: &mut Criterion) {
+    // Shape checks: 1/p falloff (4a) and the MaxSleep/AlwaysActive
+    // crossover (4b).
+    let a = analytic::fig4a();
+    assert!(a[4].breakeven[1] > a[49].breakeven[1] * 5.0);
+    let b4 = analytic::fig4_policies(10.0, &[0.1]);
+    assert!(b4[2].max_sleep > b4[2].always_active);
+    assert!(b4.last().unwrap().max_sleep < b4.last().unwrap().always_active);
+
+    c.bench_function("fig4a_sweep", |b| {
+        b.iter(|| std::hint::black_box(analytic::fig4a()))
+    });
+    c.bench_function("fig4bcd_policies", |b| {
+        b.iter(|| {
+            std::hint::black_box(analytic::fig4_policies(10.0, &[0.1, 0.9]));
+            std::hint::black_box(analytic::fig4_policies(100.0, &[0.1, 0.9]));
+            std::hint::black_box(analytic::fig4_policies(1.0, &[0.5]));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench: regenerate Figure 5c (GradualSleep transition energy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuleak_experiments::analytic;
+
+fn bench(c: &mut Criterion) {
+    // Shape check: GradualSleep between the extremes.
+    let rows = analytic::fig5c();
+    assert!(rows[2].gradual_sleep < rows[2].max_sleep);
+    assert!(rows[100].gradual_sleep < rows[100].always_active);
+    c.bench_function("fig5c_series", |b| {
+        b.iter(|| std::hint::black_box(analytic::fig5c()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench: Figure 7 (idle-interval distribution) on a reduced budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuleak_experiments::empirical::fig7;
+use fuleak_experiments::harness::{run_suite, Budget};
+
+fn bench(c: &mut Criterion) {
+    let suite = run_suite(12, Budget::Quick);
+    let series = fig7(&suite);
+    // Shape check: idle time concentrated at short intervals.
+    let below_128: f64 = series.fractions[..8].iter().sum();
+    assert!(below_128 / series.total_idle_fraction > 0.5);
+    c.bench_function("fig7_histogram", |b| {
+        b.iter(|| std::hint::black_box(fig7(&suite)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

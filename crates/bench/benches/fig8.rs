@@ -1,0 +1,33 @@
+//! Bench: Figures 8a/8b (per-benchmark policy energies).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuleak_experiments::empirical::fig8;
+use fuleak_experiments::harness::{run_suite, Budget};
+
+fn bench(c: &mut Criterion) {
+    let suite = run_suite(12, Budget::Quick);
+    // Shape checks: the paper's headline result at both points.
+    let avg = |rows: &[fuleak_experiments::empirical::Fig8Row], k: usize| {
+        rows.iter().map(|r| r.energy[k]).sum::<f64>() / rows.len() as f64
+    };
+    let a = fig8(&suite, 0.05, 0.5);
+    assert!(avg(&a, 0) > avg(&a, 2), "p=0.05: MaxSleep must lose");
+    let b8 = fig8(&suite, 0.5, 0.5);
+    assert!(avg(&b8, 0) < avg(&b8, 2), "p=0.5: MaxSleep must win");
+    c.bench_function("fig8_both_points", |b| {
+        b.iter(|| {
+            std::hint::black_box(fig8(&suite, 0.05, 0.5));
+            std::hint::black_box(fig8(&suite, 0.5, 0.5));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

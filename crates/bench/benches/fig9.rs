@@ -1,0 +1,26 @@
+//! Bench: Figures 9a/9b (technology sweep averages).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuleak_experiments::empirical::fig9;
+use fuleak_experiments::harness::{run_suite, Budget};
+
+fn bench(c: &mut Criterion) {
+    let suite = run_suite(12, Budget::Quick);
+    let rows = fig9(&suite);
+    // Shape check: the curves cross and leakage fraction rises.
+    assert!(rows[0].relative[0] > rows[0].relative[2]);
+    assert!(rows.last().unwrap().relative[0] < rows.last().unwrap().relative[2]);
+    c.bench_function("fig9_sweep", |b| {
+        b.iter(|| std::hint::black_box(fig9(&suite)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench: regenerate Table 1 (gate characterization) and validate its
+//! derived ratios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuleak_domino::GateCharacterization;
+use fuleak_experiments::analytic;
+
+fn bench(c: &mut Criterion) {
+    // Shape check: the dual-Vt leakage asymmetry the table reports.
+    let g = GateCharacterization::dual_vt_or8();
+    assert!(g.energies.leak_hi / g.energies.leak_lo > 1900.0);
+    c.bench_function("table1_render", |b| {
+        b.iter(|| std::hint::black_box(analytic::table1().render()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Bench: the Table 3 pipeline — kernel traces through the timing
+//! simulator (FU-selection methodology validated separately in tests).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuleak_uarch::{CoreConfig, Simulator};
+use fuleak_workloads::{Benchmark, TraceRecord};
+
+fn trace_of(name: &str, budget: u64) -> Vec<TraceRecord> {
+    let mut m = Benchmark::by_name(name).unwrap().instantiate();
+    m.run(budget).collect::<Result<_, _>>().unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_sim");
+    group.sample_size(10);
+    for name in ["mst", "mcf", "vortex"] {
+        let trace = trace_of(name, 100_000);
+        // Shape check: simulated IPC is sane and ordered.
+        let ipc = Simulator::new(CoreConfig::alpha21264())
+            .unwrap()
+            .run(trace.iter().copied())
+            .ipc();
+        assert!(ipc > 0.05 && ipc <= 4.0);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let sim = Simulator::new(CoreConfig::alpha21264())
+                    .unwrap()
+                    .run(trace.iter().copied());
+                std::hint::black_box(sim.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

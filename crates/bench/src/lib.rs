@@ -1,0 +1,1 @@
+//! Benchmark support crate (see `benches/`).

@@ -1,0 +1,332 @@
+//! Drives a sleep controller over a workload and accounts its energy.
+//!
+//! Two equivalent entry points are provided:
+//!
+//! * [`simulate_cycles`] — feeds a controller one busy/idle observation
+//!   per cycle (what you would do online in hardware);
+//! * [`simulate_intervals`] — feeds an idle-interval list (what the
+//!   paper's methodology does: the timing simulator records per-FU idle
+//!   intervals and the energy model is applied afterwards — sleep
+//!   management does not perturb timing because wake-up is hidden
+//!   behind the issue-to-execute pipeline stages, Figure 6).
+//!
+//! The two agree exactly for any deterministic controller; the property
+//! tests in this module and the integration suite check that, plus
+//! agreement with the closed forms of [`crate::closed_form`].
+
+use crate::closed_form::{interval_energy, BoundaryPolicy};
+use crate::model::{EnergyModel, NormalizedEnergy};
+use crate::policy::SleepController;
+
+/// The result of running a policy over a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PolicyRun {
+    /// Energy breakdown in units of `E_D`.
+    pub energy: NormalizedEnergy,
+    /// Active (computing) cycles.
+    pub active_cycles: u64,
+    /// Cycle-equivalents spent in uncontrolled idle (fractional under
+    /// GradualSleep, where part of the circuit idles while the rest
+    /// sleeps).
+    pub uncontrolled_idle_equiv: f64,
+    /// Cycle-equivalents spent asleep.
+    pub sleep_equiv: f64,
+    /// Transition-equivalents (whole-circuit transitions; GradualSleep
+    /// contributes fractions per slice).
+    pub transitions_equiv: f64,
+}
+
+impl PolicyRun {
+    /// Total cycles covered by the run.
+    pub fn total_cycles(&self) -> f64 {
+        self.active_cycles as f64 + self.uncontrolled_idle_equiv + self.sleep_equiv
+    }
+
+    /// Energy normalized to the 100%-computation baseline `E_max` of
+    /// equation (9) — the y-axis of Figures 8a/8b.
+    pub fn normalized_to_max(&self, model: &EnergyModel) -> f64 {
+        let total = self.total_cycles().round() as u64;
+        let e_max = model.max_energy(total);
+        if e_max == 0.0 {
+            0.0
+        } else {
+            self.energy.total() / e_max
+        }
+    }
+}
+
+/// Runs a controller over a per-cycle busy/idle stream.
+///
+/// # Example
+///
+/// ```
+/// use fuleak_core::accounting::simulate_cycles;
+/// use fuleak_core::policy::MaxSleep;
+/// use fuleak_core::{EnergyModel, TechnologyParams};
+///
+/// # fn main() -> Result<(), fuleak_core::ModelError> {
+/// let model = EnergyModel::new(TechnologyParams::high_leakage(), 0.5)?;
+/// let stream = [true, false, false, false, true];
+/// let run = simulate_cycles(&model, &mut MaxSleep::new(), stream);
+/// assert_eq!(run.active_cycles, 2);
+/// assert_eq!(run.sleep_equiv, 3.0);
+/// assert_eq!(run.transitions_equiv, 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_cycles<C, I>(model: &EnergyModel, controller: &mut C, cycles: I) -> PolicyRun
+where
+    C: SleepController + ?Sized,
+    I: IntoIterator<Item = bool>,
+{
+    let mut run = PolicyRun::default();
+    for busy in cycles {
+        let decision = controller.observe(busy);
+        if busy {
+            run.energy += model.active_cycle();
+            run.active_cycles += 1;
+            continue;
+        }
+        debug_assert!((0.0..=1.0).contains(&decision.sleeping));
+        debug_assert!(decision.newly_asleep <= decision.sleeping + 1e-12);
+        if decision.bill_transitions && decision.newly_asleep > 0.0 {
+            run.energy += model.transition() * decision.newly_asleep;
+            run.transitions_equiv += decision.newly_asleep;
+        }
+        run.energy += model.sleep_cycle() * decision.sleeping;
+        run.energy += model.uncontrolled_idle_cycle() * (1.0 - decision.sleeping);
+        run.sleep_equiv += decision.sleeping;
+        run.uncontrolled_idle_equiv += 1.0 - decision.sleeping;
+    }
+    run
+}
+
+/// Runs a controller over an idle-interval list plus a total active
+/// cycle count (the paper's simulation methodology).
+///
+/// Each idle interval is preceded by one active cycle from
+/// `active_cycles` so the controller sees interval boundaries; the
+/// remaining active cycles are appended at the end. If `active_cycles`
+/// is smaller than the interval count, one separator per interval is
+/// still emitted (the paper's `n_tr <= n_A` constraint makes this case
+/// unreachable for real traces, but the accounting stays well-defined).
+pub fn simulate_intervals<C>(
+    model: &EnergyModel,
+    controller: &mut C,
+    active_cycles: u64,
+    idle_intervals: &[u64],
+) -> PolicyRun
+where
+    C: SleepController + ?Sized,
+{
+    let separators = idle_intervals.len() as u64;
+    let trailing = active_cycles.saturating_sub(separators);
+    let stream = idle_intervals
+        .iter()
+        .flat_map(|&t| {
+            std::iter::once(true).chain(std::iter::repeat_n(false, t as usize))
+        })
+        .chain(std::iter::repeat_n(true, trailing as usize));
+    simulate_cycles(model, controller, stream)
+}
+
+/// Closed-form per-interval accounting for a boundary policy — the
+/// O(#intervals) fast path used by the experiment harness. Agrees
+/// exactly with [`simulate_intervals`] driven by the corresponding
+/// controller.
+pub fn account_intervals(
+    model: &EnergyModel,
+    policy: BoundaryPolicy,
+    active_cycles: u64,
+    idle_intervals: &[u64],
+) -> PolicyRun {
+    let mut run = PolicyRun {
+        energy: model.active_cycle() * active_cycles as f64,
+        active_cycles,
+        ..PolicyRun::default()
+    };
+    for &t in idle_intervals {
+        run.energy += interval_energy(model, policy, t);
+        let t_f = t as f64;
+        match policy {
+            BoundaryPolicy::AlwaysActive => run.uncontrolled_idle_equiv += t_f,
+            BoundaryPolicy::MaxSleep => {
+                if t > 0 {
+                    run.transitions_equiv += 1.0;
+                }
+                run.sleep_equiv += t_f;
+            }
+            BoundaryPolicy::NoOverhead => run.sleep_equiv += t_f,
+            BoundaryPolicy::GradualSleep { slices } => {
+                let n = f64::from(slices);
+                let reached = t.min(u64::from(slices)) as f64;
+                run.transitions_equiv += reached / n;
+                // Slice i sleeps t-i+1 cycles (i <= t); the rest idle.
+                let slept: f64 = (1..=t.min(u64::from(slices)))
+                    .map(|i| (t - i + 1) as f64)
+                    .sum::<f64>()
+                    / n;
+                run.sleep_equiv += slept;
+                run.uncontrolled_idle_equiv += t_f - slept;
+            }
+        }
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{
+        AdaptiveSleep, AlwaysActive, GradualSleep, MaxSleep, NoOverhead, TimeoutSleep,
+    };
+    use crate::tech::TechnologyParams;
+
+    fn model(p: f64, alpha: f64) -> EnergyModel {
+        EnergyModel::new(TechnologyParams::with_leakage_factor(p).unwrap(), alpha).unwrap()
+    }
+
+    #[test]
+    fn empty_stream_costs_nothing() {
+        let m = model(0.5, 0.5);
+        let run = simulate_cycles(&m, &mut MaxSleep::new(), std::iter::empty());
+        assert_eq!(run.energy.total(), 0.0);
+        assert_eq!(run.total_cycles(), 0.0);
+    }
+
+    #[test]
+    fn all_busy_equals_max_energy() {
+        let m = model(0.5, 0.5);
+        let run = simulate_cycles(&m, &mut AlwaysActive, vec![true; 100]);
+        assert!((run.energy.total() - m.max_energy(100)).abs() < 1e-9);
+        assert!((run.normalized_to_max(&m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_driver_matches_cycle_driver() {
+        let m = model(0.5, 0.5);
+        let intervals = vec![3, 1, 7, 20, 2];
+        let active = 50;
+        let by_intervals =
+            simulate_intervals(&m, &mut GradualSleep::new(5), active, &intervals);
+        // Manually build the equivalent stream.
+        let mut stream = Vec::new();
+        for &t in &intervals {
+            stream.push(true);
+            stream.extend(std::iter::repeat_n(false, t as usize));
+        }
+        stream.extend(std::iter::repeat_n(true, active as usize - intervals.len()));
+        let by_cycles = simulate_cycles(&m, &mut GradualSleep::new(5), stream);
+        assert!((by_intervals.energy.total() - by_cycles.energy.total()).abs() < 1e-9);
+        assert_eq!(by_intervals.active_cycles, by_cycles.active_cycles);
+    }
+
+    #[test]
+    fn closed_form_matches_controller_for_boundary_policies() {
+        let m = model(0.2, 0.3);
+        let intervals = vec![1, 2, 5, 10, 17, 100, 3];
+        let active = 40;
+        let cases: Vec<(BoundaryPolicy, Box<dyn SleepController>)> = vec![
+            (BoundaryPolicy::AlwaysActive, Box::new(AlwaysActive)),
+            (BoundaryPolicy::MaxSleep, Box::new(MaxSleep::new())),
+            (BoundaryPolicy::NoOverhead, Box::new(NoOverhead::new())),
+            (
+                BoundaryPolicy::GradualSleep { slices: 7 },
+                Box::new(GradualSleep::new(7)),
+            ),
+        ];
+        for (policy, mut ctrl) in cases {
+            let closed = account_intervals(&m, policy, active, &intervals);
+            let simulated = simulate_intervals(&m, ctrl.as_mut(), active, &intervals);
+            assert!(
+                (closed.energy.total() - simulated.energy.total()).abs() < 1e-9,
+                "{policy:?}: closed {} vs sim {}",
+                closed.energy.total(),
+                simulated.energy.total()
+            );
+            assert!((closed.sleep_equiv - simulated.sleep_equiv).abs() < 1e-9);
+            assert!(
+                (closed.uncontrolled_idle_equiv - simulated.uncontrolled_idle_equiv).abs()
+                    < 1e-9
+            );
+            assert!((closed.transitions_equiv - simulated.transitions_equiv).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_overhead_never_exceeds_other_policies() {
+        let m = model(0.3, 0.6);
+        let intervals = vec![2, 9, 33, 1, 4, 250];
+        let active = 100;
+        let no = account_intervals(&m, BoundaryPolicy::NoOverhead, active, &intervals)
+            .energy
+            .total();
+        for policy in [
+            BoundaryPolicy::AlwaysActive,
+            BoundaryPolicy::MaxSleep,
+            BoundaryPolicy::GradualSleep { slices: 13 },
+        ] {
+            let e = account_intervals(&m, policy, active, &intervals).energy.total();
+            assert!(no <= e + 1e-12, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn timeout_with_huge_timeout_matches_always_active() {
+        let m = model(0.5, 0.5);
+        let intervals = vec![5, 50, 500];
+        let aa = simulate_intervals(&m, &mut AlwaysActive, 10, &intervals);
+        let to = simulate_intervals(&m, &mut TimeoutSleep::new(u64::MAX), 10, &intervals);
+        assert!((aa.energy.total() - to.energy.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_zero_matches_max_sleep() {
+        let m = model(0.5, 0.5);
+        let intervals = vec![5, 50, 500];
+        let ms = simulate_intervals(&m, &mut MaxSleep::new(), 10, &intervals);
+        let to = simulate_intervals(&m, &mut TimeoutSleep::new(0), 10, &intervals);
+        assert!((ms.energy.total() - to.energy.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_beats_max_sleep_on_short_intervals_at_low_p() {
+        // At p = 0.05 the breakeven is ~20 cycles; on a stream of
+        // 5-cycle intervals the adaptive policy should learn to stay
+        // awake while MaxSleep pays the transition every time.
+        let m = model(0.05, 0.5);
+        let be = crate::breakeven_interval(&m);
+        let intervals = vec![5u64; 200];
+        let ms = simulate_intervals(&m, &mut MaxSleep::new(), 200, &intervals);
+        let ad = simulate_intervals(&m, &mut AdaptiveSleep::new(be, 0.25), 200, &intervals);
+        assert!(ad.energy.total() < ms.energy.total());
+    }
+
+    #[test]
+    fn adaptive_beats_always_active_on_long_intervals() {
+        let m = model(0.05, 0.5);
+        let be = crate::breakeven_interval(&m);
+        let intervals = vec![500u64; 50];
+        let aa = simulate_intervals(&m, &mut AlwaysActive, 50, &intervals);
+        let ad = simulate_intervals(&m, &mut AdaptiveSleep::new(be, 0.25), 50, &intervals);
+        assert!(ad.energy.total() < aa.energy.total());
+    }
+
+    #[test]
+    fn policy_run_totals() {
+        let m = model(0.5, 0.5);
+        let run = simulate_intervals(&m, &mut MaxSleep::new(), 10, &[4, 6]);
+        assert_eq!(run.active_cycles, 10);
+        assert_eq!(run.sleep_equiv, 10.0);
+        assert_eq!(run.uncontrolled_idle_equiv, 0.0);
+        assert_eq!(run.total_cycles(), 20.0);
+    }
+
+    #[test]
+    fn more_active_cycles_cost_more() {
+        let m = model(0.5, 0.5);
+        let a = simulate_intervals(&m, &mut MaxSleep::new(), 10, &[5]);
+        let b = simulate_intervals(&m, &mut MaxSleep::new(), 20, &[5]);
+        assert!(b.energy.total() > a.energy.total());
+    }
+}

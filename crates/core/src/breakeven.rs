@@ -1,0 +1,120 @@
+//! The breakeven idle interval — equation (5) and Figure 4a.
+//!
+//! An idle interval of `t` cycles costs `t · E_ui` if left in
+//! uncontrolled idle, versus `E_tr + t · E_s` if the sleep mode is
+//! entered at its start. The breakeven interval is where the two are
+//! equal:
+//!
+//! ```text
+//! t_be = ((1 - alpha) + e_sleep) / (p · (1 - alpha) · (1 - k))
+//! ```
+//!
+//! The denominator is the per-cycle saving `E_ui - E_s =
+//! p·(alpha·k + 1 - alpha) - p·k = p·(1-alpha)·(1-k)`; the numerator is
+//! the one-time transition cost. Two consequences the paper highlights:
+//! the breakeven falls roughly as `1/p` as leakage grows, and it is
+//! nearly insensitive to `alpha` (both the transition cost and the
+//! uncontrolled leakage scale with `1 - alpha`).
+
+use crate::model::EnergyModel;
+
+/// The breakeven idle interval in cycles (equation (5) of the paper).
+///
+/// Returns `f64::INFINITY` when sleeping can never pay off (zero
+/// leakage factor, `alpha = 1` with zero overhead denominator, or
+/// `k = 1`).
+///
+/// # Example
+///
+/// ```
+/// use fuleak_core::{breakeven_interval, EnergyModel, TechnologyParams};
+///
+/// # fn main() -> Result<(), fuleak_core::ModelError> {
+/// // Near-term technology: breakeven ~ 20 cycles.
+/// let m = EnergyModel::new(TechnologyParams::near_term(), 0.5)?;
+/// let t = breakeven_interval(&m);
+/// assert!(t > 15.0 && t < 25.0);
+///
+/// // High-leakage: ~2 cycles, so sleep at every opportunity.
+/// let m = EnergyModel::new(TechnologyParams::high_leakage(), 0.5)?;
+/// assert!(breakeven_interval(&m) < 3.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn breakeven_interval(model: &EnergyModel) -> f64 {
+    let per_cycle_saving = model.uncontrolled_idle_cycle().total() - model.sleep_cycle().total();
+    let transition_cost = model.transition().total();
+    if per_cycle_saving <= 0.0 {
+        return f64::INFINITY;
+    }
+    transition_cost / per_cycle_saving
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::TechnologyParams;
+
+    fn model(p: f64, alpha: f64) -> EnergyModel {
+        EnergyModel::new(TechnologyParams::with_leakage_factor(p).unwrap(), alpha).unwrap()
+    }
+
+    #[test]
+    fn matches_closed_form_expression() {
+        for p in [0.05, 0.1, 0.5, 1.0] {
+            for alpha in [0.1, 0.5, 0.9] {
+                let m = model(p, alpha);
+                let expect = ((1.0 - alpha) + 0.01) / (p * (1.0 - alpha) * (1.0 - 0.001));
+                assert!(
+                    (breakeven_interval(&m) - expect).abs() < 1e-9,
+                    "p={p} alpha={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn satisfies_equation4_equality() {
+        // At t = t_be the uncontrolled-idle energy equals the
+        // sleep-path energy (equation (4) with both sides expanded).
+        let m = model(0.2, 0.3);
+        let t = breakeven_interval(&m);
+        let idle_energy = t * m.uncontrolled_idle_cycle().total();
+        let sleep_energy = m.transition().total() + t * m.sleep_cycle().total();
+        assert!((idle_energy - sleep_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn falls_roughly_as_one_over_p() {
+        let t1 = breakeven_interval(&model(0.1, 0.5));
+        let t2 = breakeven_interval(&model(0.2, 0.5));
+        assert!((t1 / t2 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn near_term_breakeven_around_20_cycles() {
+        // Figure 4a: the vertical p = 0.05 line crosses the curves at
+        // ~20 cycles.
+        for alpha in [0.1, 0.5, 0.9] {
+            let t = breakeven_interval(&model(0.05, alpha));
+            assert!((16.0..=25.0).contains(&t), "alpha={alpha}: {t}");
+        }
+    }
+
+    #[test]
+    fn insensitive_to_alpha() {
+        // Section 2.1: "the time to break even is relatively
+        // insensitive across this range of activity factor".
+        let lo = breakeven_interval(&model(0.05, 0.1));
+        let hi = breakeven_interval(&model(0.05, 0.9));
+        assert!((hi / lo) < 1.15, "lo={lo}, hi={hi}");
+    }
+
+    #[test]
+    fn infinite_when_sleep_cannot_win() {
+        assert!(breakeven_interval(&model(0.0, 0.5)).is_infinite());
+        let no_gain =
+            EnergyModel::new(TechnologyParams::new(0.5, 1.0, 0.01, 0.5).unwrap(), 0.5).unwrap();
+        assert!(breakeven_interval(&no_gain).is_infinite());
+    }
+}

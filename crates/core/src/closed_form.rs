@@ -1,0 +1,389 @@
+//! Closed-form policy energies — equations (6)–(9) and Figures 4b–4d
+//! and 5c of the paper.
+//!
+//! To explore the parameter space without simulation, the paper links
+//! the cycle counts through two scalars: the **usage factor** `f_U`
+//! (fraction of cycles the FU computes) and the **mean idle interval**
+//! `t_idle`. Given a run of `T` cycles:
+//!
+//! * `n_A = f_U · T`;
+//! * AlwaysActive: all idle cycles are uncontrolled idle;
+//! * MaxSleep: all idle cycles are sleep cycles, with
+//!   `n_tr = min((1 - f_U)·T / t_idle, n_A)` transitions (every
+//!   transition must follow at least one active cycle);
+//! * NoOverhead: MaxSleep with `n_tr = 0` — the unachievable lower
+//!   bound.
+//!
+//! The per-interval forms ([`interval_energy`]) are the same quantities
+//! for a single idle interval of known length, which is what the
+//! empirical part of the paper (and [`crate::accounting`]) uses; the
+//! GradualSleep closed form of Figure 5c lives here too.
+
+use crate::error::{check_fraction, check_positive, ModelError};
+use crate::model::{EnergyModel, NormalizedEnergy};
+
+/// A usage scenario for the closed-form exploration: `T` total cycles
+/// of which a fraction `f_U` are active, with idle time arriving in
+/// intervals of `t_idle` cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsageScenario {
+    /// Total run length in cycles, `T`.
+    pub total_cycles: u64,
+    /// Usage factor `f_U` in `[0, 1]`.
+    pub usage_factor: f64,
+    /// Mean idle-interval length in cycles (must be positive).
+    pub mean_idle_interval: f64,
+}
+
+impl UsageScenario {
+    /// Validates and builds a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFraction`] for a usage factor
+    /// outside `[0, 1]` or [`ModelError::NonPositive`] for a
+    /// non-positive idle interval.
+    pub fn new(
+        total_cycles: u64,
+        usage_factor: f64,
+        mean_idle_interval: f64,
+    ) -> Result<Self, ModelError> {
+        check_fraction("usage_factor", usage_factor)?;
+        check_positive("mean_idle_interval", mean_idle_interval)?;
+        Ok(UsageScenario {
+            total_cycles,
+            usage_factor,
+            mean_idle_interval,
+        })
+    }
+
+    /// Active cycles `n_A = f_U · T`.
+    pub fn active_cycles(&self) -> f64 {
+        self.usage_factor * self.total_cycles as f64
+    }
+
+    /// Idle cycles `(1 - f_U) · T`.
+    pub fn idle_cycles(&self) -> f64 {
+        (1.0 - self.usage_factor) * self.total_cycles as f64
+    }
+
+    /// Sleep transitions under MaxSleep:
+    /// `min(idle / t_idle, active)` (each transition needs a preceding
+    /// active cycle).
+    pub fn max_sleep_transitions(&self) -> f64 {
+        (self.idle_cycles() / self.mean_idle_interval).min(self.active_cycles())
+    }
+}
+
+/// Equation (6): AlwaysActive total energy in units of `E_D`.
+pub fn always_active(model: &EnergyModel, s: &UsageScenario) -> NormalizedEnergy {
+    model.active_cycle() * s.active_cycles() + model.uncontrolled_idle_cycle() * s.idle_cycles()
+}
+
+/// Equation (7): MaxSleep total energy in units of `E_D`.
+pub fn max_sleep(model: &EnergyModel, s: &UsageScenario) -> NormalizedEnergy {
+    model.active_cycle() * s.active_cycles()
+        + model.transition() * s.max_sleep_transitions()
+        + model.sleep_cycle() * s.idle_cycles()
+}
+
+/// Equation (8): NoOverhead total energy in units of `E_D` — MaxSleep
+/// without the transition term; an unachievable lower bound.
+pub fn no_overhead(model: &EnergyModel, s: &UsageScenario) -> NormalizedEnergy {
+    model.active_cycle() * s.active_cycles() + model.sleep_cycle() * s.idle_cycles()
+}
+
+/// Equation (9): the normalization baseline `E_max` — the energy had
+/// the FU computed on every one of the `T` cycles.
+pub fn max_computation(model: &EnergyModel, s: &UsageScenario) -> f64 {
+    model.max_energy(s.total_cycles)
+}
+
+/// The sleep-management decision a policy makes for one idle interval.
+///
+/// [`interval_energy`] evaluates the idle-time energy of a single idle
+/// interval under each boundary policy; these per-interval quantities
+/// are what both Figure 5c and the trace-driven accounting build on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundaryPolicy {
+    /// Never assert Sleep; idle cycles leak uncontrolled.
+    AlwaysActive,
+    /// Assert Sleep on the first idle cycle.
+    MaxSleep,
+    /// MaxSleep without the transition cost (lower bound).
+    NoOverhead,
+    /// Stagger Sleep across `slices` circuit slices, one per idle cycle
+    /// (Section 3.2).
+    GradualSleep {
+        /// Number of slices the FU is divided into.
+        slices: u32,
+    },
+}
+
+/// Idle-time energy of a single idle interval of `t` cycles under a
+/// boundary policy, in units of `E_D` (active-cycle energy excluded).
+///
+/// For GradualSleep with `n` slices, slice `i` (1-based) spends `i - 1`
+/// cycles in uncontrolled idle, then transitions and sleeps for the
+/// remaining `t - i + 1` cycles; slices beyond `t` never transition.
+///
+/// # Panics
+///
+/// Panics if `GradualSleep { slices: 0 }` is passed; a GradualSleep
+/// circuit has at least one slice.
+///
+/// # Example
+///
+/// ```
+/// use fuleak_core::closed_form::{interval_energy, BoundaryPolicy};
+/// use fuleak_core::{EnergyModel, TechnologyParams};
+///
+/// # fn main() -> Result<(), fuleak_core::ModelError> {
+/// let m = EnergyModel::new(TechnologyParams::near_term(), 0.5)?;
+/// // One-slice GradualSleep degenerates to MaxSleep.
+/// let g1 = interval_energy(&m, BoundaryPolicy::GradualSleep { slices: 1 }, 40);
+/// let ms = interval_energy(&m, BoundaryPolicy::MaxSleep, 40);
+/// assert!((g1.total() - ms.total()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn interval_energy(model: &EnergyModel, policy: BoundaryPolicy, t: u64) -> NormalizedEnergy {
+    let t_f = t as f64;
+    match policy {
+        BoundaryPolicy::AlwaysActive => model.uncontrolled_idle_cycle() * t_f,
+        BoundaryPolicy::MaxSleep => {
+            if t == 0 {
+                NormalizedEnergy::zero()
+            } else {
+                model.transition() + model.sleep_cycle() * t_f
+            }
+        }
+        BoundaryPolicy::NoOverhead => model.sleep_cycle() * t_f,
+        BoundaryPolicy::GradualSleep { slices } => {
+            assert!(slices > 0, "GradualSleep requires at least one slice");
+            let n = slices as f64;
+            let mut total = NormalizedEnergy::zero();
+            for i in 1..=u64::from(slices) {
+                let slice_energy = if t >= i {
+                    // (i-1) uncontrolled cycles, a transition, then
+                    // sleep for the rest.
+                    model.uncontrolled_idle_cycle() * (i - 1) as f64
+                        + model.transition()
+                        + model.sleep_cycle() * (t - i + 1) as f64
+                } else {
+                    model.uncontrolled_idle_cycle() * t_f
+                };
+                total += slice_energy * (1.0 / n);
+            }
+            total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakeven::breakeven_interval;
+    use crate::tech::TechnologyParams;
+
+    fn model(p: f64, alpha: f64) -> EnergyModel {
+        EnergyModel::new(TechnologyParams::with_leakage_factor(p).unwrap(), alpha).unwrap()
+    }
+
+    fn scenario(f_u: f64, t_idle: f64) -> UsageScenario {
+        UsageScenario::new(1_000_000, f_u, t_idle).unwrap()
+    }
+
+    #[test]
+    fn scenario_validation() {
+        assert!(UsageScenario::new(100, -0.1, 10.0).is_err());
+        assert!(UsageScenario::new(100, 1.5, 10.0).is_err());
+        assert!(UsageScenario::new(100, 0.5, 0.0).is_err());
+        assert!(UsageScenario::new(100, 0.5, -2.0).is_err());
+    }
+
+    #[test]
+    fn transition_count_is_clamped_by_active_cycles() {
+        // Figure 4d's pathological case: f_U = 0.5, t_idle = 1 means
+        // as many transitions as active cycles.
+        let s = scenario(0.5, 1.0);
+        assert!((s.max_sleep_transitions() - s.active_cycles()).abs() < 1e-9);
+        // At f_U = 0.4, idle/t_idle = 0.6T would exceed n_A = 0.4T.
+        let s = UsageScenario::new(1000, 0.4, 1.0).unwrap();
+        assert!((s.max_sleep_transitions() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_overhead_is_a_lower_bound() {
+        for p in [0.01, 0.05, 0.5, 1.0] {
+            for f_u in [0.1, 0.5, 0.9] {
+                for t_idle in [1.0, 10.0, 100.0] {
+                    let m = model(p, 0.5);
+                    let s = scenario(f_u, t_idle);
+                    let no = no_overhead(&m, &s).total();
+                    assert!(no <= max_sleep(&m, &s).total() + 1e-12);
+                    assert!(no <= always_active(&m, &s).total() + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn policies_agree_at_full_usage() {
+        let m = model(0.5, 0.5);
+        let s = scenario(1.0, 10.0);
+        let aa = always_active(&m, &s).total();
+        let ms = max_sleep(&m, &s).total();
+        let no = no_overhead(&m, &s).total();
+        assert!((aa - ms).abs() < 1e-9);
+        assert!((aa - no).abs() < 1e-9);
+        assert!((aa - max_computation(&m, &s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure4b_low_p_maxsleep_loses() {
+        // Figure 4b (idle interval = 10): at small p the breakeven is
+        // > 10, so MaxSleep wastes energy relative to AlwaysActive.
+        let m = model(0.05, 0.5);
+        let s = scenario(0.1, 10.0);
+        assert!(max_sleep(&m, &s).total() > always_active(&m, &s).total());
+    }
+
+    #[test]
+    fn figure4b_high_p_maxsleep_wins() {
+        let m = model(0.5, 0.5);
+        let s = scenario(0.1, 10.0);
+        assert!(max_sleep(&m, &s).total() < always_active(&m, &s).total());
+    }
+
+    #[test]
+    fn figure4b_anchor_values() {
+        // Spot values computed from the model at p = 1, f_U = 0.9/0.1
+        // (the right edge of Figure 4b): AlwaysActive ~0.94/0.46.
+        let m = model(1.0, 0.5);
+        let s9 = scenario(0.9, 10.0);
+        let s1 = scenario(0.1, 10.0);
+        let e_max9 = max_computation(&m, &s9);
+        let aa9 = always_active(&m, &s9).total() / e_max9;
+        assert!((aa9 - 0.94).abs() < 0.02, "aa9 = {aa9}");
+        let e_max1 = max_computation(&m, &s1);
+        let aa1 = always_active(&m, &s1).total() / e_max1;
+        assert!((aa1 - 0.46).abs() < 0.02, "aa1 = {aa1}");
+        let ms1 = max_sleep(&m, &s1).total() / e_max1;
+        assert!((ms1 - 0.14).abs() < 0.03, "ms1 = {ms1}");
+    }
+
+    #[test]
+    fn figure4c_longer_interval_closes_gap_to_no_overhead() {
+        // Figure 4b vs 4c: amortizing the transition over 100 cycles
+        // instead of 10 brings MaxSleep near NoOverhead.
+        let m = model(0.5, 0.5);
+        let gap = |t_idle: f64| {
+            let s = scenario(0.1, t_idle);
+            max_sleep(&m, &s).total() - no_overhead(&m, &s).total()
+        };
+        assert!(gap(100.0) < gap(10.0) / 5.0);
+    }
+
+    #[test]
+    fn figure4d_worst_case_maxsleep_never_below_always_active_at_low_p() {
+        // Alternating active/idle (t_idle = 1) maximizes transition
+        // overhead; MaxSleep can exceed even the 100%-compute baseline.
+        let m = model(0.05, 0.5);
+        let s = scenario(0.5, 1.0);
+        let e_max = max_computation(&m, &s);
+        let ms = max_sleep(&m, &s).total() / e_max;
+        let aa = always_active(&m, &s).total() / e_max;
+        assert!(ms > aa);
+        assert!(ms > 0.9, "ms = {ms}"); // near or above 1.0
+    }
+
+    #[test]
+    fn interval_zero_costs_nothing() {
+        let m = model(0.5, 0.5);
+        for pol in [
+            BoundaryPolicy::AlwaysActive,
+            BoundaryPolicy::MaxSleep,
+            BoundaryPolicy::NoOverhead,
+            BoundaryPolicy::GradualSleep { slices: 4 },
+        ] {
+            assert_eq!(interval_energy(&m, pol, 0).total(), 0.0, "{pol:?}");
+        }
+    }
+
+    #[test]
+    fn gradual_one_slice_equals_max_sleep() {
+        let m = model(0.05, 0.5);
+        for t in [1, 5, 20, 100] {
+            let g = interval_energy(&m, BoundaryPolicy::GradualSleep { slices: 1 }, t);
+            let ms = interval_energy(&m, BoundaryPolicy::MaxSleep, t);
+            assert!((g.total() - ms.total()).abs() < 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn gradual_many_slices_approaches_always_active_for_short_idles() {
+        // With many slices, a 1-cycle idle only transitions 1/n of the
+        // circuit: energy tends to AlwaysActive's as n grows.
+        let m = model(0.05, 0.5);
+        let aa = interval_energy(&m, BoundaryPolicy::AlwaysActive, 1).total();
+        let g = |n: u32| interval_energy(&m, BoundaryPolicy::GradualSleep { slices: n }, 1).total();
+        assert!((g(100) - aa).abs() < (g(4) - aa).abs());
+        assert!((g(1000) - aa) / aa < 0.5);
+    }
+
+    #[test]
+    fn figure5c_gradual_between_extremes() {
+        // Figure 5c: GradualSleep beats MaxSleep for short intervals,
+        // beats AlwaysActive for long ones, and is worst near the
+        // breakeven point.
+        let m = model(0.05, 0.5);
+        let n = breakeven_interval(&m).round() as u32; // paper: slices = breakeven
+        let g = |t| interval_energy(&m, BoundaryPolicy::GradualSleep { slices: n }, t).total();
+        let ms = |t| interval_energy(&m, BoundaryPolicy::MaxSleep, t).total();
+        let aa = |t| interval_energy(&m, BoundaryPolicy::AlwaysActive, t).total();
+
+        assert!(g(2) < ms(2), "short idle: gradual < max sleep");
+        assert!(g(100) < aa(100), "long idle: gradual < always active");
+        let t_be = breakeven_interval(&m).round() as u64;
+        assert!(g(t_be) > ms(t_be), "near breakeven: gradual pays most");
+        assert!(g(t_be) > aa(t_be));
+    }
+
+    #[test]
+    fn gradual_interval_energy_is_monotone_in_t() {
+        let m = model(0.2, 0.3);
+        let pol = BoundaryPolicy::GradualSleep { slices: 8 };
+        let mut prev = 0.0;
+        for t in 1..200 {
+            let e = interval_energy(&m, pol, t).total();
+            assert!(e >= prev, "t={t}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slice")]
+    fn gradual_zero_slices_panics() {
+        let m = model(0.2, 0.3);
+        interval_energy(&m, BoundaryPolicy::GradualSleep { slices: 0 }, 5);
+    }
+
+    #[test]
+    fn closed_form_matches_interval_sum() {
+        // Equation (7) with equal-length intervals equals the sum of
+        // per-interval energies plus the active-cycle energy.
+        let m = model(0.5, 0.5);
+        let t_idle = 10u64;
+        let n_intervals = 1000u64;
+        let active = 9000u64;
+        let total = active + n_intervals * t_idle;
+        let s = UsageScenario::new(total, active as f64 / total as f64, t_idle as f64).unwrap();
+
+        let closed = max_sleep(&m, &s).total();
+        let by_intervals = m.active_cycle().total() * active as f64
+            + n_intervals as f64
+                * interval_energy(&m, BoundaryPolicy::MaxSleep, t_idle).total();
+        assert!((closed - by_intervals).abs() / closed < 1e-9);
+    }
+}

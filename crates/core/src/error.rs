@@ -1,0 +1,106 @@
+//! Error type for model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised when building a model from invalid parameters.
+///
+/// # Example
+///
+/// ```
+/// use fuleak_core::{EnergyModel, TechnologyParams};
+///
+/// let err = EnergyModel::new(TechnologyParams::near_term(), 1.5).unwrap_err();
+/// assert!(err.to_string().contains("alpha"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A probability-like parameter fell outside `[0, 1]`.
+    InvalidFraction {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A parameter that must be strictly positive was not.
+    NonPositive {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidFraction { name, value } => {
+                write!(f, "parameter `{name}` must lie in [0, 1], got {value}")
+            }
+            ModelError::NonPositive { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+pub(crate) fn check_fraction(name: &'static str, value: f64) -> Result<(), ModelError> {
+    if !(0.0..=1.0).contains(&value) || value.is_nan() {
+        Err(ModelError::InvalidFraction { name, value })
+    } else {
+        Ok(())
+    }
+}
+
+pub(crate) fn check_positive(name: &'static str, value: f64) -> Result<(), ModelError> {
+    if value <= 0.0 || value.is_nan() || !value.is_finite() {
+        Err(ModelError::NonPositive { name, value })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_check() {
+        assert!(check_fraction("x", 0.0).is_ok());
+        assert!(check_fraction("x", 1.0).is_ok());
+        assert!(check_fraction("x", -0.01).is_err());
+        assert!(check_fraction("x", 1.01).is_err());
+        assert!(check_fraction("x", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn positive_check() {
+        assert!(check_positive("x", 0.5).is_ok());
+        assert!(check_positive("x", 0.0).is_err());
+        assert!(check_positive("x", -1.0).is_err());
+        assert!(check_positive("x", f64::INFINITY).is_err());
+        assert!(check_positive("x", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn display_names_the_parameter() {
+        let e = ModelError::InvalidFraction {
+            name: "p",
+            value: 2.0,
+        };
+        assert!(e.to_string().contains('p'));
+        let e = ModelError::NonPositive {
+            name: "t_idle",
+            value: 0.0,
+        };
+        assert!(e.to_string().contains("t_idle"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ModelError>();
+    }
+}

@@ -1,0 +1,371 @@
+//! Idle-interval recording and the Figure 7 histogram.
+//!
+//! The empirical half of the paper reduces each functional unit's
+//! activity to its *idle-interval distribution*: the simulator records,
+//! per FU, every maximal run of consecutive idle cycles. Figure 7 plots
+//! the fraction of total time spent idle, binned by the log2 of the
+//! interval length, with everything at or above 8192 cycles accumulated
+//! into the last bin.
+
+/// Records idle intervals from a per-cycle busy/idle stream.
+///
+/// # Example
+///
+/// ```
+/// use fuleak_core::IdleRecorder;
+///
+/// let mut r = IdleRecorder::new();
+/// for &busy in &[true, false, false, true, false, true] {
+///     r.observe(busy);
+/// }
+/// r.finish();
+/// assert_eq!(r.intervals(), &[2, 1]);
+/// assert_eq!(r.active_cycles(), 3);
+/// assert_eq!(r.total_cycles(), 6);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdleRecorder {
+    intervals: Vec<u64>,
+    current_run: u64,
+    active_cycles: u64,
+}
+
+impl IdleRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one cycle.
+    pub fn observe(&mut self, busy: bool) {
+        if busy {
+            if self.current_run > 0 {
+                self.intervals.push(self.current_run);
+                self.current_run = 0;
+            }
+            self.active_cycles += 1;
+        } else {
+            self.current_run += 1;
+        }
+    }
+
+    /// Closes any idle interval still open at the end of the run.
+    pub fn finish(&mut self) {
+        if self.current_run > 0 {
+            self.intervals.push(self.current_run);
+            self.current_run = 0;
+        }
+    }
+
+    /// The completed idle intervals, in occurrence order.
+    pub fn intervals(&self) -> &[u64] {
+        &self.intervals
+    }
+
+    /// Consumes the recorder, returning the interval list.
+    pub fn into_intervals(self) -> Vec<u64> {
+        self.intervals
+    }
+
+    /// Number of active (busy) cycles observed.
+    pub fn active_cycles(&self) -> u64 {
+        self.active_cycles
+    }
+
+    /// Total idle cycles across completed intervals.
+    pub fn idle_cycles(&self) -> u64 {
+        self.intervals.iter().sum()
+    }
+
+    /// Total observed cycles (active + completed idle). Call
+    /// [`IdleRecorder::finish`] first if the stream may end idle.
+    pub fn total_cycles(&self) -> u64 {
+        self.active_cycles + self.idle_cycles()
+    }
+
+    /// Fraction of total time spent idle. Returns `None` before any
+    /// cycle has been observed.
+    pub fn idle_fraction(&self) -> Option<f64> {
+        let total = self.total_cycles();
+        (total > 0).then(|| self.idle_cycles() as f64 / total as f64)
+    }
+}
+
+/// The cap bucket of Figure 7: idle time of intervals at or above this
+/// length is accumulated at the 8192-cycle marker.
+pub const HISTOGRAM_CAP: u64 = 8192;
+
+/// A log2-bucketed histogram of idle time by interval length
+/// (Figure 7 of the paper).
+///
+/// Bucket `i` covers interval lengths in `[2^i, 2^(i+1))`; the final
+/// bucket accumulates everything at or above [`HISTOGRAM_CAP`]. The
+/// histogram weights each interval by its *length* (total idle time),
+/// matching the figure's y-axis of "fraction of total time ALUs are
+/// idle".
+///
+/// # Example
+///
+/// ```
+/// use fuleak_core::IdleHistogram;
+///
+/// let mut h = IdleHistogram::new();
+/// h.record(3); // falls in the [2, 4) bucket
+/// h.record(100_000); // capped at the 8192 marker
+/// assert_eq!(h.idle_cycles_in_bucket(1), 3);
+/// assert_eq!(h.idle_cycles_in_bucket(IdleHistogram::BUCKETS - 1), 100_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdleHistogram {
+    /// Total idle cycles contributed by intervals in each bucket.
+    idle_cycles: [u64; Self::BUCKETS],
+    /// Number of intervals in each bucket.
+    counts: [u64; Self::BUCKETS],
+}
+
+impl IdleHistogram {
+    /// Number of buckets: lengths 1, 2, 4, ..., 8192+ (2^0..=2^13).
+    pub const BUCKETS: usize = 14;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        IdleHistogram {
+            idle_cycles: [0; Self::BUCKETS],
+            counts: [0; Self::BUCKETS],
+        }
+    }
+
+    /// The bucket index for an interval length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0`; zero-length idle intervals cannot
+    /// exist.
+    pub fn bucket_of(interval: u64) -> usize {
+        assert!(interval > 0, "idle intervals have positive length");
+        if interval >= HISTOGRAM_CAP {
+            Self::BUCKETS - 1
+        } else {
+            interval.ilog2() as usize
+        }
+    }
+
+    /// The lower-edge label of a bucket (1, 2, 4, ..., 8192).
+    pub fn bucket_label(bucket: usize) -> u64 {
+        1u64 << bucket.min(Self::BUCKETS - 1)
+    }
+
+    /// Records one idle interval.
+    pub fn record(&mut self, interval: u64) {
+        let b = Self::bucket_of(interval);
+        self.idle_cycles[b] += interval;
+        self.counts[b] += 1;
+    }
+
+    /// Records every interval in a slice.
+    pub fn record_all(&mut self, intervals: &[u64]) {
+        for &t in intervals {
+            self.record(t);
+        }
+    }
+
+    /// Total idle cycles contributed by intervals in `bucket`.
+    pub fn idle_cycles_in_bucket(&self, bucket: usize) -> u64 {
+        self.idle_cycles[bucket]
+    }
+
+    /// Number of intervals recorded into `bucket`.
+    pub fn count_in_bucket(&self, bucket: usize) -> u64 {
+        self.counts[bucket]
+    }
+
+    /// Total idle cycles across all buckets.
+    pub fn total_idle_cycles(&self) -> u64 {
+        self.idle_cycles.iter().sum()
+    }
+
+    /// Total number of recorded intervals.
+    pub fn total_intervals(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Figure 7's y-values: per bucket, the idle time in that bucket as
+    /// a fraction of `total_cycles` (the full run length, active
+    /// included).
+    pub fn time_fractions(&self, total_cycles: u64) -> [f64; Self::BUCKETS] {
+        let mut out = [0.0; Self::BUCKETS];
+        if total_cycles == 0 {
+            return out;
+        }
+        for (o, &c) in out.iter_mut().zip(self.idle_cycles.iter()) {
+            *o = c as f64 / total_cycles as f64;
+        }
+        out
+    }
+
+    /// Fraction of recorded idle *time* coming from intervals shorter
+    /// than `limit` cycles (used for the paper's "75% of idle intervals
+    /// occur within the L2 latency" claim).
+    pub fn idle_time_fraction_below(&self, limit: u64) -> f64 {
+        let total = self.total_idle_cycles();
+        if total == 0 {
+            return 0.0;
+        }
+        // Bucket granularity: count whole buckets strictly below the
+        // bucket containing `limit`.
+        let cut = Self::bucket_of(limit.max(1));
+        let below: u64 = self.idle_cycles[..cut].iter().sum();
+        below as f64 / total as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &IdleHistogram) {
+        for i in 0..Self::BUCKETS {
+            self.idle_cycles[i] += other.idle_cycles[i];
+            self.counts[i] += other.counts[i];
+        }
+    }
+}
+
+impl Default for IdleHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_splits_runs() {
+        let mut r = IdleRecorder::new();
+        for &b in &[
+            false, false, true, true, false, true, false, false, false, true,
+        ] {
+            r.observe(b);
+        }
+        r.finish();
+        assert_eq!(r.intervals(), &[2, 1, 3]);
+        assert_eq!(r.active_cycles(), 4);
+        assert_eq!(r.idle_cycles(), 6);
+        assert_eq!(r.total_cycles(), 10);
+        assert!((r.idle_fraction().unwrap() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorder_finish_closes_trailing_interval() {
+        let mut r = IdleRecorder::new();
+        r.observe(true);
+        r.observe(false);
+        r.observe(false);
+        assert_eq!(r.intervals(), &[] as &[u64]);
+        r.finish();
+        assert_eq!(r.intervals(), &[2]);
+        r.finish(); // idempotent
+        assert_eq!(r.intervals(), &[2]);
+    }
+
+    #[test]
+    fn recorder_empty() {
+        let mut r = IdleRecorder::new();
+        assert_eq!(r.idle_fraction(), None);
+        r.finish();
+        assert_eq!(r.total_cycles(), 0);
+        assert!(r.into_intervals().is_empty());
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(IdleHistogram::bucket_of(1), 0);
+        assert_eq!(IdleHistogram::bucket_of(2), 1);
+        assert_eq!(IdleHistogram::bucket_of(3), 1);
+        assert_eq!(IdleHistogram::bucket_of(4), 2);
+        assert_eq!(IdleHistogram::bucket_of(8191), 12);
+        assert_eq!(IdleHistogram::bucket_of(8192), 13);
+        assert_eq!(IdleHistogram::bucket_of(1_000_000), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn zero_interval_panics() {
+        IdleHistogram::bucket_of(0);
+    }
+
+    #[test]
+    fn bucket_labels() {
+        assert_eq!(IdleHistogram::bucket_label(0), 1);
+        assert_eq!(IdleHistogram::bucket_label(5), 32);
+        assert_eq!(IdleHistogram::bucket_label(13), 8192);
+    }
+
+    #[test]
+    fn record_weights_by_length() {
+        let mut h = IdleHistogram::new();
+        h.record_all(&[5, 6, 7]); // all in bucket 2 ([4, 8))
+        assert_eq!(h.idle_cycles_in_bucket(2), 18);
+        assert_eq!(h.count_in_bucket(2), 3);
+        assert_eq!(h.total_idle_cycles(), 18);
+        assert_eq!(h.total_intervals(), 3);
+    }
+
+    #[test]
+    fn cap_accumulates_long_intervals() {
+        let mut h = IdleHistogram::new();
+        h.record(10_000);
+        h.record(50_000);
+        assert_eq!(h.idle_cycles_in_bucket(IdleHistogram::BUCKETS - 1), 60_000);
+        assert_eq!(h.count_in_bucket(IdleHistogram::BUCKETS - 1), 2);
+    }
+
+    #[test]
+    fn time_fractions_normalize_by_total_cycles() {
+        let mut h = IdleHistogram::new();
+        h.record(10);
+        h.record(30);
+        let f = h.time_fractions(100);
+        assert!((f[3] - 0.10).abs() < 1e-12); // 10 in [8,16)
+        assert!((f[4] - 0.30).abs() < 1e-12); // 30 in [16,32)
+        let sum: f64 = f.iter().sum();
+        assert!((sum - 0.4).abs() < 1e-12);
+        assert_eq!(h.time_fractions(0), [0.0; IdleHistogram::BUCKETS]);
+    }
+
+    #[test]
+    fn idle_time_fraction_below_limit() {
+        let mut h = IdleHistogram::new();
+        h.record(2); // bucket 1
+        h.record(2);
+        h.record(64); // bucket 6
+        // Below 64 (bucket 6): buckets 0..6 contain 4 of 68 cycles.
+        let f = h.idle_time_fraction_below(64);
+        assert!((f - 4.0 / 68.0).abs() < 1e-12);
+        assert_eq!(IdleHistogram::new().idle_time_fraction_below(64), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = IdleHistogram::new();
+        a.record(4);
+        let mut b = IdleHistogram::new();
+        b.record(5);
+        b.record(10_000);
+        a.merge(&b);
+        assert_eq!(a.idle_cycles_in_bucket(2), 9);
+        assert_eq!(a.count_in_bucket(2), 2);
+        assert_eq!(a.count_in_bucket(13), 1);
+    }
+
+    #[test]
+    fn recorder_feeds_histogram() {
+        let mut r = IdleRecorder::new();
+        for &b in &[true, false, false, false, true, false] {
+            r.observe(b);
+        }
+        r.finish();
+        let mut h = IdleHistogram::new();
+        h.record_all(r.intervals());
+        assert_eq!(h.total_idle_cycles(), 4);
+        assert_eq!(h.total_intervals(), 2);
+    }
+}

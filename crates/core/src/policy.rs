@@ -1,0 +1,563 @@
+//! Cycle-level sleep-management controllers.
+//!
+//! A [`SleepController`] watches a functional unit's busy/idle signal
+//! one cycle at a time and decides how much of the circuit should be
+//! asleep. The paper's three boundary policies ([`AlwaysActive`],
+//! [`MaxSleep`], [`NoOverhead`]) and its proposed [`GradualSleep`]
+//! design are provided, plus two *extension* policies representing the
+//! "more complex control strategies" the paper argues are unnecessary:
+//! [`TimeoutSleep`] (wait `n` idle cycles before sleeping) and
+//! [`AdaptiveSleep`] (predict the coming idle interval from recent
+//! history and sleep immediately only when it is predicted to exceed
+//! the breakeven interval).
+//!
+//! Controllers are pure decision logic; energy accounting lives in
+//! [`crate::accounting`]. Each cycle the controller returns a
+//! [`CycleDecision`] giving the fraction of the circuit that (a) newly
+//! asserted Sleep this cycle and (b) is in the sleep state during this
+//! cycle. The fractions support GradualSleep's per-slice staggering;
+//! boundary policies only ever return 0 or 1.
+
+/// The controller's disposition for one cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleDecision {
+    /// Fraction of the circuit that transitions into sleep this cycle
+    /// (pays transition energy), in `[0, 1]`.
+    pub newly_asleep: f64,
+    /// Fraction of the circuit in the sleep state during this cycle
+    /// (leaks at the low rate), in `[0, 1]`. Includes `newly_asleep`.
+    pub sleeping: f64,
+    /// Whether transition costs should be billed (false only for the
+    /// NoOverhead bound).
+    pub bill_transitions: bool,
+}
+
+impl CycleDecision {
+    /// A fully awake cycle.
+    pub fn awake() -> Self {
+        CycleDecision {
+            newly_asleep: 0.0,
+            sleeping: 0.0,
+            bill_transitions: true,
+        }
+    }
+}
+
+/// A cycle-level sleep-management policy.
+///
+/// Implementations must be deterministic functions of the observed
+/// busy/idle history so that runs are reproducible.
+pub trait SleepController {
+    /// Observes one cycle (`busy == true` means the FU computes this
+    /// cycle) and returns the circuit's sleep disposition for the
+    /// cycle. On a busy cycle the controller must return
+    /// [`CycleDecision::awake`]-equivalent values (the FU wakes in a
+    /// single hidden cycle per Section 3.2 of the paper).
+    fn observe(&mut self, busy: bool) -> CycleDecision;
+
+    /// Resets all internal state (e.g. between functional units).
+    fn reset(&mut self);
+
+    /// A short display name for tables and plots.
+    fn name(&self) -> &'static str;
+}
+
+/// Never assert Sleep: idle cycles are uncontrolled idle (the paper's
+/// do-nothing baseline; clock gating only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlwaysActive;
+
+impl SleepController for AlwaysActive {
+    fn observe(&mut self, _busy: bool) -> CycleDecision {
+        CycleDecision::awake()
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "AlwaysActive"
+    }
+}
+
+/// Assert Sleep on the first idle cycle of every idle interval — the
+/// paper's aggressive boundary policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxSleep {
+    asleep: bool,
+}
+
+impl MaxSleep {
+    /// Creates the controller in the awake state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SleepController for MaxSleep {
+    fn observe(&mut self, busy: bool) -> CycleDecision {
+        if busy {
+            self.asleep = false;
+            return CycleDecision::awake();
+        }
+        let newly = if self.asleep { 0.0 } else { 1.0 };
+        self.asleep = true;
+        CycleDecision {
+            newly_asleep: newly,
+            sleeping: 1.0,
+            bill_transitions: true,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.asleep = false;
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxSleep"
+    }
+}
+
+/// MaxSleep with free transitions — the unachievable lower bound of
+/// equation (8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoOverhead {
+    asleep: bool,
+}
+
+impl NoOverhead {
+    /// Creates the controller in the awake state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SleepController for NoOverhead {
+    fn observe(&mut self, busy: bool) -> CycleDecision {
+        if busy {
+            self.asleep = false;
+            return CycleDecision::awake();
+        }
+        let newly = if self.asleep { 0.0 } else { 1.0 };
+        self.asleep = true;
+        CycleDecision {
+            newly_asleep: newly,
+            sleeping: 1.0,
+            bill_transitions: false,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.asleep = false;
+    }
+
+    fn name(&self) -> &'static str {
+        "NoOverhead"
+    }
+}
+
+/// The paper's proposed design (Section 3.2): the FU is divided into
+/// `slices` slices fed by a Sleep shift register; each idle cycle one
+/// more slice asserts Sleep, so the transition cost is staggered and a
+/// short idle interval only pays for the slices it reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GradualSleep {
+    slices: u32,
+    asleep_slices: u32,
+}
+
+impl GradualSleep {
+    /// Creates a controller for a circuit divided into `slices` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices == 0`.
+    pub fn new(slices: u32) -> Self {
+        assert!(slices > 0, "GradualSleep requires at least one slice");
+        GradualSleep {
+            slices,
+            asleep_slices: 0,
+        }
+    }
+
+    /// Number of slices.
+    pub fn slices(&self) -> u32 {
+        self.slices
+    }
+}
+
+impl SleepController for GradualSleep {
+    fn observe(&mut self, busy: bool) -> CycleDecision {
+        if busy {
+            self.asleep_slices = 0;
+            return CycleDecision::awake();
+        }
+        let newly = if self.asleep_slices < self.slices {
+            self.asleep_slices += 1;
+            1.0 / self.slices as f64
+        } else {
+            0.0
+        };
+        CycleDecision {
+            newly_asleep: newly,
+            sleeping: self.asleep_slices as f64 / self.slices as f64,
+            bill_transitions: true,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.asleep_slices = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "GradualSleep"
+    }
+}
+
+/// Extension policy: wait `timeout` idle cycles before asserting Sleep
+/// on the whole FU. `timeout = 0` degenerates to [`MaxSleep`];
+/// `timeout = u64::MAX` approximates [`AlwaysActive`].
+///
+/// This is the classic "hierarchical timeout" control the paper's
+/// conclusion argues is not worth its complexity; it is provided for
+/// the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeoutSleep {
+    timeout: u64,
+    idle_run: u64,
+    asleep: bool,
+}
+
+impl TimeoutSleep {
+    /// Creates a controller that sleeps after `timeout` uncontrolled
+    /// idle cycles.
+    pub fn new(timeout: u64) -> Self {
+        TimeoutSleep {
+            timeout,
+            idle_run: 0,
+            asleep: false,
+        }
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> u64 {
+        self.timeout
+    }
+}
+
+impl SleepController for TimeoutSleep {
+    fn observe(&mut self, busy: bool) -> CycleDecision {
+        if busy {
+            self.idle_run = 0;
+            self.asleep = false;
+            return CycleDecision::awake();
+        }
+        self.idle_run += 1;
+        if self.asleep {
+            return CycleDecision {
+                newly_asleep: 0.0,
+                sleeping: 1.0,
+                bill_transitions: true,
+            };
+        }
+        if self.idle_run > self.timeout {
+            self.asleep = true;
+            CycleDecision {
+                newly_asleep: 1.0,
+                sleeping: 1.0,
+                bill_transitions: true,
+            }
+        } else {
+            CycleDecision::awake()
+        }
+    }
+
+    fn reset(&mut self) {
+        self.idle_run = 0;
+        self.asleep = false;
+    }
+
+    fn name(&self) -> &'static str {
+        "TimeoutSleep"
+    }
+}
+
+/// Extension policy: an adaptive predictor. Tracks an exponentially
+/// weighted moving average of recent idle-interval lengths; when a new
+/// idle interval begins, sleeps immediately if the predicted length
+/// exceeds the breakeven interval, otherwise falls back to a
+/// breakeven-length timeout (so pathologically long intervals are
+/// still capped).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveSleep {
+    breakeven: f64,
+    /// EWMA of observed idle-interval lengths.
+    ewma: f64,
+    /// EWMA smoothing weight for the newest observation.
+    weight: f64,
+    idle_run: u64,
+    asleep: bool,
+}
+
+impl AdaptiveSleep {
+    /// Creates a controller given the technology's breakeven interval
+    /// (see [`crate::breakeven_interval`]) and an EWMA weight in
+    /// `(0, 1]` for the newest interval (0.25 is a reasonable default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is outside `(0, 1]` or `breakeven` is not
+    /// finite and positive.
+    pub fn new(breakeven: f64, weight: f64) -> Self {
+        assert!(
+            breakeven.is_finite() && breakeven > 0.0,
+            "breakeven must be finite and positive"
+        );
+        assert!(
+            weight > 0.0 && weight <= 1.0,
+            "EWMA weight must lie in (0, 1]"
+        );
+        AdaptiveSleep {
+            breakeven,
+            ewma: breakeven, // start neutral
+            weight,
+            idle_run: 0,
+            asleep: false,
+        }
+    }
+
+    /// The current idle-interval length prediction.
+    pub fn predicted_interval(&self) -> f64 {
+        self.ewma
+    }
+}
+
+impl SleepController for AdaptiveSleep {
+    fn observe(&mut self, busy: bool) -> CycleDecision {
+        if busy {
+            if self.idle_run > 0 {
+                // Interval ended; fold it into the predictor.
+                self.ewma =
+                    (1.0 - self.weight) * self.ewma + self.weight * self.idle_run as f64;
+            }
+            self.idle_run = 0;
+            self.asleep = false;
+            return CycleDecision::awake();
+        }
+        self.idle_run += 1;
+        if self.asleep {
+            return CycleDecision {
+                newly_asleep: 0.0,
+                sleeping: 1.0,
+                bill_transitions: true,
+            };
+        }
+        let sleep_now = if self.ewma > self.breakeven {
+            true // predicted long interval: sleep immediately
+        } else {
+            self.idle_run as f64 > self.breakeven // hedge: timeout
+        };
+        if sleep_now {
+            self.asleep = true;
+            CycleDecision {
+                newly_asleep: 1.0,
+                sleeping: 1.0,
+                bill_transitions: true,
+            }
+        } else {
+            CycleDecision::awake()
+        }
+    }
+
+    fn reset(&mut self) {
+        self.idle_run = 0;
+        self.asleep = false;
+        self.ewma = self.breakeven;
+    }
+
+    fn name(&self) -> &'static str {
+        "AdaptiveSleep"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(ctrl: &mut dyn SleepController, pattern: &[bool]) -> Vec<CycleDecision> {
+        pattern.iter().map(|&b| ctrl.observe(b)).collect()
+    }
+
+    #[test]
+    fn always_active_never_sleeps() {
+        let mut c = AlwaysActive;
+        for d in drive(&mut c, &[true, false, false, false, true]) {
+            assert_eq!(d.sleeping, 0.0);
+            assert_eq!(d.newly_asleep, 0.0);
+        }
+        assert_eq!(c.name(), "AlwaysActive");
+    }
+
+    #[test]
+    fn max_sleep_transitions_once_per_interval() {
+        let mut c = MaxSleep::new();
+        let ds = drive(&mut c, &[true, false, false, false, true, false]);
+        assert_eq!(ds[0].sleeping, 0.0);
+        assert_eq!(ds[1].newly_asleep, 1.0);
+        assert_eq!(ds[1].sleeping, 1.0);
+        assert_eq!(ds[2].newly_asleep, 0.0);
+        assert_eq!(ds[2].sleeping, 1.0);
+        assert_eq!(ds[4].sleeping, 0.0); // woke for the busy cycle
+        assert_eq!(ds[5].newly_asleep, 1.0); // new interval, new transition
+    }
+
+    #[test]
+    fn no_overhead_flags_free_transitions() {
+        let mut c = NoOverhead::new();
+        let ds = drive(&mut c, &[false, false]);
+        assert_eq!(ds[0].newly_asleep, 1.0);
+        assert!(!ds[0].bill_transitions);
+        assert_eq!(ds[0].sleeping, 1.0);
+    }
+
+    #[test]
+    fn gradual_sleep_staggers() {
+        let mut c = GradualSleep::new(4);
+        let ds = drive(&mut c, &[true, false, false, false, false, false]);
+        let sleeping: Vec<f64> = ds.iter().map(|d| d.sleeping).collect();
+        assert_eq!(sleeping, vec![0.0, 0.25, 0.5, 0.75, 1.0, 1.0]);
+        let newly: Vec<f64> = ds.iter().map(|d| d.newly_asleep).collect();
+        assert_eq!(newly, vec![0.0, 0.25, 0.25, 0.25, 0.25, 0.0]);
+    }
+
+    #[test]
+    fn gradual_sleep_wakes_fully_on_busy() {
+        let mut c = GradualSleep::new(4);
+        drive(&mut c, &[false, false]);
+        let d = c.observe(true);
+        assert_eq!(d.sleeping, 0.0);
+        // Next idle interval starts staggering from scratch.
+        let d = c.observe(false);
+        assert_eq!(d.sleeping, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slice")]
+    fn gradual_zero_slices_panics() {
+        GradualSleep::new(0);
+    }
+
+    #[test]
+    fn gradual_one_slice_acts_like_max_sleep() {
+        let mut g = GradualSleep::new(1);
+        let mut m = MaxSleep::new();
+        let pattern = [true, false, false, true, false, false, false, true];
+        for &b in &pattern {
+            let dg = g.observe(b);
+            let dm = m.observe(b);
+            assert_eq!(dg.sleeping, dm.sleeping);
+            assert_eq!(dg.newly_asleep, dm.newly_asleep);
+        }
+    }
+
+    #[test]
+    fn timeout_zero_equals_max_sleep() {
+        let mut t = TimeoutSleep::new(0);
+        let mut m = MaxSleep::new();
+        for &b in &[true, false, false, true, false] {
+            assert_eq!(t.observe(b), m.observe(b));
+        }
+    }
+
+    #[test]
+    fn timeout_waits_before_sleeping() {
+        let mut c = TimeoutSleep::new(2);
+        let ds = drive(&mut c, &[false, false, false, false]);
+        assert_eq!(ds[0].sleeping, 0.0);
+        assert_eq!(ds[1].sleeping, 0.0);
+        assert_eq!(ds[2].newly_asleep, 1.0);
+        assert_eq!(ds[3].sleeping, 1.0);
+        assert_eq!(ds[3].newly_asleep, 0.0);
+    }
+
+    #[test]
+    fn adaptive_sleeps_immediately_when_history_is_long() {
+        let mut c = AdaptiveSleep::new(10.0, 1.0); // weight 1: last interval only
+        // A long 50-cycle interval teaches it intervals are long.
+        c.observe(true);
+        for _ in 0..50 {
+            c.observe(false);
+        }
+        c.observe(true);
+        assert!((c.predicted_interval() - 50.0).abs() < 1e-9);
+        let d = c.observe(false);
+        assert_eq!(d.newly_asleep, 1.0, "should sleep on first idle cycle");
+    }
+
+    #[test]
+    fn adaptive_hedges_when_history_is_short() {
+        let mut c = AdaptiveSleep::new(10.0, 1.0);
+        // A 2-cycle interval teaches it intervals are short.
+        c.observe(true);
+        c.observe(false);
+        c.observe(false);
+        c.observe(true);
+        // Now idle: should NOT sleep immediately...
+        for i in 0..10 {
+            let d = c.observe(false);
+            assert_eq!(d.sleeping, 0.0, "cycle {i}");
+        }
+        // ...but the timeout hedge kicks in past the breakeven.
+        let d = c.observe(false);
+        assert_eq!(d.newly_asleep, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "breakeven")]
+    fn adaptive_rejects_bad_breakeven() {
+        AdaptiveSleep::new(f64::INFINITY, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA")]
+    fn adaptive_rejects_bad_weight() {
+        AdaptiveSleep::new(10.0, 0.0);
+    }
+
+    #[test]
+    fn reset_restores_initial_behavior() {
+        let mut g = GradualSleep::new(4);
+        drive(&mut g, &[false, false, false]);
+        g.reset();
+        assert_eq!(g.observe(false).sleeping, 0.25);
+
+        let mut t = TimeoutSleep::new(3);
+        drive(&mut t, &[false, false, false, false, false]);
+        t.reset();
+        assert_eq!(t.observe(false).sleeping, 0.0);
+
+        let mut a = AdaptiveSleep::new(10.0, 1.0);
+        a.observe(true);
+        for _ in 0..100 {
+            a.observe(false);
+        }
+        a.observe(true);
+        a.reset();
+        assert!((a.predicted_interval() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn controllers_are_object_safe() {
+        let mut boxed: Vec<Box<dyn SleepController>> = vec![
+            Box::new(AlwaysActive),
+            Box::new(MaxSleep::new()),
+            Box::new(NoOverhead::new()),
+            Box::new(GradualSleep::new(8)),
+            Box::new(TimeoutSleep::new(5)),
+            Box::new(AdaptiveSleep::new(20.0, 0.25)),
+        ];
+        for c in &mut boxed {
+            let d = c.observe(true);
+            assert_eq!(d.sleeping, 0.0, "{}", c.name());
+        }
+    }
+}

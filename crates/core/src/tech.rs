@@ -1,0 +1,170 @@
+//! Technology parameters of the energy model (Section 3 of the paper).
+//!
+//! The paper abstracts a circuit's leakage behavior into four scalars:
+//!
+//! * the **leakage factor** `p = E_hi / E_D` — the ratio of the
+//!   worst-case (charged-node) per-cycle leakage energy to the maximum
+//!   per-cycle dynamic energy. This is the key knob the paper sweeps to
+//!   cover technology generations: the measured 70 nm value is ~0.06,
+//!   and the paper studies `0.01 <= p <= 1`;
+//! * the **low/high-leakage ratio** `k = E_lo / E_hi` — how much better
+//!   the discharged state is (measured: ~5.1e-4; the paper's model uses
+//!   a pessimistic 0.001);
+//! * the **sleep-switch overhead fraction** `E_slp / E_D` — the cost of
+//!   toggling the sleep transistors and distributing the Sleep signal
+//!   across the FU, per transition (measured: ~0.006; model: 0.01);
+//! * the clock **duty cycle** `d` (fixed at 0.5 throughout the paper).
+
+use crate::error::{check_fraction, ModelError};
+
+/// The `(p, k, e_sleep, d)` technology parameter vector.
+///
+/// # Example
+///
+/// ```
+/// use fuleak_core::TechnologyParams;
+///
+/// // The paper's two representative technology points:
+/// let near = TechnologyParams::near_term();
+/// let high = TechnologyParams::high_leakage();
+/// assert_eq!(near.leakage_factor(), 0.05);
+/// assert_eq!(high.leakage_factor(), 0.50);
+///
+/// // Custom point with the paper's default k / e_sleep / d:
+/// let custom = TechnologyParams::with_leakage_factor(0.25)?;
+/// assert_eq!(custom.leak_ratio(), 0.001);
+/// # Ok::<(), fuleak_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechnologyParams {
+    p: f64,
+    k: f64,
+    e_sleep: f64,
+    duty: f64,
+}
+
+/// The paper's pessimistic default for `k = E_lo / E_hi` (Section 3.1 /
+/// Table 4; measured 70 nm value is ~5.1e-4).
+pub const DEFAULT_LEAK_RATIO: f64 = 0.001;
+
+/// The paper's pessimistic default for `E_slp / E_D` (Section 3.1 /
+/// Table 4; measured 70 nm value is ~0.006).
+pub const DEFAULT_SLEEP_OVERHEAD: f64 = 0.01;
+
+/// The paper's fixed clock duty cycle.
+pub const DEFAULT_DUTY_CYCLE: f64 = 0.5;
+
+impl TechnologyParams {
+    /// Builds a fully custom parameter vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFraction`] if any parameter is
+    /// outside `[0, 1]`.
+    pub fn new(p: f64, k: f64, e_sleep: f64, duty: f64) -> Result<Self, ModelError> {
+        check_fraction("p (leakage factor)", p)?;
+        check_fraction("k (leak ratio)", k)?;
+        check_fraction("e_sleep (sleep overhead fraction)", e_sleep)?;
+        check_fraction("duty cycle", duty)?;
+        Ok(TechnologyParams {
+            p,
+            k,
+            e_sleep,
+            duty,
+        })
+    }
+
+    /// A technology point with leakage factor `p` and the paper's
+    /// defaults for the remaining parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFraction`] if `p` is outside
+    /// `[0, 1]`.
+    pub fn with_leakage_factor(p: f64) -> Result<Self, ModelError> {
+        Self::new(
+            p,
+            DEFAULT_LEAK_RATIO,
+            DEFAULT_SLEEP_OVERHEAD,
+            DEFAULT_DUTY_CYCLE,
+        )
+    }
+
+    /// The paper's near-term technology point, `p = 0.05` (motivated by
+    /// the 70 nm circuit characterization, `p ≈ 0.06`).
+    pub fn near_term() -> Self {
+        Self::with_leakage_factor(0.05).expect("0.05 is a valid leakage factor")
+    }
+
+    /// The paper's high-leakage technology point, `p = 0.5`.
+    pub fn high_leakage() -> Self {
+        Self::with_leakage_factor(0.5).expect("0.5 is a valid leakage factor")
+    }
+
+    /// The leakage factor `p = E_hi / E_D`.
+    pub fn leakage_factor(&self) -> f64 {
+        self.p
+    }
+
+    /// The low/high-leakage ratio `k = E_lo / E_hi`.
+    pub fn leak_ratio(&self) -> f64 {
+        self.k
+    }
+
+    /// The per-transition sleep overhead as a fraction of `E_D`.
+    pub fn sleep_overhead(&self) -> f64 {
+        self.e_sleep
+    }
+
+    /// The clock duty cycle `d`.
+    pub fn duty_cycle(&self) -> f64 {
+        self.duty
+    }
+}
+
+impl Default for TechnologyParams {
+    /// The near-term (`p = 0.05`) technology point.
+    fn default() -> Self {
+        Self::near_term()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        let near = TechnologyParams::near_term();
+        assert_eq!(near.leakage_factor(), 0.05);
+        assert_eq!(near.leak_ratio(), 0.001);
+        assert_eq!(near.sleep_overhead(), 0.01);
+        assert_eq!(near.duty_cycle(), 0.5);
+        assert_eq!(TechnologyParams::high_leakage().leakage_factor(), 0.5);
+        assert_eq!(TechnologyParams::default(), near);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(TechnologyParams::new(-0.1, 0.001, 0.01, 0.5).is_err());
+        assert!(TechnologyParams::new(0.05, 1.1, 0.01, 0.5).is_err());
+        assert!(TechnologyParams::new(0.05, 0.001, -0.2, 0.5).is_err());
+        assert!(TechnologyParams::new(0.05, 0.001, 0.01, 2.0).is_err());
+        assert!(TechnologyParams::with_leakage_factor(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn boundary_values_accepted() {
+        assert!(TechnologyParams::new(0.0, 0.0, 0.0, 0.0).is_ok());
+        assert!(TechnologyParams::new(1.0, 1.0, 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let t = TechnologyParams::new(0.25, 0.002, 0.02, 0.4).unwrap();
+        assert_eq!(t.leakage_factor(), 0.25);
+        assert_eq!(t.leak_ratio(), 0.002);
+        assert_eq!(t.sleep_overhead(), 0.02);
+        assert_eq!(t.duty_cycle(), 0.4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the energy model and policy algebra.
+
+use fuleak_core::accounting::account_intervals;
+use fuleak_core::closed_form::{interval_energy, BoundaryPolicy};
+use fuleak_core::policy::{GradualSleep, SleepController, TimeoutSleep};
+use fuleak_core::{breakeven_interval, CycleCounts, EnergyModel, IdleHistogram, TechnologyParams};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn model()(p in 0.0f64..=1.0, alpha in 0.0f64..=1.0) -> EnergyModel {
+        EnergyModel::new(TechnologyParams::with_leakage_factor(p).unwrap(), alpha).unwrap()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Equation (3) is linear: splitting a run into two halves and
+    /// summing equals the whole.
+    #[test]
+    fn total_energy_is_additive(
+        m in model(),
+        a in 0u64..10_000, ui in 0u64..10_000, s in 0u64..10_000, tr in 0u64..100,
+        a2 in 0u64..10_000, ui2 in 0u64..10_000, s2 in 0u64..10_000, tr2 in 0u64..100,
+    ) {
+        let c1 = CycleCounts { active: a, uncontrolled_idle: ui, sleep: s, transitions: tr };
+        let c2 = CycleCounts { active: a2, uncontrolled_idle: ui2, sleep: s2, transitions: tr2 };
+        let both = CycleCounts {
+            active: a + a2,
+            uncontrolled_idle: ui + ui2,
+            sleep: s + s2,
+            transitions: tr + tr2,
+        };
+        let lhs = m.total_energy(&c1).total() + m.total_energy(&c2).total();
+        let rhs = m.total_energy(&both).total();
+        prop_assert!((lhs - rhs).abs() < 1e-6 * rhs.max(1.0));
+    }
+
+    /// Per-cycle energies are ordered: sleep <= uncontrolled idle <=
+    /// active, for every technology/activity point.
+    #[test]
+    fn cycle_energy_ordering(m in model()) {
+        prop_assert!(m.sleep_cycle().total() <= m.uncontrolled_idle_cycle().total() + 1e-12);
+        prop_assert!(m.uncontrolled_idle_cycle().total() <= m.active_cycle().total() + 1e-12);
+    }
+
+    /// MaxSleep beats AlwaysActive on an interval exactly when the
+    /// interval exceeds the breakeven length — equation (5) is the
+    /// policy decision boundary.
+    #[test]
+    fn breakeven_is_the_decision_boundary(m in model(), t in 1u64..100_000) {
+        let be = breakeven_interval(&m);
+        let ms = interval_energy(&m, BoundaryPolicy::MaxSleep, t).total();
+        let aa = interval_energy(&m, BoundaryPolicy::AlwaysActive, t).total();
+        if (t as f64) < be * 0.999 {
+            prop_assert!(ms >= aa - 1e-9, "t={t} < be={be} but MaxSleep won");
+        }
+        if (t as f64) > be * 1.001 {
+            prop_assert!(ms <= aa + 1e-9, "t={t} > be={be} but MaxSleep lost");
+        }
+    }
+
+    /// GradualSleep interval energy interpolates the extremes: it is
+    /// never better than NoOverhead and never worse than the worse of
+    /// MaxSleep/AlwaysActive.
+    #[test]
+    fn gradual_interpolates(m in model(), t in 0u64..2_000, slices in 1u32..128) {
+        let g = interval_energy(&m, BoundaryPolicy::GradualSleep { slices }, t).total();
+        let no = interval_energy(&m, BoundaryPolicy::NoOverhead, t).total();
+        let worst = interval_energy(&m, BoundaryPolicy::MaxSleep, t)
+            .total()
+            .max(interval_energy(&m, BoundaryPolicy::AlwaysActive, t).total())
+            + m.transition().total(); // slicing can add at most one extra transition's width
+        prop_assert!(g >= no - 1e-9);
+        prop_assert!(g <= worst + 1e-9);
+    }
+
+    /// Timeout controllers are monotone at the extremes: an infinite
+    /// timeout reproduces AlwaysActive, zero reproduces MaxSleep.
+    #[test]
+    fn timeout_extremes(
+        m in model(),
+        intervals in prop::collection::vec(1u64..300, 1..30),
+    ) {
+        let active = intervals.len() as u64;
+        let run = |ctrl: &mut dyn SleepController| {
+            fuleak_core::accounting::simulate_intervals(&m, ctrl, active, &intervals)
+                .energy
+                .total()
+        };
+        let aa = account_intervals(&m, BoundaryPolicy::AlwaysActive, active, &intervals)
+            .energy.total();
+        let ms = account_intervals(&m, BoundaryPolicy::MaxSleep, active, &intervals)
+            .energy.total();
+        prop_assert!((run(&mut TimeoutSleep::new(u64::MAX)) - aa).abs() < 1e-9);
+        prop_assert!((run(&mut TimeoutSleep::new(0)) - ms).abs() < 1e-9);
+    }
+
+    /// GradualSleep with one slice is exactly MaxSleep on any workload.
+    #[test]
+    fn one_slice_is_max_sleep(
+        m in model(),
+        intervals in prop::collection::vec(1u64..300, 1..30),
+    ) {
+        let active = intervals.len() as u64;
+        let mut g = GradualSleep::new(1);
+        let sim = fuleak_core::accounting::simulate_intervals(&m, &mut g, active, &intervals);
+        let ms = account_intervals(&m, BoundaryPolicy::MaxSleep, active, &intervals);
+        prop_assert!((sim.energy.total() - ms.energy.total()).abs() < 1e-9);
+    }
+
+    /// Histogram invariants: totals are preserved, buckets partition
+    /// the intervals, and merging is additive.
+    #[test]
+    fn histogram_partitions(intervals in prop::collection::vec(1u64..100_000, 0..200)) {
+        let mut h = IdleHistogram::new();
+        h.record_all(&intervals);
+        prop_assert_eq!(h.total_intervals(), intervals.len() as u64);
+        prop_assert_eq!(h.total_idle_cycles(), intervals.iter().sum::<u64>());
+        let per_bucket: u64 = (0..IdleHistogram::BUCKETS)
+            .map(|b| h.count_in_bucket(b))
+            .sum();
+        prop_assert_eq!(per_bucket, intervals.len() as u64);
+
+        let (left, right) = intervals.split_at(intervals.len() / 2);
+        let mut hl = IdleHistogram::new();
+        hl.record_all(left);
+        let mut hr = IdleHistogram::new();
+        hr.record_all(right);
+        hl.merge(&hr);
+        for b in 0..IdleHistogram::BUCKETS {
+            prop_assert_eq!(hl.idle_cycles_in_bucket(b), h.idle_cycles_in_bucket(b));
+        }
+    }
+
+    /// Time fractions sum to idle/total for any total >= idle.
+    #[test]
+    fn time_fractions_sum(
+        intervals in prop::collection::vec(1u64..1_000, 1..50),
+        slack in 0u64..10_000,
+    ) {
+        let mut h = IdleHistogram::new();
+        h.record_all(&intervals);
+        let idle: u64 = intervals.iter().sum();
+        let total = idle + slack;
+        let sum: f64 = h.time_fractions(total).iter().sum();
+        prop_assert!((sum - idle as f64 / total as f64).abs() < 1e-9);
+    }
+}

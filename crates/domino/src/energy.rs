@@ -1,0 +1,157 @@
+//! Energy accounting categories shared by the gate- and FU-level models.
+
+use crate::units::Femtojoules;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A breakdown of dissipated energy by physical cause.
+///
+/// The categories mirror the terms of equation (1) in the paper:
+/// dynamic switching energy, leakage in the high-leakage (charged-node)
+/// state, leakage in the low-leakage (discharged-node) state, the extra
+/// dynamic energy spent discharging otherwise-idle nodes when entering
+/// the sleep mode, and the sleep-transistor/driver switching overhead.
+///
+/// # Example
+///
+/// ```
+/// use fuleak_domino::{EnergyBreakdown, Femtojoules};
+///
+/// let mut e = EnergyBreakdown::default();
+/// e.dynamic += Femtojoules::new(22.2);
+/// e.leak_hi += Femtojoules::new(1.4);
+/// assert!((e.total().as_fj() - 23.6).abs() < 1e-12);
+/// assert_eq!(e.leakage().as_fj(), 1.4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Switching energy of evaluations that discharged the dynamic node.
+    pub dynamic: Femtojoules,
+    /// Leakage accumulated while nodes sat in the high-leakage state.
+    pub leak_hi: Femtojoules,
+    /// Leakage accumulated while nodes sat in the low-leakage state
+    /// (including all sleep-mode cycles).
+    pub leak_lo: Femtojoules,
+    /// Extra dynamic energy from discharging the `1 - alpha` fraction of
+    /// nodes on a sleep transition (energy that would not have been
+    /// spent had the circuit stayed in uncontrolled idle).
+    pub sleep_transition: Femtojoules,
+    /// Sleep-transistor switching plus Sleep-signal distribution energy.
+    pub sleep_overhead: Femtojoules,
+}
+
+impl EnergyBreakdown {
+    /// An all-zero breakdown.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Total energy across all categories.
+    pub fn total(&self) -> Femtojoules {
+        self.dynamic + self.leak_hi + self.leak_lo + self.sleep_transition + self.sleep_overhead
+    }
+
+    /// Total static (leakage) energy: both node states.
+    pub fn leakage(&self) -> Femtojoules {
+        self.leak_hi + self.leak_lo
+    }
+
+    /// Total sleep-mode cost: transition discharges plus driver
+    /// overhead.
+    pub fn sleep_cost(&self) -> Femtojoules {
+        self.sleep_transition + self.sleep_overhead
+    }
+
+    /// Ratio of leakage energy to total energy (Figure 9b of the
+    /// paper). Returns `None` when the total is zero.
+    pub fn leakage_fraction(&self) -> Option<f64> {
+        let total = self.total().as_fj();
+        (total != 0.0).then(|| self.leakage().as_fj() / total)
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: Self) -> Self {
+        EnergyBreakdown {
+            dynamic: self.dynamic + rhs.dynamic,
+            leak_hi: self.leak_hi + rhs.leak_hi,
+            leak_lo: self.leak_lo + rhs.leak_lo,
+            sleep_transition: self.sleep_transition + rhs.sleep_transition,
+            sleep_overhead: self.sleep_overhead + rhs.sleep_overhead,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dynamic {} + leak_hi {} + leak_lo {} + transition {} + overhead {} = {}",
+            self.dynamic,
+            self.leak_hi,
+            self.leak_lo,
+            self.sleep_transition,
+            self.sleep_overhead,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EnergyBreakdown {
+        EnergyBreakdown {
+            dynamic: Femtojoules::new(10.0),
+            leak_hi: Femtojoules::new(3.0),
+            leak_lo: Femtojoules::new(1.0),
+            sleep_transition: Femtojoules::new(2.0),
+            sleep_overhead: Femtojoules::new(0.5),
+        }
+    }
+
+    #[test]
+    fn total_sums_all_categories() {
+        assert_eq!(sample().total().as_fj(), 16.5);
+    }
+
+    #[test]
+    fn leakage_sums_both_states() {
+        assert_eq!(sample().leakage().as_fj(), 4.0);
+    }
+
+    #[test]
+    fn sleep_cost_sums_transition_and_overhead() {
+        assert_eq!(sample().sleep_cost().as_fj(), 2.5);
+    }
+
+    #[test]
+    fn leakage_fraction() {
+        let f = sample().leakage_fraction().unwrap();
+        assert!((f - 4.0 / 16.5).abs() < 1e-12);
+        assert_eq!(EnergyBreakdown::zero().leakage_fraction(), None);
+    }
+
+    #[test]
+    fn addition_is_fieldwise() {
+        let s = sample() + sample();
+        assert_eq!(s.dynamic.as_fj(), 20.0);
+        assert_eq!(s.total().as_fj(), 33.0);
+        let mut acc = EnergyBreakdown::zero();
+        acc += sample();
+        assert_eq!(acc, sample());
+    }
+
+    #[test]
+    fn display_includes_total() {
+        assert!(sample().to_string().contains("16.5 fJ"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for circuit construction and operation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while building or driving a circuit model.
+///
+/// # Example
+///
+/// ```
+/// use fuleak_domino::{FuCircuit, FuCircuitConfig, GateCharacterization};
+///
+/// let bad = FuCircuitConfig {
+///     characterization: GateCharacterization::dual_vt_sleep_or8(),
+///     rows: 0, // invalid: empty circuit
+///     stages: 5,
+///     slices: 1,
+///     duty_cycle: 0.5,
+/// };
+/// assert!(FuCircuit::new(bad).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// The circuit geometry is degenerate (zero rows, stages, or slices),
+    /// or there are more slices than rows.
+    InvalidGeometry {
+        /// Number of rows requested.
+        rows: usize,
+        /// Number of cascaded stages per row.
+        stages: usize,
+        /// Number of GradualSleep slices requested.
+        slices: usize,
+    },
+    /// A probability-like parameter fell outside `[0, 1]`.
+    InvalidFraction {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A sleep-mode operation was requested on a characterization that
+    /// has no sleep transistor.
+    SleepUnsupported,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidGeometry {
+                rows,
+                stages,
+                slices,
+            } => write!(
+                f,
+                "invalid circuit geometry: rows={rows}, stages={stages}, slices={slices} \
+                 (all must be nonzero and slices <= rows)"
+            ),
+            CircuitError::InvalidFraction { name, value } => {
+                write!(f, "parameter `{name}` must lie in [0, 1], got {value}")
+            }
+            CircuitError::SleepUnsupported => {
+                write!(f, "this gate characterization has no sleep transistor")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CircuitError::InvalidGeometry {
+            rows: 0,
+            stages: 5,
+            slices: 1,
+        };
+        assert!(e.to_string().contains("rows=0"));
+
+        let e = CircuitError::InvalidFraction {
+            name: "alpha",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("alpha"));
+        assert!(e.to_string().contains("1.5"));
+
+        assert!(CircuitError::SleepUnsupported
+            .to_string()
+            .contains("sleep transistor"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<CircuitError>();
+    }
+}

@@ -1,0 +1,752 @@
+//! The paper's generic functional-unit circuit.
+//!
+//! Section 2.1 approximates a functional unit as **500 OR8 domino gates
+//! arranged as 100 rows of five cascaded stages**, including the drivers
+//! that distribute the Sleep signal. This module provides two models of
+//! that circuit:
+//!
+//! * [`FuCircuit`] — gate-accurate: every gate is a [`DominoGate`] whose
+//!   per-cycle discharge is sampled with probability `alpha` (Monte
+//!   Carlo over input vectors);
+//! * [`ExpectedFu`] — expected-value: node populations are tracked as
+//!   real-valued fractions, which reproduces the paper's analytical
+//!   accounting exactly and deterministically.
+//!
+//! Both support the *GradualSleep* slicing of Section 3.2: the circuit
+//! is divided into `slices` groups of rows, and each consecutive
+//! [`FuCircuit::sleep_cycle`] shifts the Sleep signal into one more
+//! slice, staggering the transition cost across the idle interval.
+
+use crate::error::CircuitError;
+use crate::gate::{DominoGate, NodeState};
+use crate::params::GateCharacterization;
+use crate::rng::SplitMix64;
+use crate::EnergyBreakdown;
+
+/// Configuration of a functional-unit circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuCircuitConfig {
+    /// Gate design used for every gate in the circuit.
+    pub characterization: GateCharacterization,
+    /// Number of rows (the paper uses 100).
+    pub rows: usize,
+    /// Cascaded domino stages per row (the paper uses 5).
+    pub stages: usize,
+    /// Number of GradualSleep slices; `1` recovers plain MaxSleep
+    /// behavior (the whole FU sleeps on the first sleep cycle).
+    pub slices: usize,
+    /// Clock duty cycle `d` (the paper fixes 0.5).
+    pub duty_cycle: f64,
+}
+
+impl FuCircuitConfig {
+    /// The paper's 500-gate generic FU (100 rows x 5 stages, one
+    /// slice, 50% duty cycle) built from the dual-Vt + sleep OR8 gate.
+    pub fn paper_generic_fu() -> Self {
+        FuCircuitConfig {
+            characterization: GateCharacterization::dual_vt_sleep_or8(),
+            rows: 100,
+            stages: 5,
+            slices: 1,
+            duty_cycle: 0.5,
+        }
+    }
+
+    fn validate(&self) -> Result<(), CircuitError> {
+        if self.rows == 0 || self.stages == 0 || self.slices == 0 || self.slices > self.rows {
+            return Err(CircuitError::InvalidGeometry {
+                rows: self.rows,
+                stages: self.stages,
+                slices: self.slices,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.duty_cycle) || self.duty_cycle.is_nan() {
+            return Err(CircuitError::InvalidFraction {
+                name: "duty_cycle",
+                value: self.duty_cycle,
+            });
+        }
+        Ok(())
+    }
+
+    /// Total gate count (`rows * stages`).
+    pub fn gate_count(&self) -> usize {
+        self.rows * self.stages
+    }
+}
+
+/// Cycle counters maintained by the FU models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FuCounters {
+    /// Cycles in which the circuit evaluated.
+    pub active_cycles: u64,
+    /// Clock-gated cycles with the sleep signal de-asserted.
+    pub idle_cycles: u64,
+    /// Cycles with at least one slice in the sleep state.
+    pub sleep_cycles: u64,
+    /// Number of slice-level sleep assertions.
+    pub slice_transitions: u64,
+}
+
+/// Gate-accurate model of the generic functional-unit circuit.
+///
+/// # Example
+///
+/// ```
+/// use fuleak_domino::{FuCircuit, FuCircuitConfig};
+///
+/// let mut fu = FuCircuit::new(FuCircuitConfig::paper_generic_fu())?;
+/// fu.evaluate_cycle(0.5)?;
+/// fu.sleep_cycle()?; // whole FU asleep (single slice)
+/// assert!(fu.energy().sleep_cost().as_fj() > 0.0);
+/// # Ok::<(), fuleak_domino::CircuitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuCircuit {
+    config: FuCircuitConfig,
+    gates: Vec<DominoGate>,
+    /// Number of slices currently asleep (prefix of the slice list).
+    slices_asleep: usize,
+    counters: FuCounters,
+    rng: SplitMix64,
+}
+
+impl FuCircuit {
+    /// Builds the circuit with a fixed default seed for the activity
+    /// sampler (see [`FuCircuit::with_seed`] to vary it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidGeometry`] or
+    /// [`CircuitError::InvalidFraction`] for degenerate configurations.
+    pub fn new(config: FuCircuitConfig) -> Result<Self, CircuitError> {
+        Self::with_seed(config, 0x5EED_CAFE)
+    }
+
+    /// Builds the circuit with an explicit activity-sampler seed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FuCircuit::new`].
+    pub fn with_seed(config: FuCircuitConfig, seed: u64) -> Result<Self, CircuitError> {
+        config.validate()?;
+        let gate = DominoGate::new(config.characterization, config.duty_cycle)?;
+        Ok(FuCircuit {
+            gates: vec![gate; config.gate_count()],
+            slices_asleep: 0,
+            counters: FuCounters::default(),
+            rng: SplitMix64::new(seed),
+            config,
+        })
+    }
+
+    /// The configuration this circuit was built with.
+    pub fn config(&self) -> &FuCircuitConfig {
+        &self.config
+    }
+
+    /// Cycle counters accumulated so far.
+    pub fn counters(&self) -> FuCounters {
+        self.counters
+    }
+
+    /// Number of slices currently asleep.
+    pub fn slices_asleep(&self) -> usize {
+        self.slices_asleep
+    }
+
+    /// True when every slice is asleep.
+    pub fn fully_asleep(&self) -> bool {
+        self.slices_asleep == self.config.slices
+    }
+
+    /// Slice index of a row (contiguous blocks of rows form slices).
+    fn slice_of_row(&self, row: usize) -> usize {
+        row * self.config.slices / self.config.rows
+    }
+
+    /// Runs one evaluation cycle at activity factor `alpha`: every gate
+    /// discharges independently with probability `alpha`. Wakes the
+    /// whole circuit first if any slice was asleep (single-cycle
+    /// reactivation, Section 2 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidFraction`] if `alpha` is outside
+    /// `[0, 1]`.
+    pub fn evaluate_cycle(&mut self, alpha: f64) -> Result<(), CircuitError> {
+        if !(0.0..=1.0).contains(&alpha) || alpha.is_nan() {
+            return Err(CircuitError::InvalidFraction {
+                name: "alpha",
+                value: alpha,
+            });
+        }
+        if self.slices_asleep > 0 {
+            self.wake();
+        }
+        for gate in &mut self.gates {
+            let discharges = self.rng.bernoulli(alpha);
+            gate.active_cycle(discharges);
+        }
+        self.counters.active_cycles += 1;
+        Ok(())
+    }
+
+    /// Runs one uncontrolled-idle cycle: the clock is gated, Sleep stays
+    /// de-asserted, every gate leaks at its current state's rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SleepUnsupported`] if called while any
+    /// slice is asleep (mixing uncontrolled idle into a sleep episode
+    /// would corrupt the accounting categories — wake first).
+    pub fn idle_cycle(&mut self) -> Result<(), CircuitError> {
+        if self.slices_asleep > 0 {
+            return Err(CircuitError::SleepUnsupported);
+        }
+        for gate in &mut self.gates {
+            gate.idle_cycle();
+        }
+        self.counters.idle_cycles += 1;
+        Ok(())
+    }
+
+    /// Runs one sleep-mode cycle, advancing the GradualSleep shift
+    /// register: one more slice asserts Sleep (paying its share of the
+    /// transition cost), already-sleeping slices stay in the low-leakage
+    /// state, and not-yet-reached slices spend the cycle in uncontrolled
+    /// idle.
+    ///
+    /// With `slices == 1` the first call puts the entire FU to sleep —
+    /// the MaxSleep behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SleepUnsupported`] if the gate design has
+    /// no sleep transistor.
+    pub fn sleep_cycle(&mut self) -> Result<(), CircuitError> {
+        if !self.config.characterization.has_sleep_mode {
+            return Err(CircuitError::SleepUnsupported);
+        }
+        let advancing = self.slices_asleep < self.config.slices;
+        if advancing {
+            self.slices_asleep += 1;
+            self.counters.slice_transitions += 1;
+        }
+        let newly_asleep = self.slices_asleep;
+        for row in 0..self.config.rows {
+            let slice = self.slice_of_row(row);
+            for stage in 0..self.config.stages {
+                let gate = &mut self.gates[row * self.config.stages + stage];
+                if slice < newly_asleep {
+                    // Entering (idempotent for already-asleep slices).
+                    gate.enter_sleep()?;
+                    gate.sleep_cycle();
+                } else {
+                    gate.idle_cycle();
+                }
+            }
+        }
+        self.counters.sleep_cycles += 1;
+        Ok(())
+    }
+
+    /// De-asserts Sleep on every slice simultaneously (the AND-gate
+    /// reactivation of Figure 5a) and precharges all gates.
+    pub fn wake(&mut self) {
+        for gate in &mut self.gates {
+            gate.wake();
+        }
+        self.slices_asleep = 0;
+    }
+
+    /// Total accumulated energy across all gates.
+    pub fn energy(&self) -> EnergyBreakdown {
+        self.gates
+            .iter()
+            .fold(EnergyBreakdown::zero(), |acc, g| acc + g.energy())
+    }
+
+    /// Clears every gate's energy accumulator (state is preserved).
+    pub fn reset_energy(&mut self) {
+        for gate in &mut self.gates {
+            gate.reset_energy();
+        }
+        self.counters = FuCounters::default();
+    }
+
+    /// Fraction of gates currently in the discharged (low-leakage)
+    /// node state.
+    pub fn discharged_fraction(&self) -> f64 {
+        let discharged = self
+            .gates
+            .iter()
+            .filter(|g| g.node_state() == NodeState::Discharged)
+            .count();
+        discharged as f64 / self.gates.len() as f64
+    }
+}
+
+/// Expected-value (deterministic) model of the functional-unit circuit.
+///
+/// Instead of sampling per-gate discharges, this model tracks the
+/// *fraction* of gates in each node state, exactly as the paper's
+/// analytical model does. It is the reference the `fuleak-core`
+/// closed-form model is validated against, and what Figure 3 is
+/// regenerated from.
+///
+/// # Example
+///
+/// ```
+/// use fuleak_domino::fu::{ExpectedFu, FuCircuitConfig};
+///
+/// let mut fu = ExpectedFu::new(FuCircuitConfig::paper_generic_fu())?;
+/// fu.evaluate_cycle(0.1)?;
+/// fu.reset_energy();
+/// fu.sleep_cycle()?; // transition: 90% of nodes must discharge
+/// let pj = fu.energy().total().as_fj() / 1000.0;
+/// assert!(pj > 9.0 && pj < 11.0); // Figure 3: ~10 pJ at alpha = 0.1
+/// # Ok::<(), fuleak_domino::CircuitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExpectedFu {
+    config: FuCircuitConfig,
+    /// Per-slice fraction of gates whose node is discharged, in `[0,1]`.
+    slice_discharged: Vec<f64>,
+    /// Per-slice sleep flag.
+    slice_asleep: Vec<bool>,
+    slices_asleep: usize,
+    counters: FuCounters,
+    energy: EnergyBreakdown,
+}
+
+impl ExpectedFu {
+    /// Builds the expected-value model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidGeometry`] or
+    /// [`CircuitError::InvalidFraction`] for degenerate configurations.
+    pub fn new(config: FuCircuitConfig) -> Result<Self, CircuitError> {
+        config.validate()?;
+        Ok(ExpectedFu {
+            slice_discharged: vec![0.0; config.slices],
+            slice_asleep: vec![false; config.slices],
+            slices_asleep: 0,
+            counters: FuCounters::default(),
+            energy: EnergyBreakdown::zero(),
+            config,
+        })
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &FuCircuitConfig {
+        &self.config
+    }
+
+    /// Cycle counters accumulated so far.
+    pub fn counters(&self) -> FuCounters {
+        self.counters
+    }
+
+    /// Number of slices currently asleep.
+    pub fn slices_asleep(&self) -> usize {
+        self.slices_asleep
+    }
+
+    /// Gates per slice, as a real number (slices divide the circuit
+    /// evenly in this model).
+    fn gates_per_slice(&self) -> f64 {
+        self.config.gate_count() as f64 / self.config.slices as f64
+    }
+
+    fn leak_for(&self, gates: f64, discharged_fraction: f64, period_fraction: f64) -> (f64, f64) {
+        let e = &self.config.characterization.energies;
+        let hi = gates * (1.0 - discharged_fraction) * e.leak_hi.as_fj() * period_fraction;
+        let lo = gates * discharged_fraction * e.leak_lo.as_fj() * period_fraction;
+        (hi, lo)
+    }
+
+    /// Runs one evaluation cycle at activity factor `alpha`; all slices
+    /// wake first if asleep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidFraction`] if `alpha` is outside
+    /// `[0, 1]`.
+    pub fn evaluate_cycle(&mut self, alpha: f64) -> Result<(), CircuitError> {
+        if !(0.0..=1.0).contains(&alpha) || alpha.is_nan() {
+            return Err(CircuitError::InvalidFraction {
+                name: "alpha",
+                value: alpha,
+            });
+        }
+        if self.slices_asleep > 0 {
+            self.wake();
+        }
+        let e = &self.config.characterization.energies;
+        let gates = self.gates_per_slice();
+        let d = self.config.duty_cycle;
+        for s in 0..self.config.slices {
+            // Precharge phase: all nodes charged, high leakage.
+            let (hi, _) = self.leak_for(gates, 0.0, 1.0 - d);
+            self.energy.leak_hi += crate::Femtojoules::new(hi);
+            // Evaluation: alpha of the nodes discharge.
+            self.energy.dynamic += crate::Femtojoules::new(gates * alpha * e.dynamic.as_fj());
+            self.slice_discharged[s] = alpha;
+            // Clock-high leakage at the post-evaluation mix.
+            let (hi, lo) = self.leak_for(gates, alpha, d);
+            self.energy.leak_hi += crate::Femtojoules::new(hi);
+            self.energy.leak_lo += crate::Femtojoules::new(lo);
+        }
+        self.counters.active_cycles += 1;
+        Ok(())
+    }
+
+    /// Runs one uncontrolled-idle cycle (clock gated, no sleep).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SleepUnsupported`] if any slice is
+    /// asleep.
+    pub fn idle_cycle(&mut self) -> Result<(), CircuitError> {
+        if self.slices_asleep > 0 {
+            return Err(CircuitError::SleepUnsupported);
+        }
+        let gates = self.gates_per_slice();
+        for s in 0..self.config.slices {
+            let (hi, lo) = self.leak_for(gates, self.slice_discharged[s], 1.0);
+            self.energy.leak_hi += crate::Femtojoules::new(hi);
+            self.energy.leak_lo += crate::Femtojoules::new(lo);
+        }
+        self.counters.idle_cycles += 1;
+        Ok(())
+    }
+
+    /// Runs one sleep cycle, advancing the GradualSleep shift register
+    /// by one slice (see [`FuCircuit::sleep_cycle`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SleepUnsupported`] if the gate design has
+    /// no sleep transistor.
+    pub fn sleep_cycle(&mut self) -> Result<(), CircuitError> {
+        if !self.config.characterization.has_sleep_mode {
+            return Err(CircuitError::SleepUnsupported);
+        }
+        let e = self.config.characterization.energies;
+        let gates = self.gates_per_slice();
+        if self.slices_asleep < self.config.slices {
+            let s = self.slices_asleep;
+            // Transition: the still-charged fraction is force-discharged
+            // (pre-paying its recharge), plus the sleep-switch overhead.
+            let charged = 1.0 - self.slice_discharged[s];
+            self.energy.sleep_transition +=
+                crate::Femtojoules::new(gates * charged * e.dynamic.as_fj());
+            self.energy.sleep_overhead +=
+                crate::Femtojoules::new(gates * e.sleep_switch.as_fj());
+            self.slice_discharged[s] = 1.0;
+            self.slice_asleep[s] = true;
+            self.slices_asleep += 1;
+            self.counters.slice_transitions += 1;
+        }
+        for s in 0..self.config.slices {
+            if self.slice_asleep[s] {
+                self.energy.leak_lo += crate::Femtojoules::new(gates * e.leak_lo.as_fj());
+            } else {
+                let (hi, lo) = self.leak_for(gates, self.slice_discharged[s], 1.0);
+                self.energy.leak_hi += crate::Femtojoules::new(hi);
+                self.energy.leak_lo += crate::Femtojoules::new(lo);
+            }
+        }
+        self.counters.sleep_cycles += 1;
+        Ok(())
+    }
+
+    /// Simultaneous wake of all slices; nodes are precharged for free
+    /// (discharges pre-paid their recharge).
+    pub fn wake(&mut self) {
+        for s in 0..self.config.slices {
+            self.slice_asleep[s] = false;
+            self.slice_discharged[s] = 0.0;
+        }
+        self.slices_asleep = 0;
+    }
+
+    /// Total accumulated energy.
+    pub fn energy(&self) -> EnergyBreakdown {
+        self.energy
+    }
+
+    /// Clears the energy accumulator and counters (state preserved).
+    pub fn reset_energy(&mut self) {
+        self.energy = EnergyBreakdown::zero();
+        self.counters = FuCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(slices: usize) -> FuCircuitConfig {
+        FuCircuitConfig {
+            slices,
+            ..FuCircuitConfig::paper_generic_fu()
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_geometry() {
+        for bad in [
+            FuCircuitConfig {
+                rows: 0,
+                ..cfg(1)
+            },
+            FuCircuitConfig {
+                stages: 0,
+                ..cfg(1)
+            },
+            FuCircuitConfig {
+                slices: 0,
+                ..cfg(1)
+            },
+            FuCircuitConfig {
+                slices: 101,
+                ..cfg(1)
+            },
+        ] {
+            assert!(FuCircuit::new(bad).is_err(), "accepted {bad:?}");
+            assert!(ExpectedFu::new(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_alpha() {
+        let mut fu = FuCircuit::new(cfg(1)).unwrap();
+        assert!(fu.evaluate_cycle(-0.1).is_err());
+        assert!(fu.evaluate_cycle(1.5).is_err());
+        let mut fu = ExpectedFu::new(cfg(1)).unwrap();
+        assert!(fu.evaluate_cycle(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn gate_count_matches_paper() {
+        assert_eq!(FuCircuitConfig::paper_generic_fu().gate_count(), 500);
+    }
+
+    #[test]
+    fn stochastic_discharge_fraction_tracks_alpha() {
+        let mut fu = FuCircuit::new(cfg(1)).unwrap();
+        fu.evaluate_cycle(0.3).unwrap();
+        let f = fu.discharged_fraction();
+        assert!((f - 0.3).abs() < 0.1, "fraction = {f}");
+    }
+
+    #[test]
+    fn single_slice_sleep_is_immediate() {
+        let mut fu = FuCircuit::new(cfg(1)).unwrap();
+        fu.evaluate_cycle(0.5).unwrap();
+        fu.sleep_cycle().unwrap();
+        assert!(fu.fully_asleep());
+        assert_eq!(fu.counters().slice_transitions, 1);
+    }
+
+    #[test]
+    fn gradual_sleep_staggers_slices() {
+        let mut fu = FuCircuit::new(cfg(4)).unwrap();
+        fu.evaluate_cycle(0.5).unwrap();
+        for expect in 1..=4 {
+            fu.sleep_cycle().unwrap();
+            assert_eq!(fu.slices_asleep(), expect);
+        }
+        fu.sleep_cycle().unwrap(); // stays fully asleep
+        assert_eq!(fu.slices_asleep(), 4);
+        assert_eq!(fu.counters().slice_transitions, 4);
+    }
+
+    #[test]
+    fn wake_resets_shift_register() {
+        let mut fu = FuCircuit::new(cfg(4)).unwrap();
+        fu.evaluate_cycle(0.5).unwrap();
+        fu.sleep_cycle().unwrap();
+        fu.sleep_cycle().unwrap();
+        fu.wake();
+        assert_eq!(fu.slices_asleep(), 0);
+        // Next sleep episode starts from slice 1 again.
+        fu.sleep_cycle().unwrap();
+        assert_eq!(fu.slices_asleep(), 1);
+    }
+
+    #[test]
+    fn idle_during_sleep_is_rejected() {
+        let mut fu = FuCircuit::new(cfg(1)).unwrap();
+        fu.evaluate_cycle(0.5).unwrap();
+        fu.sleep_cycle().unwrap();
+        assert!(fu.idle_cycle().is_err());
+        fu.wake();
+        assert!(fu.idle_cycle().is_ok());
+    }
+
+    #[test]
+    fn sleep_rejected_without_sleep_mode() {
+        let mut bad = cfg(1);
+        bad.characterization = GateCharacterization::dual_vt_or8();
+        let mut fu = FuCircuit::new(bad).unwrap();
+        fu.evaluate_cycle(0.5).unwrap();
+        assert!(fu.sleep_cycle().is_err());
+        let mut fu = ExpectedFu::new(bad).unwrap();
+        fu.evaluate_cycle(0.5).unwrap();
+        assert!(fu.sleep_cycle().is_err());
+    }
+
+    #[test]
+    fn evaluate_wakes_sleeping_circuit() {
+        let mut fu = FuCircuit::new(cfg(2)).unwrap();
+        fu.evaluate_cycle(0.5).unwrap();
+        fu.sleep_cycle().unwrap();
+        fu.evaluate_cycle(0.5).unwrap();
+        assert_eq!(fu.slices_asleep(), 0);
+        assert_eq!(fu.counters().active_cycles, 2);
+    }
+
+    #[test]
+    fn expected_transition_energy_matches_formula() {
+        // After an evaluation at activity alpha, a full sleep entry
+        // costs (1 - alpha) * N * E_dyn + N * E_sw.
+        let alpha = 0.1;
+        let mut fu = ExpectedFu::new(cfg(1)).unwrap();
+        fu.evaluate_cycle(alpha).unwrap();
+        fu.reset_energy();
+        fu.sleep_cycle().unwrap();
+        let e = fu.energy();
+        let expect_tr = 500.0 * (1.0 - alpha) * 22.2;
+        let expect_ovh = 500.0 * 0.14;
+        assert!((e.sleep_transition.as_fj() - expect_tr).abs() < 1e-9);
+        assert!((e.sleep_overhead.as_fj() - expect_ovh).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_uncontrolled_idle_rate_matches_formula() {
+        let alpha = 0.5;
+        let mut fu = ExpectedFu::new(cfg(1)).unwrap();
+        fu.evaluate_cycle(alpha).unwrap();
+        fu.reset_energy();
+        fu.idle_cycle().unwrap();
+        let per_cycle = fu.energy().leakage().as_fj();
+        let expect = 500.0 * ((1.0 - alpha) * 1.4 + alpha * 7.1e-4);
+        assert!((per_cycle - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stochastic_and_expected_models_agree_statistically() {
+        // Same protocol on both models; Monte-Carlo total within a few
+        // percent of the expected-value total.
+        let mut mc = FuCircuit::with_seed(cfg(1), 7).unwrap();
+        let mut ev = ExpectedFu::new(cfg(1)).unwrap();
+        for _ in 0..50 {
+            mc.evaluate_cycle(0.5).unwrap();
+            ev.evaluate_cycle(0.5).unwrap();
+            for _ in 0..5 {
+                mc.idle_cycle().unwrap();
+                ev.idle_cycle().unwrap();
+            }
+        }
+        let mc_total = mc.energy().total().as_fj();
+        let ev_total = ev.energy().total().as_fj();
+        let rel = (mc_total - ev_total).abs() / ev_total;
+        assert!(rel < 0.05, "relative difference {rel}");
+    }
+
+    #[test]
+    fn figure3_sleep_plateau_matches_paper() {
+        // Figure 3: at alpha = 0.1 the sleep-mode curve jumps to ~10 pJ
+        // and plateaus; at alpha = 0.9 it jumps to only ~1.2 pJ.
+        for (alpha, lo, hi) in [(0.1, 9.0, 11.0), (0.5, 5.0, 6.5), (0.9, 1.0, 1.5)] {
+            let mut fu = ExpectedFu::new(cfg(1)).unwrap();
+            fu.evaluate_cycle(alpha).unwrap();
+            fu.reset_energy();
+            fu.sleep_cycle().unwrap();
+            let pj = fu.energy().total().as_fj() / 1000.0;
+            assert!(pj > lo && pj < hi, "alpha={alpha}: {pj} pJ");
+        }
+    }
+
+    #[test]
+    fn figure3_breakeven_near_17_cycles() {
+        // Figure 3 / Section 2.1: "If the circuit is not idle for at
+        // least 17 cycles then more energy is used than is saved".
+        let energy_idle = |alpha: f64, t: usize| {
+            let mut fu = ExpectedFu::new(cfg(1)).unwrap();
+            fu.evaluate_cycle(alpha).unwrap();
+            fu.reset_energy();
+            for _ in 0..t {
+                fu.idle_cycle().unwrap();
+            }
+            fu.energy().total().as_fj()
+        };
+        let energy_sleep = |alpha: f64, t: usize| {
+            let mut fu = ExpectedFu::new(cfg(1)).unwrap();
+            fu.evaluate_cycle(alpha).unwrap();
+            fu.reset_energy();
+            for _ in 0..t {
+                fu.sleep_cycle().unwrap();
+            }
+            fu.energy().total().as_fj()
+        };
+        for alpha in [0.1, 0.5, 0.9] {
+            assert!(
+                energy_sleep(alpha, 12) > energy_idle(alpha, 12),
+                "alpha={alpha}: sleep should lose at 12 cycles"
+            );
+            assert!(
+                energy_sleep(alpha, 20) < energy_idle(alpha, 20),
+                "alpha={alpha}: sleep should win at 20 cycles"
+            );
+        }
+    }
+
+    #[test]
+    fn gradual_slices_split_transition_cost() {
+        // With 4 slices, after 2 sleep cycles only half the transition
+        // energy has been paid.
+        let full = {
+            let mut fu = ExpectedFu::new(cfg(1)).unwrap();
+            fu.evaluate_cycle(0.0).unwrap();
+            fu.reset_energy();
+            fu.sleep_cycle().unwrap();
+            fu.energy().sleep_transition.as_fj()
+        };
+        let mut fu = ExpectedFu::new(cfg(4)).unwrap();
+        fu.evaluate_cycle(0.0).unwrap();
+        fu.reset_energy();
+        fu.sleep_cycle().unwrap();
+        fu.sleep_cycle().unwrap();
+        let half = fu.energy().sleep_transition.as_fj();
+        assert!((half - full / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_track_cycle_categories() {
+        let mut fu = FuCircuit::new(cfg(2)).unwrap();
+        fu.evaluate_cycle(0.5).unwrap();
+        fu.idle_cycle().unwrap();
+        fu.sleep_cycle().unwrap();
+        fu.sleep_cycle().unwrap();
+        fu.sleep_cycle().unwrap();
+        let c = fu.counters();
+        assert_eq!(c.active_cycles, 1);
+        assert_eq!(c.idle_cycles, 1);
+        assert_eq!(c.sleep_cycles, 3);
+        assert_eq!(c.slice_transitions, 2);
+    }
+
+    #[test]
+    fn energy_is_sum_of_gate_energies() {
+        let mut fu = FuCircuit::new(cfg(1)).unwrap();
+        fu.evaluate_cycle(0.7).unwrap();
+        fu.sleep_cycle().unwrap();
+        let total: f64 = fu.gates.iter().map(|g| g.energy().total().as_fj()).sum();
+        assert!((fu.energy().total().as_fj() - total).abs() < 1e-9);
+    }
+}

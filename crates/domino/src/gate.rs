@@ -1,0 +1,428 @@
+//! Per-cycle state machine of a single dual-Vt domino gate.
+//!
+//! A domino gate's leakage is *asymmetric*: while the internal dynamic
+//! node is charged (the precharged state), the voltage drop lies across
+//! the fast, leaky low-Vt evaluation transistors and the gate leaks at
+//! the high rate `E_hi` per cycle; once the node has been discharged the
+//! drop moves onto the slow high-Vt devices and leakage collapses to
+//! `E_lo` (a factor of ~2000 lower in Table 1 of the paper).
+//!
+//! The energy accounting convention follows equation (1) of the paper:
+//!
+//! * the full dynamic energy `E_dyn` of a discharge (evaluation pulldown
+//!   **plus** the eventual recharge of the node) is attributed at the
+//!   moment the node discharges;
+//! * during an active cycle the node is precharged (high-leakage) for
+//!   the `1 - d` precharge fraction of the period and leaks according to
+//!   its post-evaluation state for the remaining `d` fraction;
+//! * a clock-gated (uncontrolled idle) cycle leaks for the whole period
+//!   at the rate of whatever state the last evaluation left behind;
+//! * forcing sleep discharges the node if it was still charged — that
+//!   future recharge is the *sleep transition* cost — and pays the
+//!   sleep-transistor/driver switching overhead.
+
+use crate::error::CircuitError;
+use crate::params::GateCharacterization;
+use crate::units::Femtojoules;
+use crate::EnergyBreakdown;
+
+/// The state of a domino gate's internal dynamic node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeState {
+    /// Node is charged: the high-leakage state.
+    Precharged,
+    /// Node is discharged: the low-leakage state.
+    Discharged,
+}
+
+/// A single domino gate with cycle-accurate energy accounting.
+///
+/// # Example
+///
+/// ```
+/// use fuleak_domino::{DominoGate, GateCharacterization, NodeState};
+///
+/// let mut g = DominoGate::new(GateCharacterization::dual_vt_sleep_or8(), 0.5)?;
+/// g.active_cycle(true); // evaluation discharges the node
+/// assert_eq!(g.node_state(), NodeState::Discharged);
+/// g.enter_sleep()?;
+/// g.sleep_cycle();
+/// g.wake();
+/// assert_eq!(g.node_state(), NodeState::Precharged);
+/// # Ok::<(), fuleak_domino::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DominoGate {
+    characterization: GateCharacterization,
+    duty_cycle: f64,
+    node: NodeState,
+    asleep: bool,
+    energy: EnergyBreakdown,
+}
+
+impl DominoGate {
+    /// Creates a gate in the precharged (high-leakage) state.
+    ///
+    /// `duty_cycle` is the fraction `d` of the clock period during which
+    /// the clock is high (the evaluate phase); the paper fixes it at
+    /// 0.5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidFraction`] if `duty_cycle` is not
+    /// in `[0, 1]`.
+    pub fn new(
+        characterization: GateCharacterization,
+        duty_cycle: f64,
+    ) -> Result<Self, CircuitError> {
+        if !(0.0..=1.0).contains(&duty_cycle) || duty_cycle.is_nan() {
+            return Err(CircuitError::InvalidFraction {
+                name: "duty_cycle",
+                value: duty_cycle,
+            });
+        }
+        Ok(DominoGate {
+            characterization,
+            duty_cycle,
+            node: NodeState::Precharged,
+            asleep: false,
+            energy: EnergyBreakdown::zero(),
+        })
+    }
+
+    /// Current state of the internal dynamic node.
+    pub fn node_state(&self) -> NodeState {
+        self.node
+    }
+
+    /// Whether the sleep transistor is currently asserted.
+    pub fn is_asleep(&self) -> bool {
+        self.asleep
+    }
+
+    /// The characterization this gate was built from.
+    pub fn characterization(&self) -> &GateCharacterization {
+        &self.characterization
+    }
+
+    /// Accumulated energy since construction (or the last
+    /// [`DominoGate::reset_energy`]).
+    pub fn energy(&self) -> EnergyBreakdown {
+        self.energy
+    }
+
+    /// Clears the energy accumulator without touching circuit state.
+    pub fn reset_energy(&mut self) {
+        self.energy = EnergyBreakdown::zero();
+    }
+
+    fn leak_rate(&self, state: NodeState) -> Femtojoules {
+        match state {
+            NodeState::Precharged => self.characterization.energies.leak_hi,
+            NodeState::Discharged => self.characterization.energies.leak_lo,
+        }
+    }
+
+    /// Runs one active (clocked) cycle: precharge, then evaluate.
+    ///
+    /// `discharges` is whether this cycle's input vector pulls the
+    /// dynamic node low (the per-gate realization of the activity
+    /// factor `alpha`).
+    ///
+    /// If the gate was asleep it wakes implicitly first (the paper's
+    /// single-cycle reactivation; the wake precharge carries no extra
+    /// cost because discharge events are pre-paid).
+    pub fn active_cycle(&mut self, discharges: bool) {
+        if self.asleep {
+            self.wake();
+        }
+        // Precharge phase: the node is (re)charged and leaks at the high
+        // rate for the (1 - d) fraction of the period.
+        self.energy.leak_hi +=
+            self.characterization.energies.leak_hi * (1.0 - self.duty_cycle);
+        self.node = NodeState::Precharged;
+        // Evaluate phase.
+        if discharges {
+            self.energy.dynamic += self.characterization.energies.dynamic;
+            self.node = NodeState::Discharged;
+        }
+        // Leakage for the clock-high fraction, at the post-evaluation
+        // state's rate.
+        let leak = self.leak_rate(self.node) * self.duty_cycle;
+        match self.node {
+            NodeState::Precharged => self.energy.leak_hi += leak,
+            NodeState::Discharged => self.energy.leak_lo += leak,
+        }
+    }
+
+    /// Runs one clock-gated (uncontrolled idle) cycle: no precharge, no
+    /// evaluation; the node leaks at its current state's rate for the
+    /// full period.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the gate is asleep — asleep gates must
+    /// use [`DominoGate::sleep_cycle`] so the accounting categories stay
+    /// separable.
+    pub fn idle_cycle(&mut self) {
+        debug_assert!(!self.asleep, "idle_cycle called on a sleeping gate");
+        let leak = self.leak_rate(self.node);
+        match self.node {
+            NodeState::Precharged => self.energy.leak_hi += leak,
+            NodeState::Discharged => self.energy.leak_lo += leak,
+        }
+    }
+
+    /// Asserts the Sleep signal, forcing the node into the low-leakage
+    /// discharged state.
+    ///
+    /// If the node was still charged, the future recharge is billed now
+    /// as sleep-transition energy (the `(1 - alpha) * E_dyn` term of the
+    /// paper's model). The sleep-transistor switching overhead is billed
+    /// on every assertion. Idempotent: asserting sleep on an already
+    /// sleeping gate costs nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SleepUnsupported`] if the
+    /// characterization has no sleep transistor.
+    pub fn enter_sleep(&mut self) -> Result<(), CircuitError> {
+        if !self.characterization.has_sleep_mode {
+            return Err(CircuitError::SleepUnsupported);
+        }
+        if self.asleep {
+            return Ok(());
+        }
+        if self.node == NodeState::Precharged {
+            self.energy.sleep_transition += self.characterization.energies.dynamic;
+            self.node = NodeState::Discharged;
+        }
+        self.energy.sleep_overhead += self.characterization.energies.sleep_switch;
+        self.asleep = true;
+        Ok(())
+    }
+
+    /// Runs one full cycle in the sleep state (node discharged,
+    /// low-leakage).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the gate is not asleep.
+    pub fn sleep_cycle(&mut self) {
+        debug_assert!(self.asleep, "sleep_cycle called on an awake gate");
+        self.energy.leak_lo += self.characterization.energies.leak_lo;
+    }
+
+    /// De-asserts Sleep and precharges the node, readying the gate for
+    /// evaluation. The precharge itself carries no additional energy
+    /// because every discharge pre-paid its recharge.
+    pub fn wake(&mut self) {
+        self.asleep = false;
+        self.node = NodeState::Precharged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate() -> DominoGate {
+        DominoGate::new(GateCharacterization::dual_vt_sleep_or8(), 0.5).unwrap()
+    }
+
+    #[test]
+    fn starts_precharged_and_awake() {
+        let g = gate();
+        assert_eq!(g.node_state(), NodeState::Precharged);
+        assert!(!g.is_asleep());
+        assert_eq!(g.energy(), EnergyBreakdown::zero());
+    }
+
+    #[test]
+    fn rejects_bad_duty_cycle() {
+        let c = GateCharacterization::dual_vt_sleep_or8();
+        assert!(DominoGate::new(c, -0.1).is_err());
+        assert!(DominoGate::new(c, 1.1).is_err());
+        assert!(DominoGate::new(c, f64::NAN).is_err());
+        assert!(DominoGate::new(c, 0.0).is_ok());
+        assert!(DominoGate::new(c, 1.0).is_ok());
+    }
+
+    #[test]
+    fn discharging_evaluation_spends_dynamic_energy() {
+        let mut g = gate();
+        g.active_cycle(true);
+        assert_eq!(g.node_state(), NodeState::Discharged);
+        assert_eq!(g.energy().dynamic.as_fj(), 22.2);
+        // Precharge half at E_hi, evaluate half at E_lo.
+        assert!((g.energy().leak_hi.as_fj() - 0.7).abs() < 1e-12);
+        assert!((g.energy().leak_lo.as_fj() - 0.5 * 7.1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_discharging_evaluation_leaks_high() {
+        let mut g = gate();
+        g.active_cycle(false);
+        assert_eq!(g.node_state(), NodeState::Precharged);
+        assert_eq!(g.energy().dynamic.as_fj(), 0.0);
+        // Full cycle in the high-leakage state: (1-d)*E_hi + d*E_hi.
+        assert!((g.energy().leak_hi.as_fj() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_cycle_leaks_at_last_state() {
+        let mut g = gate();
+        g.active_cycle(false); // leaves node precharged
+        let before = g.energy().leak_hi;
+        g.idle_cycle();
+        assert!((g.energy().leak_hi - before).as_fj() - 1.4 < 1e-12);
+
+        let mut g = gate();
+        g.active_cycle(true); // leaves node discharged
+        let before = g.energy().leak_lo;
+        g.idle_cycle();
+        assert!(((g.energy().leak_lo - before).as_fj() - 7.1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sleep_from_charged_state_pays_transition() {
+        let mut g = gate();
+        g.active_cycle(false); // node charged
+        g.enter_sleep().unwrap();
+        assert!(g.is_asleep());
+        assert_eq!(g.node_state(), NodeState::Discharged);
+        assert_eq!(g.energy().sleep_transition.as_fj(), 22.2);
+        assert_eq!(g.energy().sleep_overhead.as_fj(), 0.14);
+    }
+
+    #[test]
+    fn sleep_from_discharged_state_is_cheap() {
+        let mut g = gate();
+        g.active_cycle(true); // node already discharged
+        g.enter_sleep().unwrap();
+        assert_eq!(g.energy().sleep_transition.as_fj(), 0.0);
+        assert_eq!(g.energy().sleep_overhead.as_fj(), 0.14);
+    }
+
+    #[test]
+    fn sleep_is_idempotent() {
+        let mut g = gate();
+        g.active_cycle(false);
+        g.enter_sleep().unwrap();
+        let once = g.energy();
+        g.enter_sleep().unwrap();
+        assert_eq!(g.energy(), once);
+    }
+
+    #[test]
+    fn sleep_cycles_leak_low() {
+        let mut g = gate();
+        g.active_cycle(false);
+        g.enter_sleep().unwrap();
+        let before = g.energy().leak_lo;
+        for _ in 0..10 {
+            g.sleep_cycle();
+        }
+        assert!(((g.energy().leak_lo - before).as_fj() - 10.0 * 7.1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wake_precharges_for_free() {
+        let mut g = gate();
+        g.active_cycle(false);
+        g.enter_sleep().unwrap();
+        let before = g.energy();
+        g.wake();
+        assert_eq!(g.energy(), before);
+        assert_eq!(g.node_state(), NodeState::Precharged);
+        assert!(!g.is_asleep());
+    }
+
+    #[test]
+    fn active_cycle_wakes_sleeping_gate() {
+        let mut g = gate();
+        g.active_cycle(false);
+        g.enter_sleep().unwrap();
+        g.active_cycle(true);
+        assert!(!g.is_asleep());
+        assert_eq!(g.node_state(), NodeState::Discharged);
+    }
+
+    #[test]
+    fn sleep_rejected_without_sleep_transistor() {
+        let mut g = DominoGate::new(GateCharacterization::dual_vt_or8(), 0.5).unwrap();
+        assert_eq!(g.enter_sleep(), Err(CircuitError::SleepUnsupported));
+    }
+
+    #[test]
+    fn sleep_then_wake_then_sleep_pays_overhead_twice() {
+        let mut g = gate();
+        g.active_cycle(true);
+        g.enter_sleep().unwrap();
+        g.wake();
+        g.active_cycle(true);
+        g.enter_sleep().unwrap();
+        assert!((g.energy().sleep_overhead.as_fj() - 0.28).abs() < 1e-12);
+        // Both sleeps found the node discharged: no transition cost.
+        assert_eq!(g.energy().sleep_transition.as_fj(), 0.0);
+    }
+
+    #[test]
+    fn transition_cost_equals_skipped_discharge() {
+        // Energy conservation: a gate that never discharges in
+        // evaluation but is put to sleep pays exactly one E_dyn of
+        // transition energy per sleep episode that found it charged.
+        let mut g = gate();
+        for _ in 0..5 {
+            g.active_cycle(false);
+        }
+        g.enter_sleep().unwrap();
+        g.wake();
+        for _ in 0..5 {
+            g.active_cycle(false);
+        }
+        g.enter_sleep().unwrap();
+        assert_eq!(g.energy().sleep_transition.as_fj(), 2.0 * 22.2);
+        assert_eq!(g.energy().dynamic.as_fj(), 0.0);
+    }
+
+    #[test]
+    fn reset_energy_clears_accumulator_only() {
+        let mut g = gate();
+        g.active_cycle(true);
+        g.reset_energy();
+        assert_eq!(g.energy(), EnergyBreakdown::zero());
+        assert_eq!(g.node_state(), NodeState::Discharged);
+    }
+
+    #[test]
+    fn breakeven_matches_paper_figure3_magnitude() {
+        // Section 2.1 / Figure 3: with the real circuit numbers and
+        // alpha = 0.1 the breakeven interval is about 17 cycles. Check
+        // the gate-level accounting reproduces that: compare a charged
+        // gate left idle for N cycles against sleep for N cycles.
+        let idle_energy = |n: usize| {
+            let mut g = gate();
+            g.active_cycle(false);
+            g.reset_energy();
+            for _ in 0..n {
+                g.idle_cycle();
+            }
+            g.energy().total().as_fj()
+        };
+        let sleep_energy = |n: usize| {
+            let mut g = gate();
+            g.active_cycle(false);
+            g.reset_energy();
+            g.enter_sleep().unwrap();
+            for _ in 0..n {
+                g.sleep_cycle();
+            }
+            g.energy().total().as_fj()
+        };
+        // For a charged gate (the 1-alpha case) breakeven is
+        // (E_dyn + E_sw) / (E_hi - E_lo) ~ 22.34/1.399 ~ 16 cycles.
+        assert!(sleep_energy(10) > idle_energy(10));
+        assert!(sleep_energy(17) < idle_energy(17));
+    }
+}

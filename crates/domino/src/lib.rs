@@ -1,0 +1,64 @@
+//! Dual threshold voltage (dual-Vt) domino logic circuit models with a
+//! low-leakage sleep mode.
+//!
+//! This crate is the circuit-level substrate of the reproduction of
+//! *Managing Static Leakage Energy in Microprocessor Functional Units*
+//! (Dropsho, Kursun, Albonesi, Dwarkadas, Friedman — MICRO 2002). It
+//! models, at the granularity of individual gates and whole functional
+//! units:
+//!
+//! * the per-cycle behavior of a dynamic domino gate (precharge /
+//!   evaluate), including the asymmetric subthreshold leakage of dual-Vt
+//!   designs (high leakage while the internal dynamic node is charged,
+//!   very low leakage once it is discharged);
+//! * the *sleep transistor* of Kursun & Friedman that forces every
+//!   dynamic node into the low-leakage discharged state, and its energy
+//!   cost (the extra precharge on wake-up plus the sleep-driver energy);
+//! * the paper's generic functional-unit circuit — 500 OR8 gates
+//!   arranged as 100 rows of 5 cascaded stages — and its sliced variant
+//!   used by the *GradualSleep* design.
+//!
+//! The characterization constants come from Table 1 of the paper (70 nm,
+//! 4 GHz clock) and are available as presets on
+//! [`GateCharacterization`].
+//!
+//! # Example
+//!
+//! ```
+//! use fuleak_domino::{FuCircuit, FuCircuitConfig, GateCharacterization};
+//!
+//! let mut fu = FuCircuit::new(FuCircuitConfig {
+//!     characterization: GateCharacterization::dual_vt_sleep_or8(),
+//!     rows: 100,
+//!     stages: 5,
+//!     slices: 1,
+//!     duty_cycle: 0.5,
+//! })?;
+//! // Evaluate for 10 cycles at activity factor 0.5, then sleep for 20.
+//! for _ in 0..10 {
+//!     fu.evaluate_cycle(0.5)?;
+//! }
+//! for _ in 0..20 {
+//!     fu.sleep_cycle()?;
+//! }
+//! assert!(fu.energy().total().as_fj() > 0.0);
+//! # Ok::<(), fuleak_domino::CircuitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod error;
+pub mod fu;
+pub mod gate;
+pub mod params;
+pub mod rng;
+pub mod units;
+
+pub use energy::EnergyBreakdown;
+pub use error::CircuitError;
+pub use fu::{FuCircuit, FuCircuitConfig};
+pub use gate::{DominoGate, NodeState};
+pub use params::{GateCharacterization, GateDelays, GateEnergies};
+pub use units::{Femtojoules, Picoseconds};

@@ -1,0 +1,265 @@
+//! Gate characterization parameters (Table 1 of the paper).
+//!
+//! The paper characterizes an 8-input OR (OR8) domino gate in a 70 nm
+//! technology at a 250 ps clock period (4 GHz), for three circuit styles:
+//!
+//! | Circuit              | Eval (ps) | Sleep (ps) | E_dyn (fJ) | LO-leak (fJ/cyc) | HI-leak (fJ/cyc) | E_sleep (fJ) |
+//! |----------------------|-----------|------------|------------|------------------|------------------|--------------|
+//! | low-Vt               | 19.3      | —          | 26.7       | 1.2              | 1.4              | —            |
+//! | dual-Vt (no sleep)   | 15.0      | —          | 22.2       | 7.1e-4           | 1.4              | —            |
+//! | dual-Vt (with sleep) | 15.0      | 16.0       | 22.2       | 7.1e-4           | 7.1e-4*          | 0.14         |
+//!
+//! (*with the sleep mode enabled the high-leakage input vector also
+//! settles at the low-leakage level.)
+//!
+//! These constants drive both the gate-accurate circuit simulation in
+//! [`crate::fu`] and, through the ratios `p = E_hi / E_dyn` and
+//! `k = E_lo / E_hi`, the architecture-level analytical model of the
+//! companion `fuleak-core` crate.
+
+use crate::units::{Femtojoules, Picoseconds};
+
+/// Per-cycle and per-event energies of a single domino gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateEnergies {
+    /// Maximum dynamic (switching) energy of one evaluation that
+    /// discharges the dynamic node, including the following precharge.
+    pub dynamic: Femtojoules,
+    /// Per-cycle subthreshold leakage energy while the internal dynamic
+    /// node is **high** (precharged) — the high-leakage state.
+    pub leak_hi: Femtojoules,
+    /// Per-cycle subthreshold leakage energy while the internal dynamic
+    /// node is **low** (discharged) — the low-leakage state.
+    pub leak_lo: Femtojoules,
+    /// Energy to switch the sleep transistor once (zero when the gate
+    /// has no sleep capability).
+    pub sleep_switch: Femtojoules,
+}
+
+impl GateEnergies {
+    /// The leakage factor `p = E_hi / E_dyn` of Section 3 of the paper:
+    /// the ratio of the worst-case per-cycle leakage energy to the
+    /// maximum per-cycle dynamic energy.
+    pub fn leakage_factor(&self) -> f64 {
+        self.leak_hi / self.dynamic
+    }
+
+    /// The low/high-leakage ratio `k = E_lo / E_hi` of Section 3.
+    pub fn leak_ratio(&self) -> f64 {
+        self.leak_lo / self.leak_hi
+    }
+
+    /// The sleep-switch overhead expressed as a fraction of the dynamic
+    /// energy (`E_sleep / E_dyn`), the form used by the analytical model.
+    pub fn sleep_switch_fraction(&self) -> f64 {
+        self.sleep_switch / self.dynamic
+    }
+}
+
+/// Propagation and mode-transition delays of a single domino gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateDelays {
+    /// Evaluation-phase propagation delay.
+    pub evaluation: Picoseconds,
+    /// Delay to discharge the dynamic node through the sleep transistor
+    /// (`None` for gates without a sleep transistor).
+    pub sleep: Option<Picoseconds>,
+    /// Clock period the characterization was measured at.
+    pub period: Picoseconds,
+}
+
+impl GateDelays {
+    /// True when the sleep transition completes within a single clock
+    /// cycle, i.e. the circuit can enter the sleep state in one cycle
+    /// (Section 2 of the paper: 16 ps sleep vs 250 ps period).
+    pub fn sleep_fits_in_cycle(&self) -> bool {
+        self.sleep.is_some_and(|s| s <= self.period)
+    }
+}
+
+/// A complete characterization of one domino gate design.
+///
+/// Use the presets ([`GateCharacterization::low_vt_or8`],
+/// [`GateCharacterization::dual_vt_or8`],
+/// [`GateCharacterization::dual_vt_sleep_or8`]) for the paper's Table 1
+/// values, or build custom values for other technologies.
+///
+/// # Example
+///
+/// ```
+/// use fuleak_domino::GateCharacterization;
+///
+/// let gate = GateCharacterization::dual_vt_sleep_or8();
+/// // Table 1: leakage asymmetry between the two node states is ~2000x.
+/// let asym = 1.0 / gate.energies.leak_ratio();
+/// assert!(asym > 1900.0 && asym < 2100.0);
+/// // The sleep transistor is ~160x cheaper than an evaluation.
+/// assert!(gate.energies.sleep_switch_fraction() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateCharacterization {
+    /// Human-readable design name (e.g. `"dual-Vt OR8 w/sleep"`).
+    pub name: &'static str,
+    /// Energy parameters.
+    pub energies: GateEnergies,
+    /// Delay parameters.
+    pub delays: GateDelays,
+    /// Whether the design includes a sleep transistor.
+    pub has_sleep_mode: bool,
+}
+
+impl GateCharacterization {
+    /// Table 1 row 1: the all-low-Vt OR8 domino gate (fast but leaky in
+    /// both node states, no sleep mode).
+    pub fn low_vt_or8() -> Self {
+        GateCharacterization {
+            name: "low-Vt OR8",
+            energies: GateEnergies {
+                dynamic: Femtojoules::new(26.7),
+                leak_hi: Femtojoules::new(1.4),
+                leak_lo: Femtojoules::new(1.2),
+                sleep_switch: Femtojoules::ZERO,
+            },
+            delays: GateDelays {
+                evaluation: Picoseconds::new(19.3),
+                sleep: None,
+                period: Picoseconds::new(250.0),
+            },
+            has_sleep_mode: false,
+        }
+    }
+
+    /// Table 1 row 2: the dual-Vt OR8 domino gate without a sleep
+    /// transistor. Low leakage only when the input vector happens to
+    /// discharge the dynamic node.
+    pub fn dual_vt_or8() -> Self {
+        GateCharacterization {
+            name: "dual-Vt OR8",
+            energies: GateEnergies {
+                dynamic: Femtojoules::new(22.2),
+                leak_hi: Femtojoules::new(1.4),
+                leak_lo: Femtojoules::new(7.1e-4),
+                sleep_switch: Femtojoules::ZERO,
+            },
+            delays: GateDelays {
+                evaluation: Picoseconds::new(15.0),
+                sleep: None,
+                period: Picoseconds::new(250.0),
+            },
+            has_sleep_mode: false,
+        }
+    }
+
+    /// Table 1 row 3: the dual-Vt OR8 domino gate **with** the sleep
+    /// transistor of Kursun & Friedman. Identical active behavior to the
+    /// plain dual-Vt gate; asserting Sleep forces the low-leakage state
+    /// for 0.14 fJ and 16 ps.
+    pub fn dual_vt_sleep_or8() -> Self {
+        GateCharacterization {
+            name: "dual-Vt OR8 w/sleep",
+            energies: GateEnergies {
+                dynamic: Femtojoules::new(22.2),
+                leak_hi: Femtojoules::new(1.4),
+                leak_lo: Femtojoules::new(7.1e-4),
+                sleep_switch: Femtojoules::new(0.14),
+            },
+            delays: GateDelays {
+                evaluation: Picoseconds::new(15.0),
+                sleep: Some(Picoseconds::new(16.0)),
+                period: Picoseconds::new(250.0),
+            },
+            has_sleep_mode: true,
+        }
+    }
+
+    /// All three Table 1 presets in row order.
+    pub fn table1() -> [GateCharacterization; 3] {
+        [
+            Self::low_vt_or8(),
+            Self::dual_vt_or8(),
+            Self::dual_vt_sleep_or8(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_row1_low_vt() {
+        let g = GateCharacterization::low_vt_or8();
+        assert_eq!(g.energies.dynamic.as_fj(), 26.7);
+        assert_eq!(g.energies.leak_hi.as_fj(), 1.4);
+        assert_eq!(g.energies.leak_lo.as_fj(), 1.2);
+        assert_eq!(g.delays.evaluation.as_ps(), 19.3);
+        assert!(!g.has_sleep_mode);
+        assert!(g.delays.sleep.is_none());
+    }
+
+    #[test]
+    fn table1_row2_dual_vt() {
+        let g = GateCharacterization::dual_vt_or8();
+        assert_eq!(g.energies.dynamic.as_fj(), 22.2);
+        assert_eq!(g.energies.leak_lo.as_fj(), 7.1e-4);
+        assert_eq!(g.delays.evaluation.as_ps(), 15.0);
+        assert!(!g.has_sleep_mode);
+    }
+
+    #[test]
+    fn table1_row3_dual_vt_sleep() {
+        let g = GateCharacterization::dual_vt_sleep_or8();
+        assert_eq!(g.energies.sleep_switch.as_fj(), 0.14);
+        assert_eq!(g.delays.sleep, Some(Picoseconds::new(16.0)));
+        assert!(g.has_sleep_mode);
+        assert!(g.delays.sleep_fits_in_cycle());
+    }
+
+    #[test]
+    fn dual_vt_is_faster_than_static_low_vt_variant() {
+        // Section 2: the dual-Vt keeper reduces contention and improves
+        // both delay and dynamic energy relative to the low-Vt gate.
+        let low = GateCharacterization::low_vt_or8();
+        let dual = GateCharacterization::dual_vt_or8();
+        assert!(dual.delays.evaluation < low.delays.evaluation);
+        assert!(dual.energies.dynamic < low.energies.dynamic);
+    }
+
+    #[test]
+    fn paper_derived_ratios() {
+        // Section 3: p = 1.4/22.2 ~ 0.06, k ~ 5e-4, E_sleep/E_dyn ~ 0.006.
+        let e = GateCharacterization::dual_vt_sleep_or8().energies;
+        assert!((e.leakage_factor() - 1.4 / 22.2).abs() < 1e-12);
+        assert!((e.leakage_factor() - 0.063).abs() < 0.001);
+        assert!((e.leak_ratio() - 7.1e-4 / 1.4).abs() < 1e-12);
+        assert!((e.sleep_switch_fraction() - 0.14 / 22.2).abs() < 1e-12);
+        assert!((e.sleep_switch_fraction() - 0.0063).abs() < 0.0005);
+    }
+
+    #[test]
+    fn leakage_asymmetry_factor_of_2000() {
+        // Section 2: "the difference in leakage energy between the LO
+        // and HI vectors is a factor of 2,000".
+        let e = GateCharacterization::dual_vt_or8().energies;
+        let asym = e.leak_hi / e.leak_lo;
+        assert!(asym > 1900.0 && asym < 2100.0);
+    }
+
+    #[test]
+    fn table1_returns_all_rows_in_order() {
+        let rows = GateCharacterization::table1();
+        assert_eq!(rows[0].name, "low-Vt OR8");
+        assert_eq!(rows[1].name, "dual-Vt OR8");
+        assert_eq!(rows[2].name, "dual-Vt OR8 w/sleep");
+    }
+
+    #[test]
+    fn sleep_fits_in_cycle_requires_sleep_delay() {
+        let mut d = GateCharacterization::dual_vt_sleep_or8().delays;
+        assert!(d.sleep_fits_in_cycle());
+        d.sleep = Some(Picoseconds::new(300.0));
+        assert!(!d.sleep_fits_in_cycle());
+        d.sleep = None;
+        assert!(!d.sleep_fits_in_cycle());
+    }
+}

@@ -1,0 +1,284 @@
+//! Physical-quantity newtypes used throughout the circuit model.
+//!
+//! The paper reports gate energies in femtojoules and delays in
+//! picoseconds; keeping the units in the type system prevents the usual
+//! "is this joules or femtojoules?" class of bug when the circuit
+//! numbers are fed into the architecture-level model.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An energy quantity in femtojoules (1 fJ = 1e-15 J).
+///
+/// # Example
+///
+/// ```
+/// use fuleak_domino::Femtojoules;
+///
+/// let dynamic = Femtojoules::new(22.2);
+/// let leakage = Femtojoules::new(1.4);
+/// assert!(((dynamic + leakage).as_fj() - 23.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Femtojoules(f64);
+
+impl Femtojoules {
+    /// Zero energy.
+    pub const ZERO: Femtojoules = Femtojoules(0.0);
+
+    /// Creates an energy value from a raw femtojoule count.
+    pub fn new(fj: f64) -> Self {
+        Femtojoules(fj)
+    }
+
+    /// Returns the raw femtojoule count.
+    pub fn as_fj(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in joules.
+    pub fn as_joules(self) -> f64 {
+        self.0 * 1e-15
+    }
+
+    /// Returns the absolute value.
+    pub fn abs(self) -> Self {
+        Femtojoules(self.0.abs())
+    }
+
+    /// Returns the larger of two energies.
+    pub fn max(self, other: Self) -> Self {
+        Femtojoules(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two energies.
+    pub fn min(self, other: Self) -> Self {
+        Femtojoules(self.0.min(other.0))
+    }
+
+    /// Returns true when the value is finite (not NaN or infinite).
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl fmt::Display for Femtojoules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} fJ", self.0)
+    }
+}
+
+impl Add for Femtojoules {
+    type Output = Femtojoules;
+    fn add(self, rhs: Self) -> Self {
+        Femtojoules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Femtojoules {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Femtojoules {
+    type Output = Femtojoules;
+    fn sub(self, rhs: Self) -> Self {
+        Femtojoules(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Femtojoules {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Femtojoules {
+    type Output = Femtojoules;
+    fn neg(self) -> Self {
+        Femtojoules(-self.0)
+    }
+}
+
+impl Mul<f64> for Femtojoules {
+    type Output = Femtojoules;
+    fn mul(self, rhs: f64) -> Self {
+        Femtojoules(self.0 * rhs)
+    }
+}
+
+impl Mul<Femtojoules> for f64 {
+    type Output = Femtojoules;
+    fn mul(self, rhs: Femtojoules) -> Femtojoules {
+        Femtojoules(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Femtojoules {
+    type Output = Femtojoules;
+    fn div(self, rhs: f64) -> Self {
+        Femtojoules(self.0 / rhs)
+    }
+}
+
+impl Div<Femtojoules> for Femtojoules {
+    /// Dividing two energies yields a dimensionless ratio.
+    type Output = f64;
+    fn div(self, rhs: Femtojoules) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Femtojoules {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Femtojoules::ZERO, Add::add)
+    }
+}
+
+/// A time quantity in picoseconds (1 ps = 1e-12 s).
+///
+/// # Example
+///
+/// ```
+/// use fuleak_domino::Picoseconds;
+///
+/// let eval = Picoseconds::new(15.0);
+/// let period = Picoseconds::new(250.0);
+/// assert!(eval < period);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Picoseconds(f64);
+
+impl Picoseconds {
+    /// Zero time.
+    pub const ZERO: Picoseconds = Picoseconds(0.0);
+
+    /// Creates a time value from a raw picosecond count.
+    pub fn new(ps: f64) -> Self {
+        Picoseconds(ps)
+    }
+
+    /// Returns the raw picosecond count.
+    pub fn as_ps(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in seconds.
+    pub fn as_seconds(self) -> f64 {
+        self.0 * 1e-12
+    }
+}
+
+impl fmt::Display for Picoseconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ps", self.0)
+    }
+}
+
+impl Add for Picoseconds {
+    type Output = Picoseconds;
+    fn add(self, rhs: Self) -> Self {
+        Picoseconds(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Picoseconds {
+    type Output = Picoseconds;
+    fn sub(self, rhs: Self) -> Self {
+        Picoseconds(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Picoseconds {
+    type Output = Picoseconds;
+    fn mul(self, rhs: f64) -> Self {
+        Picoseconds(self.0 * rhs)
+    }
+}
+
+impl Div<Picoseconds> for Picoseconds {
+    /// Dividing two times yields a dimensionless ratio.
+    type Output = f64;
+    fn div(self, rhs: Picoseconds) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn femtojoule_arithmetic() {
+        let a = Femtojoules::new(1.5);
+        let b = Femtojoules::new(0.5);
+        assert_eq!((a + b).as_fj(), 2.0);
+        assert_eq!((a - b).as_fj(), 1.0);
+        assert_eq!((a * 2.0).as_fj(), 3.0);
+        assert_eq!((2.0 * a).as_fj(), 3.0);
+        assert_eq!((a / 3.0).as_fj(), 0.5);
+        assert_eq!(a / b, 3.0);
+        assert_eq!((-a).as_fj(), -1.5);
+    }
+
+    #[test]
+    fn femtojoule_accumulation() {
+        let mut acc = Femtojoules::ZERO;
+        acc += Femtojoules::new(1.0);
+        acc += Femtojoules::new(2.0);
+        assert_eq!(acc.as_fj(), 3.0);
+        acc -= Femtojoules::new(0.5);
+        assert_eq!(acc.as_fj(), 2.5);
+    }
+
+    #[test]
+    fn femtojoule_sum() {
+        let total: Femtojoules = (1..=4).map(|i| Femtojoules::new(i as f64)).sum();
+        assert_eq!(total.as_fj(), 10.0);
+    }
+
+    #[test]
+    fn femtojoule_conversions() {
+        assert!((Femtojoules::new(22.2).as_joules() - 22.2e-15).abs() < 1e-25);
+        assert_eq!(Femtojoules::new(-3.0).abs().as_fj(), 3.0);
+        assert_eq!(
+            Femtojoules::new(1.0).max(Femtojoules::new(2.0)).as_fj(),
+            2.0
+        );
+        assert_eq!(
+            Femtojoules::new(1.0).min(Femtojoules::new(2.0)).as_fj(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn femtojoule_display() {
+        assert_eq!(Femtojoules::new(0.14).to_string(), "0.14 fJ");
+    }
+
+    #[test]
+    fn picosecond_arithmetic() {
+        let eval = Picoseconds::new(15.0);
+        let sleep = Picoseconds::new(16.0);
+        assert_eq!((eval + sleep).as_ps(), 31.0);
+        assert_eq!((sleep - eval).as_ps(), 1.0);
+        assert_eq!((eval * 2.0).as_ps(), 30.0);
+        assert_eq!(sleep / eval, 16.0 / 15.0);
+    }
+
+    #[test]
+    fn picosecond_conversions() {
+        assert!((Picoseconds::new(250.0).as_seconds() - 250e-12).abs() < 1e-20);
+        assert_eq!(Picoseconds::new(16.0).to_string(), "16 ps");
+    }
+
+    #[test]
+    fn ordering_and_finiteness() {
+        assert!(Picoseconds::new(15.0) < Picoseconds::new(16.0));
+        assert!(Femtojoules::new(7.1e-4) < Femtojoules::new(1.4));
+        assert!(Femtojoules::new(1.0).is_finite());
+        assert!(!Femtojoules::new(f64::NAN).is_finite());
+    }
+}

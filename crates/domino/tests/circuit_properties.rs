@@ -1,0 +1,171 @@
+//! Property tests for the circuit substrate: energy conservation,
+//! state-machine invariants, and slicing algebra.
+
+use fuleak_domino::fu::{ExpectedFu, FuCircuitConfig};
+use fuleak_domino::{DominoGate, FuCircuit, GateCharacterization};
+use proptest::prelude::*;
+
+/// A random but legal driving protocol for a circuit.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Evaluate(u8), // alpha in percent
+    Idle,
+    Sleep,
+    Wake,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..=100).prop_map(Step::Evaluate),
+        Just(Step::Idle),
+        Just(Step::Sleep),
+        Just(Step::Wake),
+    ]
+}
+
+fn drive_expected(fu: &mut ExpectedFu, steps: &[Step]) {
+    for &s in steps {
+        match s {
+            Step::Evaluate(a) => fu.evaluate_cycle(f64::from(a) / 100.0).unwrap(),
+            Step::Idle => {
+                if fu.slices_asleep() == 0 {
+                    fu.idle_cycle().unwrap();
+                }
+            }
+            Step::Sleep => fu.sleep_cycle().unwrap(),
+            Step::Wake => fu.wake(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Energy never decreases, never goes negative, and every category
+    /// stays finite under arbitrary legal protocols.
+    #[test]
+    fn energy_is_monotone_and_finite(
+        steps in prop::collection::vec(step_strategy(), 1..120),
+        slices in 1usize..16,
+    ) {
+        let mut fu = ExpectedFu::new(FuCircuitConfig {
+            slices,
+            rows: 16,
+            stages: 2,
+            ..FuCircuitConfig::paper_generic_fu()
+        })
+        .unwrap();
+        let mut prev = 0.0;
+        for chunk in steps.chunks(4) {
+            drive_expected(&mut fu, chunk);
+            let e = fu.energy();
+            let total = e.total().as_fj();
+            prop_assert!(total.is_finite());
+            prop_assert!(total >= prev - 1e-9, "energy decreased");
+            for part in [e.dynamic, e.leak_hi, e.leak_lo, e.sleep_transition, e.sleep_overhead] {
+                prop_assert!(part.as_fj() >= -1e-12);
+            }
+            prev = total;
+        }
+    }
+
+    /// The Monte-Carlo circuit's total equals the sum of its gates'
+    /// totals, and counters match the protocol.
+    #[test]
+    fn gate_sum_equals_circuit_total(
+        seed in any::<u64>(),
+        evals in 1u32..30,
+        sleeps in 0u32..30,
+    ) {
+        let cfg = FuCircuitConfig {
+            rows: 10,
+            stages: 3,
+            ..FuCircuitConfig::paper_generic_fu()
+        };
+        let mut fu = FuCircuit::with_seed(cfg, seed).unwrap();
+        for _ in 0..evals {
+            fu.evaluate_cycle(0.4).unwrap();
+        }
+        for _ in 0..sleeps {
+            fu.sleep_cycle().unwrap();
+        }
+        let c = fu.counters();
+        prop_assert_eq!(c.active_cycles, u64::from(evals));
+        prop_assert_eq!(c.sleep_cycles, u64::from(sleeps));
+        prop_assert_eq!(c.slice_transitions, u64::from(sleeps.min(1)));
+    }
+
+    /// Sleeping an already-discharged gate is free apart from the
+    /// switch overhead; the transition discharge is paid at most once
+    /// per episode.
+    #[test]
+    fn sleep_transition_paid_once_per_episode(episodes in 1usize..10) {
+        let mut g = DominoGate::new(GateCharacterization::dual_vt_sleep_or8(), 0.5).unwrap();
+        for _ in 0..episodes {
+            g.active_cycle(false); // leave charged
+            g.enter_sleep().unwrap();
+            g.sleep_cycle();
+            g.sleep_cycle();
+            g.wake();
+        }
+        let e = g.energy();
+        let expect_tr = episodes as f64 * 22.2;
+        let expect_ovh = episodes as f64 * 0.14;
+        prop_assert!((e.sleep_transition.as_fj() - expect_tr).abs() < 1e-9);
+        prop_assert!((e.sleep_overhead.as_fj() - expect_ovh).abs() < 1e-9);
+    }
+
+    /// More slices never increase the cost of a *short* idle episode:
+    /// with n slices, an episode of t < n cycles transitions only t/n
+    /// of the circuit.
+    #[test]
+    fn more_slices_cheapen_short_episodes(t in 1u64..8) {
+        let episode_cost = |slices: usize| {
+            let mut fu = ExpectedFu::new(FuCircuitConfig {
+                slices,
+                rows: 64,
+                stages: 2,
+                ..FuCircuitConfig::paper_generic_fu()
+            })
+            .unwrap();
+            fu.evaluate_cycle(0.0).unwrap(); // worst case: all charged
+            fu.reset_energy();
+            for _ in 0..t {
+                fu.sleep_cycle().unwrap();
+            }
+            fu.energy().sleep_cost().as_fj()
+        };
+        let mut prev = f64::INFINITY;
+        for slices in [1usize, 2, 4, 8, 16, 32, 64] {
+            let c = episode_cost(slices);
+            if slices as u64 >= t {
+                prop_assert!(c <= prev + 1e-9, "slices {slices}: {c} > {prev}");
+            }
+            prev = c;
+        }
+    }
+
+    /// Wake is always safe and resets slicing; evaluation after wake
+    /// behaves identically to a fresh circuit's evaluation energy.
+    #[test]
+    fn wake_restores_clean_state(sleeps in 1u32..20, alpha_pct in 0u8..=100) {
+        let alpha = f64::from(alpha_pct) / 100.0;
+        let cfg = FuCircuitConfig {
+            slices: 4,
+            ..FuCircuitConfig::paper_generic_fu()
+        };
+        let mut a = ExpectedFu::new(cfg).unwrap();
+        a.evaluate_cycle(0.7).unwrap();
+        for _ in 0..sleeps {
+            a.sleep_cycle().unwrap();
+        }
+        a.wake();
+        a.reset_energy();
+        a.evaluate_cycle(alpha).unwrap();
+
+        let mut b = ExpectedFu::new(cfg).unwrap();
+        b.evaluate_cycle(alpha).unwrap();
+
+        prop_assert!((a.energy().total().as_fj() - b.energy().total().as_fj()).abs() < 1e-9);
+    }
+}

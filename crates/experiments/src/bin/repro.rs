@@ -1,0 +1,138 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! Usage: `repro <experiment> [--quick]` where
+//! `<experiment>` is one of `table1`, `table2`, `table3`, `fig3`,
+//! `fig4a`, `fig4b`, `fig4c`, `fig4d`, `fig5c`, `fig7`, `fig8a`,
+//! `fig8b`, `fig9a`, `fig9b`, or `all`.
+
+use fuleak_experiments::harness::{run_suite, Budget, SuiteResult};
+use fuleak_experiments::{analytic, empirical};
+use std::process::ExitCode;
+
+struct Options {
+    budget: Budget,
+}
+
+fn suite(opts: &Options, l2: u64) -> SuiteResult {
+    eprintln!("[repro] simulating the suite (L2 = {l2} cycles)...");
+    run_suite(l2, opts.budget)
+}
+
+fn run(experiment: &str, opts: &Options, cached: &mut Option<SuiteResult>) -> bool {
+    let need_suite = |cached: &mut Option<SuiteResult>| -> SuiteResult {
+        if cached.is_none() {
+            *cached = Some(suite(opts, 12));
+        }
+        cached.clone().expect("just inserted")
+    };
+    match experiment {
+        "table1" => println!("Table 1 — OR8 gate characteristics (70 nm)\n{}", analytic::table1().render()),
+        "table2" => println!("Table 2 — architectural parameters\n{}", empirical::table2().render()),
+        "fig3" => println!(
+            "Figure 3 — uncontrolled idle vs sleep mode (500-gate FU)\n{}",
+            analytic::fig3_table().render()
+        ),
+        "fig4a" => println!(
+            "Figure 4a — breakeven idle interval vs leakage factor\n{}",
+            analytic::fig4a_table().render()
+        ),
+        "fig4b" => println!(
+            "Figure 4b — policies, idle interval = 10 cycles\n{}",
+            analytic::fig4_policy_table(10.0, &[0.1, 0.9]).render()
+        ),
+        "fig4c" => println!(
+            "Figure 4c — policies, idle interval = 100 cycles\n{}",
+            analytic::fig4_policy_table(100.0, &[0.1, 0.9]).render()
+        ),
+        "fig4d" => println!(
+            "Figure 4d — worst case, idle interval = 1 cycle\n{}",
+            analytic::fig4_policy_table(1.0, &[0.5]).render()
+        ),
+        "fig5c" => println!(
+            "Figure 5c — transition energy of the three designs\n{}",
+            analytic::fig5c_table().render()
+        ),
+        "table3" => {
+            let s = need_suite(cached);
+            println!("Table 3 — benchmarks (measured vs paper)\n{}", empirical::table3(&s).render());
+        }
+        "fig7" => {
+            let s12 = need_suite(cached);
+            let s32 = suite(opts, 32);
+            println!(
+                "Figure 7 — idle-interval distribution\n{}",
+                empirical::fig7_table(&[empirical::fig7(&s12), empirical::fig7(&s32)]).render()
+            );
+            println!(
+                "suite-average idle fraction: {:.3} (L2=12; paper: 0.468), {:.3} (L2=32)",
+                empirical::fig7(&s12).total_idle_fraction,
+                empirical::fig7(&s32).total_idle_fraction
+            );
+        }
+        "fig8a" => {
+            let s = need_suite(cached);
+            println!(
+                "Figure 8a — normalized energy, p = 0.05 (alpha = 0.5)\n{}",
+                empirical::fig8_table(&s, 0.05, 0.5).render()
+            );
+        }
+        "fig8b" => {
+            let s = need_suite(cached);
+            println!(
+                "Figure 8b — normalized energy, p = 0.50 (alpha = 0.5)\n{}",
+                empirical::fig8_table(&s, 0.5, 0.5).render()
+            );
+        }
+        "fig9a" => {
+            let s = need_suite(cached);
+            println!(
+                "Figure 9a — energy relative to NoOverhead\n{}",
+                empirical::fig9a_table(&s).render()
+            );
+        }
+        "fig9b" => {
+            let s = need_suite(cached);
+            println!(
+                "Figure 9b — leakage / total energy\n{}",
+                empirical::fig9b_table(&s).render()
+            );
+        }
+        _ => return false,
+    }
+    true
+}
+
+const ALL: [&str; 14] = [
+    "table1", "table2", "fig3", "fig4a", "fig4b", "fig4c", "fig4d", "fig5c", "table3", "fig7",
+    "fig8a", "fig8b", "fig9a", "fig9b",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let opts = Options {
+        budget: if quick { Budget::Quick } else { Budget::Full },
+    };
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if targets.is_empty() {
+        eprintln!("usage: repro <experiment>|all [--quick]");
+        eprintln!("experiments: {}", ALL.join(" "));
+        return ExitCode::FAILURE;
+    }
+    let mut cached = None;
+    for target in targets {
+        if target == "all" {
+            for t in ALL {
+                run(t, &opts, &mut cached);
+            }
+        } else if !run(target, &opts, &mut cached) {
+            eprintln!("unknown experiment `{target}`; known: {}", ALL.join(" "));
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,524 @@
+//! Simulation-driven experiments: Table 2, Table 3, Figure 7,
+//! Figures 8a/8b, Figures 9a/9b.
+
+use crate::harness::SuiteResult;
+use crate::render::{f3, TextTable};
+use fuleak_core::accounting::{account_intervals, PolicyRun};
+use fuleak_core::closed_form::BoundaryPolicy;
+use fuleak_core::{breakeven_interval, EnergyModel, IdleHistogram, TechnologyParams};
+use fuleak_uarch::CoreConfig;
+
+/// Renders Table 2 (the processor configuration actually in use).
+pub fn table2() -> TextTable {
+    let c = CoreConfig::alpha21264();
+    let mut t = TextTable::new(["Parameter", "Value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("Fetch queue", format!("{} entries", c.fetch_queue)),
+        (
+            "Branch predictor",
+            format!(
+                "comb. bimodal {} + 2-level {}x{}hist/{} (meta {})",
+                c.bimodal_entries,
+                c.l1_history_entries,
+                c.history_bits,
+                c.l2_counter_entries,
+                c.meta_entries
+            ),
+        ),
+        ("RAS", format!("{} entries", c.ras_entries)),
+        ("BTB", format!("{} sets, {}-way", c.btb_sets, c.btb_ways)),
+        ("Mispredict latency", format!("{} cycles", c.mispredict_latency)),
+        ("Fetch/decode/issue width", format!("{}", c.width)),
+        ("Reorder buffer", format!("{} entries", c.rob_entries)),
+        ("Integer issue", format!("{} entries", c.int_iq_entries)),
+        ("FP issue", format!("{} entries", c.fp_iq_entries)),
+        ("Physical int regs", format!("{}", c.phys_int_regs)),
+        ("Physical fp regs", format!("{}", c.phys_fp_regs)),
+        ("Load entries", format!("{}", c.load_queue)),
+        ("Store entries", format!("{}", c.store_queue)),
+        (
+            "ITLB",
+            format!(
+                "{} entry {}-way, {}K pages, {} cycle miss",
+                c.itlb.entries,
+                c.itlb.ways,
+                c.itlb.page_bytes / 1024,
+                c.itlb.miss_latency
+            ),
+        ),
+        (
+            "DTLB",
+            format!(
+                "{} entry {}-way, {}K pages, {} cycle miss",
+                c.dtlb.entries,
+                c.dtlb.ways,
+                c.dtlb.page_bytes / 1024,
+                c.dtlb.miss_latency
+            ),
+        ),
+        ("Memory latency", format!("{} cycles", c.memory_latency)),
+        (
+            "L1 I-cache",
+            format!(
+                "{} KB, {}-way, {}B line, {} cycle",
+                c.l1i.size_bytes / 1024,
+                c.l1i.ways,
+                c.l1i.line_bytes,
+                c.l1i.latency
+            ),
+        ),
+        (
+            "L1 D-cache",
+            format!(
+                "{} KB, {}-way, {}B line, {} cycle",
+                c.l1d.size_bytes / 1024,
+                c.l1d.ways,
+                c.l1d.line_bytes,
+                c.l1d.latency
+            ),
+        ),
+        (
+            "L2 unified",
+            format!(
+                "{} MB, {}-way, {}B line, {} cycle",
+                c.l2.size_bytes / (1024 * 1024),
+                c.l2.ways,
+                c.l2.line_bytes,
+                c.l2.latency
+            ),
+        ),
+    ];
+    for (k, v) in rows {
+        t.row([k.to_string(), v]);
+    }
+    t
+}
+
+/// Renders Table 3: measured IPCs and FU selection next to the paper's.
+pub fn table3(suite: &SuiteResult) -> TextTable {
+    let mut t = TextTable::new([
+        "App",
+        "Suite",
+        "Max IPC",
+        "(paper)",
+        "IPC",
+        "(paper)",
+        "FUs",
+        "(paper)",
+    ]);
+    for run in &suite.runs {
+        let r = run.reference();
+        t.row([
+            run.name.to_string(),
+            r.suite.to_string(),
+            f3(run.max_ipc),
+            f3(r.paper_max_ipc),
+            f3(run.sim.ipc()),
+            f3(r.paper_ipc),
+            run.fus.to_string(),
+            r.paper_fus.to_string(),
+        ]);
+    }
+    t
+}
+
+/// One Figure 7 series: the suite-average idle-time fraction per
+/// log2 interval bucket.
+#[derive(Debug, Clone)]
+pub struct Fig7Series {
+    /// L2 latency the series was simulated at.
+    pub l2_latency: u64,
+    /// Fraction of total FU time idle, per histogram bucket.
+    pub fractions: [f64; IdleHistogram::BUCKETS],
+    /// Total idle fraction (the paper quotes 46.8% at L2 = 12).
+    pub total_idle_fraction: f64,
+}
+
+/// Figure 7: combines every FU of every benchmark "as fractions to
+/// give the data equal weight" (paper, Section 5).
+pub fn fig7(suite: &SuiteResult) -> Fig7Series {
+    let mut acc = [0.0; IdleHistogram::BUCKETS];
+    let mut weight = 0usize;
+    for run in &suite.runs {
+        for fu in &run.sim.fu_idle {
+            let mut h = IdleHistogram::new();
+            h.record_all(fu);
+            let f = h.time_fractions(run.sim.cycles);
+            for (a, x) in acc.iter_mut().zip(f.iter()) {
+                *a += x;
+            }
+            weight += 1;
+        }
+    }
+    for a in &mut acc {
+        *a /= weight as f64;
+    }
+    Fig7Series {
+        l2_latency: suite.l2_latency,
+        total_idle_fraction: acc.iter().sum(),
+        fractions: acc,
+    }
+}
+
+/// Renders Figure 7 for one or two L2 latencies.
+pub fn fig7_table(series: &[Fig7Series]) -> TextTable {
+    let mut header = vec!["interval (cycles)".to_string()];
+    for s in series {
+        header.push(format!("idle fraction (L2={})", s.l2_latency));
+    }
+    let mut t = TextTable::new(header);
+    for b in 0..IdleHistogram::BUCKETS {
+        let mut row = vec![IdleHistogram::bucket_label(b).to_string()];
+        for s in series {
+            row.push(format!("{:.4}", s.fractions[b]));
+        }
+        t.row(row);
+    }
+    let mut total = vec!["TOTAL".to_string()];
+    for s in series {
+        total.push(format!("{:.4}", s.total_idle_fraction));
+    }
+    t.row(total);
+    t
+}
+
+/// The four policies of Figures 8 and 9, in bar order.
+pub const POLICIES: [(&str, PolicyKind); 4] = [
+    ("MaxSleep", PolicyKind::MaxSleep),
+    ("GradualSleep", PolicyKind::GradualSleep),
+    ("AlwaysActive", PolicyKind::AlwaysActive),
+    ("NoOverhead", PolicyKind::NoOverhead),
+];
+
+/// Policy selector for the empirical experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Sleep on every idle cycle.
+    MaxSleep,
+    /// Staggered slices (breakeven-many, per the paper).
+    GradualSleep,
+    /// Clock gating only.
+    AlwaysActive,
+    /// The unachievable lower bound.
+    NoOverhead,
+}
+
+impl PolicyKind {
+    fn boundary(self, model: &EnergyModel) -> BoundaryPolicy {
+        match self {
+            PolicyKind::MaxSleep => BoundaryPolicy::MaxSleep,
+            PolicyKind::AlwaysActive => BoundaryPolicy::AlwaysActive,
+            PolicyKind::NoOverhead => BoundaryPolicy::NoOverhead,
+            PolicyKind::GradualSleep => BoundaryPolicy::GradualSleep {
+                slices: breakeven_interval(model).round().clamp(1.0, 1024.0) as u32,
+            },
+        }
+    }
+}
+
+/// Total energy of one benchmark under one policy, summed over its
+/// FUs, in units of the per-FU `E_D`.
+pub fn benchmark_energy(
+    run: &crate::harness::BenchRun,
+    model: &EnergyModel,
+    policy: PolicyKind,
+) -> PolicyRun {
+    let boundary = policy.boundary(model);
+    let mut total = PolicyRun::default();
+    for (fu, intervals) in run.sim.fu_idle.iter().enumerate() {
+        let active = run.sim.fu_active[fu];
+        let r = account_intervals(model, boundary, active, intervals);
+        total.energy += r.energy;
+        total.active_cycles += r.active_cycles;
+        total.uncontrolled_idle_equiv += r.uncontrolled_idle_equiv;
+        total.sleep_equiv += r.sleep_equiv;
+        total.transitions_equiv += r.transitions_equiv;
+    }
+    total
+}
+
+/// One Figure 8 row: per-benchmark normalized energies at one `alpha`.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Selected FU count.
+    pub fus: usize,
+    /// Normalized energy per policy (order of [`POLICIES`]).
+    pub energy: [f64; 4],
+}
+
+/// Figures 8a/8b: per-benchmark energy of the four policies at leakage
+/// factor `p` and activity factor `alpha`, normalized to the
+/// 100%-computation baseline `E_max`.
+pub fn fig8(suite: &SuiteResult, p: f64, alpha: f64) -> Vec<Fig8Row> {
+    let tech = TechnologyParams::with_leakage_factor(p).expect("p in range");
+    let model = EnergyModel::new(tech, alpha).expect("alpha in range");
+    suite
+        .runs
+        .iter()
+        .map(|run| {
+            let e_max = model.max_energy(run.sim.cycles) * run.fus as f64;
+            let mut energy = [0.0; 4];
+            for (slot, (_, kind)) in energy.iter_mut().zip(POLICIES) {
+                *slot = benchmark_energy(run, &model, kind).energy.total() / e_max;
+            }
+            Fig8Row {
+                name: run.name,
+                fus: run.fus,
+                energy,
+            }
+        })
+        .collect()
+}
+
+/// Renders Figure 8 at one technology point, with the suite average.
+pub fn fig8_table(suite: &SuiteResult, p: f64, alpha: f64) -> TextTable {
+    let rows = fig8(suite, p, alpha);
+    let mut t = TextTable::new([
+        "App (FUs)",
+        "MaxSleep",
+        "GradualSleep",
+        "AlwaysActive",
+        "NoOverhead",
+    ]);
+    let mut avg = [0.0; 4];
+    for r in &rows {
+        t.row([
+            format!("{} ({})", r.name, r.fus),
+            f3(r.energy[0]),
+            f3(r.energy[1]),
+            f3(r.energy[2]),
+            f3(r.energy[3]),
+        ]);
+        for (a, e) in avg.iter_mut().zip(r.energy) {
+            *a += e;
+        }
+    }
+    for a in &mut avg {
+        *a /= rows.len() as f64;
+    }
+    t.row([
+        "Average".to_string(),
+        f3(avg[0]),
+        f3(avg[1]),
+        f3(avg[2]),
+        f3(avg[3]),
+    ]);
+    t
+}
+
+/// One Figure 9 row: suite-average relative energy and leakage
+/// fraction at one leakage factor.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Leakage factor `p`.
+    pub p: f64,
+    /// Energy relative to NoOverhead, per policy (MaxSleep,
+    /// GradualSleep, AlwaysActive; NoOverhead is 1 by construction).
+    pub relative: [f64; 3],
+    /// Leakage / total-energy ratio per policy (all four).
+    pub leakage_fraction: [f64; 4],
+}
+
+/// Figures 9a/9b: suite averages across the technology sweep at
+/// `alpha = 0.5`.
+pub fn fig9(suite: &SuiteResult) -> Vec<Fig9Row> {
+    (1..=20)
+        .map(|i| {
+            let p = i as f64 * 0.05;
+            let tech = TechnologyParams::with_leakage_factor(p).expect("p in range");
+            let model = EnergyModel::new(tech, 0.5).expect("alpha in range");
+            let mut rel = [0.0; 3];
+            let mut leak = [0.0; 4];
+            for run in &suite.runs {
+                let no = benchmark_energy(run, &model, PolicyKind::NoOverhead)
+                    .energy
+                    .total();
+                for (k, kind) in [
+                    PolicyKind::MaxSleep,
+                    PolicyKind::GradualSleep,
+                    PolicyKind::AlwaysActive,
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    rel[k] += benchmark_energy(run, &model, kind).energy.total() / no;
+                }
+                for (k, (_, kind)) in POLICIES.into_iter().enumerate() {
+                    leak[k] += benchmark_energy(run, &model, kind)
+                        .energy
+                        .leakage_fraction()
+                        .unwrap_or(0.0);
+                }
+            }
+            let n = suite.runs.len() as f64;
+            for r in &mut rel {
+                *r /= n;
+            }
+            for l in &mut leak {
+                *l /= n;
+            }
+            Fig9Row {
+                p,
+                relative: rel,
+                leakage_fraction: leak,
+            }
+        })
+        .collect()
+}
+
+/// Renders Figure 9a.
+pub fn fig9a_table(suite: &SuiteResult) -> TextTable {
+    let mut t = TextTable::new(["p", "MaxSleep", "GradualSleep", "AlwaysActive"]);
+    for r in fig9(suite) {
+        t.row([
+            format!("{:.2}", r.p),
+            f3(r.relative[0]),
+            f3(r.relative[1]),
+            f3(r.relative[2]),
+        ]);
+    }
+    t
+}
+
+/// Renders Figure 9b.
+pub fn fig9b_table(suite: &SuiteResult) -> TextTable {
+    let mut t = TextTable::new([
+        "p",
+        "MaxSleep",
+        "GradualSleep",
+        "AlwaysActive",
+        "NoOverhead",
+    ]);
+    for r in fig9(suite) {
+        t.row([
+            format!("{:.2}", r.p),
+            f3(r.leakage_fraction[0]),
+            f3(r.leakage_fraction[1]),
+            f3(r.leakage_fraction[2]),
+            f3(r.leakage_fraction[3]),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_suite, Budget};
+    use std::sync::OnceLock;
+
+    fn quick_suite() -> &'static SuiteResult {
+        static SUITE: OnceLock<SuiteResult> = OnceLock::new();
+        SUITE.get_or_init(|| run_suite(12, Budget::Quick))
+    }
+
+    #[test]
+    fn table2_renders_table_values() {
+        let s = table2().render();
+        assert!(s.contains("128 entries"));
+        assert!(s.contains("80 cycles"));
+        assert!(s.contains("2 MB"));
+    }
+
+    #[test]
+    fn table3_shows_all_benchmarks() {
+        let s = table3(quick_suite()).render();
+        for name in ["health", "mst", "gcc", "gzip", "mcf", "parser", "twolf", "vortex", "vpr"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn fig7_short_intervals_dominate() {
+        // Paper: ~75% of idle time in intervals within the L2 latency
+        // window; nearly all below 128 cycles. The synthetic suite
+        // should at least concentrate idle time at short intervals.
+        let series = fig7(quick_suite());
+        let total = series.total_idle_fraction;
+        assert!(total > 0.2 && total < 0.8, "idle fraction {total}");
+        let below_128: f64 = series.fractions[..8].iter().sum();
+        assert!(
+            below_128 / total > 0.5,
+            "fraction below 128 cycles: {}",
+            below_128 / total
+        );
+    }
+
+    #[test]
+    fn fig8_low_p_favors_always_active() {
+        // Figure 8a: at p = 0.05, MaxSleep uses more energy than
+        // AlwaysActive on average; both near NoOverhead.
+        let rows = fig8(quick_suite(), 0.05, 0.5);
+        let avg = |k: usize| rows.iter().map(|r| r.energy[k]).sum::<f64>() / rows.len() as f64;
+        assert!(avg(0) > avg(2), "MaxSleep {} vs AlwaysActive {}", avg(0), avg(2));
+        // GradualSleep within a few percent of AlwaysActive.
+        assert!((avg(1) - avg(2)).abs() / avg(2) < 0.10);
+    }
+
+    #[test]
+    fn fig8_high_p_favors_max_sleep() {
+        // Figure 8b: at p = 0.5 MaxSleep beats AlwaysActive; Gradual
+        // tracks MaxSleep.
+        let rows = fig8(quick_suite(), 0.5, 0.5);
+        let avg = |k: usize| rows.iter().map(|r| r.energy[k]).sum::<f64>() / rows.len() as f64;
+        assert!(avg(0) < avg(2));
+        assert!((avg(1) - avg(0)).abs() / avg(0) < 0.10);
+        // NoOverhead is the floor.
+        for r in &rows {
+            for k in 0..3 {
+                assert!(r.energy[3] <= r.energy[k] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn fig9a_gradual_tracks_lower_envelope() {
+        let rows = fig9(quick_suite());
+        for r in &rows {
+            let envelope = r.relative[0].min(r.relative[2]);
+            assert!(
+                r.relative[1] <= envelope * 1.15 + 1e-9,
+                "p={}: gradual {} vs envelope {}",
+                r.p,
+                r.relative[1],
+                envelope
+            );
+            // Everything is at or above the NoOverhead floor.
+            for k in 0..3 {
+                assert!(r.relative[k] >= 1.0 - 1e-9);
+            }
+        }
+        // The MaxSleep and AlwaysActive curves cross somewhere.
+        let first = &rows[0];
+        let last = &rows[rows.len() - 1];
+        assert!(first.relative[0] > first.relative[2]);
+        assert!(last.relative[0] < last.relative[2]);
+    }
+
+    #[test]
+    fn fig9b_leakage_fraction_rises_with_p() {
+        let rows = fig9(quick_suite());
+        let aa = |i: usize| rows[i].leakage_fraction[2];
+        assert!(aa(0) < aa(9));
+        assert!(aa(9) < aa(19));
+        // Paper anchors: ~13% at p=0.05 (we check p=0.05 is the first
+        // point), ~60% at p=0.5.
+        let p05 = rows.iter().find(|r| (r.p - 0.5).abs() < 1e-9).unwrap();
+        assert!(
+            (0.4..=0.75).contains(&p05.leakage_fraction[2]),
+            "AlwaysActive leakage fraction at p=0.5: {}",
+            p05.leakage_fraction[2]
+        );
+    }
+
+    #[test]
+    fn renders() {
+        let s = quick_suite();
+        assert!(fig7_table(&[fig7(s)]).render().contains("TOTAL"));
+        assert!(fig8_table(s, 0.05, 0.5).render().contains("Average"));
+        assert!(fig9a_table(s).render().contains("GradualSleep"));
+        assert!(fig9b_table(s).render().contains("NoOverhead"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Experiment harness: regenerates every table and figure of
+//! *Managing Static Leakage Energy in Microprocessor Functional Units*
+//! (MICRO 2002).
+//!
+//! Each experiment is a function returning typed rows plus a plain-text
+//! rendering that mirrors the paper's table/series. The `repro` binary
+//! exposes them as subcommands:
+//!
+//! ```text
+//! repro table1            # OR8 gate characterization
+//! repro fig3              # sleep vs uncontrolled idle (circuit model)
+//! repro fig4a             # breakeven interval vs leakage factor
+//! repro fig4b|fig4c|fig4d # closed-form policy energies
+//! repro fig5c             # GradualSleep transition energy
+//! repro table2            # processor configuration
+//! repro table3 [--quick]  # benchmark IPCs and FU selection
+//! repro fig7   [--quick]  # idle-interval distribution
+//! repro fig8a|fig8b       # per-benchmark policy energies (p=.05/.5)
+//! repro fig9a|fig9b       # technology sweep / leakage fraction
+//! repro all    [--quick]  # everything
+//! ```
+//!
+//! `EXPERIMENTS.md` at the workspace root records paper-vs-measured
+//! values for every experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod empirical;
+pub mod harness;
+pub mod render;
+
+pub use harness::{Budget, SuiteResult};

@@ -1,0 +1,382 @@
+//! Branch prediction: bimodal, two-level gshare, the combining
+//! predictor of Table 2, the BTB, and the return-address stack.
+
+/// A saturating 2-bit counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counter2(u8);
+
+impl Counter2 {
+    /// A weakly-taken counter (the usual initialization).
+    pub fn weakly_taken() -> Self {
+        Counter2(2)
+    }
+
+    /// Current taken prediction.
+    pub fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Trains toward the outcome.
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// A bimodal (per-PC 2-bit counter) direction predictor.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<Counter2>,
+}
+
+impl Bimodal {
+    /// Creates a predictor with `entries` counters (power of two).
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be 2^n");
+        Bimodal {
+            table: vec![Counter2::weakly_taken(); entries],
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        pc as usize & (self.table.len() - 1)
+    }
+
+    /// Predicts the direction for `pc`.
+    pub fn predict(&self, pc: u32) -> bool {
+        self.table[self.index(pc)].predict()
+    }
+
+    /// Trains the counter for `pc`.
+    pub fn update(&mut self, pc: u32, taken: bool) {
+        let i = self.index(pc);
+        self.table[i].update(taken);
+    }
+}
+
+/// A two-level predictor: per-PC history registers indexing a shared
+/// second-level counter table, with the history gshare-hashed against
+/// the PC (Table 2: 1024 level-1 entries, 10 history bits, 4096
+/// level-2 counters).
+#[derive(Debug, Clone)]
+pub struct TwoLevel {
+    histories: Vec<u32>,
+    counters: Vec<Counter2>,
+    history_bits: u32,
+}
+
+impl TwoLevel {
+    /// Creates the predictor.
+    pub fn new(l1_entries: usize, history_bits: u32, l2_entries: usize) -> Self {
+        assert!(l1_entries.is_power_of_two() && l2_entries.is_power_of_two());
+        assert!(history_bits > 0 && history_bits <= 20);
+        TwoLevel {
+            histories: vec![0; l1_entries],
+            counters: vec![Counter2::weakly_taken(); l2_entries],
+            history_bits,
+        }
+    }
+
+    fn history_index(&self, pc: u32) -> usize {
+        pc as usize & (self.histories.len() - 1)
+    }
+
+    fn counter_index(&self, pc: u32, history: u32) -> usize {
+        ((history ^ pc) as usize) & (self.counters.len() - 1)
+    }
+
+    /// Predicts the direction for `pc`.
+    pub fn predict(&self, pc: u32) -> bool {
+        let h = self.histories[self.history_index(pc)];
+        self.counters[self.counter_index(pc, h)].predict()
+    }
+
+    /// Trains the counter and shifts the branch history.
+    pub fn update(&mut self, pc: u32, taken: bool) {
+        let hi = self.history_index(pc);
+        let h = self.histories[hi];
+        let ci = self.counter_index(pc, h);
+        self.counters[ci].update(taken);
+        let mask = (1u32 << self.history_bits) - 1;
+        self.histories[hi] = ((h << 1) | u32::from(taken)) & mask;
+    }
+}
+
+/// The combining predictor: a meta table chooses between the bimodal
+/// and two-level components per PC.
+#[derive(Debug, Clone)]
+pub struct CombiningPredictor {
+    bimodal: Bimodal,
+    two_level: TwoLevel,
+    meta: Vec<Counter2>,
+}
+
+impl CombiningPredictor {
+    /// Creates the predictor from component sizes.
+    pub fn new(
+        bimodal_entries: usize,
+        l1_entries: usize,
+        history_bits: u32,
+        l2_entries: usize,
+        meta_entries: usize,
+    ) -> Self {
+        assert!(meta_entries.is_power_of_two());
+        CombiningPredictor {
+            bimodal: Bimodal::new(bimodal_entries),
+            two_level: TwoLevel::new(l1_entries, history_bits, l2_entries),
+            meta: vec![Counter2::weakly_taken(); meta_entries],
+        }
+    }
+
+    fn meta_index(&self, pc: u32) -> usize {
+        pc as usize & (self.meta.len() - 1)
+    }
+
+    /// Predicts the direction for `pc`.
+    pub fn predict(&self, pc: u32) -> bool {
+        if self.meta[self.meta_index(pc)].predict() {
+            self.two_level.predict(pc)
+        } else {
+            self.bimodal.predict(pc)
+        }
+    }
+
+    /// Trains all components; the meta counter moves toward whichever
+    /// component was right when they disagreed.
+    pub fn update(&mut self, pc: u32, taken: bool) {
+        let b = self.bimodal.predict(pc);
+        let t = self.two_level.predict(pc);
+        if b != t {
+            let mi = self.meta_index(pc);
+            self.meta[mi].update(t == taken);
+        }
+        self.bimodal.update(pc, taken);
+        self.two_level.update(pc, taken);
+    }
+}
+
+/// A set-associative branch target buffer with true-LRU replacement
+/// (Table 2: 4096 sets, 2-way).
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: usize,
+    ways: usize,
+    /// Per set: (pc tag, target), most recently used first.
+    entries: Vec<Vec<(u32, u32)>>,
+}
+
+impl Btb {
+    /// Creates the BTB.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two() && ways > 0);
+        Btb {
+            sets,
+            ways,
+            entries: vec![Vec::new(); sets],
+        }
+    }
+
+    fn set_of(&self, pc: u32) -> usize {
+        pc as usize & (self.sets - 1)
+    }
+
+    /// Looks a target up without updating recency.
+    pub fn lookup(&self, pc: u32) -> Option<u32> {
+        self.entries[self.set_of(pc)]
+            .iter()
+            .find(|(tag, _)| *tag == pc)
+            .map(|&(_, t)| t)
+    }
+
+    /// Installs or refreshes the target for `pc`.
+    pub fn update(&mut self, pc: u32, target: u32) {
+        let s = self.set_of(pc);
+        let set = &mut self.entries[s];
+        if let Some(i) = set.iter().position(|(tag, _)| *tag == pc) {
+            set.remove(i);
+        } else if set.len() == self.ways {
+            set.pop(); // evict LRU
+        }
+        set.insert(0, (pc, target));
+    }
+}
+
+/// A fixed-depth return-address stack. Pushing onto a full stack
+/// overwrites the oldest entry (circular), like hardware RASes.
+#[derive(Debug, Clone)]
+pub struct Ras {
+    slots: Vec<u32>,
+    top: usize,
+    depth: usize,
+    capacity: usize,
+}
+
+impl Ras {
+    /// Creates a RAS with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Ras {
+            slots: vec![0; capacity],
+            top: 0,
+            depth: 0,
+            capacity,
+        }
+    }
+
+    /// Pushes a return address (a call was fetched).
+    pub fn push(&mut self, return_pc: u32) {
+        self.top = (self.top + 1) % self.capacity;
+        self.slots[self.top] = return_pc;
+        self.depth = (self.depth + 1).min(self.capacity);
+    }
+
+    /// Pops the predicted return address (a return was fetched).
+    /// Returns `None` when the stack has underflowed.
+    pub fn pop(&mut self) -> Option<u32> {
+        if self.depth == 0 {
+            return None;
+        }
+        let v = self.slots[self.top];
+        self.top = (self.top + self.capacity - 1) % self.capacity;
+        self.depth -= 1;
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter2::weakly_taken();
+        assert!(c.predict());
+        c.update(false);
+        assert!(!c.predict());
+        c.update(false);
+        c.update(false);
+        c.update(true);
+        assert!(!c.predict()); // 0 -> 1: still not taken
+        c.update(true);
+        assert!(c.predict());
+        c.update(true);
+        c.update(true); // saturate at 3
+        c.update(false);
+        assert!(c.predict()); // 3 -> 2: still taken
+    }
+
+    #[test]
+    fn bimodal_learns_a_bias() {
+        let mut p = Bimodal::new(64);
+        for _ in 0..10 {
+            p.update(5, false);
+        }
+        assert!(!p.predict(5));
+        // Another PC mapping to a different entry is unaffected.
+        assert!(p.predict(6));
+    }
+
+    #[test]
+    fn two_level_learns_alternation() {
+        // A strict T/N/T/N pattern defeats bimodal but is perfectly
+        // history-predictable.
+        let mut p = TwoLevel::new(64, 10, 1024);
+        let mut taken = false;
+        // Warm up.
+        for _ in 0..200 {
+            p.update(9, taken);
+            taken = !taken;
+        }
+        let mut correct = 0;
+        for _ in 0..100 {
+            if p.predict(9) == taken {
+                correct += 1;
+            }
+            p.update(9, taken);
+            taken = !taken;
+        }
+        assert!(correct >= 95, "correct {correct}/100");
+    }
+
+    #[test]
+    fn combining_beats_both_components_on_mixed_work() {
+        let mut p = CombiningPredictor::new(256, 64, 8, 1024, 64);
+        // PC 3 alternates (two-level territory), PC 4 is biased taken
+        // (bimodal territory).
+        let mut taken3 = false;
+        for _ in 0..300 {
+            p.update(3, taken3);
+            taken3 = !taken3;
+            p.update(4, true);
+        }
+        let mut correct = 0;
+        for _ in 0..100 {
+            if p.predict(3) == taken3 {
+                correct += 1;
+            }
+            p.update(3, taken3);
+            taken3 = !taken3;
+            if p.predict(4) {
+                correct += 1;
+            }
+            p.update(4, true);
+        }
+        assert!(correct >= 190, "correct {correct}/200");
+    }
+
+    #[test]
+    fn btb_stores_and_replaces_lru() {
+        let mut btb = Btb::new(2, 2);
+        btb.update(0, 100); // set 0
+        btb.update(2, 200); // set 0
+        assert_eq!(btb.lookup(0), Some(100));
+        assert_eq!(btb.lookup(2), Some(200));
+        // Touch 0 so 2 becomes LRU, then insert 4 (set 0): evicts 2.
+        btb.update(0, 101);
+        btb.update(4, 400);
+        assert_eq!(btb.lookup(0), Some(101));
+        assert_eq!(btb.lookup(2), None);
+        assert_eq!(btb.lookup(4), Some(400));
+    }
+
+    #[test]
+    fn btb_misses_on_unknown_pc() {
+        let btb = Btb::new(16, 2);
+        assert_eq!(btb.lookup(1234), None);
+    }
+
+    #[test]
+    fn ras_round_trips() {
+        let mut ras = Ras::new(4);
+        ras.push(10);
+        ras.push(20);
+        assert_eq!(ras.pop(), Some(20));
+        assert_eq!(ras.pop(), Some(10));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn ras_overflow_wraps() {
+        let mut ras = Ras::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // overwrites 1
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn nested_call_return_pattern() {
+        let mut ras = Ras::new(32);
+        for depth in 0..10 {
+            ras.push(depth * 100);
+        }
+        for depth in (0..10).rev() {
+            assert_eq!(ras.pop(), Some(depth * 100));
+        }
+    }
+}

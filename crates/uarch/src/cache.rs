@@ -1,0 +1,430 @@
+//! Set-associative caches, TLBs, and the two-level memory hierarchy.
+//!
+//! The timing model is latency-additive: an access probes L1; a miss
+//! probes L2; an L2 miss pays the memory latency. Outstanding L2/memory
+//! misses are bounded by a configurable MSHR count — when all miss
+//! registers are busy, a new miss must wait for the earliest
+//! completion, which is what bounds memory-level parallelism for
+//! workloads like `mcf`.
+
+use crate::config::{CacheParams, TlbParams};
+use std::collections::HashMap;
+
+/// A single set-associative cache level with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    params: CacheParams,
+    /// Per set: line tags, most recently used first.
+    sets: Vec<Vec<u64>>,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(params: CacheParams) -> Self {
+        Cache {
+            sets: vec![Vec::new(); params.sets() as usize],
+            params,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.params.line_bytes;
+        let set = (line % self.params.sets()) as usize;
+        (set, line)
+    }
+
+    /// Probes and updates the cache; returns `true` on hit. A miss
+    /// allocates the line (evicting LRU).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        let (set, line) = self.index(addr);
+        let ways = self.params.ways as usize;
+        let set = &mut self.sets[set];
+        if let Some(i) = set.iter().position(|&t| t == line) {
+            let t = set.remove(i);
+            set.insert(0, t);
+            true
+        } else {
+            self.misses += 1;
+            if set.len() == ways {
+                set.pop();
+            }
+            set.insert(0, line);
+            false
+        }
+    }
+
+    /// Probes without updating state (for tests and diagnostics).
+    pub fn peek(&self, addr: u64) -> bool {
+        let (set, line) = self.index(addr);
+        self.sets[set].contains(&line)
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate (`None` before any access).
+    pub fn miss_rate(&self) -> Option<f64> {
+        (self.accesses > 0).then(|| self.misses as f64 / self.accesses as f64)
+    }
+}
+
+/// A TLB modeled as a small set-associative cache of page numbers.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    params: TlbParams,
+    cache: Cache,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    pub fn new(params: TlbParams) -> Self {
+        let sets = params.entries / params.ways;
+        Tlb {
+            cache: Cache::new(CacheParams {
+                size_bytes: sets * params.ways, // 1 "byte" per entry
+                ways: params.ways,
+                line_bytes: 1,
+                latency: 0,
+            }),
+            params,
+        }
+    }
+
+    /// Translates an address; returns the added latency (0 on hit,
+    /// `miss_latency` on miss).
+    pub fn translate(&mut self, addr: u64) -> u64 {
+        let page = addr / self.params.page_bytes;
+        if self.cache.access(page) {
+            0
+        } else {
+            self.params.miss_latency
+        }
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.cache.accesses()
+    }
+}
+
+/// Bounded outstanding-miss tracking (MSHRs).
+#[derive(Debug, Clone)]
+pub struct MissTracker {
+    completions: Vec<u64>,
+    capacity: usize,
+}
+
+impl MissTracker {
+    /// Creates a tracker with `capacity` miss registers.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        MissTracker {
+            completions: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Registers a miss wanting to start at `now` lasting `duration`
+    /// cycles; returns its completion time after any MSHR stall.
+    pub fn admit(&mut self, now: u64, duration: u64) -> u64 {
+        self.completions.retain(|&c| c > now);
+        let start = if self.completions.len() < self.capacity {
+            now
+        } else {
+            // Wait for the earliest outstanding miss to retire.
+            let (i, &earliest) = self
+                .completions
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &c)| c)
+                .expect("tracker is full, so non-empty");
+            self.completions.swap_remove(i);
+            earliest.max(now)
+        };
+        let completion = start + duration;
+        self.completions.push(completion);
+        completion
+    }
+}
+
+/// The data-side memory hierarchy: L1D -> unified L2 -> memory, plus
+/// the DTLB, with MSHR-bounded misses.
+///
+/// Lines being filled are tracked: an access that "hits" a line whose
+/// fill is still in flight waits for the fill to complete (a secondary
+/// miss merged into the same MSHR), so dependent pointer chases pay
+/// the full miss latency per line rather than getting free
+/// hit-under-fill.
+#[derive(Debug)]
+pub struct DataMemory {
+    /// L1 data cache.
+    pub l1: Cache,
+    /// Unified L2 (shared with the instruction side in real hardware;
+    /// the instruction stream of the synthetic kernels is small enough
+    /// that modeling separate L2 state loses nothing).
+    pub l2: Cache,
+    /// Data TLB.
+    pub tlb: Tlb,
+    mshrs: MissTracker,
+    memory_latency: u64,
+    /// In-flight fill completion per L1 line.
+    l1_fills: HashMap<u64, u64>,
+    /// In-flight fill completion per L2 line.
+    l2_fills: HashMap<u64, u64>,
+    accesses_since_prune: u64,
+}
+
+impl DataMemory {
+    /// Builds the hierarchy from configuration pieces.
+    pub fn new(
+        l1: CacheParams,
+        l2: CacheParams,
+        tlb: TlbParams,
+        mshrs: usize,
+        memory_latency: u64,
+    ) -> Self {
+        DataMemory {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            tlb: Tlb::new(tlb),
+            mshrs: MissTracker::new(mshrs),
+            memory_latency,
+            l1_fills: HashMap::new(),
+            l2_fills: HashMap::new(),
+            accesses_since_prune: 0,
+        }
+    }
+
+    /// Performs a data access issued at `now`; returns the cycle the
+    /// data is available.
+    pub fn access(&mut self, addr: u64, now: u64) -> u64 {
+        self.maybe_prune(now);
+        let tlb_penalty = self.tlb.translate(addr);
+        let start = now + tlb_penalty;
+        let l1_line = addr / self.l1.params().line_bytes;
+        if self.l1.access(addr) {
+            let base = start + self.l1.params().latency;
+            return match self.l1_fills.get(&l1_line) {
+                // Secondary access to a line still being filled.
+                Some(&fill) if fill > base => fill,
+                _ => base,
+            };
+        }
+        let l2_line = addr / self.l2.params().line_bytes;
+        let l2_hit = self.l2.access(addr);
+        let after_l1 = start + self.l1.params().latency;
+        let ready = if l2_hit {
+            let base = self.mshrs.admit(after_l1, self.l2.params().latency);
+            match self.l2_fills.get(&l2_line) {
+                // The L2 line itself is still arriving from memory.
+                Some(&fill) if fill > base => fill,
+                _ => base,
+            }
+        } else {
+            let r = self
+                .mshrs
+                .admit(after_l1, self.l2.params().latency + self.memory_latency);
+            self.l2_fills.insert(l2_line, r);
+            r
+        };
+        self.l1_fills.insert(l1_line, ready);
+        ready
+    }
+
+    /// Bounds the fill-tracking maps by dropping entries that have
+    /// long since completed.
+    fn maybe_prune(&mut self, now: u64) {
+        self.accesses_since_prune += 1;
+        if self.accesses_since_prune < (1 << 16) {
+            return;
+        }
+        self.accesses_since_prune = 0;
+        self.l1_fills.retain(|_, &mut r| r > now);
+        self.l2_fills.retain(|_, &mut r| r > now);
+    }
+}
+
+/// The instruction-side path: L1I + ITLB backed by the same
+/// latency-additive L2/memory parameters (stateless below L1I: the
+/// kernels' code footprints always fit in L2).
+#[derive(Debug)]
+pub struct InstrMemory {
+    /// L1 instruction cache.
+    pub l1: Cache,
+    /// Instruction TLB.
+    pub tlb: Tlb,
+    l2_latency: u64,
+}
+
+impl InstrMemory {
+    /// Builds the instruction path.
+    pub fn new(l1: CacheParams, tlb: TlbParams, l2_latency: u64) -> Self {
+        InstrMemory {
+            l1: Cache::new(l1),
+            tlb: Tlb::new(tlb),
+            l2_latency,
+        }
+    }
+
+    /// Fetch-path access for the line containing `addr`; returns the
+    /// added stall beyond the pipelined L1I hit (0 when the line hits
+    /// both the TLB and L1I).
+    pub fn fetch_stall(&mut self, addr: u64) -> u64 {
+        let tlb = self.tlb.translate(addr);
+        if self.l1.access(addr) {
+            tlb
+        } else {
+            tlb + self.l2_latency
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        Cache::new(CacheParams {
+            size_bytes: 4 * 2 * 64, // 4 sets? no: sets = size/(ways*line)
+            ways: 2,
+            line_bytes: 64,
+            latency: 2,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small_cache();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.accesses(), 4);
+        assert_eq!(c.misses(), 2);
+        assert!((c.miss_rate().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small_cache(); // sets = 512/(2*64) = 4, 2 ways
+        let sets = c.params().sets();
+        assert_eq!(sets, 4);
+        let stride = 64 * sets; // same set, different lines
+        assert!(!c.access(0));
+        assert!(!c.access(stride));
+        c.access(0); // make `stride` the LRU
+        assert!(!c.access(2 * stride)); // evicts `stride`
+        assert!(c.peek(0));
+        assert!(!c.peek(stride));
+        assert!(c.peek(2 * stride));
+    }
+
+    #[test]
+    fn cache_line_granularity() {
+        let mut c = small_cache();
+        c.access(10);
+        assert!(c.peek(0));
+        assert!(c.peek(63));
+        assert!(!c.peek(64));
+    }
+
+    #[test]
+    fn tlb_page_granularity() {
+        let mut t = Tlb::new(TlbParams {
+            entries: 8,
+            ways: 4,
+            page_bytes: 8192,
+            miss_latency: 30,
+        });
+        assert_eq!(t.translate(0), 30);
+        assert_eq!(t.translate(8191), 0); // same page
+        assert_eq!(t.translate(8192), 30); // next page
+        assert_eq!(t.misses(), 2);
+        assert_eq!(t.accesses(), 3);
+    }
+
+    #[test]
+    fn mshr_stalls_when_full() {
+        let mut m = MissTracker::new(2);
+        assert_eq!(m.admit(0, 100), 100);
+        assert_eq!(m.admit(0, 100), 100);
+        // Third miss at t=0 must wait for one of the first two.
+        assert_eq!(m.admit(0, 100), 200);
+        // After they all retire, no stall.
+        assert_eq!(m.admit(500, 100), 600);
+    }
+
+    #[test]
+    fn mshr_frees_completed_entries() {
+        let mut m = MissTracker::new(1);
+        assert_eq!(m.admit(0, 10), 10);
+        assert_eq!(m.admit(20, 10), 30); // previous completed at 10
+    }
+
+    #[test]
+    fn data_memory_latency_ladder() {
+        let cfg = crate::config::CoreConfig::alpha21264();
+        let mut dm = DataMemory::new(cfg.l1d, cfg.l2, cfg.dtlb, cfg.mshrs, cfg.memory_latency);
+        // Cold: TLB miss(30) + L1 latency(2) + L2(12) + mem(80).
+        let t1 = dm.access(0, 0);
+        assert_eq!(t1, 30 + 2 + 12 + 80);
+        // Warm: pure L1 hit.
+        let t2 = dm.access(0, 1000);
+        assert_eq!(t2, 1002);
+        // A different line on the same page, resident in L2 only after
+        // eviction... instead: L1 hit on a neighboring address in the
+        // same line.
+        let t3 = dm.access(32, 2000);
+        assert_eq!(t3, 2002);
+    }
+
+    #[test]
+    fn data_memory_l2_hit_path() {
+        let cfg = crate::config::CoreConfig::alpha21264();
+        let mut dm = DataMemory::new(cfg.l1d, cfg.l2, cfg.dtlb, cfg.mshrs, cfg.memory_latency);
+        dm.access(0, 0); // warm TLB page 0, line 0 into both levels
+        // Evict line 0 from L1 by filling its set (ways = 4), staying
+        // on page 0 (8 KiB) and in distinct L2 sets.
+        let l1_set_stride = 64 * dm.l1.params().sets(); // 16 KiB
+        // 16 KiB stride leaves page 0; warm those pages' TLB entries
+        // first so the final probe isolates the L2 hit.
+        for i in 1..=4 {
+            dm.access(i * l1_set_stride, 10_000 * i);
+        }
+        assert!(!dm.l1.peek(0));
+        assert!(dm.l2.peek(0));
+        let t = dm.access(0, 1_000_000);
+        assert_eq!(t, 1_000_000 + 2 + 12);
+    }
+
+    #[test]
+    fn instr_memory_stall_only_on_miss() {
+        let cfg = crate::config::CoreConfig::alpha21264();
+        let mut im = InstrMemory::new(cfg.l1i, cfg.itlb, cfg.l2.latency);
+        assert_eq!(im.fetch_stall(0), 30 + 12); // cold TLB + L1I miss
+        assert_eq!(im.fetch_stall(0), 0);
+        assert_eq!(im.fetch_stall(64), 12); // same page, new line
+    }
+}

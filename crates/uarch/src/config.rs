@@ -1,0 +1,375 @@
+//! Processor configuration — Table 2 of the paper.
+
+use std::error::Error;
+use std::fmt;
+
+/// Parameters of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total size in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Hit latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheParams {
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+
+    fn is_valid(&self) -> bool {
+        self.size_bytes > 0
+            && self.ways > 0
+            && self.line_bytes > 0
+            && self.line_bytes.is_power_of_two()
+            && self.size_bytes.is_multiple_of(self.ways * self.line_bytes)
+            && self.sets().is_power_of_two()
+    }
+}
+
+/// TLB parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbParams {
+    /// Number of entries.
+    pub entries: u64,
+    /// Associativity.
+    pub ways: u64,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Miss penalty in cycles.
+    pub miss_latency: u64,
+}
+
+/// The full core configuration (Table 2 defaults via
+/// [`CoreConfig::alpha21264`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Fetch queue entries.
+    pub fetch_queue: usize,
+    /// Fetch/decode/issue/commit width.
+    pub width: usize,
+    /// Branch misprediction latency in cycles: fetch resumes no
+    /// earlier than `resolve + 1` and no earlier than
+    /// `branch fetch + mispredict_latency`.
+    pub mispredict_latency: u64,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Integer issue-queue entries.
+    pub int_iq_entries: usize,
+    /// Floating-point issue-queue entries.
+    pub fp_iq_entries: usize,
+    /// Physical integer registers (the paper's 96 for 32 architected:
+    /// 64 renames in flight).
+    pub phys_int_regs: usize,
+    /// Physical floating-point registers.
+    pub phys_fp_regs: usize,
+    /// Architected integer registers backed by the physical file.
+    pub arch_int_regs: usize,
+    /// Architected floating-point registers.
+    pub arch_fp_regs: usize,
+    /// Load-queue entries.
+    pub load_queue: usize,
+    /// Store-queue entries.
+    pub store_queue: usize,
+    /// Number of integer functional units (the paper studies 1–4).
+    pub int_fus: usize,
+    /// Number of floating-point functional units.
+    pub fp_fus: usize,
+    /// Integer multiply latency.
+    pub mul_latency: u64,
+    /// Floating-point operation latency.
+    pub fp_latency: u64,
+    /// Outstanding-miss registers (MSHRs) on the data path.
+    pub mshrs: usize,
+    /// L1 instruction cache.
+    pub l1i: CacheParams,
+    /// L1 data cache.
+    pub l1d: CacheParams,
+    /// Unified L2.
+    pub l2: CacheParams,
+    /// Instruction TLB.
+    pub itlb: TlbParams,
+    /// Data TLB.
+    pub dtlb: TlbParams,
+    /// Main-memory latency in cycles.
+    pub memory_latency: u64,
+    /// Predictor sizes: bimodal table entries.
+    pub bimodal_entries: usize,
+    /// Two-level predictor: level-1 history entries.
+    pub l1_history_entries: usize,
+    /// Two-level predictor: history bits.
+    pub history_bits: u32,
+    /// Two-level predictor: level-2 counter entries.
+    pub l2_counter_entries: usize,
+    /// Combining (meta) predictor entries.
+    pub meta_entries: usize,
+    /// Return-address-stack entries.
+    pub ras_entries: usize,
+    /// BTB sets.
+    pub btb_sets: usize,
+    /// BTB ways.
+    pub btb_ways: usize,
+}
+
+impl CoreConfig {
+    /// The paper's Table 2 configuration (12-cycle L2).
+    pub fn alpha21264() -> Self {
+        CoreConfig {
+            fetch_queue: 8,
+            width: 4,
+            mispredict_latency: 10,
+            rob_entries: 128,
+            int_iq_entries: 32,
+            fp_iq_entries: 32,
+            phys_int_regs: 96,
+            phys_fp_regs: 96,
+            arch_int_regs: 32,
+            arch_fp_regs: 32,
+            load_queue: 32,
+            store_queue: 32,
+            int_fus: 4,
+            fp_fus: 2,
+            mul_latency: 7,
+            fp_latency: 4,
+            mshrs: 8,
+            l1i: CacheParams {
+                size_bytes: 64 * 1024,
+                ways: 4,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l1d: CacheParams {
+                size_bytes: 64 * 1024,
+                ways: 4,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l2: CacheParams {
+                size_bytes: 2 * 1024 * 1024,
+                ways: 8,
+                line_bytes: 128,
+                latency: 12,
+            },
+            itlb: TlbParams {
+                entries: 256,
+                ways: 4,
+                page_bytes: 8 * 1024,
+                miss_latency: 30,
+            },
+            dtlb: TlbParams {
+                entries: 512,
+                ways: 4,
+                page_bytes: 8 * 1024,
+                miss_latency: 30,
+            },
+            memory_latency: 80,
+            bimodal_entries: 2048,
+            l1_history_entries: 1024,
+            history_bits: 10,
+            l2_counter_entries: 4096,
+            meta_entries: 1024,
+            ras_entries: 32,
+            btb_sets: 4096,
+            btb_ways: 2,
+        }
+    }
+
+    /// Table 2 configuration with the given integer FU count (the
+    /// paper's per-benchmark restriction, Table 3).
+    pub fn with_int_fus(int_fus: usize) -> Self {
+        CoreConfig {
+            int_fus,
+            ..Self::alpha21264()
+        }
+    }
+
+    /// Table 2 configuration with the 32-cycle L2 studied in Figure 7.
+    pub fn with_l2_latency(l2_latency: u64) -> Self {
+        let mut c = Self::alpha21264();
+        c.l2.latency = l2_latency;
+        c
+    }
+
+    /// Maximum integer renames in flight
+    /// (`phys_int_regs - arch_int_regs`).
+    pub fn int_renames(&self) -> usize {
+        self.phys_int_regs - self.arch_int_regs
+    }
+
+    /// Maximum floating-point renames in flight.
+    pub fn fp_renames(&self) -> usize {
+        self.phys_fp_regs - self.arch_fp_regs
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the first invalid field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let bad = |field: &'static str| Err(ConfigError { field });
+        if self.width == 0 {
+            return bad("width");
+        }
+        if self.fetch_queue == 0 {
+            return bad("fetch_queue");
+        }
+        if self.rob_entries == 0 {
+            return bad("rob_entries");
+        }
+        if self.int_fus == 0 || self.int_fus > 16 {
+            return bad("int_fus");
+        }
+        if self.fp_fus == 0 {
+            return bad("fp_fus");
+        }
+        if self.int_iq_entries == 0 || self.fp_iq_entries == 0 {
+            return bad("issue queue entries");
+        }
+        if self.load_queue == 0 || self.store_queue == 0 {
+            return bad("load/store queue entries");
+        }
+        if self.phys_int_regs <= self.arch_int_regs {
+            return bad("phys_int_regs");
+        }
+        if self.phys_fp_regs <= self.arch_fp_regs {
+            return bad("phys_fp_regs");
+        }
+        if self.mshrs == 0 {
+            return bad("mshrs");
+        }
+        for (name, c) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
+            if !c.is_valid() {
+                return Err(ConfigError { field: name });
+            }
+        }
+        if !self.itlb.page_bytes.is_power_of_two() || !self.dtlb.page_bytes.is_power_of_two() {
+            return bad("tlb page size");
+        }
+        if !self.bimodal_entries.is_power_of_two()
+            || !self.l2_counter_entries.is_power_of_two()
+            || !self.l1_history_entries.is_power_of_two()
+            || !self.meta_entries.is_power_of_two()
+        {
+            return bad("predictor table sizes");
+        }
+        if self.history_bits == 0 || self.history_bits > 20 {
+            return bad("history_bits");
+        }
+        if !self.btb_sets.is_power_of_two() || self.btb_ways == 0 {
+            return bad("btb geometry");
+        }
+        if self.ras_entries == 0 {
+            return bad("ras_entries");
+        }
+        Ok(())
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::alpha21264()
+    }
+}
+
+/// A configuration-validation error naming the offending field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Name of the invalid field.
+    pub field: &'static str,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid core configuration field: {}", self.field)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults() {
+        let c = CoreConfig::alpha21264();
+        assert_eq!(c.fetch_queue, 8);
+        assert_eq!(c.width, 4);
+        assert_eq!(c.mispredict_latency, 10);
+        assert_eq!(c.rob_entries, 128);
+        assert_eq!(c.int_iq_entries, 32);
+        assert_eq!(c.phys_int_regs, 96);
+        assert_eq!(c.load_queue, 32);
+        assert_eq!(c.l1d.size_bytes, 64 * 1024);
+        assert_eq!(c.l1d.latency, 2);
+        assert_eq!(c.l2.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.l2.latency, 12);
+        assert_eq!(c.memory_latency, 80);
+        assert_eq!(c.itlb.entries, 256);
+        assert_eq!(c.dtlb.entries, 512);
+        assert_eq!(c.btb_sets, 4096);
+        assert_eq!(c.ras_entries, 32);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let c = CoreConfig::alpha21264();
+        assert_eq!(c.l1d.sets(), 256);
+        assert_eq!(c.l2.sets(), 2048);
+    }
+
+    #[test]
+    fn fu_count_variants() {
+        for n in 1..=4 {
+            let c = CoreConfig::with_int_fus(n);
+            assert_eq!(c.int_fus, n);
+            assert!(c.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn l2_latency_variant() {
+        let c = CoreConfig::with_l2_latency(32);
+        assert_eq!(c.l2.latency, 32);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rename_headroom() {
+        let c = CoreConfig::alpha21264();
+        assert_eq!(c.int_renames(), 64);
+        assert_eq!(c.fp_renames(), 64);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let mut c = CoreConfig::alpha21264();
+        c.int_fus = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = CoreConfig::alpha21264();
+        c.l1d.line_bytes = 48; // not a power of two
+        assert!(c.validate().is_err());
+
+        let mut c = CoreConfig::alpha21264();
+        c.phys_int_regs = 32; // no rename headroom
+        assert!(c.validate().is_err());
+
+        let mut c = CoreConfig::alpha21264();
+        c.bimodal_entries = 1000; // not a power of two
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ConfigError { field: "width" };
+        assert!(e.to_string().contains("width"));
+    }
+}

@@ -1,0 +1,622 @@
+//! The out-of-order pipeline timing model.
+//!
+//! The simulator walks the dynamic trace in program order and computes
+//! each instruction's `fetch -> dispatch -> issue -> complete ->
+//! commit` timestamps, subject to every Table 2 structural constraint
+//! (see [`crate::resources`]). This timestamp formulation models an
+//! idealized oldest-first scheduler over the real dataflow and
+//! resource graph: each instruction issues at the earliest cycle
+//! permitted by its operands, its issue queue, and the functional
+//! units — which is precisely the information the paper's methodology
+//! needs, since its product is the per-FU busy/idle timeline.
+//!
+//! Modeling notes (all simplifications documented in `DESIGN.md`):
+//!
+//! * Branch mispredictions block fetch until
+//!   `max(resolve + 1, branch_fetch + mispredict_latency)`.
+//! * Fetch groups end at taken branches; I-cache/ITLB misses stall the
+//!   affected fetch.
+//! * Loads forward from the youngest older store to the same word when
+//!   that store's data is not yet drained; otherwise they access the
+//!   D-cache (stores warm the cache when they execute, so recently
+//!   written lines hit).
+//! * Multiplies are fully pipelined: the FU is recorded busy in the
+//!   issue cycle (occupancy, not latency, is what the idle statistics
+//!   need — a pipelined unit accepts new work each cycle).
+//! * Stores retire into a store buffer: dependents and commit see
+//!   `issue + 1`.
+
+use crate::bpred::{Btb, CombiningPredictor, Ras};
+use crate::cache::{DataMemory, InstrMemory};
+use crate::config::{ConfigError, CoreConfig};
+use crate::resources::{BandwidthLimiter, CapacityWindow, FuPool};
+use crate::stats::{BranchStats, CacheStats, SimResult};
+use fuleak_workloads::{ArchReg, OpClass, TraceRecord};
+use std::collections::HashMap;
+
+/// The trace-driven timing simulator.
+///
+/// See the [crate-level documentation](crate) for an end-to-end
+/// example.
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: CoreConfig,
+    predictor: CombiningPredictor,
+    btb: Btb,
+    ras: Ras,
+    imem: InstrMemory,
+    dmem: DataMemory,
+}
+
+impl Simulator {
+    /// Builds a simulator for the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn new(cfg: CoreConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Simulator {
+            predictor: CombiningPredictor::new(
+                cfg.bimodal_entries,
+                cfg.l1_history_entries,
+                cfg.history_bits,
+                cfg.l2_counter_entries,
+                cfg.meta_entries,
+            ),
+            btb: Btb::new(cfg.btb_sets, cfg.btb_ways),
+            ras: Ras::new(cfg.ras_entries),
+            imem: InstrMemory::new(cfg.l1i, cfg.itlb, cfg.l2.latency),
+            dmem: DataMemory::new(cfg.l1d, cfg.l2, cfg.dtlb, cfg.mshrs, cfg.memory_latency),
+            cfg,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Predicts a control instruction at fetch, trains the predictors
+    /// with the actual outcome, and reports whether the prediction was
+    /// correct.
+    fn predict_and_train(&mut self, rec: &TraceRecord) -> bool {
+        let info = rec
+            .branch
+            .expect("control instructions carry branch info");
+        let actual_taken = info.taken;
+        let actual_target = info.next_pc;
+        let (predicted_taken, predicted_target) = match rec.op {
+            OpClass::CondBranch => (self.predictor.predict(rec.pc), self.btb.lookup(rec.pc)),
+            OpClass::Return => (true, self.ras.pop()),
+            _ => (true, self.btb.lookup(rec.pc)),
+        };
+        let correct = if actual_taken {
+            predicted_taken && predicted_target == Some(actual_target)
+        } else {
+            !predicted_taken
+        };
+        // Train.
+        if rec.op == OpClass::CondBranch {
+            self.predictor.update(rec.pc, actual_taken);
+        }
+        if rec.op == OpClass::Call {
+            self.ras.push(rec.fallthrough());
+        }
+        if actual_taken && rec.op != OpClass::Return {
+            self.btb.update(rec.pc, actual_target);
+        }
+        correct
+    }
+
+    /// Runs the trace to completion and returns the results.
+    pub fn run<I>(&mut self, trace: I) -> SimResult
+    where
+        I: IntoIterator<Item = TraceRecord>,
+    {
+        let cfg = self.cfg.clone();
+        let line_bytes = cfg.l1i.line_bytes;
+
+        let mut fetch_bw = BandwidthLimiter::new(cfg.width);
+        let mut dispatch_bw = BandwidthLimiter::new(cfg.width);
+        let mut commit_bw = BandwidthLimiter::new(cfg.width);
+        let mut fetch_queue = CapacityWindow::new(cfg.fetch_queue);
+        let mut rob = CapacityWindow::new(cfg.rob_entries);
+        let mut int_iq = CapacityWindow::new(cfg.int_iq_entries);
+        let mut fp_iq = CapacityWindow::new(cfg.fp_iq_entries);
+        let mut ldq = CapacityWindow::new(cfg.load_queue);
+        let mut stq = CapacityWindow::new(cfg.store_queue);
+        let mut int_ren = CapacityWindow::new(cfg.int_renames());
+        let mut fp_ren = CapacityWindow::new(cfg.fp_renames());
+        let mut int_pool = FuPool::new(cfg.int_fus);
+        let mut fp_pool = FuPool::new(cfg.fp_fus);
+
+        let mut reg_ready: HashMap<ArchReg, u64> = HashMap::new();
+        let mut store_ready: HashMap<u64, u64> = HashMap::new();
+
+        let mut fetch_frontier = 0u64;
+        let mut last_line: Option<u64> = None;
+        let mut last_commit = 0u64;
+        let mut committed = 0u64;
+        let mut branch_stats = BranchStats::default();
+        let mut processed = 0u64;
+
+        for rec in trace {
+            processed += 1;
+            // ---------- Fetch ----------
+            let mut earliest = fetch_frontier.max(fetch_queue.constraint());
+            let line = rec.byte_pc() / line_bytes;
+            if last_line != Some(line) {
+                earliest += self.imem.fetch_stall(rec.byte_pc());
+                last_line = Some(line);
+            }
+            let fetch = fetch_bw.next(earliest);
+
+            // ---------- Dispatch (rename) ----------
+            let mut d_earliest = (fetch + 1).max(rob.constraint());
+            let is_fp = rec.op.uses_fp_fu();
+            let is_int_fu = rec.op.uses_int_fu();
+            if is_int_fu {
+                d_earliest = d_earliest.max(int_iq.constraint());
+            } else if is_fp {
+                d_earliest = d_earliest.max(fp_iq.constraint());
+            }
+            match rec.op {
+                OpClass::Load => d_earliest = d_earliest.max(ldq.constraint()),
+                OpClass::Store => d_earliest = d_earliest.max(stq.constraint()),
+                _ => {}
+            }
+            match rec.dst {
+                Some(ArchReg::Int(_)) => d_earliest = d_earliest.max(int_ren.constraint()),
+                Some(ArchReg::Fp(_)) => d_earliest = d_earliest.max(fp_ren.constraint()),
+                None => {}
+            }
+            let dispatch = dispatch_bw.next(d_earliest);
+            fetch_queue.record(dispatch);
+
+            // ---------- Operand readiness ----------
+            let mut ready = dispatch + 1;
+            for src in rec.srcs.iter().flatten() {
+                if let Some(&t) = reg_ready.get(src) {
+                    ready = ready.max(t);
+                }
+            }
+
+            // ---------- Issue & execute ----------
+            let complete = match rec.op {
+                OpClass::Nop => {
+                    // No functional unit, no issue queue.
+                    ready
+                }
+                OpClass::IntMul => {
+                    let (_fu, issue) = int_pool.allocate(ready);
+                    int_iq.record(issue);
+                    issue + cfg.mul_latency
+                }
+                OpClass::FpAdd | OpClass::FpMul => {
+                    let (_fu, issue) = fp_pool.allocate(ready);
+                    fp_iq.record(issue);
+                    issue + cfg.fp_latency
+                }
+                OpClass::Load => {
+                    let (_fu, issue) = int_pool.allocate(ready);
+                    int_iq.record(issue);
+                    let agen_done = issue + 1;
+                    let addr = rec.mem_addr.expect("loads carry an address");
+                    match store_ready.get(&addr) {
+                        // Forward from an in-flight older store whose
+                        // data is not yet drained.
+                        Some(&s) if s >= agen_done => s + 1,
+                        _ => self.dmem.access(addr, agen_done),
+                    }
+                }
+                OpClass::Store => {
+                    let (_fu, issue) = int_pool.allocate(ready);
+                    int_iq.record(issue);
+                    let addr = rec.mem_addr.expect("stores carry an address");
+                    let done = issue + 1;
+                    store_ready.insert(addr, done);
+                    // Warm the cache and occupy an MSHR on a miss; the
+                    // store buffer hides the latency from commit.
+                    self.dmem.access(addr, done);
+                    done
+                }
+                // Single-cycle integer classes (ALU and control).
+                _ => {
+                    let (_fu, issue) = int_pool.allocate(ready);
+                    int_iq.record(issue);
+                    issue + 1
+                }
+            };
+
+            // ---------- Control flow ----------
+            if rec.op.is_control() {
+                branch_stats.branches += 1;
+                let correct = self.predict_and_train(&rec);
+                if !correct {
+                    branch_stats.mispredicts += 1;
+                    fetch_frontier = fetch_frontier
+                        .max(complete + 1)
+                        .max(fetch + cfg.mispredict_latency);
+                } else if rec.next_pc() != rec.fallthrough() {
+                    // Correctly predicted taken: the fetch group ends.
+                    fetch_frontier = fetch_frontier.max(fetch + 1);
+                }
+            }
+
+            // ---------- Register writeback ----------
+            if let Some(dst) = rec.dst {
+                reg_ready.insert(dst, complete);
+            }
+
+            // ---------- Commit (in order) ----------
+            let commit = commit_bw.next((complete + 1).max(last_commit));
+            last_commit = commit;
+            committed += 1;
+            rob.record(commit);
+            match rec.op {
+                OpClass::Load => ldq.record(commit),
+                OpClass::Store => stq.record(commit),
+                _ => {}
+            }
+            match rec.dst {
+                Some(ArchReg::Int(_)) => int_ren.record(commit),
+                Some(ArchReg::Fp(_)) => fp_ren.record(commit),
+                None => {}
+            }
+
+            // Periodic cleanup of occupancy bookkeeping far behind the
+            // commit frontier.
+            if processed.is_multiple_of(1 << 16) {
+                let horizon = last_commit.saturating_sub(50_000);
+                int_pool.prune_before(horizon);
+                fp_pool.prune_before(horizon);
+            }
+        }
+
+        let cycles = last_commit;
+        let busy = int_pool.into_busy_cycles();
+        let fu_active: Vec<u64> = busy.iter().map(|v| v.len() as u64).collect();
+        let fu_idle = SimResult::idle_from_busy(&busy, cycles);
+        let caches = CacheStats {
+            l1d_accesses: self.dmem.l1.accesses(),
+            l1d_misses: self.dmem.l1.misses(),
+            l2_accesses: self.dmem.l2.accesses(),
+            l2_misses: self.dmem.l2.misses(),
+            l1i_misses: self.imem.l1.misses(),
+            dtlb_misses: self.dmem.tlb.misses(),
+            itlb_misses: self.imem.tlb.misses(),
+        };
+        SimResult {
+            cycles,
+            committed,
+            fu_idle,
+            fu_active,
+            branch: branch_stats,
+            caches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuleak_workloads::BranchInfo;
+
+    fn alu(pc: u32, dst: u8, src: u8) -> TraceRecord {
+        TraceRecord {
+            pc,
+            op: OpClass::IntAlu,
+            dst: Some(ArchReg::Int(dst)),
+            srcs: [
+                if src == 0 {
+                    None
+                } else {
+                    Some(ArchReg::Int(src))
+                },
+                None,
+            ],
+            mem_addr: None,
+            branch: None,
+        }
+    }
+
+    fn load(pc: u32, dst: u8, addr: u64) -> TraceRecord {
+        TraceRecord {
+            pc,
+            op: OpClass::Load,
+            dst: Some(ArchReg::Int(dst)),
+            srcs: [None, None],
+            mem_addr: Some(addr),
+            branch: None,
+        }
+    }
+
+    fn store(pc: u32, addr: u64) -> TraceRecord {
+        TraceRecord {
+            pc,
+            op: OpClass::Store,
+            dst: None,
+            srcs: [None, None],
+            mem_addr: Some(addr),
+            branch: None,
+        }
+    }
+
+    fn branch(pc: u32, taken: bool, target: u32) -> TraceRecord {
+        TraceRecord {
+            pc,
+            op: OpClass::CondBranch,
+            dst: None,
+            srcs: [None, None],
+            mem_addr: None,
+            branch: Some(BranchInfo {
+                taken,
+                next_pc: if taken { target } else { pc + 1 },
+            }),
+        }
+    }
+
+    fn sim() -> Simulator {
+        Simulator::new(CoreConfig::alpha21264()).unwrap()
+    }
+
+    fn sim_fus(n: usize) -> Simulator {
+        Simulator::new(CoreConfig::with_int_fus(n)).unwrap()
+    }
+
+    #[test]
+    fn empty_trace() {
+        let r = sim().run(std::iter::empty());
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.committed, 0);
+        assert_eq!(r.ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_never_exceeds_width() {
+        // Fully independent ALU ops in a tight loop of PCs.
+        let trace: Vec<_> = (0..10_000).map(|i| alu(i % 16, (1 + i % 50) as u8, 0)).collect();
+        let r = sim().run(trace);
+        assert_eq!(r.committed, 10_000);
+        assert!(r.ipc() <= 4.0 + 1e-9, "ipc {}", r.ipc());
+        assert!(r.ipc() > 2.0, "independent ALUs should flow: {}", r.ipc());
+    }
+
+    #[test]
+    fn dependent_chain_serializes() {
+        // r1 = r1 + ... chain: one per cycle at best.
+        let trace: Vec<_> = (0..2_000).map(|i| alu(i % 8, 1, 1)).collect();
+        let r = sim().run(trace);
+        assert!(r.ipc() < 1.05, "chain ipc {}", r.ipc());
+        assert!(r.ipc() > 0.8, "chain ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn single_fu_halves_nothing_but_caps_at_one() {
+        let trace: Vec<_> = (0..5_000).map(|i| alu(i % 16, (1 + i % 50) as u8, 0)).collect();
+        let r = sim_fus(1).run(trace);
+        assert!(r.ipc() <= 1.0 + 1e-9, "ipc {}", r.ipc());
+        assert!(r.ipc() > 0.85, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn fu_scaling_monotone() {
+        let trace: Vec<_> = (0..20_000)
+            .map(|i| alu(i % 16, (1 + i % 50) as u8, 0))
+            .collect();
+        let mut prev = 0.0;
+        for n in 1..=4 {
+            let r = sim_fus(n).run(trace.clone());
+            assert!(
+                r.ipc() >= prev - 1e-9,
+                "ipc should not drop with more FUs: {} -> {}",
+                prev,
+                r.ipc()
+            );
+            prev = r.ipc();
+        }
+        assert!(prev > 2.0);
+    }
+
+    #[test]
+    fn round_robin_spreads_work() {
+        let trace: Vec<_> = (0..8_000).map(|i| alu(i % 16, (1 + i % 50) as u8, 0)).collect();
+        let r = sim().run(trace);
+        assert_eq!(r.fu_active.len(), 4);
+        let total: u64 = r.fu_active.iter().sum();
+        assert_eq!(total, 8_000);
+        for &a in &r.fu_active {
+            let share = a as f64 / total as f64;
+            assert!((share - 0.25).abs() < 0.05, "share {share}");
+        }
+    }
+
+    #[test]
+    fn cold_load_pays_memory_latency() {
+        // A single dependent chain through a cold load.
+        let trace = vec![load(0, 1, 0x10_0000), alu(1, 2, 1)];
+        let r = sim().run(trace);
+        // TLB(30) + L1(2) + L2(12) + mem(80) plus pipeline overhead.
+        assert!(r.cycles > 120, "cycles {}", r.cycles);
+    }
+
+    #[test]
+    fn warm_loads_are_fast() {
+        let mut trace = vec![load(0, 1, 0x2000)];
+        for i in 0..1_000 {
+            trace.push(load(1 + (i % 8), 1, 0x2000));
+        }
+        let r = sim().run(trace);
+        // L1 hits: far below miss latency per op; independent loads.
+        assert!(r.ipc() > 1.0, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn store_to_load_forwarding_beats_cold_miss() {
+        let addr = 0xDEAD_0000u64;
+        let fwd = vec![store(0, addr), load(1, 1, addr), alu(2, 2, 1)];
+        let r = sim().run(fwd);
+        let cold = sim().run(vec![load(1, 1, addr), alu(2, 2, 1)]);
+        // The load forwards from the store buffer instead of paying
+        // the 124-cycle cold miss (both runs pay the same cold
+        // I-cache/ITLB fetch stall).
+        assert!(
+            r.cycles + 80 < cold.cycles,
+            "forwarded {} vs cold {}",
+            r.cycles,
+            cold.cycles
+        );
+    }
+
+    #[test]
+    fn mispredicted_branch_stalls_fetch() {
+        // Both patterns are taken 50% of the time (same fetch-group
+        // breaking), but alternation is perfectly history-predictable
+        // while the multiplicative-hash pattern is not.
+        let mk = |random: bool| -> Vec<TraceRecord> {
+            let mut v = Vec::new();
+            for i in 0..4_000u32 {
+                v.push(alu(0, 1, 0));
+                let taken = if random {
+                    // SplitMix64 finalizer: full avalanche defeats the
+                    // 10-bit-history two-level predictor.
+                    let mut z = u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    (z ^ (z >> 31)) & 1 == 0
+                } else {
+                    i % 2 == 0
+                };
+                v.push(branch(1, taken, 3));
+            }
+            v
+        };
+        let predictable = sim().run(mk(false));
+        let surprising = sim().run(mk(true));
+        assert!(
+            surprising.cycles > predictable.cycles * 2,
+            "mispredicts should hurt: {} vs {}",
+            surprising.cycles,
+            predictable.cycles
+        );
+        assert!(predictable.branch.accuracy().unwrap() > 0.95);
+        assert!(surprising.branch.accuracy().unwrap() < 0.9);
+    }
+
+    #[test]
+    fn fu_idle_intervals_cover_the_run() {
+        let trace: Vec<_> = (0..2_000).map(|i| alu(i % 8, 1, 1)).collect();
+        let r = sim().run(trace);
+        for (f, intervals) in r.fu_idle.iter().enumerate() {
+            let idle: u64 = intervals.iter().sum();
+            let busy = r.fu_active[f];
+            assert_eq!(
+                idle + busy,
+                r.cycles,
+                "FU {f}: idle {idle} + busy {busy} != {}",
+                r.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn serial_chain_leaves_other_fus_mostly_idle() {
+        let trace: Vec<_> = (0..4_000).map(|i| alu(i % 8, 1, 1)).collect();
+        let r = sim().run(trace);
+        // Round-robin spreads a serial chain across units, so each is
+        // busy ~25% of the time.
+        let total_busy: u64 = r.fu_active.iter().sum();
+        assert_eq!(total_busy, 4_000);
+        assert!(r.idle_fraction() > 0.5, "idle {}", r.idle_fraction());
+    }
+
+    #[test]
+    fn fetch_queue_limits_runahead() {
+        // One giant-latency load followed by many independent ALUs:
+        // the window fills but the machine keeps committing in order.
+        let mut trace = vec![load(0, 1, 0x900_0000)];
+        for i in 0..200 {
+            trace.push(alu(1 + i % 8, (2 + i % 40) as u8, 0));
+        }
+        trace.push(alu(50, 2, 1)); // depends on the load
+        let r = sim().run(trace);
+        assert_eq!(r.committed, 202);
+        assert!(r.cycles > 100);
+    }
+
+    #[test]
+    fn nops_do_not_use_fus() {
+        let trace: Vec<_> = (0..1_000)
+            .map(|i| TraceRecord {
+                pc: i % 8,
+                op: OpClass::Nop,
+                dst: None,
+                srcs: [None, None],
+                mem_addr: None,
+                branch: None,
+            })
+            .collect();
+        let r = sim().run(trace);
+        assert_eq!(r.fu_active.iter().sum::<u64>(), 0);
+        assert_eq!(r.committed, 1_000);
+    }
+
+    #[test]
+    fn fp_ops_use_fp_units_not_int() {
+        let trace: Vec<_> = (0..1_000)
+            .map(|i| TraceRecord {
+                pc: i % 8,
+                op: OpClass::FpAdd,
+                dst: Some(ArchReg::Fp((1 + i % 20) as u8)),
+                srcs: [Some(ArchReg::Fp(0)), None],
+                mem_addr: None,
+                branch: None,
+            })
+            .collect();
+        let r = sim().run(trace);
+        assert_eq!(r.fu_active.iter().sum::<u64>(), 0, "int FUs untouched");
+        assert_eq!(r.committed, 1_000);
+    }
+
+    #[test]
+    fn multiply_latency_is_visible() {
+        let mul_chain: Vec<_> = (0..500)
+            .map(|i| TraceRecord {
+                pc: i % 8,
+                op: OpClass::IntMul,
+                dst: Some(ArchReg::Int(1)),
+                srcs: [Some(ArchReg::Int(1)), None],
+                mem_addr: None,
+                branch: None,
+            })
+            .collect();
+        let alu_chain: Vec<_> = (0..500).map(|i| alu(i % 8, 1, 1)).collect();
+        let rm = sim().run(mul_chain);
+        let ra = sim().run(alu_chain);
+        assert!(
+            rm.cycles > ra.cycles * 5,
+            "mul chain {} vs alu chain {}",
+            rm.cycles,
+            ra.cycles
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let trace: Vec<_> = (0..3_000)
+            .map(|i| {
+                if i % 7 == 0 {
+                    load(i % 16, 1, (i as u64 * 64) % 100_000)
+                } else {
+                    alu(i % 16, (1 + i % 30) as u8, 1)
+                }
+            })
+            .collect();
+        let a = sim().run(trace.clone());
+        let b = sim().run(trace);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.fu_active, b.fu_active);
+        assert_eq!(a.fu_idle, b.fu_idle);
+    }
+}

@@ -1,0 +1,215 @@
+//! Simulation results: IPC, per-FU idle intervals, branch and cache
+//! statistics.
+
+use fuleak_core::IdleHistogram;
+
+/// Branch prediction statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchStats {
+    /// Control instructions seen.
+    pub branches: u64,
+    /// Mispredicted control instructions.
+    pub mispredicts: u64,
+}
+
+impl BranchStats {
+    /// Prediction accuracy (`None` before any branch).
+    pub fn accuracy(&self) -> Option<f64> {
+        (self.branches > 0)
+            .then(|| 1.0 - self.mispredicts as f64 / self.branches as f64)
+    }
+}
+
+/// Cache and TLB statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// L1 data-cache accesses.
+    pub l1d_accesses: u64,
+    /// L1 data-cache misses.
+    pub l1d_misses: u64,
+    /// L2 accesses (data side).
+    pub l2_accesses: u64,
+    /// L2 misses (data side).
+    pub l2_misses: u64,
+    /// L1 instruction-cache misses.
+    pub l1i_misses: u64,
+    /// Data-TLB misses.
+    pub dtlb_misses: u64,
+    /// Instruction-TLB misses.
+    pub itlb_misses: u64,
+}
+
+impl CacheStats {
+    /// L1D miss rate (`None` before any access).
+    pub fn l1d_miss_rate(&self) -> Option<f64> {
+        (self.l1d_accesses > 0).then(|| self.l1d_misses as f64 / self.l1d_accesses as f64)
+    }
+
+    /// L2 miss rate (`None` before any access).
+    pub fn l2_miss_rate(&self) -> Option<f64> {
+        (self.l2_accesses > 0).then(|| self.l2_misses as f64 / self.l2_accesses as f64)
+    }
+}
+
+/// The result of one timing-simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimResult {
+    /// Total cycles (cycle of the last commit).
+    pub cycles: u64,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Per-integer-FU idle intervals, in occurrence order.
+    pub fu_idle: Vec<Vec<u64>>,
+    /// Per-integer-FU busy (active) cycle counts.
+    pub fu_active: Vec<u64>,
+    /// Branch statistics.
+    pub branch: BranchStats,
+    /// Cache statistics.
+    pub caches: CacheStats,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Builds per-FU idle intervals from sorted busy-cycle lists over
+    /// `[0, total_cycles)`.
+    pub(crate) fn idle_from_busy(busy: &[Vec<u64>], total_cycles: u64) -> Vec<Vec<u64>> {
+        busy.iter()
+            .map(|cycles| {
+                let mut intervals = Vec::new();
+                let mut cursor = 0u64;
+                for &c in cycles {
+                    debug_assert!(c >= cursor.saturating_sub(1), "busy cycles must be sorted");
+                    let c_clipped = c.min(total_cycles);
+                    if c_clipped > cursor {
+                        intervals.push(c_clipped - cursor);
+                    }
+                    if c >= total_cycles {
+                        cursor = total_cycles;
+                        break;
+                    }
+                    cursor = c + 1;
+                }
+                if total_cycles > cursor {
+                    intervals.push(total_cycles - cursor);
+                }
+                intervals
+            })
+            .collect()
+    }
+
+    /// Fraction of FU-cycles spent idle, averaged over the integer
+    /// FUs (the quantity Figure 7 aggregates).
+    pub fn idle_fraction(&self) -> f64 {
+        if self.cycles == 0 || self.fu_idle.is_empty() {
+            return 0.0;
+        }
+        let idle: u64 = self
+            .fu_idle
+            .iter()
+            .map(|v| v.iter().sum::<u64>())
+            .sum();
+        idle as f64 / (self.cycles as f64 * self.fu_idle.len() as f64)
+    }
+
+    /// Merges every FU's idle intervals into one Figure 7 histogram.
+    pub fn idle_histogram(&self) -> IdleHistogram {
+        let mut h = IdleHistogram::new();
+        for fu in &self.fu_idle {
+            h.record_all(fu);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_accuracy() {
+        let s = BranchStats {
+            branches: 100,
+            mispredicts: 8,
+        };
+        assert!((s.accuracy().unwrap() - 0.92).abs() < 1e-12);
+        assert_eq!(BranchStats::default().accuracy(), None);
+    }
+
+    #[test]
+    fn cache_rates() {
+        let s = CacheStats {
+            l1d_accesses: 100,
+            l1d_misses: 25,
+            l2_accesses: 25,
+            l2_misses: 5,
+            ..CacheStats::default()
+        };
+        assert!((s.l1d_miss_rate().unwrap() - 0.25).abs() < 1e-12);
+        assert!((s.l2_miss_rate().unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(CacheStats::default().l1d_miss_rate(), None);
+    }
+
+    #[test]
+    fn idle_from_busy_basic() {
+        // Busy at cycles 2, 3, 7 over 10 cycles:
+        // idle [0,1], [4..6], [8..9] -> intervals 2, 3, 2.
+        let idle = SimResult::idle_from_busy(&[vec![2, 3, 7]], 10);
+        assert_eq!(idle[0], vec![2, 3, 2]);
+    }
+
+    #[test]
+    fn idle_from_busy_edges() {
+        // Fully busy: no intervals.
+        let idle = SimResult::idle_from_busy(&[vec![0, 1, 2]], 3);
+        assert!(idle[0].is_empty());
+        // Never busy: one big interval.
+        let idle = SimResult::idle_from_busy(&[vec![]], 5);
+        assert_eq!(idle[0], vec![5]);
+        // Busy cycle beyond the end is clipped.
+        let idle = SimResult::idle_from_busy(&[vec![1, 99]], 4);
+        assert_eq!(idle[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn ipc_and_idle_fraction() {
+        let r = SimResult {
+            cycles: 100,
+            committed: 150,
+            fu_idle: vec![vec![30], vec![10, 10]],
+            fu_active: vec![70, 80],
+            ..SimResult::default()
+        };
+        assert!((r.ipc() - 1.5).abs() < 1e-12);
+        // (30 + 20) idle over 2 FUs x 100 cycles.
+        assert!((r.idle_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merges_all_fus() {
+        let r = SimResult {
+            cycles: 100,
+            committed: 10,
+            fu_idle: vec![vec![4, 4], vec![16]],
+            fu_active: vec![92, 84],
+            ..SimResult::default()
+        };
+        let h = r.idle_histogram();
+        assert_eq!(h.total_intervals(), 3);
+        assert_eq!(h.total_idle_cycles(), 24);
+    }
+
+    #[test]
+    fn empty_result_is_safe() {
+        let r = SimResult::default();
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.idle_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+use fuleak_uarch::{CoreConfig, Simulator};
+use fuleak_workloads::Benchmark;
+
+#[test]
+#[ignore] // calibration probe, run explicitly with --ignored
+fn ipc_probe() {
+    for b in Benchmark::all() {
+        let mut m = b.instantiate();
+        let trace = m.run(2_000_000).map(|r| r.unwrap());
+        let r4 = Simulator::new(CoreConfig::alpha21264()).unwrap().run(trace);
+        let mut m = b.instantiate();
+        let trace = m.run(2_000_000).map(|r| r.unwrap());
+        let rn = Simulator::new(CoreConfig::with_int_fus(b.paper_fus)).unwrap().run(trace);
+        eprintln!(
+            "{:8} ipc4={:.3} (paper {:.3}) ipcN={:.3} (paper {:.3}, {} FUs)  idleN={:.3} bracc={:.3} l1d={:.3} l2={:.3}",
+            b.name, r4.ipc(), b.paper_max_ipc, rn.ipc(), b.paper_ipc, b.paper_fus,
+            rn.idle_fraction(), r4.branch.accuracy().unwrap_or(1.0),
+            r4.caches.l1d_miss_rate().unwrap_or(0.0), r4.caches.l2_miss_rate().unwrap_or(0.0),
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! The benchmark registry — Table 3 of the paper.
+//!
+//! Each entry pairs a kernel generator with the paper's published
+//! metadata: the suite it came from, the peak IPC with four integer
+//! FUs, the IPC with the paper's chosen FU count, and that FU count
+//! (the minimum achieving at least 95% of peak, Section 4).
+
+use crate::exec::Machine;
+use crate::kernels::{self, KernelImage};
+
+/// The default per-benchmark dynamic instruction budget used by the
+/// experiment harness (the paper simulates 50M–150M windows; the
+/// synthetic kernels reach steady state much sooner).
+pub const DEFAULT_BUDGET: u64 = 2_000_000;
+
+/// The default kernel seed.
+pub const DEFAULT_SEED: u64 = 0xF0_1E_AF;
+
+/// One registered benchmark with its Table 3 reference data.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// Benchmark name (paper's spelling).
+    pub name: &'static str,
+    /// Originating suite.
+    pub suite: &'static str,
+    /// Paper's IPC with 4 integer FUs (Table 3 "Max IPC").
+    pub paper_max_ipc: f64,
+    /// Paper's IPC with the chosen FU count (Table 3 "IPC").
+    pub paper_ipc: f64,
+    /// Paper's chosen integer FU count (Table 3 "FUs").
+    pub paper_fus: usize,
+    /// Kernel generator.
+    builder: fn(u64) -> KernelImage,
+}
+
+impl Benchmark {
+    /// All nine benchmarks in Table 3 order.
+    pub fn all() -> &'static [Benchmark] {
+        &REGISTRY
+    }
+
+    /// Looks a benchmark up by name.
+    pub fn by_name(name: &str) -> Option<&'static Benchmark> {
+        REGISTRY.iter().find(|b| b.name == name)
+    }
+
+    /// Builds the kernel image with the default seed.
+    pub fn image(&self) -> KernelImage {
+        (self.builder)(DEFAULT_SEED)
+    }
+
+    /// Builds the kernel image with an explicit seed.
+    pub fn image_with_seed(&self, seed: u64) -> KernelImage {
+        (self.builder)(seed)
+    }
+
+    /// Builds a ready-to-run machine with the default seed.
+    pub fn instantiate(&self) -> Machine {
+        self.image().instantiate()
+    }
+}
+
+static REGISTRY: [Benchmark; 9] = [
+    Benchmark {
+        name: "health",
+        suite: "Olden",
+        paper_max_ipc: 0.560,
+        paper_ipc: 0.554,
+        paper_fus: 2,
+        builder: kernels::health,
+    },
+    Benchmark {
+        name: "mst",
+        suite: "Olden",
+        paper_max_ipc: 1.748,
+        paper_ipc: 1.748,
+        paper_fus: 4,
+        builder: kernels::mst,
+    },
+    Benchmark {
+        name: "gcc",
+        suite: "SPEC95 INT",
+        paper_max_ipc: 1.622,
+        paper_ipc: 1.619,
+        paper_fus: 2,
+        builder: kernels::gcc,
+    },
+    Benchmark {
+        name: "gzip",
+        suite: "SPEC2K INT",
+        paper_max_ipc: 2.120,
+        paper_ipc: 2.120,
+        paper_fus: 4,
+        builder: kernels::gzip,
+    },
+    Benchmark {
+        name: "mcf",
+        suite: "SPEC2K INT",
+        paper_max_ipc: 0.523,
+        paper_ipc: 0.503,
+        paper_fus: 2,
+        builder: kernels::mcf,
+    },
+    Benchmark {
+        name: "parser",
+        suite: "SPEC2K INT",
+        paper_max_ipc: 1.692,
+        paper_ipc: 1.692,
+        paper_fus: 4,
+        builder: kernels::parser,
+    },
+    Benchmark {
+        name: "twolf",
+        suite: "SPEC2K INT",
+        paper_max_ipc: 1.542,
+        paper_ipc: 1.475,
+        paper_fus: 3,
+        builder: kernels::twolf,
+    },
+    Benchmark {
+        name: "vortex",
+        suite: "SPEC2K INT",
+        paper_max_ipc: 2.387,
+        paper_ipc: 2.387,
+        paper_fus: 4,
+        builder: kernels::vortex,
+    },
+    Benchmark {
+        name: "vpr",
+        suite: "SPEC2K INT",
+        paper_max_ipc: 1.481,
+        paper_ipc: 1.431,
+        paper_fus: 3,
+        builder: kernels::vpr,
+    },
+];
+
+/// Builds every registered kernel image with one seed (test helper and
+/// sweep entry point).
+pub fn all_images(seed: u64) -> Vec<(&'static str, KernelImage)> {
+    Benchmark::all()
+        .iter()
+        .map(|b| (b.name, b.image_with_seed(seed)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table3() {
+        assert_eq!(Benchmark::all().len(), 9);
+        let gzip = Benchmark::by_name("gzip").unwrap();
+        assert_eq!(gzip.paper_fus, 4);
+        assert_eq!(gzip.paper_max_ipc, 2.120);
+        let mcf = Benchmark::by_name("mcf").unwrap();
+        assert_eq!(mcf.paper_fus, 2);
+        assert!(Benchmark::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn chosen_fu_ipc_is_within_95_percent_of_peak() {
+        // The paper's own selection criterion must hold for its data.
+        for b in Benchmark::all() {
+            assert!(
+                b.paper_ipc >= 0.95 * b.paper_max_ipc,
+                "{}: {} < 95% of {}",
+                b.name,
+                b.paper_ipc,
+                b.paper_max_ipc
+            );
+        }
+    }
+
+    #[test]
+    fn every_benchmark_runs() {
+        for b in Benchmark::all() {
+            let mut m = b.instantiate();
+            let n = m.run(5_000).filter(|r| r.is_ok()).count();
+            assert_eq!(n, 5_000, "{} stopped early", b.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Benchmark::all().iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+}

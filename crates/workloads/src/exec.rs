@@ -1,0 +1,523 @@
+//! The functional executor: runs a mini-ISA [`Program`] and emits the
+//! dynamic [`TraceRecord`] stream.
+//!
+//! The executor is architecturally exact (64-bit wrapping integer
+//! semantics, word-addressed sparse memory) but has no notion of time —
+//! timing belongs to the `fuleak-uarch` simulator that consumes the
+//! trace. Because the kernels are deterministic given their seed, the
+//! same benchmark always produces the same trace.
+
+use crate::isa::{Instr, Program, NUM_FP_REGS, NUM_INT_REGS};
+use crate::trace::{ArchReg, BranchInfo, OpClass, TraceRecord};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error raised during functional execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The program counter left the program (no `Halt` on that path).
+    PcOutOfRange {
+        /// The offending instruction index.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::PcOutOfRange { pc } => {
+                write!(f, "program counter {pc} is outside the program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+fn int_reg(r: u8) -> Option<ArchReg> {
+    (r != 0).then_some(ArchReg::Int(r))
+}
+
+/// The functional machine state.
+///
+/// # Example
+///
+/// ```
+/// use fuleak_workloads::isa::{AluOp, ProgramBuilder};
+/// use fuleak_workloads::Machine;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(1, 21);
+/// b.alu(AluOp::Add, 2, 1, 1);
+/// b.halt();
+/// let mut m = Machine::new(b.build()?);
+/// let trace: Vec<_> = m.run(100).collect::<Result<_, _>>()?;
+/// assert_eq!(trace.len(), 2); // halt is not traced
+/// assert_eq!(m.reg(2), 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    program: Program,
+    int_regs: [u64; NUM_INT_REGS],
+    fp_regs: [f64; NUM_FP_REGS],
+    /// Sparse word-addressed memory: key is `byte_address >> 3`.
+    memory: HashMap<u64, u64>,
+    pc: u32,
+    halted: bool,
+    retired: u64,
+}
+
+impl Machine {
+    /// Creates a machine at `pc = 0` with zeroed registers and empty
+    /// memory.
+    pub fn new(program: Program) -> Self {
+        Machine {
+            program,
+            int_regs: [0; NUM_INT_REGS],
+            fp_regs: [0.0; NUM_FP_REGS],
+            memory: HashMap::new(),
+            pc: 0,
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// Reads an integer register (`r0` is always zero).
+    pub fn reg(&self, r: u8) -> u64 {
+        if r == 0 {
+            0
+        } else {
+            self.int_regs[r as usize]
+        }
+    }
+
+    /// Writes an integer register (writes to `r0` are ignored).
+    pub fn set_reg(&mut self, r: u8, value: u64) {
+        if r != 0 {
+            self.int_regs[r as usize] = value;
+        }
+    }
+
+    /// Reads the 64-bit word at byte address `addr` (aligned down to 8
+    /// bytes); uninitialized memory reads as zero.
+    pub fn read_mem(&self, addr: u64) -> u64 {
+        self.memory.get(&(addr >> 3)).copied().unwrap_or(0)
+    }
+
+    /// Writes the 64-bit word at byte address `addr` (aligned down to
+    /// 8 bytes).
+    pub fn write_mem(&mut self, addr: u64, value: u64) {
+        self.memory.insert(addr >> 3, value);
+    }
+
+    /// Whether the machine has executed a `Halt`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions retired so far (`Halt` excluded).
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Current program counter (instruction index).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Executes one instruction and returns its trace record, or
+    /// `Ok(None)` once halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::PcOutOfRange`] if control flow leaves the
+    /// program.
+    pub fn step(&mut self) -> Result<Option<TraceRecord>, ExecError> {
+        if self.halted {
+            return Ok(None);
+        }
+        let pc = self.pc;
+        let instr = *self
+            .program
+            .get(pc)
+            .ok_or(ExecError::PcOutOfRange { pc })?;
+
+        let mut rec = TraceRecord {
+            pc,
+            op: OpClass::Nop,
+            dst: None,
+            srcs: [None, None],
+            mem_addr: None,
+            branch: None,
+        };
+        let mut next = pc + 1;
+
+        match instr {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let v = op.apply(self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+                rec.op = OpClass::IntAlu;
+                rec.dst = int_reg(rd);
+                rec.srcs = [int_reg(rs1), int_reg(rs2)];
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let v = op.apply(self.reg(rs1), imm as u64);
+                self.set_reg(rd, v);
+                rec.op = OpClass::IntAlu;
+                rec.dst = int_reg(rd);
+                rec.srcs = [int_reg(rs1), None];
+            }
+            Instr::Mul { rd, rs1, rs2 } => {
+                let v = self.reg(rs1).wrapping_mul(self.reg(rs2));
+                self.set_reg(rd, v);
+                rec.op = OpClass::IntMul;
+                rec.dst = int_reg(rd);
+                rec.srcs = [int_reg(rs1), int_reg(rs2)];
+            }
+            Instr::Load { rd, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as u64);
+                let v = self.read_mem(addr);
+                self.set_reg(rd, v);
+                rec.op = OpClass::Load;
+                rec.dst = int_reg(rd);
+                rec.srcs = [int_reg(base), None];
+                rec.mem_addr = Some(addr & !7);
+            }
+            Instr::Store { src, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as u64);
+                self.write_mem(addr, self.reg(src));
+                rec.op = OpClass::Store;
+                rec.srcs = [int_reg(base), int_reg(src)];
+                rec.mem_addr = Some(addr & !7);
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let taken = cond.taken(self.reg(rs1), self.reg(rs2));
+                if taken {
+                    next = target;
+                }
+                rec.op = OpClass::CondBranch;
+                rec.srcs = [int_reg(rs1), int_reg(rs2)];
+                rec.branch = Some(BranchInfo {
+                    taken,
+                    next_pc: next,
+                });
+            }
+            Instr::Jump { target } => {
+                next = target;
+                rec.op = OpClass::Jump;
+                rec.branch = Some(BranchInfo {
+                    taken: true,
+                    next_pc: next,
+                });
+            }
+            Instr::JumpReg { rs } => {
+                next = self.reg(rs) as u32;
+                rec.op = OpClass::IndirectJump;
+                rec.srcs = [int_reg(rs), None];
+                rec.branch = Some(BranchInfo {
+                    taken: true,
+                    next_pc: next,
+                });
+            }
+            Instr::Call { target, link } => {
+                self.set_reg(link, u64::from(pc) + 1);
+                next = target;
+                rec.op = OpClass::Call;
+                rec.dst = int_reg(link);
+                rec.branch = Some(BranchInfo {
+                    taken: true,
+                    next_pc: next,
+                });
+            }
+            Instr::Ret { rs } => {
+                next = self.reg(rs) as u32;
+                rec.op = OpClass::Return;
+                rec.srcs = [int_reg(rs), None];
+                rec.branch = Some(BranchInfo {
+                    taken: true,
+                    next_pc: next,
+                });
+            }
+            Instr::FAdd { fd, fs1, fs2 } => {
+                self.fp_regs[fd as usize] =
+                    self.fp_regs[fs1 as usize] + self.fp_regs[fs2 as usize];
+                rec.op = OpClass::FpAdd;
+                rec.dst = Some(ArchReg::Fp(fd));
+                rec.srcs = [Some(ArchReg::Fp(fs1)), Some(ArchReg::Fp(fs2))];
+            }
+            Instr::FMul { fd, fs1, fs2 } => {
+                self.fp_regs[fd as usize] =
+                    self.fp_regs[fs1 as usize] * self.fp_regs[fs2 as usize];
+                rec.op = OpClass::FpMul;
+                rec.dst = Some(ArchReg::Fp(fd));
+                rec.srcs = [Some(ArchReg::Fp(fs1)), Some(ArchReg::Fp(fs2))];
+            }
+            Instr::FLoad { fd, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as u64);
+                self.fp_regs[fd as usize] = self.read_mem(addr) as f64;
+                rec.op = OpClass::Load;
+                rec.dst = Some(ArchReg::Fp(fd));
+                rec.srcs = [int_reg(base), None];
+                rec.mem_addr = Some(addr & !7);
+            }
+            Instr::Nop => {
+                rec.op = OpClass::Nop;
+            }
+            Instr::Halt => {
+                self.halted = true;
+                return Ok(None);
+            }
+        }
+
+        self.pc = next;
+        self.retired += 1;
+        Ok(Some(rec))
+    }
+
+    /// Returns an iterator that retires up to `max_instructions`
+    /// records (stopping early on `Halt`). Kernels are written as
+    /// endless loops, so the budget is the usual stopping condition —
+    /// this matches the paper's "simulate an N-instruction window"
+    /// methodology.
+    pub fn run(&mut self, max_instructions: u64) -> Run<'_> {
+        Run {
+            machine: self,
+            remaining: max_instructions,
+        }
+    }
+}
+
+/// Iterator returned by [`Machine::run`].
+#[derive(Debug)]
+pub struct Run<'a> {
+    machine: &'a mut Machine,
+    remaining: u64,
+}
+
+impl Iterator for Run<'_> {
+    type Item = Result<TraceRecord, ExecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        match self.machine.step() {
+            Ok(Some(rec)) => Some(Ok(rec)),
+            Ok(None) => None,
+            Err(e) => {
+                self.remaining = 0;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluOp, BranchCond, ProgramBuilder};
+
+    fn run_program(build: impl FnOnce(&mut ProgramBuilder)) -> (Machine, Vec<TraceRecord>) {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        let mut m = Machine::new(b.build().unwrap());
+        let trace = m.run(100_000).collect::<Result<Vec<_>, _>>().unwrap();
+        (m, trace)
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let (m, _) = run_program(|b| {
+            b.li(0, 42);
+            b.halt();
+        });
+        assert_eq!(m.reg(0), 0);
+    }
+
+    #[test]
+    fn arithmetic_loop_counts_down() {
+        let (m, trace) = run_program(|b| {
+            b.li(1, 5);
+            b.label("loop");
+            b.alui(AluOp::Sub, 1, 1, 1);
+            b.branch(BranchCond::Ne, 1, 0, "loop");
+            b.halt();
+        });
+        assert_eq!(m.reg(1), 0);
+        // 1 li + 5 * (sub + branch) = 11 retired.
+        assert_eq!(trace.len(), 11);
+        let taken: Vec<bool> = trace
+            .iter()
+            .filter_map(|r| r.branch.map(|b| b.taken))
+            .collect();
+        assert_eq!(taken, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn memory_round_trips() {
+        let (m, trace) = run_program(|b| {
+            b.li(1, 0x1000);
+            b.li(2, 77);
+            b.store(2, 1, 8);
+            b.load(3, 1, 8);
+            b.halt();
+        });
+        assert_eq!(m.reg(3), 77);
+        assert_eq!(m.read_mem(0x1008), 77);
+        let store = &trace[2];
+        assert_eq!(store.op, OpClass::Store);
+        assert_eq!(store.mem_addr, Some(0x1008));
+        let load = &trace[3];
+        assert_eq!(load.op, OpClass::Load);
+        assert_eq!(load.mem_addr, Some(0x1008));
+        assert_eq!(load.dst, Some(ArchReg::Int(3)));
+    }
+
+    #[test]
+    fn unaligned_addresses_align_down() {
+        let (m, _) = run_program(|b| {
+            b.li(1, 0x1003);
+            b.li(2, 5);
+            b.store(2, 1, 0);
+            b.halt();
+        });
+        assert_eq!(m.read_mem(0x1000), 5);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let (m, trace) = run_program(|b| {
+            b.call("fn", 31);
+            b.li(1, 1); // executed after return
+            b.halt();
+            b.label("fn");
+            b.li(2, 2);
+            b.ret(31);
+        });
+        assert_eq!(m.reg(1), 1);
+        assert_eq!(m.reg(2), 2);
+        let ops: Vec<OpClass> = trace.iter().map(|r| r.op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                OpClass::Call,
+                OpClass::IntAlu,
+                OpClass::Return,
+                OpClass::IntAlu
+            ]
+        );
+        // The call links pc+1.
+        assert_eq!(trace[0].dst, Some(ArchReg::Int(31)));
+        assert_eq!(trace[2].branch.unwrap().next_pc, 1);
+    }
+
+    #[test]
+    fn indirect_jump_through_table() {
+        let (m, trace) = run_program(|b| {
+            b.la(1, "case1");
+            b.jump_reg(1);
+            b.label("case0");
+            b.li(2, 100);
+            b.halt();
+            b.label("case1");
+            b.li(2, 200);
+            b.halt();
+        });
+        assert_eq!(m.reg(2), 200);
+        assert_eq!(trace[1].op, OpClass::IndirectJump);
+        assert!(trace[1].branch.unwrap().taken);
+    }
+
+    #[test]
+    fn fp_ops_execute_and_trace() {
+        let (m, trace) = run_program(|b| {
+            b.li(1, 0x2000);
+            b.li(2, 3);
+            b.store(2, 1, 0);
+            b.fload(1, 1, 0);
+            b.fadd(2, 1, 1);
+            b.fmul(3, 2, 1);
+            b.halt();
+        });
+        assert_eq!(m.fp_regs[2], 6.0);
+        assert_eq!(m.fp_regs[3], 18.0);
+        assert_eq!(trace[4].op, OpClass::FpAdd);
+        assert_eq!(trace[5].op, OpClass::FpMul);
+        assert_eq!(trace[5].srcs, [Some(ArchReg::Fp(2)), Some(ArchReg::Fp(1))]);
+    }
+
+    #[test]
+    fn mul_traces_as_int_mul() {
+        let (m, trace) = run_program(|b| {
+            b.li(1, 6);
+            b.li(2, 7);
+            b.mul(3, 1, 2);
+            b.halt();
+        });
+        assert_eq!(m.reg(3), 42);
+        assert_eq!(trace[2].op, OpClass::IntMul);
+    }
+
+    #[test]
+    fn runaway_pc_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.nop(); // falls off the end
+        let mut m = Machine::new(b.build().unwrap());
+        let results: Vec<_> = m.run(10).collect();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(ExecError::PcOutOfRange { pc: 1 }));
+    }
+
+    #[test]
+    fn budget_limits_run_length() {
+        let (_, trace) = run_program(|b| {
+            b.label("spin");
+            b.jump("spin");
+        });
+        assert_eq!(trace.len(), 100_000); // budget, not halt
+    }
+
+    #[test]
+    fn halted_machine_stays_halted() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let mut m = Machine::new(b.build().unwrap());
+        assert_eq!(m.step().unwrap(), None);
+        assert!(m.is_halted());
+        assert_eq!(m.step().unwrap(), None);
+        assert_eq!(m.retired(), 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let build = |b: &mut ProgramBuilder| {
+            b.li(1, 1000);
+            b.label("l");
+            b.alui(AluOp::Add, 2, 2, 3);
+            b.alui(AluOp::Sub, 1, 1, 1);
+            b.branch(BranchCond::Ne, 1, 0, "l");
+            b.halt();
+        };
+        let (_, t1) = run_program(build);
+        let (_, t2) = run_program(build);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn srcs_omit_zero_register() {
+        let (_, trace) = run_program(|b| {
+            b.alu(AluOp::Add, 1, 0, 0);
+            b.halt();
+        });
+        assert_eq!(trace[0].srcs, [None, None]);
+        assert_eq!(trace[0].dst, Some(ArchReg::Int(1)));
+    }
+}

@@ -1,0 +1,715 @@
+//! The mini ISA: a small RISC-like instruction set sufficient to write
+//! realistic integer kernels.
+//!
+//! Design points:
+//!
+//! * 64 integer registers (`r0` is hardwired to zero, like MIPS/Alpha)
+//!   and 32 floating-point registers;
+//! * instructions are stored unencoded as an enum; the "program
+//!   counter" is an instruction index, scaled by 4 when byte addresses
+//!   are needed (I-cache indexing);
+//! * memory is word-addressed: loads and stores move 64-bit values at
+//!   8-byte-aligned addresses;
+//! * control flow distinguishes conditional branches, direct jumps,
+//!   indirect jumps, calls, and returns so the front-end predictors of
+//!   the timing simulator (BTB, RAS) see the right instruction classes.
+//!
+//! Programs are built with [`ProgramBuilder`], a tiny assembler with
+//! forward-referencing labels.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An integer register index (0..=63). `r0` reads as zero and ignores
+/// writes.
+pub type Reg = u8;
+
+/// A floating-point register index (0..=31).
+pub type FReg = u8;
+
+/// Number of architectural integer registers.
+pub const NUM_INT_REGS: usize = 64;
+
+/// Number of architectural floating-point registers.
+pub const NUM_FP_REGS: usize = 32;
+
+/// Integer ALU operations (single-cycle class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (by rhs & 63).
+    Shl,
+    /// Logical shift right (by rhs & 63).
+    Shr,
+    /// Set if less than, signed (1 or 0).
+    Slt,
+    /// Set if less than, unsigned (1 or 0).
+    Sltu,
+}
+
+impl AluOp {
+    /// Applies the operation to two 64-bit values.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+            AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+            AluOp::Sltu => (a < b) as u64,
+        }
+    }
+}
+
+/// Conditional-branch comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if less than (signed).
+    Lt,
+    /// Branch if greater or equal (signed).
+    Ge,
+    /// Branch if less than (unsigned).
+    Ltu,
+    /// Branch if greater or equal (unsigned).
+    Geu,
+}
+
+impl BranchCond {
+    /// Evaluates the comparison.
+    pub fn taken(self, a: u64, b: u64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i64) < (b as i64),
+            BranchCond::Ge => (a as i64) >= (b as i64),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+        }
+    }
+}
+
+/// One mini-ISA instruction. Targets are instruction indices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// `rd = rs1 <op> rs2`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// `rd = rs1 <op> imm`.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Immediate operand (sign pattern reinterpreted as u64).
+        imm: i64,
+    },
+    /// `rd = rs1 * rs2` (wrapping; longer-latency multiply class).
+    Mul {
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// `rd = mem[rs1 + offset]` (64-bit, 8-byte aligned).
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// `mem[rs1 + offset] = src`.
+    Store {
+        /// Value register.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Conditional PC-relative branch to `target`.
+    Branch {
+        /// Comparison.
+        cond: BranchCond,
+        /// First comparand.
+        rs1: Reg,
+        /// Second comparand.
+        rs2: Reg,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Indirect jump through a register holding an instruction index.
+    JumpReg {
+        /// Register holding the target instruction index.
+        rs: Reg,
+    },
+    /// Direct call: `link = pc + 1; pc = target`.
+    Call {
+        /// Target instruction index.
+        target: u32,
+        /// Link register receiving the return address.
+        link: Reg,
+    },
+    /// Return: `pc = rs` (predicted by the RAS in the timing model).
+    Ret {
+        /// Register holding the return address.
+        rs: Reg,
+    },
+    /// `fd = fs1 + fs2` (floating-point add class).
+    FAdd {
+        /// Destination FP register.
+        fd: FReg,
+        /// First source.
+        fs1: FReg,
+        /// Second source.
+        fs2: FReg,
+    },
+    /// `fd = fs1 * fs2` (floating-point multiply class).
+    FMul {
+        /// Destination FP register.
+        fd: FReg,
+        /// First source.
+        fs1: FReg,
+        /// Second source.
+        fs2: FReg,
+    },
+    /// `fd = f64(mem[rs1 + offset])` — integer-to-float load/convert.
+    FLoad {
+        /// Destination FP register.
+        fd: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// No operation.
+    Nop,
+    /// Stops execution.
+    Halt,
+}
+
+/// A validated, label-resolved program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// The instruction at `index`, if in range.
+    pub fn get(&self, index: u32) -> Option<&Instr> {
+        self.instrs.get(index as usize)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Iterates over the instructions in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instr> {
+        self.instrs.iter()
+    }
+}
+
+/// An error produced while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// A register index exceeded the architectural file.
+    BadRegister {
+        /// The rejected index.
+        index: u8,
+        /// File size it was checked against.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::BadRegister { index, limit } => {
+                write!(f, "register index {index} exceeds register file of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A tiny assembler with forward-referencing labels.
+///
+/// # Example
+///
+/// ```
+/// use fuleak_workloads::isa::{AluOp, BranchCond, ProgramBuilder};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.alui(AluOp::Add, 1, 0, 10); // r1 = 10
+/// b.label("loop");
+/// b.alui(AluOp::Sub, 1, 1, 1); // r1 -= 1
+/// b.branch(BranchCond::Ne, 1, 0, "loop");
+/// b.halt();
+/// let program = b.build()?;
+/// assert_eq!(program.len(), 4);
+/// # Ok::<(), fuleak_workloads::isa::AsmError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<PendingInstr>,
+    labels: HashMap<String, u32>,
+    errors: Vec<AsmError>,
+}
+
+#[derive(Debug, Clone)]
+enum PendingInstr {
+    Ready(Instr),
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+    },
+    Jump {
+        label: String,
+    },
+    Call {
+        label: String,
+        link: Reg,
+    },
+    /// `rd = <instruction index of label>` — for building jump tables.
+    LoadLabelAddr {
+        rd: Reg,
+        label: String,
+    },
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current instruction index (where the next instruction lands).
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    fn check_reg(&mut self, r: Reg) -> Reg {
+        if (r as usize) >= NUM_INT_REGS {
+            self.errors.push(AsmError::BadRegister {
+                index: r,
+                limit: NUM_INT_REGS,
+            });
+        }
+        r
+    }
+
+    fn check_freg(&mut self, r: FReg) -> FReg {
+        if (r as usize) >= NUM_FP_REGS {
+            self.errors.push(AsmError::BadRegister {
+                index: r,
+                limit: NUM_FP_REGS,
+            });
+        }
+        r
+    }
+
+    /// Defines `label` at the current position.
+    pub fn label(&mut self, label: &str) -> &mut Self {
+        if self
+            .labels
+            .insert(label.to_string(), self.here())
+            .is_some()
+        {
+            self.errors.push(AsmError::DuplicateLabel(label.to_string()));
+        }
+        self
+    }
+
+    /// Emits `rd = rs1 <op> rs2`.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        let (rd, rs1, rs2) = (self.check_reg(rd), self.check_reg(rs1), self.check_reg(rs2));
+        self.instrs
+            .push(PendingInstr::Ready(Instr::Alu { op, rd, rs1, rs2 }));
+        self
+    }
+
+    /// Emits `rd = rs1 <op> imm`.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        let (rd, rs1) = (self.check_reg(rd), self.check_reg(rs1));
+        self.instrs
+            .push(PendingInstr::Ready(Instr::AluImm { op, rd, rs1, imm }));
+        self
+    }
+
+    /// Emits `rd = imm` (sugar for `rd = r0 + imm`).
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Add, rd, 0, imm)
+    }
+
+    /// Emits `rd = rs` (sugar for `rd = rs + 0`).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.alui(AluOp::Add, rd, rs, 0)
+    }
+
+    /// Emits `rd = rs1 * rs2`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        let (rd, rs1, rs2) = (self.check_reg(rd), self.check_reg(rs1), self.check_reg(rs2));
+        self.instrs
+            .push(PendingInstr::Ready(Instr::Mul { rd, rs1, rs2 }));
+        self
+    }
+
+    /// Emits `rd = mem[base + offset]`.
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        let (rd, base) = (self.check_reg(rd), self.check_reg(base));
+        self.instrs
+            .push(PendingInstr::Ready(Instr::Load { rd, base, offset }));
+        self
+    }
+
+    /// Emits `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        let (src, base) = (self.check_reg(src), self.check_reg(base));
+        self.instrs
+            .push(PendingInstr::Ready(Instr::Store { src, base, offset }));
+        self
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        let (rs1, rs2) = (self.check_reg(rs1), self.check_reg(rs2));
+        self.instrs.push(PendingInstr::Branch {
+            cond,
+            rs1,
+            rs2,
+            label: label.to_string(),
+        });
+        self
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: &str) -> &mut Self {
+        self.instrs.push(PendingInstr::Jump {
+            label: label.to_string(),
+        });
+        self
+    }
+
+    /// Emits an indirect jump through `rs`.
+    pub fn jump_reg(&mut self, rs: Reg) -> &mut Self {
+        let rs = self.check_reg(rs);
+        self.instrs.push(PendingInstr::Ready(Instr::JumpReg { rs }));
+        self
+    }
+
+    /// Emits a call to `label`, linking into `link`.
+    pub fn call(&mut self, label: &str, link: Reg) -> &mut Self {
+        let link = self.check_reg(link);
+        self.instrs.push(PendingInstr::Call {
+            label: label.to_string(),
+            link,
+        });
+        self
+    }
+
+    /// Emits a return through `rs`.
+    pub fn ret(&mut self, rs: Reg) -> &mut Self {
+        let rs = self.check_reg(rs);
+        self.instrs.push(PendingInstr::Ready(Instr::Ret { rs }));
+        self
+    }
+
+    /// Emits `rd = <instruction index of label>` (for jump tables).
+    pub fn la(&mut self, rd: Reg, label: &str) -> &mut Self {
+        let rd = self.check_reg(rd);
+        self.instrs.push(PendingInstr::LoadLabelAddr {
+            rd,
+            label: label.to_string(),
+        });
+        self
+    }
+
+    /// Emits `fd = fs1 + fs2`.
+    pub fn fadd(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
+        let (fd, fs1, fs2) = (
+            self.check_freg(fd),
+            self.check_freg(fs1),
+            self.check_freg(fs2),
+        );
+        self.instrs
+            .push(PendingInstr::Ready(Instr::FAdd { fd, fs1, fs2 }));
+        self
+    }
+
+    /// Emits `fd = fs1 * fs2`.
+    pub fn fmul(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
+        let (fd, fs1, fs2) = (
+            self.check_freg(fd),
+            self.check_freg(fs1),
+            self.check_freg(fs2),
+        );
+        self.instrs
+            .push(PendingInstr::Ready(Instr::FMul { fd, fs1, fs2 }));
+        self
+    }
+
+    /// Emits `fd = f64(mem[base + offset])`.
+    pub fn fload(&mut self, fd: FReg, base: Reg, offset: i64) -> &mut Self {
+        let fd = self.check_freg(fd);
+        let base = self.check_reg(base);
+        self.instrs
+            .push(PendingInstr::Ready(Instr::FLoad { fd, base, offset }));
+        self
+    }
+
+    /// Emits a no-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.instrs.push(PendingInstr::Ready(Instr::Nop));
+        self
+    }
+
+    /// Emits a halt.
+    pub fn halt(&mut self) -> &mut Self {
+        self.instrs.push(PendingInstr::Ready(Instr::Halt));
+        self
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AsmError`] recorded during building
+    /// (bad register, duplicate label) or an
+    /// [`AsmError::UndefinedLabel`] discovered at resolution.
+    pub fn build(self) -> Result<Program, AsmError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        let labels = self.labels;
+        let resolve = |label: &str| -> Result<u32, AsmError> {
+            labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| AsmError::UndefinedLabel(label.to_string()))
+        };
+        let mut instrs = Vec::with_capacity(self.instrs.len());
+        for p in self.instrs {
+            let i = match p {
+                PendingInstr::Ready(i) => i,
+                PendingInstr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    label,
+                } => Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target: resolve(&label)?,
+                },
+                PendingInstr::Jump { label } => Instr::Jump {
+                    target: resolve(&label)?,
+                },
+                PendingInstr::Call { label, link } => Instr::Call {
+                    target: resolve(&label)?,
+                    link,
+                },
+                PendingInstr::LoadLabelAddr { rd, label } => Instr::AluImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: 0,
+                    imm: resolve(&label)? as i64,
+                },
+            };
+            instrs.push(i);
+        }
+        Ok(Program { instrs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_ops_semantics() {
+        assert_eq!(AluOp::Add.apply(3, u64::MAX), 2); // wrapping
+        assert_eq!(AluOp::Sub.apply(3, 5), (-2i64) as u64);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.apply(1, 65), 2); // shift amount masked
+        assert_eq!(AluOp::Shr.apply(8, 2), 2);
+        assert_eq!(AluOp::Slt.apply((-1i64) as u64, 0), 1);
+        assert_eq!(AluOp::Sltu.apply((-1i64) as u64, 0), 0);
+    }
+
+    #[test]
+    fn branch_cond_semantics() {
+        assert!(BranchCond::Eq.taken(5, 5));
+        assert!(BranchCond::Ne.taken(5, 6));
+        assert!(BranchCond::Lt.taken((-1i64) as u64, 0));
+        assert!(!BranchCond::Ltu.taken((-1i64) as u64, 0));
+        assert!(BranchCond::Ge.taken(0, (-1i64) as u64));
+        assert!(BranchCond::Geu.taken((-1i64) as u64, 0));
+    }
+
+    #[test]
+    fn builder_resolves_forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new();
+        b.jump("end"); // forward reference
+        b.label("mid");
+        b.nop();
+        b.label("end");
+        b.branch(BranchCond::Eq, 0, 0, "mid"); // backward reference
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.get(0), Some(&Instr::Jump { target: 2 }));
+        assert!(matches!(p.get(2), Some(&Instr::Branch { target: 1, .. })));
+    }
+
+    #[test]
+    fn builder_rejects_undefined_label() {
+        let mut b = ProgramBuilder::new();
+        b.jump("nowhere");
+        assert_eq!(
+            b.build(),
+            Err(AsmError::UndefinedLabel("nowhere".to_string()))
+        );
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_label() {
+        let mut b = ProgramBuilder::new();
+        b.label("x");
+        b.nop();
+        b.label("x");
+        assert!(matches!(b.build(), Err(AsmError::DuplicateLabel(_))));
+    }
+
+    #[test]
+    fn builder_rejects_bad_register() {
+        let mut b = ProgramBuilder::new();
+        b.alu(AluOp::Add, 64, 0, 0);
+        assert!(matches!(b.build(), Err(AsmError::BadRegister { .. })));
+        let mut b = ProgramBuilder::new();
+        b.fadd(32, 0, 0);
+        assert!(matches!(b.build(), Err(AsmError::BadRegister { .. })));
+    }
+
+    #[test]
+    fn la_materializes_label_index() {
+        let mut b = ProgramBuilder::new();
+        b.la(5, "t");
+        b.nop();
+        b.label("t");
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(
+            p.get(0),
+            Some(&Instr::AluImm {
+                op: AluOp::Add,
+                rd: 5,
+                rs1: 0,
+                imm: 2
+            })
+        );
+    }
+
+    #[test]
+    fn sugar_expands_correctly() {
+        let mut b = ProgramBuilder::new();
+        b.li(3, 42);
+        b.mv(4, 3);
+        let p = b.build().unwrap();
+        assert_eq!(
+            p.get(0),
+            Some(&Instr::AluImm {
+                op: AluOp::Add,
+                rd: 3,
+                rs1: 0,
+                imm: 42
+            })
+        );
+        assert_eq!(
+            p.get(1),
+            Some(&Instr::AluImm {
+                op: AluOp::Add,
+                rd: 4,
+                rs1: 3,
+                imm: 0
+            })
+        );
+    }
+
+    #[test]
+    fn program_accessors() {
+        let mut b = ProgramBuilder::new();
+        b.nop().halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.iter().count(), 2);
+        assert_eq!(p.get(99), None);
+        let empty = ProgramBuilder::new().build().unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn asm_error_display() {
+        assert!(AsmError::UndefinedLabel("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(AsmError::BadRegister {
+            index: 70,
+            limit: 64
+        }
+        .to_string()
+        .contains("70"));
+    }
+}

@@ -1,0 +1,157 @@
+//! `gcc` — stand-in for SPEC95 *126.gcc*.
+//!
+//! gcc's hot loops walk intermediate-representation lists and dispatch
+//! on rtl opcodes through dense, mostly-predictable branch trees while
+//! touching several medium-sized side tables. The signature is a high
+//! density of conditional branches with a skewed (and therefore
+//! largely predictable) opcode distribution over a multi-hundred-KiB
+//! instruction/data footprint (Table 3: IPC 1.619 with 2 FUs).
+//!
+//! The kernel scans a pseudo-IR buffer; each IR word carries a skewed
+//! 4-bit opcode and an operand index into a symbol table. A three-level
+//! branch tree classifies the opcode and runs a small per-class action
+//! (accumulate, table update, or multiply).
+
+use super::{ImageBuilder, KernelImage};
+use crate::isa::{AluOp, BranchCond, ProgramBuilder};
+use rand::Rng;
+
+/// Number of pseudo-IR entries (one word each).
+pub const IR_WORDS: u64 = 64 * 1024; // 512 KiB
+/// Symbol-table entries.
+pub const SYM_WORDS: u64 = 8 * 1024; // 64 KiB
+
+const IR_BASE: u64 = 0x0020_0000;
+const SYM_BASE: u64 = 0x0008_0000;
+
+/// Builds the `gcc` kernel image.
+pub fn gcc(seed: u64) -> KernelImage {
+    let mut img = ImageBuilder::new(seed);
+
+    // Skewed opcode distribution: classes {0,1} dominate, like real
+    // rtl streams dominated by a few expression codes.
+    for i in 0..IR_WORDS {
+        let roll: f64 = img.rng.gen();
+        let opcode: u64 = if roll < 0.85 {
+            img.rng.gen_range(0..2)
+        } else if roll < 0.93 {
+            img.rng.gen_range(2..4)
+        } else if roll < 0.98 {
+            img.rng.gen_range(4..8)
+        } else {
+            img.rng.gen_range(8..16)
+        };
+        let operand = img.rng.gen_range(0..SYM_WORDS);
+        img.word(IR_BASE + i * 8, (operand << 16) | opcode);
+    }
+    img.fill_random(SYM_BASE, SYM_WORDS, 1 << 20);
+
+    // r10 = IR_BASE, r11 = SYM_BASE, r12 = IR_WORDS
+    // r1 = IR cursor, r2 = remaining, r3 = IR word, r4 = opcode,
+    // r5 = symbol address, r8/r9 = accumulators.
+    let mut b = ProgramBuilder::new();
+    b.li(10, IR_BASE as i64);
+    b.li(11, SYM_BASE as i64);
+    b.li(12, IR_WORDS as i64);
+
+    b.label("outer");
+    b.mv(1, 10);
+    b.mv(2, 12);
+    b.label("ir");
+    b.load(3, 1, 0);
+    b.alui(AluOp::And, 4, 3, 15); // opcode
+    b.alui(AluOp::Shr, 5, 3, 16); // operand index
+    b.alui(AluOp::And, 5, 5, (SYM_WORDS - 1) as i64);
+    b.alui(AluOp::Shl, 5, 5, 3);
+    b.alu(AluOp::Add, 5, 5, 11);
+
+    // Three-level opcode classification tree; every level is heavily
+    // biased toward its taken edge so the overall tree predicts like
+    // real rtl dispatch does.
+    b.li(6, 8);
+    b.branch(BranchCond::Lt, 4, 6, "lt8");
+    // opcode 8..15: multiply-update a symbol (rare).
+    b.load(7, 5, 0);
+    b.mul(7, 7, 3);
+    b.store(7, 5, 0);
+    b.jump("next");
+
+    b.label("lt8");
+    b.li(6, 4);
+    b.branch(BranchCond::Lt, 4, 6, "lt4");
+    // opcode 4..7: read-modify-write a symbol.
+    b.load(7, 5, 0);
+    b.alu(AluOp::Add, 7, 7, 3);
+    b.store(7, 5, 0);
+    b.jump("next");
+
+    b.label("lt4");
+    b.li(6, 2);
+    b.branch(BranchCond::Lt, 4, 6, "lt2");
+    // opcode 2..3: symbol read and fold.
+    b.load(7, 5, 0);
+    b.alu(AluOp::Xor, 8, 8, 7);
+    b.jump("next");
+
+    b.label("lt2");
+    // opcode 0..1 (the common case): cheap fold, no memory.
+    b.alu(AluOp::Add, 9, 9, 3);
+
+    b.label("next");
+    b.alui(AluOp::Add, 1, 1, 8);
+    b.alui(AluOp::Sub, 2, 2, 1);
+    b.branch(BranchCond::Ne, 2, 0, "ir");
+    b.jump("outer");
+
+    KernelImage {
+        program: b.build().expect("gcc kernel assembles"),
+        memory: img.finish(),
+        description: "skewed opcode branch trees over IR and symbol tables (SPEC95 gcc)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+    use crate::trace::OpClass;
+
+    #[test]
+    fn runs_forever_and_is_deterministic() {
+        let a = run_kernel(&gcc(1), 50_000);
+        let b = run_kernel(&gcc(1), 50_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn branch_dense() {
+        let t = run_kernel(&gcc(1), 100_000);
+        let f = control_fraction(&t);
+        assert!(f > 0.2, "control fraction {f}");
+    }
+
+    #[test]
+    fn common_case_avoids_memory() {
+        // With 55% of opcodes in {0,1}, the load density stays well
+        // below one per IR entry (1 IR load + sometimes a symbol load).
+        let t = run_kernel(&gcc(1), 100_000);
+        let f = mem_fraction(&t);
+        assert!(f > 0.05 && f < 0.35, "mem fraction {f}");
+    }
+
+    #[test]
+    fn rare_path_multiplies() {
+        let t = run_kernel(&gcc(1), 100_000);
+        let muls = t.iter().filter(|r| r.op == OpClass::IntMul).count();
+        let frac = muls as f64 / t.len() as f64;
+        assert!(frac > 0.001 && frac < 0.05, "mul fraction {frac}");
+    }
+
+    #[test]
+    fn touches_ir_and_symbol_footprints() {
+        let t = run_kernel(&gcc(1), 300_000);
+        let lines = data_lines(&t);
+        // Streaming the IR buffer alone covers thousands of lines.
+        assert!(lines > 2_000, "distinct lines {lines}");
+    }
+}

@@ -1,0 +1,140 @@
+//! `health` — stand-in for the Olden *health* benchmark.
+//!
+//! Olden's health simulates a hierarchy of hospital "villages", each
+//! owning linked lists of patients that are repeatedly traversed and
+//! mutated. Its architectural signature is **pointer chasing**: long
+//! chains of dependent loads over a poorly-clustered heap, which
+//! serializes the pipeline on cache latency and yields the suite's
+//! lowest IPC besides mcf (Table 3: 0.554 with 2 FUs).
+//!
+//! The kernel builds `VILLAGES` linked lists whose nodes are scattered
+//! across a multi-megabyte arena by a random permutation, then loops
+//! forever: for every village, walk its list, incrementing each
+//! patient's severity field (load → add → store → dependent next-load).
+
+use super::{ImageBuilder, KernelImage};
+use crate::isa::{AluOp, BranchCond, ProgramBuilder};
+
+/// Number of village lists.
+pub const VILLAGES: u64 = 64;
+/// Patients per village list.
+pub const PATIENTS_PER_VILLAGE: u64 = 512;
+/// Arena slots the nodes are scattered over (16 bytes each).
+const ARENA_SLOTS: u64 = 128 * 1024; // 2 MiB arena (L2-sized, L1-hostile)
+
+const HEADS_BASE: u64 = 0x0010_0000;
+const ARENA_BASE: u64 = 0x0100_0000;
+const STATS_BASE: u64 = 0x0009_0000;
+
+/// Builds the `health` kernel image.
+pub fn health(seed: u64) -> KernelImage {
+    let mut img = ImageBuilder::new(seed);
+
+    // Scatter nodes over the arena: node k of the global node list
+    // lives at slot perm[k]. A node is [next_ptr, severity].
+    let total_nodes = VILLAGES * PATIENTS_PER_VILLAGE;
+    let perm = img.permutation(ARENA_SLOTS);
+    let node_addr = |k: u64| ARENA_BASE + perm[k as usize] * 16;
+
+    for v in 0..VILLAGES {
+        let first = v * PATIENTS_PER_VILLAGE;
+        img.word(HEADS_BASE + v * 8, node_addr(first));
+        for i in 0..PATIENTS_PER_VILLAGE {
+            let k = first + i;
+            let next = if i + 1 == PATIENTS_PER_VILLAGE {
+                0 // end of list
+            } else {
+                node_addr(k + 1)
+            };
+            img.word(node_addr(k), next);
+            let severity = k % 13;
+            img.word(node_addr(k) + 8, severity);
+        }
+    }
+    debug_assert!(total_nodes <= ARENA_SLOTS);
+
+    img.word(STATS_BASE, 1);
+
+    // r1: heads cursor, r2: village counter, r3: node pointer,
+    // r4: severity scratch, r6: checksum, r30: stats base.
+    let mut b = ProgramBuilder::new();
+    b.li(30, STATS_BASE as i64);
+    b.label("outer");
+    b.li(1, HEADS_BASE as i64);
+    b.li(2, VILLAGES as i64);
+    b.label("village");
+    b.load(3, 1, 0); // head pointer
+    b.branch(BranchCond::Eq, 3, 0, "village_done");
+    b.label("walk");
+    b.load(4, 3, 8); // severity
+    b.alui(AluOp::Add, 4, 4, 1);
+    b.store(4, 3, 8);
+    b.alu(AluOp::Add, 6, 6, 4);
+    // Patient bookkeeping (age/priority folds in the real benchmark),
+    // including a hot global-statistics read that overlaps the
+    // next-pointer miss exactly as health's village counters do.
+    b.alui(AluOp::Shr, 5, 4, 2);
+    b.alu(AluOp::Xor, 7, 7, 5);
+    b.load(8, 30, 0); // global stats word (L1-resident)
+    b.alu(AluOp::Add, 9, 9, 8);
+    b.load(3, 3, 0); // dependent next-pointer load
+    b.branch(BranchCond::Ne, 3, 0, "walk");
+    b.label("village_done");
+    b.alui(AluOp::Add, 1, 1, 8);
+    b.alui(AluOp::Sub, 2, 2, 1);
+    b.branch(BranchCond::Ne, 2, 0, "village");
+    b.jump("outer");
+
+    KernelImage {
+        program: b.build().expect("health kernel assembles"),
+        memory: img.finish(),
+        description: "linked-list pointer chasing over a scattered heap (Olden health)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn runs_forever_and_is_deterministic() {
+        let a = run_kernel(&health(1), 50_000);
+        let b = run_kernel(&health(1), 50_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_kernel(&health(1), 10_000);
+        let b = run_kernel(&health(2), 10_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn is_memory_heavy() {
+        let t = run_kernel(&health(1), 50_000);
+        let f = mem_fraction(&t);
+        assert!(f > 0.3, "mem fraction {f}");
+    }
+
+    #[test]
+    fn touches_a_large_scattered_footprint() {
+        let t = run_kernel(&health(1), 200_000);
+        let lines = data_lines(&t);
+        // ~33k nodes scattered over 4 MiB: tens of thousands of lines.
+        assert!(lines > 10_000, "distinct lines {lines}");
+    }
+
+    #[test]
+    fn walks_full_lists() {
+        // Each patient visit is 10 instructions; a full village sweep
+        // retires VILLAGES * PATIENTS * 6 plus per-village overhead.
+        let t = run_kernel(&health(1), 300_000);
+        let stores = t
+            .iter()
+            .filter(|r| r.op == crate::trace::OpClass::Store)
+            .count();
+        assert!(stores > 20_000, "stores {stores}");
+    }
+}

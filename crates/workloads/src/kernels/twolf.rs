@@ -1,0 +1,149 @@
+//! `twolf` — stand-in for SPEC2000 *300.twolf*.
+//!
+//! twolf's simulated-annealing placement loop picks cell pairs,
+//! evaluates the wire-length delta, and probabilistically accepts
+//! swaps. The signature is scattered small-structure loads over a
+//! cache-resident cell array, signed-distance arithmetic with
+//! data-dependent branches, and bursts of stores on accepted moves
+//! (Table 3: IPC 1.475 with 3 FUs).
+//!
+//! The kernel picks two pseudo-random cells, computes a Manhattan
+//! wire-length delta (absolute values via compare-and-negate, one
+//! mostly-biased branch and one data-dependent branch), and swaps the
+//! coordinates on a biased accept test.
+
+use super::{ImageBuilder, KernelImage};
+use crate::isa::{AluOp, BranchCond, ProgramBuilder};
+use rand::Rng;
+
+/// Number of placed cells (16 bytes each: x, y).
+pub const CELLS: u64 = 8 * 1024; // 128 KiB
+/// Swaps attempted per outer pass.
+const SWAPS_PER_PASS: i64 = 1 << 15;
+
+const CELL_BASE: u64 = 0x0010_0000;
+const LCG_MUL: i64 = 6_364_136_223_846_793_005u64 as i64;
+const LCG_ADD: i64 = 1_442_695_040_888_963_407u64 as i64;
+
+/// Builds the `twolf` kernel image.
+pub fn twolf(seed: u64) -> KernelImage {
+    let mut img = ImageBuilder::new(seed);
+    img.word(CELL_BASE - 8, 0xBEEF ^ seed); // LCG seed word
+
+    for c in 0..CELLS {
+        let x = img.rng.gen_range(0..1024u64);
+        let y = img.rng.gen_range(0..1024u64);
+        img.word(CELL_BASE + c * 16, x);
+        img.word(CELL_BASE + c * 16 + 8, y);
+    }
+
+    // r10 = CELL_BASE, r11/r12 = LCG consts, r13 = cell mask,
+    // r20 = LCG state; r21/r22 = cell addresses; r3..r6 coordinates.
+    let mut b = ProgramBuilder::new();
+    b.li(10, CELL_BASE as i64);
+    b.li(11, LCG_MUL);
+    b.li(12, LCG_ADD);
+    b.li(13, (CELLS - 1) as i64);
+    b.li(30, (CELL_BASE - 8) as i64);
+    b.load(20, 30, 0);
+
+    b.label("outer");
+    b.li(1, SWAPS_PER_PASS);
+    b.label("swap");
+    b.mul(20, 20, 11);
+    b.alu(AluOp::Add, 20, 20, 12);
+    b.alui(AluOp::Shr, 21, 20, 18);
+    b.alu(AluOp::And, 21, 21, 13);
+    b.alui(AluOp::Shr, 22, 20, 38);
+    b.alu(AluOp::And, 22, 22, 13);
+    b.alui(AluOp::Shl, 21, 21, 4);
+    b.alu(AluOp::Add, 21, 21, 10);
+    b.alui(AluOp::Shl, 22, 22, 4);
+    b.alu(AluOp::Add, 22, 22, 10);
+    b.load(3, 21, 0); // ax
+    b.load(4, 22, 0); // bx
+    b.load(5, 21, 8); // ay
+    b.load(6, 22, 8); // by
+    // dx = |ax - bx|, computed branch-free with a sign mask (the real
+    // twolf uses abs() on wire spans; a 50/50 data-dependent branch
+    // here would overstate its misprediction rate).
+    b.alu(AluOp::Sub, 7, 3, 4);
+    b.alu(AluOp::Slt, 16, 7, 0); // 1 if negative
+    b.alu(AluOp::Sub, 16, 0, 16); // 0 or all-ones
+    b.alu(AluOp::Xor, 7, 7, 16);
+    b.alu(AluOp::Sub, 7, 7, 16); // two's-complement abs
+    // dy = |ay - by|.
+    b.alu(AluOp::Sub, 8, 5, 6);
+    b.alu(AluOp::Slt, 16, 8, 0);
+    b.alu(AluOp::Sub, 16, 0, 16);
+    b.alu(AluOp::Xor, 8, 8, 16);
+    b.alu(AluOp::Sub, 8, 8, 16);
+    b.alu(AluOp::Add, 9, 7, 8); // Manhattan cost
+    // Accept ~25% of moves (annealing past the hot phase). High LCG
+    // bits: the low bits of an LCG cycle with short period, which a
+    // history predictor learns — real accept tests do not.
+    b.alui(AluOp::Shr, 14, 20, 33);
+    b.alui(AluOp::And, 14, 14, 3);
+    b.branch(BranchCond::Ne, 14, 0, "reject");
+    b.store(4, 21, 0); // swap x
+    b.store(3, 22, 0);
+    b.store(6, 21, 8); // swap y
+    b.store(5, 22, 8);
+    b.alu(AluOp::Add, 15, 15, 9); // accepted cost accumulator
+    b.label("reject");
+    b.alui(AluOp::Sub, 1, 1, 1);
+    b.branch(BranchCond::Ne, 1, 0, "swap");
+    b.jump("outer");
+
+    KernelImage {
+        program: b.build().expect("twolf kernel assembles"),
+        memory: img.finish(),
+        description: "annealing cell swaps with data-dependent accepts (SPEC2000 twolf)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+    use crate::trace::OpClass;
+
+    #[test]
+    fn runs_forever_and_is_deterministic() {
+        let a = run_kernel(&twolf(1), 50_000);
+        let b = run_kernel(&twolf(1), 50_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accept_rate_near_quarter() {
+        let t = run_kernel(&twolf(1), 400_000);
+        let loads = t.iter().filter(|r| r.op == OpClass::Load).count() as f64;
+        let stores = t.iter().filter(|r| r.op == OpClass::Store).count() as f64;
+        // 4 loads per attempt, 4 stores per accepted attempt.
+        let accept = stores / loads;
+        assert!((0.15..=0.35).contains(&accept), "accept rate {accept}");
+    }
+
+    #[test]
+    fn footprint_is_l2_resident() {
+        let t = run_kernel(&twolf(1), 400_000);
+        let lines = data_lines(&t);
+        // 128 KiB of cells = 2048 lines.
+        assert!((500..=2100).contains(&lines), "distinct lines {lines}");
+    }
+
+    #[test]
+    fn has_data_dependent_branches() {
+        // The abs-direction branches should split both ways.
+        let t = run_kernel(&twolf(1), 200_000);
+        let branches: Vec<bool> = t
+            .iter()
+            .filter(|r| r.op == OpClass::CondBranch)
+            .filter_map(|r| r.branch.map(|b| b.taken))
+            .collect();
+        let taken = branches.iter().filter(|&&x| x).count() as f64;
+        let rate = taken / branches.len() as f64;
+        assert!((0.5..=0.99).contains(&rate), "taken rate {rate}");
+    }
+}

@@ -1,0 +1,142 @@
+//! `vpr` — stand-in for SPEC2000 *175.vpr* (place & route).
+//!
+//! vpr's placement phase sweeps FPGA grid structures computing
+//! bounding-box wire-cost estimates: regular strided loads over a
+//! half-megabyte grid, min/max reductions with moderately predictable
+//! comparisons, and an accumulate (Table 3: IPC 1.431 with 3 FUs).
+//!
+//! The kernel sweeps a `GRID x GRID` occupancy array, loading each
+//! cell and its east and south neighbors, reducing them with
+//! compare-and-move max/min sequences, and accumulating the span. The
+//! grid is generated as a smooth gradient plus noise so comparisons
+//! are biased (mostly predictable) without being constant.
+
+use super::{ImageBuilder, KernelImage};
+use crate::isa::{AluOp, BranchCond, ProgramBuilder};
+use rand::Rng;
+
+/// Grid edge length (cells); the array is `GRID * GRID` words.
+pub const GRID: u64 = 256; // 512 KiB
+/// Number of cells swept per pass (skips the last row).
+const SWEEP_CELLS: u64 = (GRID - 1) * GRID - 1;
+
+const GRID_BASE: u64 = 0x0060_0000;
+
+/// Builds the `vpr` kernel image.
+pub fn vpr(seed: u64) -> KernelImage {
+    let mut img = ImageBuilder::new(seed);
+
+    for r in 0..GRID {
+        for c in 0..GRID {
+            // Smooth gradient + small noise: neighbor comparisons are
+            // biased toward one outcome (the gradient step of 4
+            // usually dominates the 0..8 noise) but not degenerate.
+            let v = (r + c) * 4 + img.rng.gen_range(0..6);
+            img.word(GRID_BASE + (r * GRID + c) * 8, v);
+        }
+    }
+
+    // r10 = GRID_BASE, r12 = SWEEP_CELLS, r1 = cell index,
+    // r3 = cell addr, r4/r5/r6 = cell, east, south values,
+    // r7 = max, r8 = min, r9 = accumulated span.
+    let mut b = ProgramBuilder::new();
+    b.li(10, GRID_BASE as i64);
+    b.li(12, SWEEP_CELLS as i64);
+
+    b.label("outer");
+    b.li(1, 0);
+    b.label("cell");
+    b.alui(AluOp::Shl, 3, 1, 3);
+    b.alu(AluOp::Add, 3, 3, 10);
+    b.load(4, 3, 0); // cell
+    b.load(5, 3, 8); // east neighbor
+    b.load(6, 3, (GRID * 8) as i64); // south neighbor
+    // max of the three into r7.
+    b.mv(7, 4);
+    b.branch(BranchCond::Ge, 7, 5, "max_e");
+    b.mv(7, 5);
+    b.label("max_e");
+    b.branch(BranchCond::Ge, 7, 6, "max_s");
+    b.mv(7, 6);
+    b.label("max_s");
+    // min of the three into r8, branch-free (select via sign mask) —
+    // half of the reduction compiles to conditional moves on a real
+    // Alpha, so only the max half contributes branches.
+    b.alu(AluOp::Sltu, 8, 5, 4); // 1 if east < cell
+    b.alu(AluOp::Sub, 8, 0, 8); // mask
+    b.alu(AluOp::Xor, 16, 4, 5);
+    b.alu(AluOp::And, 16, 16, 8);
+    b.alu(AluOp::Xor, 8, 4, 16); // min(cell, east)
+    b.alu(AluOp::Sltu, 16, 6, 8);
+    b.alu(AluOp::Sub, 16, 0, 16);
+    b.alu(AluOp::Xor, 17, 8, 6);
+    b.alu(AluOp::And, 17, 17, 16);
+    b.alu(AluOp::Xor, 8, 8, 17); // min(min, south)
+    b.alu(AluOp::Sub, 9, 7, 8);
+    b.alu(AluOp::Add, 15, 15, 9); // accumulate span
+    // Every 256th cell, write the span back (cost cache update).
+    b.alui(AluOp::And, 16, 1, 255);
+    b.branch(BranchCond::Ne, 16, 0, "no_store");
+    b.store(9, 3, 0);
+    b.label("no_store");
+    b.alui(AluOp::Add, 1, 1, 1);
+    b.branch(BranchCond::Ltu, 1, 12, "cell");
+    b.jump("outer");
+
+    KernelImage {
+        program: b.build().expect("vpr kernel assembles"),
+        memory: img.finish(),
+        description: "grid bounding-box sweeps with biased comparisons (SPEC2000 vpr)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+    use crate::trace::OpClass;
+
+    #[test]
+    fn runs_forever_and_is_deterministic() {
+        let a = run_kernel(&vpr(1), 50_000);
+        let b = run_kernel(&vpr(1), 50_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn three_loads_per_cell() {
+        let t = run_kernel(&vpr(1), 200_000);
+        let loads = t.iter().filter(|r| r.op == OpClass::Load).count() as f64;
+        let frac = loads / t.len() as f64;
+        // ~3 loads per ~19-instruction cell body.
+        assert!((0.10..=0.25).contains(&frac), "load fraction {frac}");
+    }
+
+    #[test]
+    fn comparisons_are_biased_not_constant() {
+        let t = run_kernel(&vpr(1), 200_000);
+        let branches: Vec<bool> = t
+            .iter()
+            .filter(|r| r.op == OpClass::CondBranch)
+            .filter_map(|r| r.branch.map(|b| b.taken))
+            .collect();
+        let rate = branches.iter().filter(|&&x| x).count() as f64 / branches.len() as f64;
+        assert!((0.4..=0.95).contains(&rate), "taken rate {rate}");
+    }
+
+    #[test]
+    fn occasional_stores() {
+        let t = run_kernel(&vpr(1), 400_000);
+        let stores = t.iter().filter(|r| r.op == OpClass::Store).count();
+        assert!(stores > 50, "stores {stores}");
+        let loads = t.iter().filter(|r| r.op == OpClass::Load).count();
+        assert!(stores * 50 < loads, "stores should be rare");
+    }
+
+    #[test]
+    fn strided_footprint() {
+        let t = run_kernel(&vpr(1), 400_000);
+        let lines = data_lines(&t);
+        assert!(lines > 1_000, "distinct lines {lines}");
+    }
+}

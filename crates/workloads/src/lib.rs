@@ -1,0 +1,46 @@
+//! Mini-ISA, functional executor, and synthetic benchmark kernels.
+//!
+//! The paper evaluates its sleep-management policies on nine integer
+//! benchmarks (Olden `health`/`mst`, SPEC95 `gcc`, SPEC2000 `gzip`,
+//! `mcf`, `parser`, `twolf`, `vortex`, `vpr`) run under a modified
+//! SimpleScalar. Real SPEC/Olden binaries and inputs are proprietary,
+//! so this crate substitutes *synthetic kernels*: small programs
+//! written in a RISC-like mini ISA, executed functionally to produce a
+//! dynamic instruction trace with genuine data dependences, memory
+//! footprints, and control flow. Each kernel is designed to land in the
+//! behavioral regime of its namesake (pointer chasing with poor
+//! locality for `health`/`mcf`, sliding-window compression for `gzip`,
+//! branchy table-driven code for `gcc`/`parser`, annealing/placement
+//! loops for `twolf`/`vpr`, object-graph traversal for `vortex`, greedy
+//! graph work for `mst`) — see `DESIGN.md` §4 for the substitution
+//! rationale.
+//!
+//! The cycle-level simulator in `fuleak-uarch` consumes the
+//! [`trace::TraceRecord`] stream this crate emits.
+//!
+//! # Example
+//!
+//! ```
+//! use fuleak_workloads::bench::Benchmark;
+//!
+//! let bench = Benchmark::by_name("gzip").expect("gzip is registered");
+//! let mut machine = bench.instantiate();
+//! let trace: Vec<_> = machine.run(10_000).collect::<Result<_, _>>()?;
+//! assert_eq!(trace.len(), 10_000);
+//! # Ok::<(), fuleak_workloads::exec::ExecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod exec;
+pub mod isa;
+pub mod kernels;
+pub mod synthetic;
+pub mod trace;
+
+pub use bench::Benchmark;
+pub use exec::Machine;
+pub use isa::{AluOp, BranchCond, Instr, Program, ProgramBuilder, Reg};
+pub use trace::{ArchReg, BranchInfo, OpClass, TraceRecord};

@@ -1,0 +1,171 @@
+//! Synthetic busy/idle streams for model-level studies.
+//!
+//! The analytical half of the paper (Section 3.1) explores usage
+//! factors and idle-interval lengths directly; these generators
+//! produce matching cycle streams and interval lists so the
+//! `fuleak-core` accounting can be exercised and property-tested
+//! without running the full timing simulator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated workload: a total active-cycle count plus the list of
+/// idle intervals, in occurrence order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticWorkload {
+    /// Active cycles.
+    pub active_cycles: u64,
+    /// Idle intervals (cycles each).
+    pub idle_intervals: Vec<u64>,
+}
+
+impl SyntheticWorkload {
+    /// Total idle cycles.
+    pub fn idle_cycles(&self) -> u64 {
+        self.idle_intervals.iter().sum()
+    }
+
+    /// Total cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.active_cycles + self.idle_cycles()
+    }
+
+    /// Realized usage factor.
+    pub fn usage_factor(&self) -> f64 {
+        self.active_cycles as f64 / self.total_cycles() as f64
+    }
+
+    /// Mean idle-interval length (0 when there are no intervals).
+    pub fn mean_idle_interval(&self) -> f64 {
+        if self.idle_intervals.is_empty() {
+            0.0
+        } else {
+            self.idle_cycles() as f64 / self.idle_intervals.len() as f64
+        }
+    }
+}
+
+/// Fixed-length intervals: `count` intervals of exactly `length`
+/// cycles, each preceded by `active_run` active cycles — the
+/// closed-form scenario of Figures 4b–4d made concrete.
+pub fn fixed_intervals(count: u64, length: u64, active_run: u64) -> SyntheticWorkload {
+    SyntheticWorkload {
+        active_cycles: count * active_run,
+        idle_intervals: vec![length; count as usize],
+    }
+}
+
+/// Geometrically distributed interval lengths with the given mean
+/// (minimum 1 cycle), `count` intervals, `active_run` active cycles
+/// per interval.
+pub fn geometric_intervals(
+    seed: u64,
+    count: u64,
+    mean_length: f64,
+    active_run: u64,
+) -> SyntheticWorkload {
+    assert!(mean_length >= 1.0, "mean interval must be >= 1 cycle");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let p = 1.0 / mean_length; // stop probability per cycle
+    let intervals = (0..count)
+        .map(|_| {
+            let mut len = 1u64;
+            while rng.gen::<f64>() > p && len < 1_000_000 {
+                len += 1;
+            }
+            len
+        })
+        .collect();
+    SyntheticWorkload {
+        active_cycles: count * active_run,
+        idle_intervals: intervals,
+    }
+}
+
+/// Bimodal intervals: a mix of short and long intervals — the regime
+/// where GradualSleep's hedging matters most.
+pub fn bimodal_intervals(
+    seed: u64,
+    count: u64,
+    short: u64,
+    long: u64,
+    long_fraction: f64,
+    active_run: u64,
+) -> SyntheticWorkload {
+    assert!((0.0..=1.0).contains(&long_fraction));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let intervals = (0..count)
+        .map(|_| {
+            if rng.gen::<f64>() < long_fraction {
+                long
+            } else {
+                short
+            }
+        })
+        .collect();
+    SyntheticWorkload {
+        active_cycles: count * active_run,
+        idle_intervals: intervals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_intervals_shape() {
+        let w = fixed_intervals(10, 7, 3);
+        assert_eq!(w.idle_intervals, vec![7; 10]);
+        assert_eq!(w.active_cycles, 30);
+        assert_eq!(w.idle_cycles(), 70);
+        assert_eq!(w.total_cycles(), 100);
+        assert!((w.usage_factor() - 0.3).abs() < 1e-12);
+        assert!((w.mean_idle_interval() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_is_close() {
+        let w = geometric_intervals(42, 20_000, 12.0, 1);
+        let mean = w.mean_idle_interval();
+        assert!((mean - 12.0).abs() < 0.5, "mean {mean}");
+        assert!(w.idle_intervals.iter().all(|&t| t >= 1));
+    }
+
+    #[test]
+    fn geometric_is_deterministic_per_seed() {
+        let a = geometric_intervals(7, 100, 5.0, 2);
+        let b = geometric_intervals(7, 100, 5.0, 2);
+        assert_eq!(a, b);
+        let c = geometric_intervals(8, 100, 5.0, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bimodal_mixes_lengths() {
+        let w = bimodal_intervals(3, 10_000, 2, 200, 0.25, 1);
+        let longs = w.idle_intervals.iter().filter(|&&t| t == 200).count();
+        let frac = longs as f64 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.03, "long fraction {frac}");
+        assert!(w
+            .idle_intervals
+            .iter()
+            .all(|&t| t == 2 || t == 200));
+    }
+
+    #[test]
+    fn empty_workload_edge_cases() {
+        let w = SyntheticWorkload {
+            active_cycles: 5,
+            idle_intervals: vec![],
+        };
+        assert_eq!(w.mean_idle_interval(), 0.0);
+        assert_eq!(w.total_cycles(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean interval")]
+    fn geometric_rejects_sub_cycle_mean() {
+        geometric_intervals(1, 10, 0.5, 1);
+    }
+}

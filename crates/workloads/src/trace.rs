@@ -1,0 +1,219 @@
+//! Dynamic-trace record types consumed by the timing simulator.
+//!
+//! The functional executor retires one [`TraceRecord`] per instruction.
+//! A record carries everything the out-of-order timing model needs:
+//! the static PC (for I-cache and predictor indexing), the operation
+//! class (FU type and latency), architectural source/destination
+//! registers (for renaming), the effective memory address (for the
+//! D-cache and LSQ), and resolved control-flow information (for
+//! misprediction detection).
+
+/// An architectural register reference, distinguishing the integer and
+/// floating-point files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchReg {
+    /// Integer register (`r0` is the zero register and is never
+    /// renamed).
+    Int(u8),
+    /// Floating-point register.
+    Fp(u8),
+}
+
+/// The operation class, which determines the functional unit type and
+/// execution latency in the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Integer multiply (longer latency, integer FU).
+    IntMul,
+    /// Memory load (address generation on an integer FU, then D-cache).
+    Load,
+    /// Memory store (address generation on an integer FU; data written
+    /// at commit).
+    Store,
+    /// Conditional branch (integer FU).
+    CondBranch,
+    /// Unconditional direct jump.
+    Jump,
+    /// Indirect jump through a register (BTB-predicted).
+    IndirectJump,
+    /// Direct call (pushes the RAS).
+    Call,
+    /// Return (pops the RAS).
+    Return,
+    /// Floating-point add/sub class.
+    FpAdd,
+    /// Floating-point multiply class.
+    FpMul,
+    /// No-op (consumes a slot, no FU).
+    Nop,
+}
+
+impl OpClass {
+    /// True for every control-transfer class.
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            OpClass::CondBranch
+                | OpClass::Jump
+                | OpClass::IndirectJump
+                | OpClass::Call
+                | OpClass::Return
+        )
+    }
+
+    /// True for classes executed on the integer functional units (the
+    /// units the paper manages).
+    pub fn uses_int_fu(self) -> bool {
+        matches!(
+            self,
+            OpClass::IntAlu
+                | OpClass::IntMul
+                | OpClass::Load
+                | OpClass::Store
+                | OpClass::CondBranch
+                | OpClass::Jump
+                | OpClass::IndirectJump
+                | OpClass::Call
+                | OpClass::Return
+        )
+    }
+
+    /// True for classes executed on the floating-point units.
+    pub fn uses_fp_fu(self) -> bool {
+        matches!(self, OpClass::FpAdd | OpClass::FpMul)
+    }
+
+    /// True for memory operations.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+}
+
+/// Resolved control-flow outcome of a control instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// Whether the branch was taken (always true for jumps).
+    pub taken: bool,
+    /// The next instruction index actually executed.
+    pub next_pc: u32,
+}
+
+/// One retired instruction of the dynamic trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Static instruction index (multiply by 4 for a byte address).
+    pub pc: u32,
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination register, if any.
+    pub dst: Option<ArchReg>,
+    /// Source registers (up to two).
+    pub srcs: [Option<ArchReg>; 2],
+    /// Effective byte address for memory operations.
+    pub mem_addr: Option<u64>,
+    /// Control-flow resolution for control instructions.
+    pub branch: Option<BranchInfo>,
+}
+
+impl TraceRecord {
+    /// Byte address of the instruction (for I-cache indexing).
+    pub fn byte_pc(&self) -> u64 {
+        u64::from(self.pc) * 4
+    }
+
+    /// The fall-through instruction index.
+    pub fn fallthrough(&self) -> u32 {
+        self.pc + 1
+    }
+
+    /// The next instruction index this record leads to (branch target
+    /// or fall-through).
+    pub fn next_pc(&self) -> u32 {
+        match self.branch {
+            Some(b) if b.taken => b.next_pc,
+            _ => self.fallthrough(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(op: OpClass) -> TraceRecord {
+        TraceRecord {
+            pc: 10,
+            op,
+            dst: None,
+            srcs: [None, None],
+            mem_addr: None,
+            branch: None,
+        }
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(OpClass::CondBranch.is_control());
+        assert!(OpClass::Return.is_control());
+        assert!(!OpClass::IntAlu.is_control());
+        assert!(!OpClass::Load.is_control());
+    }
+
+    #[test]
+    fn fu_classification_is_exclusive() {
+        let all = [
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::CondBranch,
+            OpClass::Jump,
+            OpClass::IndirectJump,
+            OpClass::Call,
+            OpClass::Return,
+            OpClass::FpAdd,
+            OpClass::FpMul,
+            OpClass::Nop,
+        ];
+        for op in all {
+            assert!(
+                !(op.uses_int_fu() && op.uses_fp_fu()),
+                "{op:?} claims both FU types"
+            );
+        }
+        assert!(OpClass::IntMul.uses_int_fu());
+        assert!(OpClass::FpMul.uses_fp_fu());
+        assert!(!OpClass::Nop.uses_int_fu());
+    }
+
+    #[test]
+    fn mem_classification() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+    }
+
+    #[test]
+    fn next_pc_follows_taken_branches() {
+        let mut r = rec(OpClass::CondBranch);
+        r.branch = Some(BranchInfo {
+            taken: true,
+            next_pc: 42,
+        });
+        assert_eq!(r.next_pc(), 42);
+        r.branch = Some(BranchInfo {
+            taken: false,
+            next_pc: 11,
+        });
+        assert_eq!(r.next_pc(), 11);
+        assert_eq!(rec(OpClass::IntAlu).next_pc(), 11);
+    }
+
+    #[test]
+    fn byte_pc_is_scaled() {
+        assert_eq!(rec(OpClass::IntAlu).byte_pc(), 40);
+        assert_eq!(rec(OpClass::IntAlu).fallthrough(), 11);
+    }
+}

@@ -1,0 +1,70 @@
+//! End-to-end pipeline: benchmark kernel -> timing simulator ->
+//! idle-interval statistics -> policy energies.
+//!
+//! This is the paper's full Section 4/5 methodology on one benchmark:
+//! run `gzip` on the Alpha-21264-like core, restrict the FU count by
+//! the 95%-of-peak rule, and evaluate all four sleep policies at both
+//! technology points.
+//!
+//! Run with: `cargo run --release --example pipeline_energy`
+
+use fuleak_core::{EnergyModel, TechnologyParams};
+use fuleak_experiments::empirical::{benchmark_energy, PolicyKind, POLICIES};
+use fuleak_experiments::harness::{run_benchmark, Budget};
+use fuleak_workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = Benchmark::by_name("gzip").expect("gzip is registered");
+    println!("== {} ({}) through the full pipeline ==\n", bench.name, bench.suite);
+
+    let run = run_benchmark(bench, 12, Budget::Quick);
+    println!(
+        "peak IPC (4 FUs) = {:.3}; selected {} FU(s); IPC = {:.3} (paper: {:.3} @ {} FUs)",
+        run.max_ipc,
+        run.fus,
+        run.sim.ipc(),
+        bench.paper_ipc,
+        bench.paper_fus
+    );
+    println!(
+        "branch accuracy {:.3}, L1D miss rate {:.3}, mean FU idle fraction {:.3}\n",
+        run.sim.branch.accuracy().unwrap_or(1.0),
+        run.sim.caches.l1d_miss_rate().unwrap_or(0.0),
+        run.sim.idle_fraction()
+    );
+
+    let hist = run.sim.idle_histogram();
+    println!("idle-interval histogram (intervals, idle cycles):");
+    for bucket in 0..fuleak_core::IdleHistogram::BUCKETS {
+        let n = hist.count_in_bucket(bucket);
+        if n > 0 {
+            println!(
+                "  >= {:>5} cycles: {:>7} intervals, {:>9} idle cycles",
+                fuleak_core::IdleHistogram::bucket_label(bucket),
+                n,
+                hist.idle_cycles_in_bucket(bucket)
+            );
+        }
+    }
+
+    for p in [0.05, 0.5] {
+        let tech = TechnologyParams::with_leakage_factor(p)?;
+        let model = EnergyModel::new(tech, 0.5)?;
+        let e_max = model.max_energy(run.sim.cycles) * run.fus as f64;
+        println!("\npolicy energies at p = {p} (normalized to 100% computation):");
+        for (name, kind) in POLICIES {
+            let e = benchmark_energy(&run, &model, kind);
+            let marker = if kind == PolicyKind::NoOverhead {
+                " (lower bound)"
+            } else {
+                ""
+            };
+            println!(
+                "  {:>12}: {:.3}{marker}",
+                name,
+                e.energy.total() / e_max
+            );
+        }
+    }
+    Ok(())
+}

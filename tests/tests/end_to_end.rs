@@ -1,0 +1,181 @@
+//! End-to-end integration: benchmark kernels through the timing
+//! simulator through the energy model, asserting the paper's headline
+//! shapes (DESIGN.md §5).
+
+use fuleak_core::{EnergyModel, TechnologyParams};
+use fuleak_experiments::empirical::{benchmark_energy, fig7, fig8, fig9, PolicyKind};
+use fuleak_experiments::harness::{run_benchmark, run_suite, Budget, SuiteResult};
+use fuleak_uarch::{CoreConfig, Simulator};
+use fuleak_workloads::Benchmark;
+use std::sync::OnceLock;
+
+fn suite() -> &'static SuiteResult {
+    static SUITE: OnceLock<SuiteResult> = OnceLock::new();
+    SUITE.get_or_init(|| run_suite(12, Budget::Quick))
+}
+
+#[test]
+fn every_benchmark_simulates_and_commits_the_budget() {
+    for run in &suite().runs {
+        assert_eq!(
+            run.sim.committed,
+            Budget::Quick.instructions(),
+            "{} committed the wrong count",
+            run.name
+        );
+        assert!(run.sim.ipc() > 0.05 && run.sim.ipc() <= 4.0, "{}", run.name);
+    }
+}
+
+#[test]
+fn ipc_ordering_matches_table3_extremes() {
+    let ipc = |name: &str| {
+        suite()
+            .runs
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap()
+            .sim
+            .ipc()
+    };
+    // Table 3's extremes: vortex fastest; mcf and health the two
+    // slowest (memory-bound pointer chasers).
+    for other in ["health", "mst", "gcc", "gzip", "mcf", "parser", "twolf", "vpr"] {
+        assert!(ipc("vortex") > ipc(other), "vortex <= {other}");
+    }
+    for slow in ["mcf", "health"] {
+        for fast in ["mst", "gcc", "gzip", "parser", "twolf", "vpr"] {
+            assert!(ipc(slow) < ipc(fast), "{slow} >= {fast}");
+        }
+    }
+}
+
+#[test]
+fn fu_utilization_accounts_for_every_cycle() {
+    for run in &suite().runs {
+        for (fu, intervals) in run.sim.fu_idle.iter().enumerate() {
+            let idle: u64 = intervals.iter().sum();
+            assert_eq!(
+                idle + run.sim.fu_active[fu],
+                run.sim.cycles,
+                "{} FU{fu}",
+                run.name
+            );
+        }
+    }
+}
+
+#[test]
+fn figure7_shape_holds() {
+    let series = fig7(suite());
+    // Idle fractions are probabilities and sum to the total.
+    let sum: f64 = series.fractions.iter().sum();
+    assert!((sum - series.total_idle_fraction).abs() < 1e-12);
+    assert!(series.total_idle_fraction > 0.2 && series.total_idle_fraction < 0.8);
+    // Nearly all idle time below 128 cycles (paper, Section 5).
+    let below_128: f64 = series.fractions[..8].iter().sum();
+    assert!(below_128 / series.total_idle_fraction > 0.5);
+}
+
+#[test]
+fn longer_l2_latency_increases_idle_time() {
+    // Figure 7's second curve: a 32-cycle L2 increases overall idle
+    // time on at least the memory-sensitive benchmarks.
+    let quick12 = run_benchmark(Benchmark::by_name("health").unwrap(), 12, Budget::Quick);
+    let quick32 = run_benchmark(Benchmark::by_name("health").unwrap(), 32, Budget::Quick);
+    assert!(
+        quick32.sim.cycles > quick12.sim.cycles,
+        "longer L2 must slow health down"
+    );
+}
+
+#[test]
+fn figure8_headline_results() {
+    // p = 0.05: MaxSleep wastes energy (paper: +8.3% vs AlwaysActive);
+    // AlwaysActive within ~10% of NoOverhead; GradualSleep within ~5%
+    // of AlwaysActive.
+    let rows = fig8(suite(), 0.05, 0.5);
+    let avg = |k: usize| rows.iter().map(|r| r.energy[k]).sum::<f64>() / rows.len() as f64;
+    let (ms, gs, aa, no) = (avg(0), avg(1), avg(2), avg(3));
+    assert!(ms > aa, "p=0.05: MaxSleep {ms} should exceed AlwaysActive {aa}");
+    assert!((aa - no) / no < 0.15, "AlwaysActive near the bound");
+    assert!((gs - aa).abs() / aa < 0.10, "GradualSleep tracks AlwaysActive");
+
+    // p = 0.5: MaxSleep saves substantially (paper: 19.2% on average,
+    // ~70% of the NoOverhead potential); GradualSleep ~ MaxSleep.
+    let rows = fig8(suite(), 0.5, 0.5);
+    let avg = |k: usize| rows.iter().map(|r| r.energy[k]).sum::<f64>() / rows.len() as f64;
+    let (ms, gs, aa, no) = (avg(0), avg(1), avg(2), avg(3));
+    assert!(ms < aa, "p=0.5: MaxSleep must win");
+    let saving = (aa - ms) / aa;
+    assert!(saving > 0.08, "saving {saving} too small");
+    let captured = (aa - ms) / (aa - no);
+    assert!(captured > 0.4, "captured {captured} of the potential");
+    assert!((gs - ms).abs() / ms < 0.10, "GradualSleep tracks MaxSleep");
+}
+
+#[test]
+fn figure9_crossover_and_gradual_envelope() {
+    let rows = fig9(suite());
+    let first = rows.first().unwrap();
+    let last = rows.last().unwrap();
+    // MaxSleep and AlwaysActive swap places across the sweep.
+    assert!(first.relative[0] > first.relative[2]);
+    assert!(last.relative[0] < last.relative[2]);
+    // GradualSleep hugs the lower envelope everywhere.
+    for r in &rows {
+        let envelope = r.relative[0].min(r.relative[2]);
+        assert!(r.relative[1] <= envelope * 1.15);
+    }
+    // Figure 9b: leakage fraction rises with p for AlwaysActive.
+    assert!(first.leakage_fraction[2] < last.leakage_fraction[2]);
+}
+
+#[test]
+fn alpha_bands_behave_like_the_paper() {
+    // Figure 8's small range bars: at alpha = 0.25 fewer gates end an
+    // evaluation in the low-leakage state, so entering sleep costs
+    // more; at alpha = 0.75 it costs less. The pure sleep-mode
+    // overhead (MaxSleep minus the free-transition bound) must fall
+    // monotonically with alpha.
+    let run = &suite().runs[0];
+    let overhead = |alpha: f64| {
+        let model = EnergyModel::new(
+            TechnologyParams::with_leakage_factor(0.05).unwrap(),
+            alpha,
+        )
+        .unwrap();
+        let ms = benchmark_energy(run, &model, PolicyKind::MaxSleep).energy.total();
+        let no = benchmark_energy(run, &model, PolicyKind::NoOverhead)
+            .energy
+            .total();
+        ms - no
+    };
+    assert!(overhead(0.25) > overhead(0.5));
+    assert!(overhead(0.75) < overhead(0.5));
+}
+
+#[test]
+fn restricting_fus_never_speeds_things_up() {
+    let bench = Benchmark::by_name("twolf").unwrap();
+    let mut prev_ipc = 0.0;
+    for fus in 1..=4 {
+        let mut m = bench.instantiate();
+        let trace = m.run(100_000).map(|r| r.unwrap());
+        let sim = Simulator::new(CoreConfig::with_int_fus(fus))
+            .unwrap()
+            .run(trace);
+        assert!(sim.ipc() >= prev_ipc - 1e-9, "{fus} FUs slower than {}", fus - 1);
+        prev_ipc = sim.ipc();
+    }
+}
+
+#[test]
+fn selected_fu_counts_are_meaningful() {
+    // The 95% rule must trim FUs on the low-ILP benchmarks and keep
+    // them on the high-ILP ones.
+    let by_name = |n: &str| suite().runs.iter().find(|r| r.name == n).unwrap();
+    assert!(by_name("mcf").fus <= 2);
+    assert!(by_name("health").fus <= 2);
+    assert!(by_name("vortex").fus >= 3);
+}
