@@ -2,10 +2,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fuleak_experiments::empirical::fig7;
-use fuleak_experiments::harness::{run_suite, Budget};
+use fuleak_experiments::harness::{run_suite_on, Budget};
+use fuleak_experiments::scenario::Engine;
 
 fn bench(c: &mut Criterion) {
-    let suite = run_suite(12, Budget::Quick);
+    let engine = Engine::new(0); // fan the suite points out across cores
+    let suite = run_suite_on(&engine, 12, Budget::Quick);
     let series = fig7(&suite);
     // Shape check: idle time concentrated at short intervals.
     let below_128: f64 = series.fractions[..8].iter().sum();

@@ -2,10 +2,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fuleak_experiments::empirical::fig8;
-use fuleak_experiments::harness::{run_suite, Budget};
+use fuleak_experiments::harness::{run_suite_on, Budget};
+use fuleak_experiments::scenario::Engine;
 
 fn bench(c: &mut Criterion) {
-    let suite = run_suite(12, Budget::Quick);
+    let engine = Engine::new(0); // fan the suite points out across cores
+    let suite = run_suite_on(&engine, 12, Budget::Quick);
     // Shape checks: the paper's headline result at both points.
     let avg = |rows: &[fuleak_experiments::empirical::Fig8Row], k: usize| {
         rows.iter().map(|r| r.energy[k]).sum::<f64>() / rows.len() as f64

@@ -1,17 +1,30 @@
 //! Bench: Figures 9a/9b (technology sweep averages).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fuleak_experiments::empirical::fig9;
-use fuleak_experiments::harness::{run_suite, Budget};
+use fuleak_experiments::empirical::{fig9, fig9_jobs};
+use fuleak_experiments::harness::{run_suite_on, Budget};
+use fuleak_experiments::scenario::Engine;
 
 fn bench(c: &mut Criterion) {
-    let suite = run_suite(12, Budget::Quick);
+    let engine = Engine::new(0); // fan the suite points out across cores
+    let suite = run_suite_on(&engine, 12, Budget::Quick);
     let rows = fig9(&suite);
     // Shape check: the curves cross and leakage fraction rises.
     assert!(rows[0].relative[0] > rows[0].relative[2]);
     assert!(rows.last().unwrap().relative[0] < rows.last().unwrap().relative[2]);
-    c.bench_function("fig9_sweep", |b| {
+    // Determinism check: the parallel sweep is value-identical to a
+    // sequential one.
+    let seq = fig9_jobs(&suite, 1);
+    assert_eq!(rows.len(), seq.len());
+    for (a, b) in rows.iter().zip(&seq) {
+        assert_eq!(a.relative, b.relative);
+        assert_eq!(a.leakage_fraction, b.leakage_fraction);
+    }
+    c.bench_function("fig9_sweep_parallel", |b| {
         b.iter(|| std::hint::black_box(fig9(&suite)))
+    });
+    c.bench_function("fig9_sweep_sequential", |b| {
+        b.iter(|| std::hint::black_box(fig9_jobs(&suite, 1)))
     });
 }
 

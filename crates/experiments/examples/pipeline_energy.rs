@@ -15,7 +15,10 @@ use fuleak_workloads::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = Benchmark::by_name("gzip").expect("gzip is registered");
-    println!("== {} ({}) through the full pipeline ==\n", bench.name, bench.suite);
+    println!(
+        "== {} ({}) through the full pipeline ==\n",
+        bench.name, bench.suite
+    );
 
     let run = run_benchmark(bench, 12, Budget::Quick);
     println!(
@@ -59,11 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 ""
             };
-            println!(
-                "  {:>12}: {:.3}{marker}",
-                name,
-                e.energy.total() / e_max
-            );
+            println!("  {:>12}: {:.3}{marker}", name, e.energy.total() / e_max);
         }
     }
     Ok(())

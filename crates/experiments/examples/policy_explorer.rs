@@ -46,10 +46,7 @@ fn main() -> Result<(), ModelError> {
                     .normalized_to_max(&model)
             })
             .collect();
-        let best = energies
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let best = energies.iter().cloned().fold(f64::INFINITY, f64::min);
         let cell = |e: f64| {
             if (e - best).abs() < 1e-9 {
                 format!("{e:.3}*")

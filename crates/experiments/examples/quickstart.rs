@@ -25,7 +25,10 @@ fn main() -> Result<(), ModelError> {
         workload.usage_factor(),
     );
 
-    for tech in [TechnologyParams::near_term(), TechnologyParams::high_leakage()] {
+    for tech in [
+        TechnologyParams::near_term(),
+        TechnologyParams::high_leakage(),
+    ] {
         let model = EnergyModel::new(tech, 0.5)?;
         let t_be = breakeven_interval(&model);
         println!(

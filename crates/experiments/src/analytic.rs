@@ -56,10 +56,20 @@ pub struct Fig3Row {
 
 /// Figure 3: the 500-gate generic FU circuit, idling vs sleeping, for
 /// `alpha` in {0.1, 0.5, 0.9} and intervals 0..=25 cycles.
+///
+/// Deliberately sequential: the whole sweep is tens of microseconds
+/// of closed-form circuit stepping, well below the cost of spawning a
+/// [`crate::scenario::parallel_map`] worker pool (measured ~2x slower
+/// parallel on this workload). `--jobs` therefore only governs the
+/// simulation-backed experiments and the Figure 9 sweep.
 pub fn fig3() -> Vec<Fig3Row> {
-    let mut rows = Vec::new();
-    for &alpha in &[0.1, 0.5, 0.9] {
-        for interval in 0..=25u64 {
+    let points: Vec<(f64, u64)> = [0.1, 0.5, 0.9]
+        .iter()
+        .flat_map(|&alpha| (0..=25u64).map(move |interval| (alpha, interval)))
+        .collect();
+    points
+        .into_iter()
+        .map(|(alpha, interval)| {
             let idle = {
                 let mut fu = ExpectedFu::new(FuCircuitConfig::paper_generic_fu())
                     .expect("paper config is valid");
@@ -80,25 +90,19 @@ pub fn fig3() -> Vec<Fig3Row> {
                 }
                 fu.energy().total().as_fj() / 1000.0
             };
-            rows.push(Fig3Row {
+            Fig3Row {
                 interval,
                 alpha,
                 uncontrolled_pj: idle,
                 sleep_pj: sleep,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// Renders Figure 3 as a table.
 pub fn fig3_table() -> TextTable {
-    let mut t = TextTable::new([
-        "interval",
-        "alpha",
-        "uncontrolled (pJ)",
-        "sleep mode (pJ)",
-    ]);
+    let mut t = TextTable::new(["interval", "alpha", "uncontrolled (pJ)", "sleep mode (pJ)"]);
     for r in fig3() {
         t.row([
             r.interval.to_string(),
@@ -120,6 +124,10 @@ pub struct Fig4aRow {
 }
 
 /// Figure 4a: breakeven idle interval vs leakage factor.
+///
+/// Deliberately sequential, like [`fig3`]: the hundred closed-form
+/// points cost a few microseconds total, below worker-pool spawn
+/// overhead.
 pub fn fig4a() -> Vec<Fig4aRow> {
     let alphas = [0.1, 0.5, 0.9];
     (1..=100)
@@ -174,8 +182,7 @@ pub fn fig4_policies(idle_interval: f64, usages: &[f64]) -> Vec<Fig4PolicyRow> {
         let tech = TechnologyParams::with_leakage_factor(p).expect("p in range");
         let model = EnergyModel::new(tech, 0.5).expect("alpha in range");
         for &f_u in usages {
-            let s =
-                UsageScenario::new(1_000_000, f_u, idle_interval).expect("valid scenario");
+            let s = UsageScenario::new(1_000_000, f_u, idle_interval).expect("valid scenario");
             let e_max = max_computation(&model, &s);
             rows.push(Fig4PolicyRow {
                 p,
@@ -233,8 +240,7 @@ pub fn fig5c() -> Vec<Fig5cRow> {
             gradual_sleep: interval_energy(&model, BoundaryPolicy::GradualSleep { slices }, t)
                 .total()
                 / e_a,
-            always_active: interval_energy(&model, BoundaryPolicy::AlwaysActive, t).total()
-                / e_a,
+            always_active: interval_energy(&model, BoundaryPolicy::AlwaysActive, t).total() / e_a,
         })
         .collect()
 }
@@ -271,8 +277,14 @@ mod tests {
         // Sleep curves plateau; uncontrolled idle grows linearly and
         // crosses near 17 cycles for alpha = 0.1.
         let a01: Vec<&Fig3Row> = rows.iter().filter(|r| r.alpha == 0.1).collect();
-        assert!(a01[10].sleep_pj > a01[10].uncontrolled_pj, "10 cycles: sleep loses");
-        assert!(a01[20].sleep_pj < a01[20].uncontrolled_pj, "20 cycles: sleep wins");
+        assert!(
+            a01[10].sleep_pj > a01[10].uncontrolled_pj,
+            "10 cycles: sleep loses"
+        );
+        assert!(
+            a01[20].sleep_pj < a01[20].uncontrolled_pj,
+            "20 cycles: sleep wins"
+        );
         // Plateau: jump then nearly flat.
         assert!(a01[1].sleep_pj > 9.0);
         assert!((a01[25].sleep_pj - a01[1].sleep_pj) < 0.1);
@@ -299,14 +311,10 @@ mod tests {
             let model = EnergyModel::new(tech, alpha).unwrap();
             let e_d_fu = 500.0 * g.energies.dynamic.as_fj(); // whole-FU E_D
             for r in fig3().iter().filter(|r| r.alpha == alpha) {
-                let analytic_idle = interval_energy(
-                    &model,
-                    BoundaryPolicy::AlwaysActive,
-                    r.interval,
-                )
-                .total()
-                    * e_d_fu
-                    / 1000.0;
+                let analytic_idle =
+                    interval_energy(&model, BoundaryPolicy::AlwaysActive, r.interval).total()
+                        * e_d_fu
+                        / 1000.0;
                 assert!(
                     (analytic_idle - r.uncontrolled_pj).abs() < 1e-6,
                     "idle t={} alpha={alpha}: {} vs {}",
@@ -315,8 +323,7 @@ mod tests {
                     r.uncontrolled_pj
                 );
                 let analytic_sleep =
-                    interval_energy(&model, BoundaryPolicy::MaxSleep, r.interval).total()
-                        * e_d_fu
+                    interval_energy(&model, BoundaryPolicy::MaxSleep, r.interval).total() * e_d_fu
                         / 1000.0;
                 assert!(
                     (analytic_sleep - r.sleep_pj).abs() < 1e-6,
@@ -390,7 +397,9 @@ mod tests {
     fn tables_render() {
         assert!(fig3_table().render().contains("uncontrolled"));
         assert!(fig4a_table().render().contains("t_be"));
-        assert!(fig4_policy_table(10.0, &[0.1, 0.9]).render().contains("MaxSleep"));
+        assert!(fig4_policy_table(10.0, &[0.1, 0.9])
+            .render()
+            .contains("MaxSleep"));
         assert!(fig5c_table().render().contains("GradualSleep"));
     }
 }

@@ -1,33 +1,74 @@
 //! `repro` — regenerate any table or figure of the paper.
 //!
-//! Usage: `repro <experiment> [--quick]` where
+//! Usage: `repro <experiment> [--quick] [--jobs N]` where
 //! `<experiment>` is one of `table1`, `table2`, `table3`, `fig3`,
 //! `fig4a`, `fig4b`, `fig4c`, `fig4d`, `fig5c`, `fig7`, `fig8a`,
 //! `fig8b`, `fig9a`, `fig9b`, or `all`.
+//!
+//! `--jobs N` bounds the scenario engine's worker threads (default:
+//! all cores). Output is bit-identical for every `N`; only wall-clock
+//! time changes. All simulation-backed experiments share one engine,
+//! so `repro all` simulates each (benchmark × FU count × L2 latency)
+//! point exactly once.
 
-use fuleak_experiments::harness::{run_suite, Budget, SuiteResult};
-use fuleak_experiments::{analytic, empirical};
+use fuleak_experiments::harness::{run_suite_on, Budget, SuiteResult};
+use fuleak_experiments::scenario::Engine;
+use fuleak_experiments::{analytic, empirical, render};
+use std::collections::HashMap;
 use std::process::ExitCode;
 
 struct Options {
     budget: Budget,
+    engine: Engine,
 }
 
-fn suite(opts: &Options, l2: u64) -> SuiteResult {
-    eprintln!("[repro] simulating the suite (L2 = {l2} cycles)...");
-    run_suite(l2, opts.budget)
+/// Per-process memos: one suite per L2 latency (all backed by the
+/// shared engine's point cache) and the Figure 9 sweep rows, which
+/// both fig9a and fig9b render from.
+#[derive(Default)]
+struct Suites {
+    by_l2: HashMap<u64, SuiteResult>,
+    fig9_rows: Option<Vec<empirical::Fig9Row>>,
 }
 
-fn run(experiment: &str, opts: &Options, cached: &mut Option<SuiteResult>) -> bool {
-    let need_suite = |cached: &mut Option<SuiteResult>| -> SuiteResult {
-        if cached.is_none() {
-            *cached = Some(suite(opts, 12));
+impl Suites {
+    fn get(&mut self, opts: &Options, l2: u64) -> &SuiteResult {
+        self.by_l2.entry(l2).or_insert_with(|| {
+            eprintln!(
+                "[repro] simulating the suite (L2 = {l2} cycles, {} workers)...",
+                opts.engine.jobs()
+            );
+            let before = opts.engine.stats();
+            let suite = run_suite_on(&opts.engine, l2, opts.budget);
+            // Report this suite's own work, not process-cumulative
+            // totals (the engine outlives the suite).
+            eprintln!(
+                "[repro] {}",
+                render::engine_line(&opts.engine.stats().since(&before))
+            );
+            suite
+        })
+    }
+
+    fn fig9_rows(&mut self, opts: &Options) -> &[empirical::Fig9Row] {
+        if self.fig9_rows.is_none() {
+            let suite = self.get(opts, 12).clone();
+            self.fig9_rows = Some(empirical::fig9_jobs(&suite, opts.engine.jobs()));
         }
-        cached.clone().expect("just inserted")
-    };
+        self.fig9_rows.as_deref().expect("just inserted")
+    }
+}
+
+fn run(experiment: &str, opts: &Options, suites: &mut Suites) -> bool {
     match experiment {
-        "table1" => println!("Table 1 — OR8 gate characteristics (70 nm)\n{}", analytic::table1().render()),
-        "table2" => println!("Table 2 — architectural parameters\n{}", empirical::table2().render()),
+        "table1" => println!(
+            "Table 1 — OR8 gate characteristics (70 nm)\n{}",
+            analytic::table1().render()
+        ),
+        "table2" => println!(
+            "Table 2 — architectural parameters\n{}",
+            empirical::table2().render()
+        ),
         "fig3" => println!(
             "Figure 3 — uncontrolled idle vs sleep mode (500-gate FU)\n{}",
             analytic::fig3_table().render()
@@ -53,48 +94,50 @@ fn run(experiment: &str, opts: &Options, cached: &mut Option<SuiteResult>) -> bo
             analytic::fig5c_table().render()
         ),
         "table3" => {
-            let s = need_suite(cached);
-            println!("Table 3 — benchmarks (measured vs paper)\n{}", empirical::table3(&s).render());
+            let s = suites.get(opts, 12);
+            println!(
+                "Table 3 — benchmarks (measured vs paper)\n{}",
+                empirical::table3(s).render()
+            );
         }
         "fig7" => {
-            let s12 = need_suite(cached);
-            let s32 = suite(opts, 32);
+            let series12 = empirical::fig7(suites.get(opts, 12));
+            let series32 = empirical::fig7(suites.get(opts, 32));
             println!(
                 "Figure 7 — idle-interval distribution\n{}",
-                empirical::fig7_table(&[empirical::fig7(&s12), empirical::fig7(&s32)]).render()
+                empirical::fig7_table(&[series12.clone(), series32.clone()]).render()
             );
             println!(
                 "suite-average idle fraction: {:.3} (L2=12; paper: 0.468), {:.3} (L2=32)",
-                empirical::fig7(&s12).total_idle_fraction,
-                empirical::fig7(&s32).total_idle_fraction
+                series12.total_idle_fraction, series32.total_idle_fraction
             );
         }
         "fig8a" => {
-            let s = need_suite(cached);
+            let s = suites.get(opts, 12);
             println!(
                 "Figure 8a — normalized energy, p = 0.05 (alpha = 0.5)\n{}",
-                empirical::fig8_table(&s, 0.05, 0.5).render()
+                empirical::fig8_table(s, 0.05, 0.5).render()
             );
         }
         "fig8b" => {
-            let s = need_suite(cached);
+            let s = suites.get(opts, 12);
             println!(
                 "Figure 8b — normalized energy, p = 0.50 (alpha = 0.5)\n{}",
-                empirical::fig8_table(&s, 0.5, 0.5).render()
+                empirical::fig8_table(s, 0.5, 0.5).render()
             );
         }
         "fig9a" => {
-            let s = need_suite(cached);
+            let rows = suites.fig9_rows(opts);
             println!(
                 "Figure 9a — energy relative to NoOverhead\n{}",
-                empirical::fig9a_table(&s).render()
+                empirical::fig9a_table(rows).render()
             );
         }
         "fig9b" => {
-            let s = need_suite(cached);
+            let rows = suites.fig9_rows(opts);
             println!(
                 "Figure 9b — leakage / total energy\n{}",
-                empirical::fig9b_table(&s).render()
+                empirical::fig9b_table(rows).render()
             );
         }
         _ => return false,
@@ -107,29 +150,63 @@ const ALL: [&str; 14] = [
     "fig8a", "fig8b", "fig9a", "fig9b",
 ];
 
+const USAGE: &str = "usage: repro <experiment>|all [--quick] [--jobs N]";
+
+fn parse_args(args: &[String]) -> Result<(Options, Vec<&str>), String> {
+    let mut quick = false;
+    let mut jobs = 0usize; // 0 = all cores
+    let mut targets = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --jobs value `{v}`"))?;
+            }
+            flag if flag.starts_with("--jobs=") => {
+                let v = &flag["--jobs=".len()..];
+                jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --jobs value `{v}`"))?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            target => targets.push(target),
+        }
+    }
+    Ok((
+        Options {
+            budget: if quick { Budget::Quick } else { Budget::Full },
+            engine: Engine::new(jobs),
+        },
+        targets,
+    ))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let opts = Options {
-        budget: if quick { Budget::Quick } else { Budget::Full },
+    let (opts, targets) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
     };
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
     if targets.is_empty() {
-        eprintln!("usage: repro <experiment>|all [--quick]");
+        eprintln!("{USAGE}");
         eprintln!("experiments: {}", ALL.join(" "));
         return ExitCode::FAILURE;
     }
-    let mut cached = None;
+    let mut suites = Suites::default();
     for target in targets {
         if target == "all" {
             for t in ALL {
-                run(t, &opts, &mut cached);
+                run(t, &opts, &mut suites);
             }
-        } else if !run(target, &opts, &mut cached) {
+        } else if !run(target, &opts, &mut suites) {
             eprintln!("unknown experiment `{target}`; known: {}", ALL.join(" "));
             return ExitCode::FAILURE;
         }

@@ -27,7 +27,10 @@ pub fn table2() -> TextTable {
         ),
         ("RAS", format!("{} entries", c.ras_entries)),
         ("BTB", format!("{} sets, {}-way", c.btb_sets, c.btb_ways)),
-        ("Mispredict latency", format!("{} cycles", c.mispredict_latency)),
+        (
+            "Mispredict latency",
+            format!("{} cycles", c.mispredict_latency),
+        ),
         ("Fetch/decode/issue width", format!("{}", c.width)),
         ("Reorder buffer", format!("{} entries", c.rob_entries)),
         ("Integer issue", format!("{} entries", c.int_iq_entries)),
@@ -97,14 +100,7 @@ pub fn table2() -> TextTable {
 /// Renders Table 3: measured IPCs and FU selection next to the paper's.
 pub fn table3(suite: &SuiteResult) -> TextTable {
     let mut t = TextTable::new([
-        "App",
-        "Suite",
-        "Max IPC",
-        "(paper)",
-        "IPC",
-        "(paper)",
-        "FUs",
-        "(paper)",
+        "App", "Suite", "Max IPC", "(paper)", "IPC", "(paper)", "FUs", "(paper)",
     ]);
     for run in &suite.runs {
         let r = run.reference();
@@ -322,56 +318,66 @@ pub struct Fig9Row {
 }
 
 /// Figures 9a/9b: suite averages across the technology sweep at
-/// `alpha = 0.5`.
+/// `alpha = 0.5`, computed with every available core.
 pub fn fig9(suite: &SuiteResult) -> Vec<Fig9Row> {
-    (1..=20)
-        .map(|i| {
-            let p = i as f64 * 0.05;
-            let tech = TechnologyParams::with_leakage_factor(p).expect("p in range");
-            let model = EnergyModel::new(tech, 0.5).expect("alpha in range");
-            let mut rel = [0.0; 3];
-            let mut leak = [0.0; 4];
-            for run in &suite.runs {
-                let no = benchmark_energy(run, &model, PolicyKind::NoOverhead)
-                    .energy
-                    .total();
-                for (k, kind) in [
-                    PolicyKind::MaxSleep,
-                    PolicyKind::GradualSleep,
-                    PolicyKind::AlwaysActive,
-                ]
-                .into_iter()
-                .enumerate()
-                {
-                    rel[k] += benchmark_energy(run, &model, kind).energy.total() / no;
-                }
-                for (k, (_, kind)) in POLICIES.into_iter().enumerate() {
-                    leak[k] += benchmark_energy(run, &model, kind)
-                        .energy
-                        .leakage_fraction()
-                        .unwrap_or(0.0);
-                }
-            }
-            let n = suite.runs.len() as f64;
-            for r in &mut rel {
-                *r /= n;
-            }
-            for l in &mut leak {
-                *l /= n;
-            }
-            Fig9Row {
-                p,
-                relative: rel,
-                leakage_fraction: leak,
-            }
-        })
-        .collect()
+    fig9_jobs(suite, 0)
 }
 
-/// Renders Figure 9a.
-pub fn fig9a_table(suite: &SuiteResult) -> TextTable {
+/// [`fig9`] with an explicit worker count (`0` = all cores). The
+/// twenty technology points are independent, so they fan out on a
+/// transient [`crate::scenario::parallel_map`] pool (post-processing
+/// over an already-simulated suite, so nothing new enters the
+/// `SimCache`); output order (and every value) is identical for any
+/// worker count.
+pub fn fig9_jobs(suite: &SuiteResult, jobs: usize) -> Vec<Fig9Row> {
+    crate::scenario::parallel_map(jobs, (1..=20).collect(), |i| {
+        let p = i as f64 * 0.05;
+        let tech = TechnologyParams::with_leakage_factor(p).expect("p in range");
+        let model = EnergyModel::new(tech, 0.5).expect("alpha in range");
+        let mut rel = [0.0; 3];
+        let mut leak = [0.0; 4];
+        for run in &suite.runs {
+            let no = benchmark_energy(run, &model, PolicyKind::NoOverhead)
+                .energy
+                .total();
+            for (k, kind) in [
+                PolicyKind::MaxSleep,
+                PolicyKind::GradualSleep,
+                PolicyKind::AlwaysActive,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                rel[k] += benchmark_energy(run, &model, kind).energy.total() / no;
+            }
+            for (k, (_, kind)) in POLICIES.into_iter().enumerate() {
+                leak[k] += benchmark_energy(run, &model, kind)
+                    .energy
+                    .leakage_fraction()
+                    .unwrap_or(0.0);
+            }
+        }
+        let n = suite.runs.len() as f64;
+        for r in &mut rel {
+            *r /= n;
+        }
+        for l in &mut leak {
+            *l /= n;
+        }
+        Fig9Row {
+            p,
+            relative: rel,
+            leakage_fraction: leak,
+        }
+    })
+}
+
+/// Renders Figure 9a from precomputed sweep rows (see [`fig9`] /
+/// [`fig9_jobs`]), so callers rendering both 9a and 9b — like
+/// `repro all` — compute the sweep once.
+pub fn fig9a_table(rows: &[Fig9Row]) -> TextTable {
     let mut t = TextTable::new(["p", "MaxSleep", "GradualSleep", "AlwaysActive"]);
-    for r in fig9(suite) {
+    for r in rows {
         t.row([
             format!("{:.2}", r.p),
             f3(r.relative[0]),
@@ -382,8 +388,9 @@ pub fn fig9a_table(suite: &SuiteResult) -> TextTable {
     t
 }
 
-/// Renders Figure 9b.
-pub fn fig9b_table(suite: &SuiteResult) -> TextTable {
+/// Renders Figure 9b from precomputed sweep rows (see [`fig9`] /
+/// [`fig9_jobs`]).
+pub fn fig9b_table(rows: &[Fig9Row]) -> TextTable {
     let mut t = TextTable::new([
         "p",
         "MaxSleep",
@@ -391,7 +398,7 @@ pub fn fig9b_table(suite: &SuiteResult) -> TextTable {
         "AlwaysActive",
         "NoOverhead",
     ]);
-    for r in fig9(suite) {
+    for r in rows {
         t.row([
             format!("{:.2}", r.p),
             f3(r.leakage_fraction[0]),
@@ -425,7 +432,9 @@ mod tests {
     #[test]
     fn table3_shows_all_benchmarks() {
         let s = table3(quick_suite()).render();
-        for name in ["health", "mst", "gcc", "gzip", "mcf", "parser", "twolf", "vortex", "vpr"] {
+        for name in [
+            "health", "mst", "gcc", "gzip", "mcf", "parser", "twolf", "vortex", "vpr",
+        ] {
             assert!(s.contains(name), "missing {name}");
         }
     }
@@ -452,7 +461,12 @@ mod tests {
         // AlwaysActive on average; both near NoOverhead.
         let rows = fig8(quick_suite(), 0.05, 0.5);
         let avg = |k: usize| rows.iter().map(|r| r.energy[k]).sum::<f64>() / rows.len() as f64;
-        assert!(avg(0) > avg(2), "MaxSleep {} vs AlwaysActive {}", avg(0), avg(2));
+        assert!(
+            avg(0) > avg(2),
+            "MaxSleep {} vs AlwaysActive {}",
+            avg(0),
+            avg(2)
+        );
         // GradualSleep within a few percent of AlwaysActive.
         assert!((avg(1) - avg(2)).abs() / avg(2) < 0.10);
     }
@@ -518,7 +532,8 @@ mod tests {
         let s = quick_suite();
         assert!(fig7_table(&[fig7(s)]).render().contains("TOTAL"));
         assert!(fig8_table(s, 0.05, 0.5).render().contains("Average"));
-        assert!(fig9a_table(s).render().contains("GradualSleep"));
-        assert!(fig9b_table(s).render().contains("NoOverhead"));
+        let rows = fig9_jobs(s, 1);
+        assert!(fig9a_table(&rows).render().contains("GradualSleep"));
+        assert!(fig9b_table(&rows).render().contains("NoOverhead"));
     }
 }

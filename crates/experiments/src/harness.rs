@@ -1,17 +1,27 @@
-//! Simulation harness: runs the benchmark suite through the timing
-//! simulator, applies the paper's FU-count selection rule, and caches
+//! Simulation harness: runs the benchmark suite through the scenario
+//! engine, applies the paper's FU-count selection rule, and exposes
 //! the per-FU idle statistics that the energy experiments consume.
+//!
+//! The suite is expressed as a [`SweepSpec`] (benchmarks × FU counts
+//! 1–4 at one L2 latency) and executed by an [`Engine`], so the
+//! points fan out across cores and are memoized: Table 3, Figure 7,
+//! and Figures 8/9 all draw on the same cache instead of
+//! re-simulating.
 
-use fuleak_uarch::{CoreConfig, SimResult, Simulator};
+use crate::scenario::{Engine, Scenario, SweepSpec, FU_CANDIDATES};
+use fuleak_uarch::SimResult;
 use fuleak_workloads::Benchmark;
+use std::sync::Arc;
 
 /// Instruction budget per benchmark run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Budget {
     /// Full runs (2M instructions) — what `repro` uses by default.
     Full,
     /// Reduced runs (500k instructions) for benches and CI.
     Quick,
+    /// An explicit instruction count, for tests and ad-hoc sweeps.
+    Custom(u64),
 }
 
 impl Budget {
@@ -20,12 +30,13 @@ impl Budget {
         match self {
             Budget::Full => 2_000_000,
             Budget::Quick => 500_000,
+            Budget::Custom(n) => n,
         }
     }
 }
 
 /// One benchmark's final simulation at its selected FU count.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchRun {
     /// Benchmark name.
     pub name: &'static str,
@@ -33,8 +44,9 @@ pub struct BenchRun {
     pub max_ipc: f64,
     /// Selected FU count (minimum achieving >= 95% of peak).
     pub fus: usize,
-    /// The timing results at the selected FU count.
-    pub sim: SimResult,
+    /// The timing results at the selected FU count, shared with the
+    /// engine's [`crate::scenario::SimCache`] (no copy is made).
+    pub sim: Arc<SimResult>,
 }
 
 impl BenchRun {
@@ -45,7 +57,7 @@ impl BenchRun {
 }
 
 /// The whole suite at one L2 latency.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuiteResult {
     /// Per-benchmark runs, Table 3 order.
     pub runs: Vec<BenchRun>,
@@ -53,27 +65,23 @@ pub struct SuiteResult {
     pub l2_latency: u64,
 }
 
-fn simulate(bench: &Benchmark, fus: usize, l2_latency: u64, budget: Budget) -> SimResult {
-    let mut cfg = CoreConfig::with_int_fus(fus);
-    cfg.l2.latency = l2_latency;
-    let mut machine = bench.instantiate();
-    let trace = machine
-        .run(budget.instructions())
-        .map(|r| r.expect("kernels execute without errors"));
-    Simulator::new(cfg)
-        .expect("table 2 configuration is valid")
-        .run(trace)
-}
-
-/// Runs one benchmark with the paper's methodology: measure peak IPC
-/// at 4 FUs, select the minimum FU count achieving at least 95% of it
-/// (Section 4), and return the run at that FU count.
-pub fn run_benchmark(bench: &Benchmark, l2_latency: u64, budget: Budget) -> BenchRun {
-    let four = simulate(bench, 4, l2_latency, budget);
+/// Applies the paper's FU-count selection rule to cached points: peak
+/// IPC is the 4-FU run's, and the selected count is the minimum
+/// achieving at least 95% of it. Pure given the engine's cache.
+fn select_run(engine: &Engine, bench: &Benchmark, l2_latency: u64, budget: Budget) -> BenchRun {
+    let point = |fus: usize| {
+        engine.result(Scenario {
+            bench: bench.name,
+            fus,
+            l2_latency,
+            budget,
+        })
+    };
+    let four = point(*FU_CANDIDATES.end());
     let max_ipc = four.ipc();
-    let mut selected = (4, four);
-    for fus in 1..4 {
-        let sim = simulate(bench, fus, l2_latency, budget);
+    let mut selected = (*FU_CANDIDATES.end(), four);
+    for fus in *FU_CANDIDATES.start()..*FU_CANDIDATES.end() {
+        let sim = point(fus);
         if sim.ipc() >= 0.95 * max_ipc {
             selected = (fus, sim);
             break;
@@ -87,12 +95,60 @@ pub fn run_benchmark(bench: &Benchmark, l2_latency: u64, budget: Budget) -> Benc
     }
 }
 
-/// Runs the whole suite (Table 3 order) at the given L2 latency.
+/// Runs one benchmark with the paper's methodology: measure peak IPC
+/// at 4 FUs, select the minimum FU count achieving at least 95% of it
+/// (Section 4), and return the run at that FU count.
+pub fn run_benchmark(bench: &Benchmark, l2_latency: u64, budget: Budget) -> BenchRun {
+    run_benchmark_on(&Engine::sequential(), bench, l2_latency, budget)
+}
+
+/// [`run_benchmark`] on a caller-provided engine, so the benchmark's
+/// FU-count points land in (and are served from) the shared cache.
+pub fn run_benchmark_on(
+    engine: &Engine,
+    bench: &Benchmark,
+    l2_latency: u64,
+    budget: Budget,
+) -> BenchRun {
+    if engine.jobs() > 1 {
+        // Eagerly prime every FU candidate so the points fan out;
+        // sequential engines instead simulate lazily inside
+        // `select_run`, preserving the early-exit work profile.
+        let spec = SweepSpec::new(budget)
+            .benches([bench.name])
+            .fu_counts(FU_CANDIDATES)
+            .l2_latencies([l2_latency]);
+        engine.run_sweep(&spec);
+    }
+    select_run(engine, bench, l2_latency, budget)
+}
+
+/// Runs the whole suite (Table 3 order) at the given L2 latency on a
+/// private engine using every available core.
 pub fn run_suite(l2_latency: u64, budget: Budget) -> SuiteResult {
+    run_suite_on(&Engine::new(0), l2_latency, budget)
+}
+
+/// Runs the whole suite on a caller-provided engine: every (benchmark
+/// × FU count) point is fanned out across the engine's workers, then
+/// the selection rule reads the memoized points. Results are
+/// bit-identical for any worker count.
+pub fn run_suite_on(engine: &Engine, l2_latency: u64, budget: Budget) -> SuiteResult {
+    if engine.jobs() > 1 {
+        // Parallel engines pay for every candidate point up front to
+        // fan the whole cartesian product out across workers; a
+        // sequential engine keeps the seed harness's lazy early-exit
+        // behavior (4-FU peak first, then 1..3 until the 95% rule
+        // hits). Either way the selected runs are bit-identical.
+        let spec = SweepSpec::new(budget)
+            .fu_counts(FU_CANDIDATES)
+            .l2_latencies([l2_latency]);
+        engine.run_sweep(&spec);
+    }
     SuiteResult {
         runs: Benchmark::all()
             .iter()
-            .map(|b| run_benchmark(b, l2_latency, budget))
+            .map(|b| select_run(engine, b, l2_latency, budget))
             .collect(),
         l2_latency,
     }

@@ -20,8 +20,17 @@
 //! repro all    [--quick]  # everything
 //! ```
 //!
-//! `EXPERIMENTS.md` at the workspace root records paper-vs-measured
-//! values for every experiment.
+//! Every subcommand accepts `--jobs N` to bound the scenario engine's
+//! worker count (default: all cores; `--jobs 1` forces sequential
+//! execution, which is bit-identical to any parallel run). The bound
+//! governs the simulation-backed experiments and the Figure 9
+//! technology sweep; the remaining closed-form tables are
+//! microsecond-scale and always run sequentially.
+//!
+//! The simulation-backed experiments share one [`scenario::Engine`]:
+//! each (benchmark × FU count × L2 latency × budget) point is
+//! simulated at most once per process and memoized, so `repro all`
+//! reuses the Table 3 points for Figures 7–9.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,5 +39,7 @@ pub mod analytic;
 pub mod empirical;
 pub mod harness;
 pub mod render;
+pub mod scenario;
 
 pub use harness::{Budget, SuiteResult};
+pub use scenario::{Engine, Scenario, SimCache, SweepSpec};

@@ -65,6 +65,20 @@ impl TextTable {
     }
 }
 
+/// Formats a scenario-engine cache snapshot as one progress line, e.g.
+/// `36 points cached (36 simulated, 34 cache hits) on 4 workers`.
+pub fn engine_line(stats: &crate::scenario::EngineStats) -> String {
+    format!(
+        "{} points cached ({} simulated, {} cache hit{}) on {} worker{}",
+        stats.points,
+        stats.misses,
+        stats.hits,
+        if stats.hits == 1 { "" } else { "s" },
+        stats.jobs,
+        if stats.jobs == 1 { "" } else { "s" }
+    )
+}
+
 /// Formats a float with three decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")

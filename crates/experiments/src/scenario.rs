@@ -1,0 +1,442 @@
+//! Scenario engine: deterministic, cached, parallel execution of
+//! simulation points.
+//!
+//! The paper's experiments all consume the same underlying object — a
+//! timing simulation of one benchmark at one FU count, one L2 latency,
+//! and one instruction budget. The seed harness re-simulated those
+//! points sequentially per experiment; this module makes the point the
+//! unit of work:
+//!
+//! * [`Scenario`] — the value-typed key of one simulation point;
+//! * [`SweepSpec`] — a cartesian-product builder (benchmarks × FU
+//!   counts × L2 latencies) expanding to a deterministic scenario list;
+//! * [`SimCache`] — a concurrent memo table from [`Scenario`] to its
+//!   [`SimResult`], so Table 3, Figure 7, Figures 8a/8b, and Figures
+//!   9a/9b reuse points instead of re-simulating;
+//! * [`Engine`] — a work-stealing executor (std scoped threads over a
+//!   shared job queue) that fans uncached points out across cores.
+//!
+//! Every simulation is single-threaded and seeded, so a scenario's
+//! result is a pure function of its key: the engine is free to run
+//! points in any order on any number of workers and still produce
+//! bit-identical results (`tests/tests/determinism.rs` asserts this).
+
+use crate::harness::Budget;
+use fuleak_uarch::{CoreConfig, SimResult, Simulator};
+use fuleak_workloads::Benchmark;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The FU counts the paper's selection rule chooses among (Section 4)
+/// — the single source for both the default sweep and the harness's
+/// selection loop.
+pub const FU_CANDIDATES: std::ops::RangeInclusive<usize> = 1..=4;
+
+/// One simulation point: a benchmark at a fixed FU count, L2 latency,
+/// and instruction budget. `Copy`, hashable, and totally determines
+/// its [`SimResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scenario {
+    /// Benchmark name (must exist in the [`Benchmark`] registry).
+    pub bench: &'static str,
+    /// Integer functional-unit count (the paper studies 1–4).
+    pub fus: usize,
+    /// Unified L2 hit latency in cycles (the paper studies 12 and 32).
+    pub l2_latency: u64,
+    /// Dynamic instruction budget.
+    pub budget: Budget,
+}
+
+impl Scenario {
+    /// Runs the timing simulation for this point. Pure: equal
+    /// scenarios produce equal results on any thread.
+    pub fn run(&self) -> SimResult {
+        let bench = Benchmark::by_name(self.bench).expect("scenario names a registered benchmark");
+        let mut cfg = CoreConfig::with_int_fus(self.fus);
+        cfg.l2.latency = self.l2_latency;
+        let mut machine = bench.instantiate();
+        let trace = machine
+            .run(self.budget.instructions())
+            .map(|r| r.expect("kernels execute without errors"));
+        Simulator::new(cfg)
+            .expect("table 2 configuration is valid")
+            .run(trace)
+    }
+}
+
+/// A cartesian sweep over benchmarks × FU counts × L2 latencies at one
+/// budget, expanding to a deterministic, duplicate-free scenario list.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    benches: Vec<&'static str>,
+    fu_counts: Vec<usize>,
+    l2_latencies: Vec<u64>,
+    budget: Budget,
+}
+
+impl SweepSpec {
+    /// The paper's default sweep at the given budget: every registered
+    /// benchmark, FU counts 1–4, L2 latency 12.
+    pub fn new(budget: Budget) -> Self {
+        SweepSpec {
+            benches: Benchmark::all().iter().map(|b| b.name).collect(),
+            fu_counts: FU_CANDIDATES.collect(),
+            l2_latencies: vec![12],
+            budget,
+        }
+    }
+
+    /// Restricts the sweep to the given benchmarks.
+    pub fn benches(mut self, benches: impl IntoIterator<Item = &'static str>) -> Self {
+        self.benches = benches.into_iter().collect();
+        self
+    }
+
+    /// Restricts the sweep to the given FU counts.
+    pub fn fu_counts(mut self, fus: impl IntoIterator<Item = usize>) -> Self {
+        self.fu_counts = fus.into_iter().collect();
+        self
+    }
+
+    /// Restricts the sweep to the given L2 latencies.
+    pub fn l2_latencies(mut self, l2s: impl IntoIterator<Item = u64>) -> Self {
+        self.l2_latencies = l2s.into_iter().collect();
+        self
+    }
+
+    /// Expands the sweep to its scenario list, in deterministic
+    /// (bench-major) order, without duplicates.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let capacity = self.benches.len() * self.fu_counts.len() * self.l2_latencies.len();
+        let mut seen = HashSet::with_capacity(capacity);
+        let mut out = Vec::with_capacity(capacity);
+        for &bench in &self.benches {
+            for &fus in &self.fu_counts {
+                for &l2_latency in &self.l2_latencies {
+                    let s = Scenario {
+                        bench,
+                        fus,
+                        l2_latency,
+                        budget: self.budget,
+                    };
+                    if seen.insert(s) {
+                        out.push(s);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A concurrent memo table from [`Scenario`] to its result.
+#[derive(Debug, Default)]
+pub struct SimCache {
+    map: Mutex<HashMap<Scenario, Arc<SimResult>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl SimCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SimCache::default()
+    }
+
+    /// Returns the cached result for `s`, counting a hit or miss.
+    pub fn get(&self, s: &Scenario) -> Option<Arc<SimResult>> {
+        let found = self.map.lock().expect("cache lock").get(s).cloned();
+        match found {
+            Some(r) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(r)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a result, keeping the first insertion if the point was
+    /// raced (results are identical by construction, so either is
+    /// correct — keeping the first makes the choice deterministic in
+    /// effect).
+    pub fn insert(&self, s: Scenario, result: Arc<SimResult>) -> Arc<SimResult> {
+        self.map
+            .lock()
+            .expect("cache lock")
+            .entry(s)
+            .or_insert(result)
+            .clone()
+    }
+
+    /// Number of distinct points cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup hits since construction.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup misses since construction.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Snapshot of an engine's cache effectiveness, for progress lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Worker threads the engine fans out across.
+    pub jobs: usize,
+    /// Distinct points simulated and retained.
+    pub points: usize,
+    /// Cache hits (points served without re-simulation).
+    pub hits: usize,
+    /// Cache misses (points that had to be simulated).
+    pub misses: usize,
+}
+
+impl EngineStats {
+    /// The work done between an `earlier` snapshot and this one —
+    /// what one sweep or suite contributed, as opposed to the
+    /// engine's process-cumulative totals.
+    pub fn since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            jobs: self.jobs,
+            points: self.points.saturating_sub(earlier.points),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+/// Parallel, memoizing scenario executor.
+///
+/// Construct once, share by reference: every sweep and every lookup
+/// goes through the same [`SimCache`], so repeated experiments reuse
+/// each other's points.
+#[derive(Debug)]
+pub struct Engine {
+    jobs: usize,
+    cache: SimCache,
+}
+
+impl Default for Engine {
+    /// An engine using every available core (same as `Engine::new(0)`).
+    fn default() -> Self {
+        Engine::new(0)
+    }
+}
+
+impl Engine {
+    /// Creates an engine fanning out across `jobs` worker threads.
+    /// `jobs = 0` selects the host's available parallelism.
+    pub fn new(jobs: usize) -> Self {
+        Engine {
+            jobs: effective_jobs(jobs),
+            cache: SimCache::new(),
+        }
+    }
+
+    /// An engine that runs every point on the calling thread.
+    pub fn sequential() -> Self {
+        Engine::new(1)
+    }
+
+    /// The worker count this engine fans out across.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The engine's memo table.
+    pub fn cache(&self) -> &SimCache {
+        &self.cache
+    }
+
+    /// Cache-effectiveness snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            jobs: self.jobs,
+            points: self.cache.len(),
+            hits: self.cache.hits(),
+            misses: self.cache.misses(),
+        }
+    }
+
+    /// Simulates every not-yet-cached point of `spec`, fanning out
+    /// across the engine's workers. Returns how many points were
+    /// actually simulated (the rest were cache hits).
+    pub fn run_sweep(&self, spec: &SweepSpec) -> usize {
+        self.prime(&spec.scenarios())
+    }
+
+    /// Simulates every not-yet-cached scenario in `scenarios`.
+    /// Returns how many points were actually simulated.
+    pub fn prime(&self, scenarios: &[Scenario]) -> usize {
+        let mut queued = HashSet::with_capacity(scenarios.len());
+        let mut todo: Vec<Scenario> = Vec::new();
+        for &s in scenarios {
+            if !queued.insert(s) {
+                continue; // already queued this round; don't double-count
+            }
+            if self.cache.get(&s).is_none() {
+                todo.push(s);
+            }
+        }
+        let simulated = todo.len();
+        for (s, r) in parallel_map(self.jobs, todo, |s| (s, Arc::new(s.run()))) {
+            self.cache.insert(s, r);
+        }
+        simulated
+    }
+
+    /// Returns the result for one scenario, simulating it on the
+    /// calling thread on a cache miss.
+    pub fn result(&self, s: Scenario) -> Arc<SimResult> {
+        if let Some(r) = self.cache.get(&s) {
+            return r;
+        }
+        self.cache.insert(s, Arc::new(s.run()))
+    }
+}
+
+/// Resolves a `--jobs`-style worker count: `0` means "all cores".
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Applies `f` to every item on a shared-queue worker pool, preserving
+/// input order in the output. `jobs = 0` selects the host's available
+/// parallelism; `jobs = 1` degenerates to a plain sequential map.
+///
+/// The experiments use this for CPU-bound post-processing sweeps (e.g.
+/// the 20-point technology sweep of Figure 9) whose units of work are
+/// not simulation points and therefore bypass the [`SimCache`].
+pub fn parallel_map<T, U, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let jobs = effective_jobs(jobs).min(items.len());
+    if jobs <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let total = items.len();
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let done: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(total));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                // Pop-then-release: the queue lock is held only for
+                // the pop, so idle workers steal the next item the
+                // moment they finish one.
+                let next = queue.lock().expect("queue lock").pop_front();
+                let Some((i, item)) = next else { break };
+                let out = f(item);
+                done.lock().expect("done lock").push((i, out));
+            });
+        }
+    });
+    let mut done = done.into_inner().expect("workers finished");
+    assert_eq!(done.len(), total, "every item produces one output");
+    done.sort_by_key(|&(i, _)| i);
+    done.into_iter().map(|(_, out)| out).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(bench: &'static str, fus: usize) -> Scenario {
+        Scenario {
+            bench,
+            fus,
+            l2_latency: 12,
+            budget: Budget::Custom(5_000),
+        }
+    }
+
+    #[test]
+    fn sweep_expands_cartesian_product_without_duplicates() {
+        let spec = SweepSpec::new(Budget::Custom(5_000))
+            .benches(["mst", "gzip"])
+            .fu_counts([1, 4])
+            .l2_latencies([12, 12, 32]);
+        let scenarios = spec.scenarios();
+        assert_eq!(scenarios.len(), 2 * 2 * 2);
+        assert_eq!(scenarios[0].bench, "mst"); // bench-major order
+        let mut dedup = scenarios.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), scenarios.len());
+    }
+
+    #[test]
+    fn scenario_run_is_deterministic() {
+        let s = tiny("mst", 2);
+        let a = s.run();
+        let b = s.run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn engine_caches_points_across_sweeps() {
+        let engine = Engine::new(2);
+        let spec = SweepSpec::new(Budget::Custom(5_000))
+            .benches(["mst", "gzip"])
+            .fu_counts([1, 2]);
+        assert_eq!(engine.run_sweep(&spec), 4);
+        assert_eq!(engine.run_sweep(&spec), 0); // second sweep: all cached
+        assert_eq!(engine.cache().len(), 4);
+        // A direct lookup of a swept point must not re-simulate.
+        let before = engine.cache().len();
+        let _ = engine.result(tiny("mst", 1));
+        assert_eq!(engine.cache().len(), before);
+    }
+
+    #[test]
+    fn parallel_and_sequential_engines_agree() {
+        let spec = SweepSpec::new(Budget::Custom(5_000))
+            .benches(["mst", "health"])
+            .fu_counts([1, 2, 3, 4]);
+        let seq = Engine::sequential();
+        let par = Engine::new(4);
+        seq.run_sweep(&spec);
+        par.run_sweep(&spec);
+        for s in spec.scenarios() {
+            assert_eq!(*seq.result(s), *par.result(s), "{s:?} diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let squares = parallel_map(4, (0u64..100).collect(), |x| x * x);
+        assert_eq!(squares, (0u64..100).map(|x| x * x).collect::<Vec<_>>());
+        let seq = parallel_map(1, vec![1, 2, 3], |x| x + 1);
+        assert_eq!(seq, vec![2, 3, 4]);
+        assert!(parallel_map(0, Vec::<u64>::new(), |x| x).is_empty());
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero_to_cores() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+}

@@ -15,8 +15,7 @@ pub struct BranchStats {
 impl BranchStats {
     /// Prediction accuracy (`None` before any branch).
     pub fn accuracy(&self) -> Option<f64> {
-        (self.branches > 0)
-            .then(|| 1.0 - self.mispredicts as f64 / self.branches as f64)
+        (self.branches > 0).then(|| 1.0 - self.mispredicts as f64 / self.branches as f64)
     }
 }
 
@@ -52,7 +51,11 @@ impl CacheStats {
 }
 
 /// The result of one timing-simulation run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` is field-exact: two results compare equal only when
+/// every cycle count and idle interval matches, which is what the
+/// scenario engine's determinism guarantee is stated in terms of.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimResult {
     /// Total cycles (cycle of the last commit).
     pub cycles: u64,
@@ -111,11 +114,7 @@ impl SimResult {
         if self.cycles == 0 || self.fu_idle.is_empty() {
             return 0.0;
         }
-        let idle: u64 = self
-            .fu_idle
-            .iter()
-            .map(|v| v.iter().sum::<u64>())
-            .sum();
+        let idle: u64 = self.fu_idle.iter().map(|v| v.iter().sum::<u64>()).sum();
         idle as f64 / (self.cycles as f64 * self.fu_idle.len() as f64)
     }
 

@@ -1,0 +1,62 @@
+//! The scenario engine's central guarantee: a parallel run is
+//! bit-identical to a sequential one. Policies and kernels are
+//! documented as deterministic (`core/src/policy.rs`,
+//! `workloads/src/kernels/mod.rs`), every simulation is
+//! single-threaded and seeded, and the engine only changes *where*
+//! points run — never what they compute.
+
+use fuleak_experiments::harness::{run_benchmark_on, run_suite_on, Budget};
+use fuleak_experiments::scenario::{Engine, Scenario, SweepSpec};
+use fuleak_workloads::Benchmark;
+
+/// Small enough to keep the double suite run cheap, large enough to
+/// exercise every pipeline structure.
+const BUDGET: Budget = Budget::Custom(60_000);
+
+#[test]
+fn parallel_suite_is_bit_identical_to_sequential() {
+    let sequential = run_suite_on(&Engine::new(1), 12, BUDGET);
+    let parallel = run_suite_on(&Engine::new(4), 12, BUDGET);
+    // Field-exact equality across every benchmark: cycles, committed
+    // instructions, per-FU idle intervals, branch and cache counters.
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn single_benchmark_agrees_across_worker_counts() {
+    let bench = Benchmark::by_name("mst").unwrap();
+    let one = run_benchmark_on(&Engine::new(1), bench, 12, BUDGET);
+    let many = run_benchmark_on(&Engine::new(8), bench, 12, BUDGET);
+    assert_eq!(one, many);
+}
+
+#[test]
+fn suite_points_land_in_the_shared_cache() {
+    let engine = Engine::new(4);
+    let first = run_suite_on(&engine, 12, BUDGET);
+    let simulated = engine.stats().misses;
+    // 9 benchmarks x 4 FU candidates, each simulated exactly once.
+    assert_eq!(simulated, Benchmark::all().len() * 4);
+
+    // Re-running the suite must be pure cache replay...
+    let second = run_suite_on(&engine, 12, BUDGET);
+    assert_eq!(engine.stats().misses, simulated, "re-run re-simulated");
+    assert_eq!(first, second);
+
+    // ...and a direct sweep over the same points adds nothing.
+    let spec = SweepSpec::new(BUDGET).l2_latencies([12]);
+    assert_eq!(engine.run_sweep(&spec), 0);
+}
+
+#[test]
+fn scenario_results_are_stable_across_engines() {
+    let s = Scenario {
+        bench: "gzip",
+        fus: 2,
+        l2_latency: 12,
+        budget: BUDGET,
+    };
+    let a = Engine::new(3).result(s);
+    let b = Engine::sequential().result(s);
+    assert_eq!(*a, *b);
+}

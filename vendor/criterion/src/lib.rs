@@ -1,0 +1,240 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness
+//! covering the surface this workspace's benches use: [`Criterion`]
+//! builder methods, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim as a path dependency. It is a real measuring
+//! harness — each benchmark closure is warmed up, then timed for the
+//! configured sample count, and the mean/min wall-clock per iteration
+//! is printed — just without criterion's statistical machinery, plots,
+//! or baseline storage.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for API compatibility.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(
+            id,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time for benches in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Finishes the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting up to the configured number of
+    /// samples (and stopping early once the time budget is spent).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let started = Instant::now();
+        for _ in 0..self.max_samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    f: &mut F,
+) {
+    // Warm-up: run the routine once through a throwaway bencher.
+    let mut warm = Bencher {
+        samples: Vec::new(),
+        budget: warm_up_time,
+        max_samples: 1,
+    };
+    f(&mut warm);
+
+    let mut b = Bencher {
+        samples: Vec::new(),
+        budget: measurement_time,
+        max_samples: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{id:<40} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+        mean,
+        min,
+        b.samples.len()
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut runs = 0;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs >= 2); // warm-up + at least one sample
+    }
+
+    #[test]
+    fn groups_run_their_benches() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut hits = 0;
+        group.bench_function("inner", |b| b.iter(|| hits += 1));
+        group.finish();
+        assert!(hits >= 2);
+    }
+}
