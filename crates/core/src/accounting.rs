@@ -43,10 +43,11 @@ impl PolicyRun {
     }
 
     /// Energy normalized to the 100%-computation baseline `E_max` of
-    /// equation (9) — the y-axis of Figures 8a/8b.
+    /// equation (9) — the y-axis of Figures 8a/8b. The baseline is
+    /// computed over the exact (possibly fractional, under
+    /// GradualSleep) cycle-equivalent total; no rounding occurs.
     pub fn normalized_to_max(&self, model: &EnergyModel) -> f64 {
-        let total = self.total_cycles().round() as u64;
-        let e_max = model.max_energy(total);
+        let e_max = model.max_energy(self.total_cycles());
         if e_max == 0.0 {
             0.0
         } else {
@@ -123,9 +124,7 @@ where
     let trailing = active_cycles.saturating_sub(separators);
     let stream = idle_intervals
         .iter()
-        .flat_map(|&t| {
-            std::iter::once(true).chain(std::iter::repeat_n(false, t as usize))
-        })
+        .flat_map(|&t| std::iter::once(true).chain(std::iter::repeat_n(false, t as usize)))
         .chain(std::iter::repeat_n(true, trailing as usize));
     simulate_cycles(model, controller, stream)
 }
@@ -198,7 +197,7 @@ mod tests {
     fn all_busy_equals_max_energy() {
         let m = model(0.5, 0.5);
         let run = simulate_cycles(&m, &mut AlwaysActive, vec![true; 100]);
-        assert!((run.energy.total() - m.max_energy(100)).abs() < 1e-9);
+        assert!((run.energy.total() - m.max_energy(100.0)).abs() < 1e-9);
         assert!((run.normalized_to_max(&m) - 1.0).abs() < 1e-12);
     }
 
@@ -207,8 +206,7 @@ mod tests {
         let m = model(0.5, 0.5);
         let intervals = vec![3, 1, 7, 20, 2];
         let active = 50;
-        let by_intervals =
-            simulate_intervals(&m, &mut GradualSleep::new(5), active, &intervals);
+        let by_intervals = simulate_intervals(&m, &mut GradualSleep::new(5), active, &intervals);
         // Manually build the equivalent stream.
         let mut stream = Vec::new();
         for &t in &intervals {
@@ -246,8 +244,7 @@ mod tests {
             );
             assert!((closed.sleep_equiv - simulated.sleep_equiv).abs() < 1e-9);
             assert!(
-                (closed.uncontrolled_idle_equiv - simulated.uncontrolled_idle_equiv).abs()
-                    < 1e-9
+                (closed.uncontrolled_idle_equiv - simulated.uncontrolled_idle_equiv).abs() < 1e-9
             );
             assert!((closed.transitions_equiv - simulated.transitions_equiv).abs() < 1e-9);
         }
@@ -266,7 +263,9 @@ mod tests {
             BoundaryPolicy::MaxSleep,
             BoundaryPolicy::GradualSleep { slices: 13 },
         ] {
-            let e = account_intervals(&m, policy, active, &intervals).energy.total();
+            let e = account_intervals(&m, policy, active, &intervals)
+                .energy
+                .total();
             assert!(no <= e + 1e-12, "{policy:?}");
         }
     }
@@ -320,6 +319,32 @@ mod tests {
         assert_eq!(run.sleep_equiv, 10.0);
         assert_eq!(run.uncontrolled_idle_equiv, 0.0);
         assert_eq!(run.total_cycles(), 20.0);
+    }
+
+    #[test]
+    fn normalization_is_exact_for_fractional_totals() {
+        // Regression: GradualSleep produces fractional cycle-equivalent
+        // totals; these used to be rounded to u64 before computing
+        // E_max, skewing the Figures 8a/8b y-values. Normalizing an
+        // all-active run against a fractional total must agree with
+        // the analytic ratio exactly.
+        let m = model(0.5, 0.5);
+        let run = PolicyRun {
+            energy: m.active_cycle() * 10.0,
+            active_cycles: 10,
+            uncontrolled_idle_equiv: 0.3,
+            sleep_equiv: 0.4,
+            ..PolicyRun::default()
+        };
+        assert!((run.total_cycles() - 10.7).abs() < 1e-12); // would have rounded to 11
+        let expected =
+            (m.active_cycle().total() * 10.0) / (m.active_cycle().total() * run.total_cycles());
+        assert!((run.normalized_to_max(&m) - expected).abs() < 1e-15);
+        // And a genuine GradualSleep run stays consistent with its own
+        // exact total.
+        let gs = simulate_intervals(&m, &mut GradualSleep::new(4), 20, &[3, 1, 2]);
+        let by_hand = gs.energy.total() / m.max_energy(gs.total_cycles());
+        assert!((gs.normalized_to_max(&m) - by_hand).abs() < 1e-15);
     }
 
     #[test]

@@ -96,7 +96,7 @@ pub fn no_overhead(model: &EnergyModel, s: &UsageScenario) -> NormalizedEnergy {
 /// Equation (9): the normalization baseline `E_max` — the energy had
 /// the FU computed on every one of the `T` cycles.
 pub fn max_computation(model: &EnergyModel, s: &UsageScenario) -> f64 {
-    model.max_energy(s.total_cycles)
+    model.max_energy(s.total_cycles as f64)
 }
 
 /// The sleep-management decision a policy makes for one idle interval.
@@ -382,8 +382,7 @@ mod tests {
 
         let closed = max_sleep(&m, &s).total();
         let by_intervals = m.active_cycle().total() * active as f64
-            + n_intervals as f64
-                * interval_energy(&m, BoundaryPolicy::MaxSleep, t_idle).total();
+            + n_intervals as f64 * interval_energy(&m, BoundaryPolicy::MaxSleep, t_idle).total();
         assert!((closed - by_intervals).abs() / closed < 1e-9);
     }
 }

@@ -57,7 +57,10 @@ impl IdleRecorder {
         }
     }
 
-    /// The completed idle intervals, in occurrence order.
+    /// The completed idle intervals, in occurrence order. An idle run
+    /// still open at the end of the stream is not listed until
+    /// [`IdleRecorder::finish`] closes it (it *is* counted by the
+    /// cycle totals below).
     pub fn intervals(&self) -> &[u64] {
         &self.intervals
     }
@@ -72,13 +75,14 @@ impl IdleRecorder {
         self.active_cycles
     }
 
-    /// Total idle cycles across completed intervals.
+    /// Total idle cycles observed, including any idle run still open
+    /// at the end of the stream.
     pub fn idle_cycles(&self) -> u64 {
-        self.intervals.iter().sum()
+        self.intervals.iter().sum::<u64>() + self.current_run
     }
 
-    /// Total observed cycles (active + completed idle). Call
-    /// [`IdleRecorder::finish`] first if the stream may end idle.
+    /// Total observed cycles (active + idle, open trailing run
+    /// included).
     pub fn total_cycles(&self) -> u64 {
         self.active_cycles + self.idle_cycles()
     }
@@ -88,6 +92,89 @@ impl IdleRecorder {
     pub fn idle_fraction(&self) -> Option<f64> {
         let total = self.total_cycles();
         (total > 0).then(|| self.idle_cycles() as f64 / total as f64)
+    }
+}
+
+/// Cursor-based online idle-interval recorder over *absolute* cycle
+/// timestamps.
+///
+/// Where [`IdleRecorder`] consumes one boolean per cycle,
+/// `IdleCursor` consumes only the **busy** cycles, in nondecreasing
+/// order, and derives the idle gaps between them — the natural fit
+/// for a timing simulator that knows exactly which cycles a unit
+/// executes. It replaces the post-hoc "accumulate every busy cycle,
+/// sort, then diff" conversion with O(1) work per busy cycle and
+/// memory proportional to the number of idle *intervals* rather than
+/// the number of busy cycles (`crates/core/tests/interval_props.rs`
+/// proves the equivalence on arbitrary streams).
+///
+/// Duplicate timestamps are tolerated and counted as active exactly
+/// once per call, matching the historical conversion's handling of
+/// re-recorded busy cycles.
+///
+/// # Example
+///
+/// ```
+/// use fuleak_core::IdleCursor;
+///
+/// let mut c = IdleCursor::new();
+/// for cycle in [2, 3, 7] {
+///     c.record_busy(cycle);
+/// }
+/// c.finish(10);
+/// assert_eq!(c.intervals(), &[2, 3, 2]); // [0,2), [4,7), [8,10)
+/// assert_eq!(c.active_cycles(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdleCursor {
+    /// First cycle not yet accounted for (everything below is final).
+    cursor: u64,
+    intervals: Vec<u64>,
+    active_cycles: u64,
+}
+
+impl IdleCursor {
+    /// Creates a recorder with its cursor at cycle 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `cycle` was busy. Cycles must arrive in
+    /// nondecreasing order; a cycle at or below an already-recorded
+    /// one counts as active but opens no new interval.
+    pub fn record_busy(&mut self, cycle: u64) {
+        self.active_cycles += 1;
+        if cycle >= self.cursor {
+            if cycle > self.cursor {
+                self.intervals.push(cycle - self.cursor);
+            }
+            self.cursor = cycle + 1;
+        }
+    }
+
+    /// Closes the stream at `total_cycles`, emitting the trailing idle
+    /// interval (if any). Busy cycles at or beyond `total_cycles`
+    /// already swallowed the tail, in which case this is a no-op.
+    pub fn finish(&mut self, total_cycles: u64) {
+        if total_cycles > self.cursor {
+            self.intervals.push(total_cycles - self.cursor);
+            self.cursor = total_cycles;
+        }
+    }
+
+    /// The idle intervals recorded so far, in occurrence order.
+    pub fn intervals(&self) -> &[u64] {
+        &self.intervals
+    }
+
+    /// Consumes the recorder, returning the interval list.
+    pub fn into_intervals(self) -> Vec<u64> {
+        self.intervals
+    }
+
+    /// Number of busy cycles recorded (duplicates included).
+    pub fn active_cycles(&self) -> u64 {
+        self.active_cycles
     }
 }
 
@@ -267,6 +354,80 @@ mod tests {
     }
 
     #[test]
+    fn totals_include_open_trailing_run() {
+        // Regression: an idle run still open when the stream ends used
+        // to vanish from idle_cycles/total_cycles/idle_fraction until
+        // finish() was called, silently undercounting idle time.
+        let mut r = IdleRecorder::new();
+        for &b in &[true, true, false, false, false] {
+            r.observe(b);
+        }
+        assert_eq!(r.intervals(), &[] as &[u64], "run still open");
+        assert_eq!(r.idle_cycles(), 3);
+        assert_eq!(r.total_cycles(), 5);
+        assert!((r.idle_fraction().unwrap() - 0.6).abs() < 1e-12);
+        // finish() moves the run into the interval list without
+        // changing any total.
+        r.finish();
+        assert_eq!(r.intervals(), &[3]);
+        assert_eq!(r.idle_cycles(), 3);
+        assert_eq!(r.total_cycles(), 5);
+    }
+
+    #[test]
+    fn cursor_basic_stream() {
+        let mut c = IdleCursor::new();
+        c.record_busy(0); // busy immediately: no leading interval
+        c.record_busy(5);
+        c.record_busy(6);
+        c.finish(9);
+        assert_eq!(c.intervals(), &[4, 2]);
+        assert_eq!(c.active_cycles(), 3);
+    }
+
+    #[test]
+    fn cursor_handles_duplicates_and_edges() {
+        let mut c = IdleCursor::new();
+        c.record_busy(3);
+        c.record_busy(3); // duplicate: active again, no interval
+        c.finish(4);
+        assert_eq!(c.intervals(), &[3]);
+        assert_eq!(c.active_cycles(), 2);
+
+        // Never busy: one interval covering the whole run.
+        let mut c = IdleCursor::new();
+        c.finish(7);
+        assert_eq!(c.intervals(), &[7]);
+
+        // finish at/before the cursor is a no-op (and idempotent).
+        let mut c = IdleCursor::new();
+        c.record_busy(9);
+        c.finish(10);
+        c.finish(10);
+        c.finish(4);
+        assert_eq!(c.intervals(), &[9]);
+        assert_eq!(c.clone().into_intervals(), vec![9]);
+    }
+
+    #[test]
+    fn cursor_matches_boolean_recorder() {
+        // The two recorders describe the same stream two ways.
+        let busy = [false, true, true, false, false, true, false];
+        let mut bools = IdleRecorder::new();
+        let mut cursor = IdleCursor::new();
+        for (cycle, &b) in busy.iter().enumerate() {
+            bools.observe(b);
+            if b {
+                cursor.record_busy(cycle as u64);
+            }
+        }
+        bools.finish();
+        cursor.finish(busy.len() as u64);
+        assert_eq!(bools.intervals(), cursor.intervals());
+        assert_eq!(bools.active_cycles(), cursor.active_cycles());
+    }
+
+    #[test]
     fn recorder_empty() {
         let mut r = IdleRecorder::new();
         assert_eq!(r.idle_fraction(), None);
@@ -337,7 +498,7 @@ mod tests {
         h.record(2); // bucket 1
         h.record(2);
         h.record(64); // bucket 6
-        // Below 64 (bucket 6): buckets 0..6 contain 4 of 68 cycles.
+                      // Below 64 (bucket 6): buckets 0..6 contain 4 of 68 cycles.
         let f = h.idle_time_fraction_below(64);
         assert!((f - 4.0 / 68.0).abs() < 1e-12);
         assert_eq!(IdleHistogram::new().idle_time_fraction_below(64), 0.0);

@@ -72,6 +72,6 @@ pub mod tech;
 
 pub use breakeven::breakeven_interval;
 pub use error::ModelError;
-pub use intervals::{IdleHistogram, IdleRecorder};
+pub use intervals::{IdleCursor, IdleHistogram, IdleRecorder};
 pub use model::{CycleCounts, EnergyModel, NormalizedEnergy};
 pub use tech::TechnologyParams;

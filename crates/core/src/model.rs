@@ -253,8 +253,13 @@ impl EnergyModel {
     /// Equation (9): the baseline energy `E_max` of a run of `total`
     /// cycles in which the FU computes every cycle (`n_A = T`), in
     /// units of `E_D`. Figures 8a/8b normalize to this.
-    pub fn max_energy(&self, total_cycles: u64) -> f64 {
-        self.active_cycle().total() * total_cycles as f64
+    ///
+    /// `total_cycles` is an `f64` because policies like GradualSleep
+    /// split single cycles across circuit slices, producing fractional
+    /// cycle-equivalents; rounding them to an integer here would skew
+    /// the normalization.
+    pub fn max_energy(&self, total_cycles: f64) -> f64 {
+        self.active_cycle().total() * total_cycles
     }
 
     fn pkda(&self) -> (f64, f64, f64, f64) {
@@ -356,7 +361,7 @@ mod tests {
             active: 1000,
             ..CycleCounts::default()
         };
-        assert!((m.max_energy(1000) - m.total_energy(&counts).total()).abs() < 1e-9);
+        assert!((m.max_energy(1000.0) - m.total_energy(&counts).total()).abs() < 1e-9);
     }
 
     #[test]

@@ -336,8 +336,7 @@ impl SleepController for AdaptiveSleep {
         if busy {
             if self.idle_run > 0 {
                 // Interval ended; fold it into the predictor.
-                self.ewma =
-                    (1.0 - self.weight) * self.ewma + self.weight * self.idle_run as f64;
+                self.ewma = (1.0 - self.weight) * self.ewma + self.weight * self.idle_run as f64;
             }
             self.idle_run = 0;
             self.asleep = false;
@@ -482,7 +481,7 @@ mod tests {
     #[test]
     fn adaptive_sleeps_immediately_when_history_is_long() {
         let mut c = AdaptiveSleep::new(10.0, 1.0); // weight 1: last interval only
-        // A long 50-cycle interval teaches it intervals are long.
+                                                   // A long 50-cycle interval teaches it intervals are long.
         c.observe(true);
         for _ in 0..50 {
             c.observe(false);

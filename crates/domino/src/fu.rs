@@ -443,8 +443,7 @@ impl ExpectedFu {
             let charged = 1.0 - self.slice_discharged[s];
             self.energy.sleep_transition +=
                 crate::Femtojoules::new(gates * charged * e.dynamic.as_fj());
-            self.energy.sleep_overhead +=
-                crate::Femtojoules::new(gates * e.sleep_switch.as_fj());
+            self.energy.sleep_overhead += crate::Femtojoules::new(gates * e.sleep_switch.as_fj());
             self.slice_discharged[s] = 1.0;
             self.slice_asleep[s] = true;
             self.slices_asleep += 1;
@@ -499,10 +498,7 @@ mod tests {
     #[test]
     fn rejects_degenerate_geometry() {
         for bad in [
-            FuCircuitConfig {
-                rows: 0,
-                ..cfg(1)
-            },
+            FuCircuitConfig { rows: 0, ..cfg(1) },
             FuCircuitConfig {
                 stages: 0,
                 ..cfg(1)

@@ -138,8 +138,7 @@ impl DominoGate {
         }
         // Precharge phase: the node is (re)charged and leaks at the high
         // rate for the (1 - d) fraction of the period.
-        self.energy.leak_hi +=
-            self.characterization.energies.leak_hi * (1.0 - self.duty_cycle);
+        self.energy.leak_hi += self.characterization.energies.leak_hi * (1.0 - self.duty_cycle);
         self.node = NodeState::Precharged;
         // Evaluate phase.
         if discharges {

@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for p in [0.05, 0.5] {
         let tech = TechnologyParams::with_leakage_factor(p)?;
         let model = EnergyModel::new(tech, 0.5)?;
-        let e_max = model.max_energy(run.sim.cycles) * run.fus as f64;
+        let e_max = model.max_energy(run.sim.cycles as f64) * run.fus as f64;
         println!("\npolicy energies at p = {p} (normalized to 100% computation):");
         for (name, kind) in POLICIES {
             let e = benchmark_energy(&run, &model, kind);

@@ -254,7 +254,7 @@ pub fn fig8(suite: &SuiteResult, p: f64, alpha: f64) -> Vec<Fig8Row> {
         .runs
         .iter()
         .map(|run| {
-            let e_max = model.max_energy(run.sim.cycles) * run.fus as f64;
+            let e_max = model.max_energy(run.sim.cycles as f64) * run.fus as f64;
             let mut energy = [0.0; 4];
             for (slot, (_, kind)) in energy.iter_mut().zip(POLICIES) {
                 *slot = benchmark_energy(run, &model, kind).energy.total() / e_max;

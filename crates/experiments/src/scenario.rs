@@ -16,18 +16,36 @@
 //! * [`Engine`] — a work-stealing executor (std scoped threads over a
 //!   shared job queue) that fans uncached points out across cores.
 //!
+//! The engine also memoizes the *functional* half of each point: a
+//! dynamic trace depends only on `(bench, budget)`, so one packed
+//! [`EncodedTrace`] per benchmark is captured and replayed across the
+//! whole FU-count × L2-latency sweep instead of re-executing the
+//! kernel for every microarchitectural variation (`DESIGN.md`).
+//!
 //! Every simulation is single-threaded and seeded, so a scenario's
 //! result is a pure function of its key: the engine is free to run
 //! points in any order on any number of workers and still produce
-//! bit-identical results (`tests/tests/determinism.rs` asserts this).
+//! bit-identical results — and replaying a cached trace is
+//! bit-identical to re-executing the kernel
+//! (`tests/tests/determinism.rs` asserts both).
 
 use crate::harness::Budget;
 use fuleak_uarch::{CoreConfig, SimResult, Simulator};
-use fuleak_workloads::Benchmark;
+use fuleak_workloads::{Benchmark, EncodedTrace};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, tolerating poison: a worker that panicked while
+/// holding the lock must not convert every subsequent `lock()` into a
+/// secondary panic that masks the root cause. The protected data
+/// (memo tables, work queues) is always in a consistent state at any
+/// panic point — entries are inserted atomically — so continuing past
+/// the poison flag is sound.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The FU counts the paper's selection rule chooses among (Section 4)
 /// — the single source for both the default sweep and the harness's
@@ -50,20 +68,62 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Runs the timing simulation for this point. Pure: equal
-    /// scenarios produce equal results on any thread.
+    /// Runs the timing simulation for this point, executing the kernel
+    /// functionally first. Pure: equal scenarios produce equal results
+    /// on any thread. Engine-driven runs use [`Scenario::run_trace`]
+    /// with a cached trace instead; the two are bit-identical.
     pub fn run(&self) -> SimResult {
-        let bench = Benchmark::by_name(self.bench).expect("scenario names a registered benchmark");
+        self.run_trace(&self.capture_trace())
+    }
+
+    /// Executes the functional half of this point: the packed dynamic
+    /// trace, which depends only on `(bench, budget)` and is therefore
+    /// shared across every FU-count and L2-latency variation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bench` is not a registered benchmark name — build
+    /// sweeps through [`SweepSpec`] to get this validated up front.
+    pub fn capture_trace(&self) -> EncodedTrace {
+        capture_trace(self.bench, self.budget)
+    }
+
+    /// Runs the timing simulation for this point over an
+    /// already-captured trace (which must be for this scenario's
+    /// `(bench, budget)`).
+    pub fn run_trace(&self, trace: &EncodedTrace) -> SimResult {
         let mut cfg = CoreConfig::with_int_fus(self.fus);
         cfg.l2.latency = self.l2_latency;
-        let mut machine = bench.instantiate();
-        let trace = machine
-            .run(self.budget.instructions())
-            .map(|r| r.expect("kernels execute without errors"));
         Simulator::new(cfg)
             .expect("table 2 configuration is valid")
             .run(trace)
     }
+}
+
+/// Captures the packed dynamic trace of `bench` at `budget` (see
+/// [`Scenario::capture_trace`]).
+///
+/// # Panics
+///
+/// Panics if `bench` is not a registered benchmark name.
+pub fn capture_trace(bench: &'static str, budget: Budget) -> EncodedTrace {
+    let bench = Benchmark::by_name(bench).unwrap_or_else(|| {
+        panic!(
+            "unknown benchmark `{bench}`; registered: {}",
+            registered_names()
+        )
+    });
+    EncodedTrace::capture(&mut bench.instantiate(), budget.instructions())
+        .expect("kernels execute without errors")
+}
+
+/// Comma-separated registry names, for diagnostics.
+fn registered_names() -> String {
+    Benchmark::all()
+        .iter()
+        .map(|b| b.name)
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// A cartesian sweep over benchmarks × FU counts × L2 latencies at one
@@ -89,8 +149,25 @@ impl SweepSpec {
     }
 
     /// Restricts the sweep to the given benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics immediately — on the caller's thread, with the name and
+    /// the registry listed — if a benchmark is unknown. Validating at
+    /// build time keeps the mistake out of the engine's worker pool,
+    /// where a panicked worker used to poison the shared cache lock
+    /// and surface only as a cascade of secondary `expect` failures.
     pub fn benches(mut self, benches: impl IntoIterator<Item = &'static str>) -> Self {
-        self.benches = benches.into_iter().collect();
+        self.benches = benches
+            .into_iter()
+            .inspect(|name| {
+                assert!(
+                    Benchmark::by_name(name).is_some(),
+                    "unknown benchmark `{name}`; registered: {}",
+                    registered_names()
+                );
+            })
+            .collect();
         self
     }
 
@@ -147,7 +224,7 @@ impl SimCache {
 
     /// Returns the cached result for `s`, counting a hit or miss.
     pub fn get(&self, s: &Scenario) -> Option<Arc<SimResult>> {
-        let found = self.map.lock().expect("cache lock").get(s).cloned();
+        let found = lock_unpoisoned(&self.map).get(s).cloned();
         match found {
             Some(r) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -165,9 +242,7 @@ impl SimCache {
     /// correct — keeping the first makes the choice deterministic in
     /// effect).
     pub fn insert(&self, s: Scenario, result: Arc<SimResult>) -> Arc<SimResult> {
-        self.map
-            .lock()
-            .expect("cache lock")
+        lock_unpoisoned(&self.map)
             .entry(s)
             .or_insert(result)
             .clone()
@@ -175,7 +250,7 @@ impl SimCache {
 
     /// Number of distinct points cached.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
+        lock_unpoisoned(&self.map).len()
     }
 
     /// Whether the cache is empty.
@@ -221,15 +296,75 @@ impl EngineStats {
     }
 }
 
+/// A concurrent memo table from `(bench, budget)` to its packed
+/// functional trace, shared by every point of an FU × L2 sweep.
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    map: Mutex<HashMap<(&'static str, Budget), Arc<EncodedTrace>>>,
+    captures: AtomicUsize,
+}
+
+impl TraceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        TraceCache::default()
+    }
+
+    /// The cached trace for `(bench, budget)`, if present.
+    pub fn get(&self, bench: &'static str, budget: Budget) -> Option<Arc<EncodedTrace>> {
+        lock_unpoisoned(&self.map).get(&(bench, budget)).cloned()
+    }
+
+    /// Inserts a trace, keeping the first insertion on a race (traces
+    /// are pure functions of the key, so either copy is correct).
+    pub fn insert(
+        &self,
+        bench: &'static str,
+        budget: Budget,
+        trace: Arc<EncodedTrace>,
+    ) -> Arc<EncodedTrace> {
+        lock_unpoisoned(&self.map)
+            .entry((bench, budget))
+            .or_insert(trace)
+            .clone()
+    }
+
+    /// Number of distinct traces cached.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.map).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Functional executions performed since construction (cache
+    /// misses; raced duplicate captures included).
+    pub fn captures(&self) -> usize {
+        self.captures.load(Ordering::Relaxed)
+    }
+
+    /// Total packed bytes held across all cached traces.
+    pub fn encoded_bytes(&self) -> usize {
+        lock_unpoisoned(&self.map)
+            .values()
+            .map(|t| t.encoded_bytes())
+            .sum()
+    }
+}
+
 /// Parallel, memoizing scenario executor.
 ///
 /// Construct once, share by reference: every sweep and every lookup
-/// goes through the same [`SimCache`], so repeated experiments reuse
-/// each other's points.
+/// goes through the same [`SimCache`] and [`TraceCache`], so repeated
+/// experiments reuse both each other's simulated points and the
+/// functional traces behind them.
 #[derive(Debug)]
 pub struct Engine {
     jobs: usize,
     cache: SimCache,
+    traces: TraceCache,
 }
 
 impl Default for Engine {
@@ -246,6 +381,7 @@ impl Engine {
         Engine {
             jobs: effective_jobs(jobs),
             cache: SimCache::new(),
+            traces: TraceCache::new(),
         }
     }
 
@@ -262,6 +398,22 @@ impl Engine {
     /// The engine's memo table.
     pub fn cache(&self) -> &SimCache {
         &self.cache
+    }
+
+    /// The engine's functional-trace memo table.
+    pub fn trace_cache(&self) -> &TraceCache {
+        &self.traces
+    }
+
+    /// The packed trace for `(bench, budget)`, capturing (and caching)
+    /// it on the calling thread if missing.
+    pub fn trace(&self, bench: &'static str, budget: Budget) -> Arc<EncodedTrace> {
+        if let Some(t) = self.traces.get(bench, budget) {
+            return t;
+        }
+        self.traces.captures.fetch_add(1, Ordering::Relaxed);
+        self.traces
+            .insert(bench, budget, Arc::new(capture_trace(bench, budget)))
     }
 
     /// Cache-effectiveness snapshot.
@@ -283,6 +435,12 @@ impl Engine {
 
     /// Simulates every not-yet-cached scenario in `scenarios`.
     /// Returns how many points were actually simulated.
+    ///
+    /// Work splits into two parallel phases: first the missing
+    /// functional traces are captured — one per distinct
+    /// `(bench, budget)`, however many FU-count × L2-latency points
+    /// share it — then every point replays its benchmark's cached
+    /// trace through the timing model.
     pub fn prime(&self, scenarios: &[Scenario]) -> usize {
         let mut queued = HashSet::with_capacity(scenarios.len());
         let mut todo: Vec<Scenario> = Vec::new();
@@ -294,20 +452,41 @@ impl Engine {
                 todo.push(s);
             }
         }
+        let mut trace_keys: Vec<(&'static str, Budget)> = Vec::new();
+        let mut seen_keys = HashSet::new();
+        for s in &todo {
+            let key = (s.bench, s.budget);
+            if seen_keys.insert(key) && self.traces.get(key.0, key.1).is_none() {
+                trace_keys.push(key);
+            }
+        }
+        self.traces
+            .captures
+            .fetch_add(trace_keys.len(), Ordering::Relaxed);
+        for ((bench, budget), trace) in parallel_map(self.jobs, trace_keys, |(bench, budget)| {
+            ((bench, budget), Arc::new(capture_trace(bench, budget)))
+        }) {
+            self.traces.insert(bench, budget, trace);
+        }
         let simulated = todo.len();
-        for (s, r) in parallel_map(self.jobs, todo, |s| (s, Arc::new(s.run()))) {
+        for (s, r) in parallel_map(self.jobs, todo, |s| {
+            let trace = self.trace(s.bench, s.budget);
+            (s, Arc::new(s.run_trace(&trace)))
+        }) {
             self.cache.insert(s, r);
         }
         simulated
     }
 
     /// Returns the result for one scenario, simulating it on the
-    /// calling thread on a cache miss.
+    /// calling thread on a cache miss (replaying the benchmark's
+    /// cached functional trace, capturing it first if needed).
     pub fn result(&self, s: Scenario) -> Arc<SimResult> {
         if let Some(r) = self.cache.get(&s) {
             return r;
         }
-        self.cache.insert(s, Arc::new(s.run()))
+        let trace = self.trace(s.bench, s.budget);
+        self.cache.insert(s, Arc::new(s.run_trace(&trace)))
     }
 }
 
@@ -347,15 +526,18 @@ where
             scope.spawn(|| loop {
                 // Pop-then-release: the queue lock is held only for
                 // the pop, so idle workers steal the next item the
-                // moment they finish one.
-                let next = queue.lock().expect("queue lock").pop_front();
+                // moment they finish one. Poison-tolerant locking: if
+                // a sibling worker panics, the rest drain the queue
+                // normally and the scope re-raises the *original*
+                // panic instead of a cascade of lock failures.
+                let next = lock_unpoisoned(&queue).pop_front();
                 let Some((i, item)) = next else { break };
                 let out = f(item);
-                done.lock().expect("done lock").push((i, out));
+                lock_unpoisoned(&done).push((i, out));
             });
         }
     });
-    let mut done = done.into_inner().expect("workers finished");
+    let mut done = done.into_inner().unwrap_or_else(PoisonError::into_inner);
     assert_eq!(done.len(), total, "every item produces one output");
     done.sort_by_key(|&(i, _)| i);
     done.into_iter().map(|(_, out)| out).collect()
@@ -438,5 +620,64 @@ mod tests {
     fn effective_jobs_resolves_zero_to_cores() {
         assert!(effective_jobs(0) >= 1);
         assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn traces_are_captured_once_per_bench_and_reused() {
+        let engine = Engine::new(2);
+        let spec = SweepSpec::new(Budget::Custom(5_000))
+            .benches(["mst", "gzip"])
+            .fu_counts([1, 2, 3, 4])
+            .l2_latencies([12, 32]);
+        assert_eq!(engine.run_sweep(&spec), 16);
+        // 16 timing points, but only one functional execution per
+        // benchmark.
+        assert_eq!(engine.trace_cache().len(), 2);
+        assert_eq!(engine.trace_cache().captures(), 2);
+        assert!(engine.trace_cache().encoded_bytes() > 0);
+        // Further sweeps and lazy lookups reuse the cached traces.
+        engine.result(tiny("mst", 3));
+        let s = Scenario {
+            bench: "mst",
+            fus: 1,
+            l2_latency: 99,
+            budget: Budget::Custom(5_000),
+        };
+        engine.result(s);
+        assert_eq!(engine.trace_cache().captures(), 2);
+    }
+
+    #[test]
+    fn replayed_trace_matches_fresh_execution() {
+        let engine = Engine::sequential();
+        let s = tiny("health", 2);
+        let replayed = engine.result(s);
+        assert_eq!(*replayed, s.run(), "cached-trace path diverged");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark `gziip`")]
+    fn sweep_spec_rejects_unknown_benchmarks_at_build_time() {
+        let _ = SweepSpec::new(Budget::Custom(1_000)).benches(["mst", "gziip"]);
+    }
+
+    #[test]
+    fn caches_survive_a_poisoned_lock() {
+        let engine = Engine::new(2);
+        engine.result(tiny("mst", 1));
+        // Panic while holding the SimCache lock, as a crashing worker
+        // would.
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = engine.cache.map.lock().unwrap();
+            panic!("worker died mid-insert");
+        }));
+        assert!(poison.is_err());
+        assert!(engine.cache.map.is_poisoned());
+        // Later lookups and inserts keep working instead of dying on
+        // a secondary `expect("cache lock")`.
+        assert_eq!(engine.cache().len(), 1);
+        let r = engine.result(tiny("mst", 2));
+        assert!(r.cycles > 0);
+        assert_eq!(engine.cache().len(), 2);
     }
 }

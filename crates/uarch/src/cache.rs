@@ -405,11 +405,11 @@ mod tests {
         let cfg = crate::config::CoreConfig::alpha21264();
         let mut dm = DataMemory::new(cfg.l1d, cfg.l2, cfg.dtlb, cfg.mshrs, cfg.memory_latency);
         dm.access(0, 0); // warm TLB page 0, line 0 into both levels
-        // Evict line 0 from L1 by filling its set (ways = 4), staying
-        // on page 0 (8 KiB) and in distinct L2 sets.
+                         // Evict line 0 from L1 by filling its set (ways = 4), staying
+                         // on page 0 (8 KiB) and in distinct L2 sets.
         let l1_set_stride = 64 * dm.l1.params().sets(); // 16 KiB
-        // 16 KiB stride leaves page 0; warm those pages' TLB entries
-        // first so the final probe isolates the L2 hit.
+                                                        // 16 KiB stride leaves page 0; warm those pages' TLB entries
+                                                        // first so the final probe isolates the L2 hit.
         for i in 1..=4 {
             dm.access(i * l1_set_stride, 10_000 * i);
         }

@@ -1,0 +1,101 @@
+//! A minimal deterministic multiplicative hasher for the simulator's
+//! hot-loop maps.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) is keyed and
+//! DoS-resistant, which the pipeline's internal address maps do not
+//! need — their keys never cross a trust boundary and their iteration
+//! order is never observed. This Fx-style hasher (one wrapping
+//! multiply per word, as popularized by rustc) makes per-instruction
+//! lookups cheap while keeping behavior fully deterministic.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Rustc's Fx mixing constant (64-bit golden-ratio multiplier).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-multiply-per-word hasher; see the [module docs](self).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, word: u64) {
+        self.mix(word);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, word: u32) {
+        self.mix(u64::from(word));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, byte: u8) {
+        self.mix(u64::from(byte));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, word: usize) {
+        self.mix(word as u64);
+    }
+}
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1_000u64 {
+            m.insert(i * 8, i);
+        }
+        assert_eq!(m.len(), 1_000);
+        for i in 0..1_000u64 {
+            assert_eq!(m.get(&(i * 8)), Some(&i));
+        }
+        assert_eq!(m.get(&7), None);
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let h = |x: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(x);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+        // Byte-wise writes agree with the word-wise fast path for
+        // whole words (both mix one 64-bit chunk).
+        let mut a = FxHasher::default();
+        a.write(&42u64.to_le_bytes());
+        assert_eq!(a.finish(), h(42));
+    }
+}

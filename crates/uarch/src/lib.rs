@@ -50,6 +50,7 @@
 pub mod bpred;
 pub mod cache;
 pub mod config;
+pub mod fxhash;
 pub mod pipeline;
 pub mod resources;
 pub mod stats;

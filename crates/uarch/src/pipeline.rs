@@ -29,10 +29,17 @@
 use crate::bpred::{Btb, CombiningPredictor, Ras};
 use crate::cache::{DataMemory, InstrMemory};
 use crate::config::{ConfigError, CoreConfig};
+use crate::fxhash::FxHashMap;
 use crate::resources::{BandwidthLimiter, CapacityWindow, FuPool};
 use crate::stats::{BranchStats, CacheStats, SimResult};
 use fuleak_workloads::{ArchReg, OpClass, TraceRecord};
-use std::collections::HashMap;
+
+/// Flat register-ready scoreboard slots per file: indexed directly by
+/// the architectural register number (`u8`), so operand lookups in
+/// the issue loop are array reads instead of hash probes. Sized for
+/// the whole `u8` space (the ISA uses 64 + 32 registers; the slack
+/// keeps the simulator total on arbitrary [`TraceRecord`] streams).
+const REG_SLOTS: usize = 256;
 
 /// The trace-driven timing simulator.
 ///
@@ -81,9 +88,7 @@ impl Simulator {
     /// with the actual outcome, and reports whether the prediction was
     /// correct.
     fn predict_and_train(&mut self, rec: &TraceRecord) -> bool {
-        let info = rec
-            .branch
-            .expect("control instructions carry branch info");
+        let info = rec.branch.expect("control instructions carry branch info");
         let actual_taken = info.taken;
         let actual_target = info.next_pc;
         let (predicted_taken, predicted_target) = match rec.op {
@@ -131,8 +136,11 @@ impl Simulator {
         let mut int_pool = FuPool::new(cfg.int_fus);
         let mut fp_pool = FuPool::new(cfg.fp_fus);
 
-        let mut reg_ready: HashMap<ArchReg, u64> = HashMap::new();
-        let mut store_ready: HashMap<u64, u64> = HashMap::new();
+        // Register-ready times, flat per file (never-written registers
+        // read 0, which can't constrain `ready >= dispatch + 1`).
+        let mut int_ready = [0u64; REG_SLOTS];
+        let mut fp_ready = [0u64; REG_SLOTS];
+        let mut store_ready: FxHashMap<u64, u64> = FxHashMap::default();
 
         let mut fetch_frontier = 0u64;
         let mut last_line: Option<u64> = None;
@@ -177,9 +185,11 @@ impl Simulator {
             // ---------- Operand readiness ----------
             let mut ready = dispatch + 1;
             for src in rec.srcs.iter().flatten() {
-                if let Some(&t) = reg_ready.get(src) {
-                    ready = ready.max(t);
-                }
+                let t = match *src {
+                    ArchReg::Int(r) => int_ready[usize::from(r)],
+                    ArchReg::Fp(r) => fp_ready[usize::from(r)],
+                };
+                ready = ready.max(t);
             }
 
             // ---------- Issue & execute ----------
@@ -245,8 +255,10 @@ impl Simulator {
             }
 
             // ---------- Register writeback ----------
-            if let Some(dst) = rec.dst {
-                reg_ready.insert(dst, complete);
+            match rec.dst {
+                Some(ArchReg::Int(r)) => int_ready[usize::from(r)] = complete,
+                Some(ArchReg::Fp(r)) => fp_ready[usize::from(r)] = complete,
+                None => {}
             }
 
             // ---------- Commit (in order) ----------
@@ -265,19 +277,24 @@ impl Simulator {
                 None => {}
             }
 
-            // Periodic cleanup of occupancy bookkeeping far behind the
-            // commit frontier.
+            // Periodically retire FU occupancy far behind the commit
+            // frontier into the online idle-interval recorders (issue
+            // can trail commit by at most the ROB's worth of in-flight
+            // latency, well under the 50k horizon).
             if processed.is_multiple_of(1 << 16) {
                 let horizon = last_commit.saturating_sub(50_000);
-                int_pool.prune_before(horizon);
-                fp_pool.prune_before(horizon);
+                int_pool.retire_before(horizon);
+                fp_pool.retire_before(horizon);
             }
         }
 
         let cycles = last_commit;
-        let busy = int_pool.into_busy_cycles();
-        let fu_active: Vec<u64> = busy.iter().map(|v| v.len() as u64).collect();
-        let fu_idle = SimResult::idle_from_busy(&busy, cycles);
+        let mut fu_idle = Vec::with_capacity(int_pool.units());
+        let mut fu_active = Vec::with_capacity(int_pool.units());
+        for fu in int_pool.into_stats(cycles) {
+            fu_idle.push(fu.idle_intervals);
+            fu_active.push(fu.active_cycles);
+        }
         let caches = CacheStats {
             l1d_accesses: self.dmem.l1.accesses(),
             l1d_misses: self.dmem.l1.misses(),
@@ -376,7 +393,9 @@ mod tests {
     #[test]
     fn ipc_never_exceeds_width() {
         // Fully independent ALU ops in a tight loop of PCs.
-        let trace: Vec<_> = (0..10_000).map(|i| alu(i % 16, (1 + i % 50) as u8, 0)).collect();
+        let trace: Vec<_> = (0..10_000)
+            .map(|i| alu(i % 16, (1 + i % 50) as u8, 0))
+            .collect();
         let r = sim().run(trace);
         assert_eq!(r.committed, 10_000);
         assert!(r.ipc() <= 4.0 + 1e-9, "ipc {}", r.ipc());
@@ -394,7 +413,9 @@ mod tests {
 
     #[test]
     fn single_fu_halves_nothing_but_caps_at_one() {
-        let trace: Vec<_> = (0..5_000).map(|i| alu(i % 16, (1 + i % 50) as u8, 0)).collect();
+        let trace: Vec<_> = (0..5_000)
+            .map(|i| alu(i % 16, (1 + i % 50) as u8, 0))
+            .collect();
         let r = sim_fus(1).run(trace);
         assert!(r.ipc() <= 1.0 + 1e-9, "ipc {}", r.ipc());
         assert!(r.ipc() > 0.85, "ipc {}", r.ipc());
@@ -421,7 +442,9 @@ mod tests {
 
     #[test]
     fn round_robin_spreads_work() {
-        let trace: Vec<_> = (0..8_000).map(|i| alu(i % 16, (1 + i % 50) as u8, 0)).collect();
+        let trace: Vec<_> = (0..8_000)
+            .map(|i| alu(i % 16, (1 + i % 50) as u8, 0))
+            .collect();
         let r = sim().run(trace);
         assert_eq!(r.fu_active.len(), 4);
         let total: u64 = r.fu_active.iter().sum();

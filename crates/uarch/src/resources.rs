@@ -13,9 +13,14 @@
 //!   queue, ROB, issue queues, load/store queues, rename registers);
 //! * [`FuPool`] — the integer/floating-point functional units, one
 //!   operation per unit per cycle, allocated round-robin exactly as
-//!   the paper's methodology prescribes, with per-unit busy-cycle
-//!   recording for the idle-interval statistics.
+//!   the paper's methodology prescribes, with **online** per-unit
+//!   idle-interval recording: busy cycles retire from the occupancy
+//!   window into cursor-based [`IdleCursor`] recorders as the commit
+//!   frontier advances, so the pool's memory stays proportional to
+//!   the in-flight window plus the number of idle intervals — never
+//!   to the total cycle count (see `DESIGN.md`).
 
+use fuleak_core::IdleCursor;
 use std::collections::BTreeMap;
 
 /// At most `width` events per cycle, for nondecreasing requests.
@@ -95,16 +100,31 @@ impl CapacityWindow {
 }
 
 /// A pool of identical functional units, one operation per unit per
-/// cycle, allocated round-robin. Records every unit's busy cycles for
-/// the idle-interval statistics of Section 4 of the paper.
+/// cycle, allocated round-robin. Derives every unit's idle-interval
+/// statistics (Section 4 of the paper) online: the per-cycle busy
+/// bitmasks double as a sorted reorder buffer, and [`FuPool::retire_before`]
+/// streams them into per-unit [`IdleCursor`] recorders as the commit
+/// frontier advances.
 #[derive(Debug, Clone)]
 pub struct FuPool {
     units: usize,
     rr: usize,
-    /// Busy bitmask per cycle, pruned as the window advances.
+    /// Busy bitmask per not-yet-retired cycle. Doubles as the sorted
+    /// staging buffer for the interval recorders: entries retire (in
+    /// cycle order) into `recorders` as the window advances.
     busy: BTreeMap<u64, u16>,
-    /// Per-unit busy cycles, in allocation order (not sorted).
-    assignments: Vec<Vec<u64>>,
+    /// Per-unit online idle-interval recorders.
+    recorders: Vec<IdleCursor>,
+}
+
+/// One unit's final statistics: its idle intervals (occurrence order)
+/// and its busy-cycle count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuStats {
+    /// Maximal idle runs, in occurrence order.
+    pub idle_intervals: Vec<u64>,
+    /// Cycles the unit executed an operation.
+    pub active_cycles: u64,
 }
 
 impl FuPool {
@@ -115,7 +135,7 @@ impl FuPool {
             units,
             rr: 0,
             busy: BTreeMap::new(),
-            assignments: vec![Vec::new(); units],
+            recorders: vec![IdleCursor::new(); units],
         }
     }
 
@@ -142,7 +162,6 @@ impl FuPool {
                     if mask & (1 << f) == 0 {
                         self.busy.insert(cycle, mask | (1 << f));
                         self.rr = (f + 1) % self.units;
-                        self.assignments[f].push(cycle);
                         return (f, cycle);
                     }
                 }
@@ -151,19 +170,47 @@ impl FuPool {
         }
     }
 
-    /// Drops occupancy bookkeeping for cycles before `cycle` (the
-    /// commit frontier); busy-cycle statistics are unaffected.
-    pub fn prune_before(&mut self, cycle: u64) {
-        self.busy = self.busy.split_off(&cycle);
+    /// Retires occupancy entries for cycles before `cycle` (the commit
+    /// frontier) into the per-unit interval recorders and drops them.
+    /// Allocation never reaches back past the frontier (the ROB bounds
+    /// how far issue can trail commit), so retired cycles are final.
+    pub fn retire_before(&mut self, cycle: u64) {
+        if self
+            .busy
+            .first_key_value()
+            .is_none_or(|(&first, _)| first >= cycle)
+        {
+            return; // nothing to retire; skip the split allocation
+        }
+        let live = self.busy.split_off(&cycle);
+        let retired = std::mem::replace(&mut self.busy, live);
+        self.record(retired);
     }
 
-    /// Consumes the pool, returning each unit's busy cycles (sorted).
-    pub fn into_busy_cycles(self) -> Vec<Vec<u64>> {
-        self.assignments
+    fn record(&mut self, retired: BTreeMap<u64, u16>) {
+        for (cycle, mask) in retired {
+            let mut bits = mask;
+            while bits != 0 {
+                let f = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.recorders[f].record_busy(cycle);
+            }
+        }
+    }
+
+    /// Consumes the pool, retiring every remaining busy cycle and
+    /// closing each unit's trailing idle interval at `total_cycles`.
+    pub fn into_stats(mut self, total_cycles: u64) -> Vec<FuStats> {
+        let rest = std::mem::take(&mut self.busy);
+        self.record(rest);
+        self.recorders
             .into_iter()
-            .map(|mut v| {
-                v.sort_unstable();
-                v
+            .map(|mut r| {
+                r.finish(total_cycles);
+                FuStats {
+                    active_cycles: r.active_cycles(),
+                    idle_intervals: r.into_intervals(),
+                }
             })
             .collect()
     }
@@ -191,7 +238,7 @@ mod tests {
         w.record(10); // alloc 0 releases at 10
         assert_eq!(w.constraint(), 0);
         w.record(20); // alloc 1 releases at 20
-        // Alloc 2 reuses alloc 0's slot: not before 10.
+                      // Alloc 2 reuses alloc 0's slot: not before 10.
         assert_eq!(w.constraint(), 10);
         w.record(30);
         // Alloc 3 reuses alloc 1's slot.
@@ -245,24 +292,57 @@ mod tests {
     }
 
     #[test]
-    fn busy_cycles_are_recorded_per_unit() {
+    fn idle_stats_are_recorded_per_unit() {
         let mut p = FuPool::new(2);
         p.allocate(0); // unit 0 @ 0
         p.allocate(0); // unit 1 @ 0
         p.allocate(5); // unit 0 @ 5 (rr pointer)
-        let busy = p.into_busy_cycles();
-        assert_eq!(busy[0], vec![0, 5]);
-        assert_eq!(busy[1], vec![0]);
+        let stats = p.into_stats(10);
+        // Unit 0 busy at {0, 5} over 10 cycles: idle [1,5), [6,10).
+        assert_eq!(stats[0].idle_intervals, vec![4, 4]);
+        assert_eq!(stats[0].active_cycles, 2);
+        // Unit 1 busy at {0}: one long trailing idle run.
+        assert_eq!(stats[1].idle_intervals, vec![9]);
+        assert_eq!(stats[1].active_cycles, 1);
     }
 
     #[test]
-    fn prune_keeps_future_occupancy() {
+    fn retire_keeps_future_occupancy() {
         let mut p = FuPool::new(1);
         p.allocate(0);
         p.allocate(100);
-        p.prune_before(50);
+        p.retire_before(50);
         // Cycle 100 still busy: next allocation at 100 goes to 101.
         assert_eq!(p.allocate(100), (0, 101));
+    }
+
+    #[test]
+    fn retirement_cadence_does_not_change_stats() {
+        // The same allocation pattern must yield identical statistics
+        // whether cycles retire incrementally or all at the end.
+        let ready = [0u64, 0, 3, 3, 3, 10, 11, 11, 40, 41, 90, 90];
+        let mut eager = FuPool::new(3);
+        let mut lazy = FuPool::new(3);
+        for (i, &r) in ready.iter().enumerate() {
+            assert_eq!(eager.allocate(r), lazy.allocate(r));
+            if i % 4 == 3 {
+                eager.retire_before(r.saturating_sub(2));
+            }
+        }
+        eager.retire_before(95);
+        assert_eq!(eager.into_stats(120), lazy.into_stats(120));
+    }
+
+    #[test]
+    fn retire_before_is_idempotent_and_total() {
+        let mut p = FuPool::new(2);
+        p.allocate(1);
+        p.allocate(4);
+        p.retire_before(10);
+        p.retire_before(10); // no-op
+        let stats = p.into_stats(6);
+        assert_eq!(stats[0].idle_intervals, vec![1, 4]); // busy @1 of 6
+        assert_eq!(stats[1].idle_intervals, vec![4, 1]); // busy @4 of 6
     }
 
     #[test]

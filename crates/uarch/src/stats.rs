@@ -81,33 +81,6 @@ impl SimResult {
         }
     }
 
-    /// Builds per-FU idle intervals from sorted busy-cycle lists over
-    /// `[0, total_cycles)`.
-    pub(crate) fn idle_from_busy(busy: &[Vec<u64>], total_cycles: u64) -> Vec<Vec<u64>> {
-        busy.iter()
-            .map(|cycles| {
-                let mut intervals = Vec::new();
-                let mut cursor = 0u64;
-                for &c in cycles {
-                    debug_assert!(c >= cursor.saturating_sub(1), "busy cycles must be sorted");
-                    let c_clipped = c.min(total_cycles);
-                    if c_clipped > cursor {
-                        intervals.push(c_clipped - cursor);
-                    }
-                    if c >= total_cycles {
-                        cursor = total_cycles;
-                        break;
-                    }
-                    cursor = c + 1;
-                }
-                if total_cycles > cursor {
-                    intervals.push(total_cycles - cursor);
-                }
-                intervals
-            })
-            .collect()
-    }
-
     /// Fraction of FU-cycles spent idle, averaged over the integer
     /// FUs (the quantity Figure 7 aggregates).
     pub fn idle_fraction(&self) -> f64 {
@@ -154,27 +127,6 @@ mod tests {
         assert!((s.l1d_miss_rate().unwrap() - 0.25).abs() < 1e-12);
         assert!((s.l2_miss_rate().unwrap() - 0.2).abs() < 1e-12);
         assert_eq!(CacheStats::default().l1d_miss_rate(), None);
-    }
-
-    #[test]
-    fn idle_from_busy_basic() {
-        // Busy at cycles 2, 3, 7 over 10 cycles:
-        // idle [0,1], [4..6], [8..9] -> intervals 2, 3, 2.
-        let idle = SimResult::idle_from_busy(&[vec![2, 3, 7]], 10);
-        assert_eq!(idle[0], vec![2, 3, 2]);
-    }
-
-    #[test]
-    fn idle_from_busy_edges() {
-        // Fully busy: no intervals.
-        let idle = SimResult::idle_from_busy(&[vec![0, 1, 2]], 3);
-        assert!(idle[0].is_empty());
-        // Never busy: one big interval.
-        let idle = SimResult::idle_from_busy(&[vec![]], 5);
-        assert_eq!(idle[0], vec![5]);
-        // Busy cycle beyond the end is clipped.
-        let idle = SimResult::idle_from_busy(&[vec![1, 99]], 4);
-        assert_eq!(idle[0], vec![1, 2]);
     }
 
     #[test]

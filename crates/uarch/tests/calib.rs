@@ -10,7 +10,9 @@ fn ipc_probe() {
         let r4 = Simulator::new(CoreConfig::alpha21264()).unwrap().run(trace);
         let mut m = b.instantiate();
         let trace = m.run(2_000_000).map(|r| r.unwrap());
-        let rn = Simulator::new(CoreConfig::with_int_fus(b.paper_fus)).unwrap().run(trace);
+        let rn = Simulator::new(CoreConfig::with_int_fus(b.paper_fus))
+            .unwrap()
+            .run(trace);
         eprintln!(
             "{:8} ipc4={:.3} (paper {:.3}) ipcN={:.3} (paper {:.3}, {} FUs)  idleN={:.3} bracc={:.3} l1d={:.3} l2={:.3}",
             b.name, r4.ipc(), b.paper_max_ipc, rn.ipc(), b.paper_ipc, b.paper_fus,

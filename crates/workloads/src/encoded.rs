@@ -1,0 +1,430 @@
+//! Compact, packed encoding of a dynamic trace.
+//!
+//! A [`crate::TraceRecord`] is convenient to produce and consume but
+//! costly to regenerate: the functional executor interprets every
+//! instruction, and a 2M-instruction benchmark point re-executes from
+//! scratch for every microarchitectural variation even though the
+//! trace depends only on the kernel and the instruction budget. An
+//! [`EncodedTrace`] captures one functional execution in a
+//! struct-of-arrays form — one `u32` PC plus one packed `u32` of
+//! metadata per record, with side arrays for the sparse memory-address
+//! and branch-target payloads — so the trace can be replayed any
+//! number of times at memory-streaming speed.
+//!
+//! The encoding is exact: decoding yields records that compare equal
+//! (`==`) to the originals, field for field, so a simulation driven by
+//! a replayed trace is bit-identical to one driven by the executor
+//! (`DESIGN.md` covers why the scenario engine depends on this).
+//!
+//! # Example
+//!
+//! ```
+//! use fuleak_workloads::{Benchmark, EncodedTrace};
+//!
+//! let bench = Benchmark::by_name("mst").expect("registered");
+//! let trace = EncodedTrace::capture(&mut bench.instantiate(), 1_000)
+//!     .expect("kernels execute without errors");
+//! assert_eq!(trace.len(), 1_000);
+//! let mut fresh = bench.instantiate();
+//! for (replayed, executed) in trace.iter().zip(fresh.run(1_000)) {
+//!     assert_eq!(replayed, executed.unwrap());
+//! }
+//! ```
+
+use crate::exec::{ExecError, Machine};
+use crate::trace::{ArchReg, BranchInfo, OpClass, TraceRecord};
+
+/// Bit layout of the packed per-record metadata word (low to high):
+/// op class (4), branch code (2), has-memory-address flag (1), then
+/// three 8-bit register slots (dst, src0, src1).
+const OP_BITS: u32 = 4;
+const BRANCH_SHIFT: u32 = OP_BITS;
+const MEM_SHIFT: u32 = BRANCH_SHIFT + 2;
+const DST_SHIFT: u32 = MEM_SHIFT + 1;
+const SRC0_SHIFT: u32 = DST_SHIFT + 8;
+const SRC1_SHIFT: u32 = SRC0_SHIFT + 8;
+
+/// Register-slot encoding: `0` is "no register"; integer registers
+/// occupy `0x40..=0x7F` and floating-point registers `0x80..=0xBF`.
+const REG_NONE: u32 = 0;
+const REG_INT: u32 = 0x40;
+const REG_FP: u32 = 0x80;
+
+fn encode_reg(reg: Option<ArchReg>) -> u32 {
+    // Hard asserts, not debug: an out-of-range register would wrap
+    // into a *different* register on decode, silently breaking the
+    // module's exact round-trip contract. The check runs once per
+    // record at encode time, never on the replay hot path.
+    match reg {
+        None => REG_NONE,
+        Some(ArchReg::Int(r)) => {
+            assert!(r < 64, "integer register {r} exceeds the encoding's 64");
+            REG_INT | u32::from(r)
+        }
+        Some(ArchReg::Fp(r)) => {
+            assert!(r < 64, "fp register {r} exceeds the encoding's 64");
+            REG_FP | u32::from(r)
+        }
+    }
+}
+
+fn decode_reg(bits: u32) -> Option<ArchReg> {
+    match bits & 0xC0 {
+        REG_INT => Some(ArchReg::Int((bits & 0x3F) as u8)),
+        REG_FP => Some(ArchReg::Fp((bits & 0x3F) as u8)),
+        _ => None,
+    }
+}
+
+fn encode_op(op: OpClass) -> u32 {
+    match op {
+        OpClass::IntAlu => 0,
+        OpClass::IntMul => 1,
+        OpClass::Load => 2,
+        OpClass::Store => 3,
+        OpClass::CondBranch => 4,
+        OpClass::Jump => 5,
+        OpClass::IndirectJump => 6,
+        OpClass::Call => 7,
+        OpClass::Return => 8,
+        OpClass::FpAdd => 9,
+        OpClass::FpMul => 10,
+        OpClass::Nop => 11,
+    }
+}
+
+fn decode_op(bits: u32) -> OpClass {
+    match bits {
+        0 => OpClass::IntAlu,
+        1 => OpClass::IntMul,
+        2 => OpClass::Load,
+        3 => OpClass::Store,
+        4 => OpClass::CondBranch,
+        5 => OpClass::Jump,
+        6 => OpClass::IndirectJump,
+        7 => OpClass::Call,
+        8 => OpClass::Return,
+        9 => OpClass::FpAdd,
+        10 => OpClass::FpMul,
+        _ => OpClass::Nop,
+    }
+}
+
+/// A packed, replayable dynamic trace (see the [module docs](self)).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EncodedTrace {
+    /// Static instruction index per record.
+    pcs: Vec<u32>,
+    /// Packed op/branch/mem/register metadata per record.
+    meta: Vec<u32>,
+    /// Effective addresses, in record order, for records with one.
+    mem_addrs: Vec<u64>,
+    /// Resolved next-PCs, in record order, for control records.
+    branch_targets: Vec<u32>,
+}
+
+impl EncodedTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty trace with room for `records` instructions.
+    pub fn with_capacity(records: usize) -> Self {
+        EncodedTrace {
+            pcs: Vec::with_capacity(records),
+            meta: Vec::with_capacity(records),
+            mem_addrs: Vec::new(),
+            branch_targets: Vec::new(),
+        }
+    }
+
+    /// Runs `machine` for up to `budget` instructions and captures the
+    /// emitted records (the encoded equivalent of collecting
+    /// [`Machine::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the executor's [`ExecError`] (e.g. a runaway PC).
+    pub fn capture(machine: &mut Machine, budget: u64) -> Result<Self, ExecError> {
+        let mut trace = EncodedTrace::with_capacity(budget.min(1 << 24) as usize);
+        for rec in machine.run(budget) {
+            trace.push(&rec?);
+        }
+        Ok(trace)
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, rec: &TraceRecord) {
+        let mut meta = encode_op(rec.op)
+            | encode_reg(rec.dst) << DST_SHIFT
+            | encode_reg(rec.srcs[0]) << SRC0_SHIFT
+            | encode_reg(rec.srcs[1]) << SRC1_SHIFT;
+        if let Some(addr) = rec.mem_addr {
+            meta |= 1 << MEM_SHIFT;
+            self.mem_addrs.push(addr);
+        }
+        if let Some(info) = rec.branch {
+            meta |= (if info.taken { 2 } else { 1 }) << BRANCH_SHIFT;
+            self.branch_targets.push(info.next_pc);
+        }
+        self.pcs.push(rec.pc);
+        self.meta.push(meta);
+    }
+
+    /// Number of records in the trace.
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// Approximate heap footprint of the encoding, in bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        4 * self.pcs.len()
+            + 4 * self.meta.len()
+            + 8 * self.mem_addrs.len()
+            + 4 * self.branch_targets.len()
+    }
+
+    /// Replays the trace as full [`TraceRecord`]s, identical to the
+    /// records originally pushed.
+    pub fn iter(&self) -> Replay<'_> {
+        Replay {
+            trace: self,
+            index: 0,
+            mem_cursor: 0,
+            branch_cursor: 0,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a EncodedTrace {
+    type Item = TraceRecord;
+    type IntoIter = Replay<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Decoding iterator over an [`EncodedTrace`].
+#[derive(Debug, Clone)]
+pub struct Replay<'a> {
+    trace: &'a EncodedTrace,
+    index: usize,
+    mem_cursor: usize,
+    branch_cursor: usize,
+}
+
+impl Iterator for Replay<'_> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let meta = *self.trace.meta.get(self.index)?;
+        let pc = self.trace.pcs[self.index];
+        self.index += 1;
+        let mem_addr = if meta & (1 << MEM_SHIFT) != 0 {
+            let addr = self.trace.mem_addrs[self.mem_cursor];
+            self.mem_cursor += 1;
+            Some(addr)
+        } else {
+            None
+        };
+        let branch = match (meta >> BRANCH_SHIFT) & 0b11 {
+            0 => None,
+            code => {
+                let next_pc = self.trace.branch_targets[self.branch_cursor];
+                self.branch_cursor += 1;
+                Some(BranchInfo {
+                    taken: code == 2,
+                    next_pc,
+                })
+            }
+        };
+        Some(TraceRecord {
+            pc,
+            op: decode_op(meta & ((1 << OP_BITS) - 1)),
+            dst: decode_reg(meta >> DST_SHIFT),
+            srcs: [
+                decode_reg(meta >> SRC0_SHIFT),
+                decode_reg(meta >> SRC1_SHIFT),
+            ],
+            mem_addr,
+            branch,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.trace.len() - self.index;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Replay<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::Benchmark;
+
+    fn all_op_classes() -> [OpClass; 12] {
+        [
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::CondBranch,
+            OpClass::Jump,
+            OpClass::IndirectJump,
+            OpClass::Call,
+            OpClass::Return,
+            OpClass::FpAdd,
+            OpClass::FpMul,
+            OpClass::Nop,
+        ]
+    }
+
+    #[test]
+    fn op_class_round_trips() {
+        for op in all_op_classes() {
+            assert_eq!(decode_op(encode_op(op)), op);
+        }
+    }
+
+    #[test]
+    fn reg_round_trips() {
+        for reg in [
+            None,
+            Some(ArchReg::Int(0)),
+            Some(ArchReg::Int(63)),
+            Some(ArchReg::Fp(0)),
+            Some(ArchReg::Fp(31)),
+        ] {
+            assert_eq!(decode_reg(encode_reg(reg)), reg);
+        }
+    }
+
+    #[test]
+    fn synthetic_records_round_trip() {
+        let records = vec![
+            TraceRecord {
+                pc: 0,
+                op: OpClass::Load,
+                dst: Some(ArchReg::Int(7)),
+                srcs: [Some(ArchReg::Int(3)), None],
+                mem_addr: Some(0xDEAD_BEE8),
+                branch: None,
+            },
+            TraceRecord {
+                pc: u32::MAX,
+                op: OpClass::CondBranch,
+                dst: None,
+                srcs: [Some(ArchReg::Int(1)), Some(ArchReg::Int(2))],
+                mem_addr: None,
+                branch: Some(BranchInfo {
+                    taken: false,
+                    next_pc: 17,
+                }),
+            },
+            TraceRecord {
+                pc: 5,
+                op: OpClass::Jump,
+                dst: None,
+                srcs: [None, None],
+                mem_addr: None,
+                branch: Some(BranchInfo {
+                    taken: true,
+                    next_pc: 0,
+                }),
+            },
+            TraceRecord {
+                pc: 6,
+                op: OpClass::FpMul,
+                dst: Some(ArchReg::Fp(31)),
+                srcs: [Some(ArchReg::Fp(0)), Some(ArchReg::Fp(1))],
+                mem_addr: None,
+                branch: None,
+            },
+            TraceRecord {
+                pc: 7,
+                op: OpClass::Nop,
+                dst: None,
+                srcs: [None, None],
+                mem_addr: None,
+                branch: None,
+            },
+        ];
+        let mut trace = EncodedTrace::new();
+        for r in &records {
+            trace.push(r);
+        }
+        assert_eq!(trace.len(), records.len());
+        let decoded: Vec<_> = trace.iter().collect();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn every_benchmark_round_trips() {
+        for bench in Benchmark::all() {
+            let captured =
+                EncodedTrace::capture(&mut bench.instantiate(), 20_000).expect("executes");
+            assert_eq!(captured.len(), 20_000, "{}", bench.name);
+            let executed: Vec<_> = bench
+                .instantiate()
+                .run(20_000)
+                .collect::<Result<_, _>>()
+                .expect("executes");
+            let replayed: Vec<_> = captured.iter().collect();
+            assert_eq!(replayed, executed, "{} diverged", bench.name);
+        }
+    }
+
+    #[test]
+    fn capture_is_deterministic_and_compact() {
+        let bench = Benchmark::by_name("gzip").unwrap();
+        let a = EncodedTrace::capture(&mut bench.instantiate(), 10_000).unwrap();
+        let b = EncodedTrace::capture(&mut bench.instantiate(), 10_000).unwrap();
+        assert_eq!(a, b);
+        // Packed form stays well under the unpacked record size
+        // (`TraceRecord` is ~40 bytes; the encoding budgets 8 bytes
+        // per record plus sparse payloads).
+        assert!(a.encoded_bytes() < 10_000 * std::mem::size_of::<TraceRecord>() / 2);
+    }
+
+    #[test]
+    fn replay_is_exact_size() {
+        let bench = Benchmark::by_name("mst").unwrap();
+        let trace = EncodedTrace::capture(&mut bench.instantiate(), 1_000).unwrap();
+        let mut it = trace.iter();
+        assert_eq!(it.len(), 1_000);
+        it.next();
+        assert_eq!(it.len(), 999);
+        assert_eq!((&trace).into_iter().count(), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the encoding's 64")]
+    fn out_of_range_register_is_rejected_not_corrupted() {
+        let mut trace = EncodedTrace::new();
+        trace.push(&TraceRecord {
+            pc: 0,
+            op: OpClass::IntAlu,
+            dst: Some(ArchReg::Int(64)), // would wrap to Int(0)
+            srcs: [None, None],
+            mem_addr: None,
+            branch: None,
+        });
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = EncodedTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.iter().next(), None);
+        assert_eq!(t.encoded_bytes(), 0);
+    }
+}

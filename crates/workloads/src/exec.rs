@@ -138,10 +138,7 @@ impl Machine {
             return Ok(None);
         }
         let pc = self.pc;
-        let instr = *self
-            .program
-            .get(pc)
-            .ok_or(ExecError::PcOutOfRange { pc })?;
+        let instr = *self.program.get(pc).ok_or(ExecError::PcOutOfRange { pc })?;
 
         let mut rec = TraceRecord {
             pc,
@@ -245,15 +242,13 @@ impl Machine {
                 });
             }
             Instr::FAdd { fd, fs1, fs2 } => {
-                self.fp_regs[fd as usize] =
-                    self.fp_regs[fs1 as usize] + self.fp_regs[fs2 as usize];
+                self.fp_regs[fd as usize] = self.fp_regs[fs1 as usize] + self.fp_regs[fs2 as usize];
                 rec.op = OpClass::FpAdd;
                 rec.dst = Some(ArchReg::Fp(fd));
                 rec.srcs = [Some(ArchReg::Fp(fs1)), Some(ArchReg::Fp(fs2))];
             }
             Instr::FMul { fd, fs1, fs2 } => {
-                self.fp_regs[fd as usize] =
-                    self.fp_regs[fs1 as usize] * self.fp_regs[fs2 as usize];
+                self.fp_regs[fd as usize] = self.fp_regs[fs1 as usize] * self.fp_regs[fs2 as usize];
                 rec.op = OpClass::FpMul;
                 rec.dst = Some(ArchReg::Fp(fd));
                 rec.srcs = [Some(ArchReg::Fp(fs1)), Some(ArchReg::Fp(fs2))];

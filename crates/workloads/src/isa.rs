@@ -360,12 +360,9 @@ impl ProgramBuilder {
 
     /// Defines `label` at the current position.
     pub fn label(&mut self, label: &str) -> &mut Self {
-        if self
-            .labels
-            .insert(label.to_string(), self.here())
-            .is_some()
-        {
-            self.errors.push(AsmError::DuplicateLabel(label.to_string()));
+        if self.labels.insert(label.to_string(), self.here()).is_some() {
+            self.errors
+                .push(AsmError::DuplicateLabel(label.to_string()));
         }
         self
     }

@@ -56,8 +56,8 @@ pub fn gzip(seed: u64) -> KernelImage {
     b.alui(AluOp::Shl, 3, 1, 3);
     b.alu(AluOp::Add, 3, 3, 10);
     b.load(4, 3, 0); // w = input[pos]
-    // Shift-xor rolling hash (deflate's UPDATE_HASH is shift-based;
-    // avoiding a multiply keeps the per-position critical path short).
+                     // Shift-xor rolling hash (deflate's UPDATE_HASH is shift-based;
+                     // avoiding a multiply keeps the per-position critical path short).
     b.alui(AluOp::Shl, 5, 4, 7);
     b.alui(AluOp::Shr, 16, 4, 4);
     b.alu(AluOp::Xor, 5, 5, 16);

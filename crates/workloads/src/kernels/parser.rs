@@ -52,7 +52,11 @@ pub fn parser(seed: u64) -> KernelImage {
             // Word classes are heavily skewed (real dictionaries are
             // dominated by a few part-of-speech classes), which keeps
             // the dispatch target BTB-predictable.
-            let class = if wordid.is_multiple_of(5) { wordid & 3 } else { 0 };
+            let class = if wordid.is_multiple_of(5) {
+                wordid & 3
+            } else {
+                0
+            };
             img.word(node_addr(bkt, k) + 16, class);
         }
     }
@@ -84,9 +88,9 @@ pub fn parser(seed: u64) -> KernelImage {
     b.alu(AluOp::Add, 20, 20, 12);
     b.alui(AluOp::Shr, 21, 20, 16);
     b.alu(AluOp::And, 22, 21, 13); // bucket
-    // Chain position: skewed toward the head (common words sit at the
-    // front of real dictionary chains). k = ((r>>13)&3) & -((r>>20)&1):
-    // k = 0 with probability 5/8, and k = 3 (a miss) 1/8 of the time.
+                                   // Chain position: skewed toward the head (common words sit at the
+                                   // front of real dictionary chains). k = ((r>>13)&3) & -((r>>20)&1):
+                                   // k = 0 with probability 5/8, and k = 3 (a miss) 1/8 of the time.
     b.alui(AluOp::Shr, 23, 21, 13);
     b.alui(AluOp::And, 23, 23, 3);
     b.alui(AluOp::Shr, 26, 21, 20);
@@ -173,10 +177,7 @@ mod tests {
     #[test]
     fn dispatches_indirectly() {
         let t = run_kernel(&parser(1), 100_000);
-        let ind = t
-            .iter()
-            .filter(|r| r.op == OpClass::IndirectJump)
-            .count();
+        let ind = t.iter().filter(|r| r.op == OpClass::IndirectJump).count();
         assert!(ind > 1_000, "indirect jumps {ind}");
     }
 
@@ -184,17 +185,12 @@ mod tests {
     fn misses_occur_about_an_eighth_of_the_time() {
         // k == 3 (probability 1/8) misses the dictionary.
         let t = run_kernel(&parser(1), 400_000);
-        let found = t
-            .iter()
-            .filter(|r| r.op == OpClass::IndirectJump)
-            .count() as f64;
+        let found = t.iter().filter(|r| r.op == OpClass::IndirectJump).count() as f64;
         // A miss walks all 3 chain nodes; count miss-path adds via the
         // miss counter register (r9).
         let misses = t
             .iter()
-            .filter(|r| {
-                r.op == OpClass::IntAlu && r.dst == Some(crate::trace::ArchReg::Int(9))
-            })
+            .filter(|r| r.op == OpClass::IntAlu && r.dst == Some(crate::trace::ArchReg::Int(9)))
             .count() as f64;
         let ratio = misses / (misses + found);
         assert!((0.06..=0.20).contains(&ratio), "miss ratio {ratio}");

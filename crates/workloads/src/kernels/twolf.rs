@@ -64,24 +64,24 @@ pub fn twolf(seed: u64) -> KernelImage {
     b.load(4, 22, 0); // bx
     b.load(5, 21, 8); // ay
     b.load(6, 22, 8); // by
-    // dx = |ax - bx|, computed branch-free with a sign mask (the real
-    // twolf uses abs() on wire spans; a 50/50 data-dependent branch
-    // here would overstate its misprediction rate).
+                      // dx = |ax - bx|, computed branch-free with a sign mask (the real
+                      // twolf uses abs() on wire spans; a 50/50 data-dependent branch
+                      // here would overstate its misprediction rate).
     b.alu(AluOp::Sub, 7, 3, 4);
     b.alu(AluOp::Slt, 16, 7, 0); // 1 if negative
     b.alu(AluOp::Sub, 16, 0, 16); // 0 or all-ones
     b.alu(AluOp::Xor, 7, 7, 16);
     b.alu(AluOp::Sub, 7, 7, 16); // two's-complement abs
-    // dy = |ay - by|.
+                                 // dy = |ay - by|.
     b.alu(AluOp::Sub, 8, 5, 6);
     b.alu(AluOp::Slt, 16, 8, 0);
     b.alu(AluOp::Sub, 16, 0, 16);
     b.alu(AluOp::Xor, 8, 8, 16);
     b.alu(AluOp::Sub, 8, 8, 16);
     b.alu(AluOp::Add, 9, 7, 8); // Manhattan cost
-    // Accept ~25% of moves (annealing past the hot phase). High LCG
-    // bits: the low bits of an LCG cycle with short period, which a
-    // history predictor learns — real accept tests do not.
+                                // Accept ~25% of moves (annealing past the hot phase). High LCG
+                                // bits: the low bits of an LCG cycle with short period, which a
+                                // history predictor learns — real accept tests do not.
     b.alui(AluOp::Shr, 14, 20, 33);
     b.alui(AluOp::And, 14, 14, 3);
     b.branch(BranchCond::Ne, 14, 0, "reject");

@@ -51,7 +51,7 @@ pub fn vpr(seed: u64) -> KernelImage {
     b.load(4, 3, 0); // cell
     b.load(5, 3, 8); // east neighbor
     b.load(6, 3, (GRID * 8) as i64); // south neighbor
-    // max of the three into r7.
+                                     // max of the three into r7.
     b.mv(7, 4);
     b.branch(BranchCond::Ge, 7, 5, "max_e");
     b.mv(7, 5);
@@ -74,7 +74,7 @@ pub fn vpr(seed: u64) -> KernelImage {
     b.alu(AluOp::Xor, 8, 8, 17); // min(min, south)
     b.alu(AluOp::Sub, 9, 7, 8);
     b.alu(AluOp::Add, 15, 15, 9); // accumulate span
-    // Every 256th cell, write the span back (cost cache update).
+                                  // Every 256th cell, write the span back (cost cache update).
     b.alui(AluOp::And, 16, 1, 255);
     b.branch(BranchCond::Ne, 16, 0, "no_store");
     b.store(9, 3, 0);

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod encoded;
 pub mod exec;
 pub mod isa;
 pub mod kernels;
@@ -41,6 +42,7 @@ pub mod synthetic;
 pub mod trace;
 
 pub use bench::Benchmark;
+pub use encoded::EncodedTrace;
 pub use exec::Machine;
 pub use isa::{AluOp, BranchCond, Instr, Program, ProgramBuilder, Reg};
 pub use trace::{ArchReg, BranchInfo, OpClass, TraceRecord};

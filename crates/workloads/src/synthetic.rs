@@ -147,10 +147,7 @@ mod tests {
         let longs = w.idle_intervals.iter().filter(|&&t| t == 200).count();
         let frac = longs as f64 / 10_000.0;
         assert!((frac - 0.25).abs() < 0.03, "long fraction {frac}");
-        assert!(w
-            .idle_intervals
-            .iter()
-            .all(|&t| t == 2 || t == 200));
+        assert!(w.idle_intervals.iter().all(|&t| t == 2 || t == 200));
     }
 
     #[test]

@@ -60,3 +60,40 @@ fn scenario_results_are_stable_across_engines() {
     let b = Engine::sequential().result(s);
     assert_eq!(*a, *b);
 }
+
+#[test]
+fn cached_trace_replay_is_bit_identical_to_fresh_execution() {
+    // The engine captures one packed trace per (bench, budget) and
+    // replays it across the FU × L2 sweep; a replayed point must be
+    // field-exactly equal to re-running the functional executor from
+    // scratch (`Scenario::run` never touches the caches).
+    let engine = Engine::new(4);
+    let spec = SweepSpec::new(BUDGET)
+        .benches(["mst", "vpr"])
+        .fu_counts([1, 4])
+        .l2_latencies([12, 32]);
+    engine.run_sweep(&spec);
+    // All four FU/L2 variations of each benchmark replayed one trace.
+    assert_eq!(engine.trace_cache().len(), 2);
+    assert_eq!(engine.trace_cache().captures(), 2);
+    for s in spec.scenarios() {
+        assert_eq!(*engine.result(s), s.run(), "{s:?} diverged from replay");
+    }
+}
+
+#[test]
+fn suite_runs_one_functional_execution_per_benchmark() {
+    // Both L2 latencies of the full suite — 2 × 9 × 4 timing points —
+    // must share the nine per-benchmark traces.
+    let engine = Engine::new(4);
+    let twelve = run_suite_on(&engine, 12, BUDGET);
+    let thirty_two = run_suite_on(&engine, 32, BUDGET);
+    assert_eq!(engine.trace_cache().captures(), Benchmark::all().len());
+    assert_eq!(engine.stats().misses, Benchmark::all().len() * 4 * 2);
+    // And the sequential, lazily-simulating engine agrees point for
+    // point despite a different trace-capture and simulation order.
+    let seq = Engine::new(1);
+    assert_eq!(run_suite_on(&seq, 12, BUDGET), twelve);
+    assert_eq!(run_suite_on(&seq, 32, BUDGET), thirty_two);
+    assert_eq!(seq.trace_cache().captures(), Benchmark::all().len());
+}

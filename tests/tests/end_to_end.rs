@@ -40,7 +40,9 @@ fn ipc_ordering_matches_table3_extremes() {
     };
     // Table 3's extremes: vortex fastest; mcf and health the two
     // slowest (memory-bound pointer chasers).
-    for other in ["health", "mst", "gcc", "gzip", "mcf", "parser", "twolf", "vpr"] {
+    for other in [
+        "health", "mst", "gcc", "gzip", "mcf", "parser", "twolf", "vpr",
+    ] {
         assert!(ipc("vortex") > ipc(other), "vortex <= {other}");
     }
     for slow in ["mcf", "health"] {
@@ -97,9 +99,15 @@ fn figure8_headline_results() {
     let rows = fig8(suite(), 0.05, 0.5);
     let avg = |k: usize| rows.iter().map(|r| r.energy[k]).sum::<f64>() / rows.len() as f64;
     let (ms, gs, aa, no) = (avg(0), avg(1), avg(2), avg(3));
-    assert!(ms > aa, "p=0.05: MaxSleep {ms} should exceed AlwaysActive {aa}");
+    assert!(
+        ms > aa,
+        "p=0.05: MaxSleep {ms} should exceed AlwaysActive {aa}"
+    );
     assert!((aa - no) / no < 0.15, "AlwaysActive near the bound");
-    assert!((gs - aa).abs() / aa < 0.10, "GradualSleep tracks AlwaysActive");
+    assert!(
+        (gs - aa).abs() / aa < 0.10,
+        "GradualSleep tracks AlwaysActive"
+    );
 
     // p = 0.5: MaxSleep saves substantially (paper: 19.2% on average,
     // ~70% of the NoOverhead potential); GradualSleep ~ MaxSleep.
@@ -140,12 +148,11 @@ fn alpha_bands_behave_like_the_paper() {
     // monotonically with alpha.
     let run = &suite().runs[0];
     let overhead = |alpha: f64| {
-        let model = EnergyModel::new(
-            TechnologyParams::with_leakage_factor(0.05).unwrap(),
-            alpha,
-        )
-        .unwrap();
-        let ms = benchmark_energy(run, &model, PolicyKind::MaxSleep).energy.total();
+        let model =
+            EnergyModel::new(TechnologyParams::with_leakage_factor(0.05).unwrap(), alpha).unwrap();
+        let ms = benchmark_energy(run, &model, PolicyKind::MaxSleep)
+            .energy
+            .total();
         let no = benchmark_energy(run, &model, PolicyKind::NoOverhead)
             .energy
             .total();
@@ -165,7 +172,11 @@ fn restricting_fus_never_speeds_things_up() {
         let sim = Simulator::new(CoreConfig::with_int_fus(fus))
             .unwrap()
             .run(trace);
-        assert!(sim.ipc() >= prev_ipc - 1e-9, "{fus} FUs slower than {}", fus - 1);
+        assert!(
+            sim.ipc() >= prev_ipc - 1e-9,
+            "{fus} FUs slower than {}",
+            fus - 1
+        );
         prev_ipc = sim.ipc();
     }
 }
