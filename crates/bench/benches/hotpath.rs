@@ -17,12 +17,7 @@ const BUDGET: u64 = 200_000;
 const BENCH: &str = "gzip";
 
 fn scenario(fus: usize) -> Scenario {
-    Scenario {
-        bench: BENCH,
-        fus,
-        l2_latency: 12,
-        budget: Budget::Custom(BUDGET),
-    }
+    Scenario::paper(BENCH, fus, 12, Budget::Custom(BUDGET))
 }
 
 fn bench(c: &mut Criterion) {
@@ -31,7 +26,7 @@ fn bench(c: &mut Criterion) {
     assert_eq!(trace.len(), BUDGET as usize);
     // Replay must be bit-identical to fresh execution before its
     // speed means anything.
-    assert_eq!(scenario(2).run_trace(&trace), scenario(2).run());
+    assert_eq!(scenario(2).run_trace(&trace), scenario(2).run().unwrap());
 
     let mut group = c.benchmark_group("hotpath");
     group.sample_size(10);
@@ -52,7 +47,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(trace.iter().count()))
     });
     group.bench_function("point_fresh_execution", |b| {
-        b.iter(|| black_box(scenario(2).run().cycles))
+        b.iter(|| black_box(scenario(2).run().unwrap().cycles))
     });
     group.bench_function("point_trace_replay", |b| {
         b.iter(|| black_box(scenario(2).run_trace(&trace).cycles))

@@ -1,7 +1,7 @@
 //! Analytical and circuit-model experiments: Table 1, Figure 3,
 //! Figures 4a–4d, Figure 5c.
 
-use crate::render::{f3, f4, TextTable};
+use crate::result::{Cell, ResultTable};
 use fuleak_core::closed_form::{
     always_active, interval_energy, max_computation, max_sleep, no_overhead, BoundaryPolicy,
     UsageScenario,
@@ -11,30 +11,39 @@ use fuleak_domino::fu::{ExpectedFu, FuCircuitConfig};
 use fuleak_domino::GateCharacterization;
 
 /// Renders Table 1: OR8 gate characteristics at 70 nm.
-pub fn table1() -> TextTable {
-    let mut t = TextTable::new([
-        "Circuit",
-        "Eval (ps)",
-        "Sleep (ps)",
-        "E_dyn (fJ)",
-        "LO Lkg (fJ/cyc)",
-        "HI Lkg (fJ/cyc)",
-        "E_sleep (fJ)",
-    ]);
+pub fn table1() -> ResultTable {
+    let mut t = ResultTable::new(
+        "table1",
+        "Table 1 — OR8 gate characteristics (70 nm)",
+        [
+            "Circuit",
+            "Eval (ps)",
+            "Sleep (ps)",
+            "E_dyn (fJ)",
+            "LO Lkg (fJ/cyc)",
+            "HI Lkg (fJ/cyc)",
+            "E_sleep (fJ)",
+        ],
+    );
     for g in GateCharacterization::table1() {
+        let eval = g.delays.evaluation.as_ps();
+        let dynamic = g.energies.dynamic.as_fj();
+        let leak_lo = g.energies.leak_lo.as_fj();
+        let leak_hi = g.energies.leak_hi.as_fj();
         t.row([
-            g.name.to_string(),
-            format!("{}", g.delays.evaluation.as_ps()),
-            g.delays
-                .sleep
-                .map_or("na".to_string(), |s| format!("{}", s.as_ps())),
-            format!("{}", g.energies.dynamic.as_fj()),
-            format!("{:.1e}", g.energies.leak_lo.as_fj()),
-            format!("{}", g.energies.leak_hi.as_fj()),
+            Cell::str(g.name),
+            Cell::float_text(eval, format!("{eval}")),
+            g.delays.sleep.map_or(Cell::str("na"), |s| {
+                Cell::float_text(s.as_ps(), format!("{}", s.as_ps()))
+            }),
+            Cell::float_text(dynamic, format!("{dynamic}")),
+            Cell::float_text(leak_lo, format!("{leak_lo:.1e}")),
+            Cell::float_text(leak_hi, format!("{leak_hi}")),
             if g.has_sleep_mode {
-                format!("{}", g.energies.sleep_switch.as_fj())
+                let sw = g.energies.sleep_switch.as_fj();
+                Cell::float_text(sw, format!("{sw}"))
             } else {
-                "na".to_string()
+                Cell::str("na")
             },
         ]);
     }
@@ -101,14 +110,18 @@ pub fn fig3() -> Vec<Fig3Row> {
 }
 
 /// Renders Figure 3 as a table.
-pub fn fig3_table() -> TextTable {
-    let mut t = TextTable::new(["interval", "alpha", "uncontrolled (pJ)", "sleep mode (pJ)"]);
+pub fn fig3_table() -> ResultTable {
+    let mut t = ResultTable::new(
+        "fig3",
+        "Figure 3 — uncontrolled idle vs sleep mode (500-gate FU)",
+        ["interval", "alpha", "uncontrolled (pJ)", "sleep mode (pJ)"],
+    );
     for r in fig3() {
         t.row([
-            r.interval.to_string(),
-            format!("{}", r.alpha),
-            f3(r.uncontrolled_pj),
-            f3(r.sleep_pj),
+            Cell::int(r.interval as i64),
+            Cell::float_text(r.alpha, format!("{}", r.alpha)),
+            Cell::float(r.uncontrolled_pj, 3),
+            Cell::float(r.sleep_pj, 3),
         ]);
     }
     t
@@ -144,14 +157,18 @@ pub fn fig4a() -> Vec<Fig4aRow> {
 }
 
 /// Renders Figure 4a.
-pub fn fig4a_table() -> TextTable {
-    let mut t = TextTable::new(["p", "t_be(a=0.1)", "t_be(a=0.5)", "t_be(a=0.9)"]);
+pub fn fig4a_table() -> ResultTable {
+    let mut t = ResultTable::new(
+        "fig4a",
+        "Figure 4a — breakeven idle interval vs leakage factor",
+        ["p", "t_be(a=0.1)", "t_be(a=0.5)", "t_be(a=0.9)"],
+    );
     for r in fig4a() {
         t.row([
-            format!("{:.2}", r.p),
-            f3(r.breakeven[0]),
-            f3(r.breakeven[1]),
-            f3(r.breakeven[2]),
+            Cell::float(r.p, 2),
+            Cell::float(r.breakeven[0], 3),
+            Cell::float(r.breakeven[1], 3),
+            Cell::float(r.breakeven[2], 3),
         ]);
     }
     t
@@ -196,16 +213,21 @@ pub fn fig4_policies(idle_interval: f64, usages: &[f64]) -> Vec<Fig4PolicyRow> {
     rows
 }
 
-/// Renders one of Figures 4b–4d.
-pub fn fig4_policy_table(idle_interval: f64, usages: &[f64]) -> TextTable {
-    let mut t = TextTable::new(["p", "f_U", "AlwaysActive", "MaxSleep", "NoOverhead"]);
+/// Renders one of Figures 4b–4d (rename via
+/// [`ResultTable::named`] for the specific panel).
+pub fn fig4_policy_table(idle_interval: f64, usages: &[f64]) -> ResultTable {
+    let mut t = ResultTable::new(
+        "fig4",
+        format!("Figure 4 — policies, idle interval = {idle_interval} cycles"),
+        ["p", "f_U", "AlwaysActive", "MaxSleep", "NoOverhead"],
+    );
     for r in fig4_policies(idle_interval, usages) {
         t.row([
-            format!("{:.2}", r.p),
-            format!("{}", r.usage),
-            f4(r.always_active),
-            f4(r.max_sleep),
-            f4(r.no_overhead),
+            Cell::float(r.p, 2),
+            Cell::float_text(r.usage, format!("{}", r.usage)),
+            Cell::float(r.always_active, 4),
+            Cell::float(r.max_sleep, 4),
+            Cell::float(r.no_overhead, 4),
         ]);
     }
     t
@@ -246,14 +268,18 @@ pub fn fig5c() -> Vec<Fig5cRow> {
 }
 
 /// Renders Figure 5c.
-pub fn fig5c_table() -> TextTable {
-    let mut t = TextTable::new(["interval", "MaxSleep", "GradualSleep", "AlwaysActive"]);
+pub fn fig5c_table() -> ResultTable {
+    let mut t = ResultTable::new(
+        "fig5c",
+        "Figure 5c — transition energy of the three designs",
+        ["interval", "MaxSleep", "GradualSleep", "AlwaysActive"],
+    );
     for r in fig5c() {
         t.row([
-            r.interval.to_string(),
-            f4(r.max_sleep),
-            f4(r.gradual_sleep),
-            f4(r.always_active),
+            Cell::int(r.interval as i64),
+            Cell::float(r.max_sleep, 4),
+            Cell::float(r.gradual_sleep, 4),
+            Cell::float(r.always_active, 4),
         ]);
     }
     t

@@ -1,215 +1,339 @@
-//! `repro` — regenerate any table or figure of the paper.
+//! `repro` — regenerate any table or figure of the paper, or run an
+//! ad-hoc multi-axis machine sweep.
 //!
-//! Usage: `repro <experiment> [--quick] [--jobs N]` where
+//! ```text
+//! repro <experiment>... | all   [options]
+//! repro sweep [axis flags]      [options]
+//! ```
+//!
 //! `<experiment>` is one of `table1`, `table2`, `table3`, `fig3`,
 //! `fig4a`, `fig4b`, `fig4c`, `fig4d`, `fig5c`, `fig7`, `fig8a`,
 //! `fig8b`, `fig9a`, `fig9b`, or `all`.
 //!
-//! `--jobs N` bounds the scenario engine's worker threads (default:
-//! all cores). Output is bit-identical for every `N`; only wall-clock
-//! time changes. All simulation-backed experiments share one engine,
-//! so `repro all` simulates each (benchmark × FU count × L2 latency)
-//! point exactly once.
+//! Options (shared by both modes):
+//!
+//! * `--quick` — 500k-instruction points instead of 2M;
+//! * `--budget N` — explicit per-point instruction count (mutually
+//!   exclusive with `--quick`);
+//! * `--jobs N` — bound the scenario engine's worker threads
+//!   (default: all cores; output is bit-identical for every `N`);
+//! * `--format text|json|csv` — the stdout view (default `text`);
+//! * `--out DIR` — additionally write `<experiment>.json` and
+//!   `<experiment>.csv` artifacts into `DIR`.
+//!
+//! Sweep axis flags take value lists — comma-separated values and
+//! inclusive `lo:hi` ranges, mixable (`1:4`, `2,4,8`, `1:2,8`):
+//!
+//! * `--bench A,B` — benchmarks (default: all nine);
+//! * `--int-fus` — integer FU count (default 1:4);
+//! * `--l2` — L2 hit latency in cycles (default 12);
+//! * `--width` — fetch/decode/issue/commit width;
+//! * `--rob` — reorder-buffer entries;
+//! * `--l1d-kb` — L1 data-cache capacity in KiB;
+//! * `--l2-kb` — unified L2 capacity in KiB;
+//! * `--mem` — main-memory latency in cycles;
+//! * `--mshrs` — outstanding-miss registers.
+//!
+//! All simulation-backed experiments share one engine, so `repro all`
+//! simulates each (benchmark × machine × budget) point exactly once
+//! and finishes with a cumulative cache-effectiveness summary on
+//! stderr.
 
-use fuleak_experiments::harness::{run_suite_on, Budget, SuiteResult};
-use fuleak_experiments::scenario::Engine;
-use fuleak_experiments::{analytic, empirical, render};
-use std::collections::HashMap;
+use fuleak_experiments::experiment::{self, sweep_table, Context};
+use fuleak_experiments::harness::Budget;
+use fuleak_experiments::render;
+use fuleak_experiments::result::ResultTable;
+use fuleak_experiments::scenario::{Engine, SweepSpec};
+use fuleak_workloads::Benchmark;
+use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// The stdout view of a result table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Csv,
+}
 
 struct Options {
     budget: Budget,
     engine: Engine,
+    format: Format,
+    out: Option<PathBuf>,
 }
 
-/// Per-process memos: one suite per L2 latency (all backed by the
-/// shared engine's point cache) and the Figure 9 sweep rows, which
-/// both fig9a and fig9b render from.
-#[derive(Default)]
-struct Suites {
-    by_l2: HashMap<u64, SuiteResult>,
-    fig9_rows: Option<Vec<empirical::Fig9Row>>,
-}
+const USAGE: &str = "usage: repro <experiment>|all [--quick|--budget N] [--jobs N] [--format text|json|csv] [--out DIR]
+       repro sweep [--bench A,B] [--int-fus L] [--l2 L] [--width L] [--rob L] [--l1d-kb L] [--l2-kb L] [--mem L] [--mshrs L] [options]
+       (value lists L: comma values and lo:hi ranges, e.g. 1:4 or 2,4,8)";
 
-impl Suites {
-    fn get(&mut self, opts: &Options, l2: u64) -> &SuiteResult {
-        self.by_l2.entry(l2).or_insert_with(|| {
-            eprintln!(
-                "[repro] simulating the suite (L2 = {l2} cycles, {} workers)...",
-                opts.engine.jobs()
-            );
-            let before = opts.engine.stats();
-            let suite = run_suite_on(&opts.engine, l2, opts.budget);
-            // Report this suite's own work, not process-cumulative
-            // totals (the engine outlives the suite).
-            eprintln!(
-                "[repro] {}",
-                render::engine_line(&opts.engine.stats().since(&before))
-            );
-            suite
-        })
-    }
-
-    fn fig9_rows(&mut self, opts: &Options) -> &[empirical::Fig9Row] {
-        if self.fig9_rows.is_none() {
-            let suite = self.get(opts, 12).clone();
-            self.fig9_rows = Some(empirical::fig9_jobs(&suite, opts.engine.jobs()));
-        }
-        self.fig9_rows.as_deref().expect("just inserted")
-    }
-}
-
-fn run(experiment: &str, opts: &Options, suites: &mut Suites) -> bool {
-    match experiment {
-        "table1" => println!(
-            "Table 1 — OR8 gate characteristics (70 nm)\n{}",
-            analytic::table1().render()
-        ),
-        "table2" => println!(
-            "Table 2 — architectural parameters\n{}",
-            empirical::table2().render()
-        ),
-        "fig3" => println!(
-            "Figure 3 — uncontrolled idle vs sleep mode (500-gate FU)\n{}",
-            analytic::fig3_table().render()
-        ),
-        "fig4a" => println!(
-            "Figure 4a — breakeven idle interval vs leakage factor\n{}",
-            analytic::fig4a_table().render()
-        ),
-        "fig4b" => println!(
-            "Figure 4b — policies, idle interval = 10 cycles\n{}",
-            analytic::fig4_policy_table(10.0, &[0.1, 0.9]).render()
-        ),
-        "fig4c" => println!(
-            "Figure 4c — policies, idle interval = 100 cycles\n{}",
-            analytic::fig4_policy_table(100.0, &[0.1, 0.9]).render()
-        ),
-        "fig4d" => println!(
-            "Figure 4d — worst case, idle interval = 1 cycle\n{}",
-            analytic::fig4_policy_table(1.0, &[0.5]).render()
-        ),
-        "fig5c" => println!(
-            "Figure 5c — transition energy of the three designs\n{}",
-            analytic::fig5c_table().render()
-        ),
-        "table3" => {
-            let s = suites.get(opts, 12);
-            println!(
-                "Table 3 — benchmarks (measured vs paper)\n{}",
-                empirical::table3(s).render()
-            );
-        }
-        "fig7" => {
-            let series12 = empirical::fig7(suites.get(opts, 12));
-            let series32 = empirical::fig7(suites.get(opts, 32));
-            println!(
-                "Figure 7 — idle-interval distribution\n{}",
-                empirical::fig7_table(&[series12.clone(), series32.clone()]).render()
-            );
-            println!(
-                "suite-average idle fraction: {:.3} (L2=12; paper: 0.468), {:.3} (L2=32)",
-                series12.total_idle_fraction, series32.total_idle_fraction
-            );
-        }
-        "fig8a" => {
-            let s = suites.get(opts, 12);
-            println!(
-                "Figure 8a — normalized energy, p = 0.05 (alpha = 0.5)\n{}",
-                empirical::fig8_table(s, 0.05, 0.5).render()
-            );
-        }
-        "fig8b" => {
-            let s = suites.get(opts, 12);
-            println!(
-                "Figure 8b — normalized energy, p = 0.50 (alpha = 0.5)\n{}",
-                empirical::fig8_table(s, 0.5, 0.5).render()
-            );
-        }
-        "fig9a" => {
-            let rows = suites.fig9_rows(opts);
-            println!(
-                "Figure 9a — energy relative to NoOverhead\n{}",
-                empirical::fig9a_table(rows).render()
-            );
-        }
-        "fig9b" => {
-            let rows = suites.fig9_rows(opts);
-            println!(
-                "Figure 9b — leakage / total energy\n{}",
-                empirical::fig9b_table(rows).render()
-            );
-        }
-        _ => return false,
-    }
-    true
-}
-
-const ALL: [&str; 14] = [
-    "table1", "table2", "fig3", "fig4a", "fig4b", "fig4c", "fig4d", "fig5c", "table3", "fig7",
-    "fig8a", "fig8b", "fig9a", "fig9b",
-];
-
-const USAGE: &str = "usage: repro <experiment>|all [--quick] [--jobs N]";
-
-fn parse_args(args: &[String]) -> Result<(Options, Vec<&str>), String> {
+/// Parses the shared options out of `args`, returning the leftover
+/// (mode-specific) arguments.
+fn parse_options(args: &[String]) -> Result<(Options, Vec<&str>), String> {
     let mut quick = false;
+    let mut budget: Option<u64> = None;
     let mut jobs = 0usize; // 0 = all cores
-    let mut targets = Vec::new();
+    let mut format = Format::Text;
+    let mut out = None;
+    let mut rest = Vec::new();
     let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--jobs" => {
-                let v = it.next().ok_or("--jobs needs a value")?;
-                jobs = v
-                    .parse::<usize>()
-                    .map_err(|_| format!("invalid --jobs value `{v}`"))?;
-            }
-            flag if flag.starts_with("--jobs=") => {
-                let v = &flag["--jobs=".len()..];
-                jobs = v
-                    .parse::<usize>()
-                    .map_err(|_| format!("invalid --jobs value `{v}`"))?;
-            }
-            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
-            target => targets.push(target),
+    let parse_u64 = |flag: &str, v: &str| {
+        v.parse::<u64>()
+            .map_err(|_| format!("invalid {flag} value `{v}`"))
+    };
+    fn take(
+        flag: &str,
+        attached: &mut Option<String>,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<String, String> {
+        match attached.take() {
+            Some(v) => Ok(v),
+            None => it
+                .next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value")),
         }
     }
+    while let Some(arg) = it.next() {
+        let (flag, mut value) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f, Some(v.to_string())),
+            _ => (arg.as_str(), None),
+        };
+        match flag {
+            "--quick" => {
+                if value.is_some() {
+                    return Err("--quick takes no value".to_string());
+                }
+                quick = true;
+            }
+            "--budget" => {
+                let v = take(flag, &mut value, &mut it)?;
+                let n = parse_u64("--budget", &v)?;
+                if n == 0 {
+                    return Err("--budget must be at least 1 instruction".to_string());
+                }
+                budget = Some(n);
+            }
+            "--jobs" => {
+                let v = take(flag, &mut value, &mut it)?;
+                jobs = parse_u64("--jobs", &v)? as usize;
+            }
+            "--format" => {
+                let v = take(flag, &mut value, &mut it)?;
+                format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    other => return Err(format!("invalid --format value `{other}`")),
+                };
+            }
+            "--out" => out = Some(PathBuf::from(take(flag, &mut value, &mut it)?)),
+            _ => rest.push(arg.as_str()),
+        }
+    }
+    if quick && budget.is_some() {
+        return Err("--quick and --budget are mutually exclusive".to_string());
+    }
+    let budget = match budget {
+        Some(n) => Budget::Custom(n),
+        None if quick => Budget::Quick,
+        None => Budget::Full,
+    };
     Ok((
         Options {
-            budget: if quick { Budget::Quick } else { Budget::Full },
+            budget,
             engine: Engine::new(jobs),
+            format,
+            out,
         },
-        targets,
+        rest,
     ))
+}
+
+/// Parses a sweep value list: comma-separated values and inclusive
+/// `lo:hi` ranges, e.g. `1:4`, `2,4,8`, `1:2,8`.
+fn parse_values(flag: &str, s: &str) -> Result<Vec<u64>, String> {
+    let bad = |part: &str| format!("invalid {flag} value `{part}` (expected N or LO:HI)");
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        if let Some((lo, hi)) = part.split_once(':') {
+            let lo: u64 = lo.parse().map_err(|_| bad(part))?;
+            let hi: u64 = hi.parse().map_err(|_| bad(part))?;
+            if lo > hi {
+                return Err(format!("empty {flag} range `{part}`"));
+            }
+            out.extend(lo..=hi);
+        } else {
+            out.push(part.parse().map_err(|_| bad(part))?);
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("{flag} needs at least one value"));
+    }
+    Ok(out)
+}
+
+/// Prints a table to stdout in the selected format and, with `--out`,
+/// writes its JSON and CSV artifacts.
+fn emit(table: &ResultTable, opts: &Options) -> Result<(), String> {
+    match opts.format {
+        Format::Text => {
+            println!("{}\n{}", table.title(), table.render());
+            for note in table.notes() {
+                println!("{note}");
+            }
+        }
+        Format::Json => print!("{}", table.to_json()),
+        Format::Csv => print!("{}", table.to_csv()),
+    }
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create --out directory `{}`: {e}", dir.display()))?;
+        for (ext, contents) in [("json", table.to_json()), ("csv", table.to_csv())] {
+            let path = dir.join(format!("{}.{ext}", table.name()));
+            std::fs::write(&path, contents)
+                .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs the named experiments (expanding `all`) against one shared
+/// context.
+fn run_experiments(targets: &[&str], opts: &Options) -> Result<(), String> {
+    let mut ctx =
+        Context::new(&opts.engine, opts.budget).with_progress(opts.format == Format::Text);
+    let mut cumulative_summary = false;
+    let mut queue: Vec<&str> = Vec::new();
+    for &target in targets {
+        if target == "all" {
+            cumulative_summary = true;
+            queue.extend(experiment::names());
+        } else {
+            queue.push(target);
+        }
+    }
+    for name in queue {
+        let exp = experiment::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown experiment `{name}`; known: {}",
+                experiment::names().join(" ")
+            )
+        })?;
+        let table = exp.run(&mut ctx);
+        emit(&table, opts)?;
+    }
+    if cumulative_summary {
+        // The per-suite progress lines above cover one suite each;
+        // this line shows what sharing the engine across experiments
+        // saved over the whole run.
+        eprintln!(
+            "[repro] {}",
+            render::engine_summary_line(&opts.engine.stats())
+        );
+    }
+    Ok(())
+}
+
+/// Runs `repro sweep`: builds a [`SweepSpec`] from the axis flags and
+/// tables one row per simulated point.
+fn run_sweep(args: &[&str], opts: &Options) -> Result<(), String> {
+    let mut spec = SweepSpec::new(opts.budget);
+    let mut it = args.iter();
+    while let Some(&flag) = it.next() {
+        let (flag, value) = match flag.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (flag, None),
+        };
+        let value = match value {
+            Some(v) => v,
+            None => it
+                .next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{flag} needs a value"))?,
+        };
+        spec = match flag {
+            "--bench" => {
+                let mut benches = Vec::new();
+                for name in value.split(',') {
+                    let b = Benchmark::by_name(name).ok_or_else(|| {
+                        format!(
+                            "unknown benchmark `{name}`; registered: {}",
+                            Benchmark::registered_names()
+                        )
+                    })?;
+                    benches.push(b.name);
+                }
+                spec.benches(benches)
+            }
+            "--int-fus" => {
+                let fus = parse_values(flag, &value)?;
+                spec.axis_int_fus(fus.into_iter().map(|v| v as usize))
+            }
+            "--l2" => spec.axis_l2_latency(parse_values(flag, &value)?),
+            "--width" => {
+                let widths = parse_values(flag, &value)?;
+                spec.axis_width(widths.into_iter().map(|v| v as usize))
+            }
+            "--rob" => {
+                let robs = parse_values(flag, &value)?;
+                spec.axis_rob(robs.into_iter().map(|v| v as usize))
+            }
+            "--l1d-kb" => {
+                spec.axis_l1d(parse_values(flag, &value)?.into_iter().map(|kb| kb * 1024))
+            }
+            "--l2-kb" => {
+                spec.axis_l2_size(parse_values(flag, &value)?.into_iter().map(|kb| kb * 1024))
+            }
+            "--mem" => spec.axis_memory_latency(parse_values(flag, &value)?),
+            "--mshrs" => {
+                let mshrs = parse_values(flag, &value)?;
+                spec.axis_mshrs(mshrs.into_iter().map(|v| v as usize))
+            }
+            other => return Err(format!("unknown sweep flag `{other}`")),
+        };
+    }
+    let points = spec
+        .try_expand()
+        .map_err(|e| format!("invalid sweep: {e}"))?
+        .len();
+    if opts.format == Format::Text {
+        eprintln!(
+            "[repro] sweeping {points} points ({} workers)...",
+            opts.engine.jobs()
+        );
+    }
+    let table = sweep_table(&opts.engine, &spec).map_err(|e| format!("invalid sweep: {e}"))?;
+    emit(&table, opts)?;
+    if opts.format == Format::Text {
+        eprintln!(
+            "[repro] {}",
+            render::engine_summary_line(&opts.engine.stats())
+        );
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (opts, targets) = match parse_args(&args) {
-        Ok(parsed) => parsed,
+    let parsed = parse_options(&args).and_then(|(opts, rest)| {
+        if rest.is_empty() {
+            return Err(format!("experiments: {}", experiment::names().join(" ")));
+        }
+        if rest[0] == "sweep" {
+            run_sweep(&rest[1..], &opts)
+        } else if let Some(flag) = rest.iter().find(|a| a.starts_with("--")) {
+            Err(format!("unknown flag `{flag}`"))
+        } else {
+            run_experiments(&rest, &opts)
+        }
+    });
+    match parsed {
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("{e}");
             eprintln!("{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if targets.is_empty() {
-        eprintln!("{USAGE}");
-        eprintln!("experiments: {}", ALL.join(" "));
-        return ExitCode::FAILURE;
-    }
-    let mut suites = Suites::default();
-    for target in targets {
-        if target == "all" {
-            for t in ALL {
-                run(t, &opts, &mut suites);
-            }
-        } else if !run(target, &opts, &mut suites) {
-            eprintln!("unknown experiment `{target}`; known: {}", ALL.join(" "));
-            return ExitCode::FAILURE;
+            ExitCode::FAILURE
         }
     }
-    ExitCode::SUCCESS
 }

@@ -2,16 +2,20 @@
 //! Figures 8a/8b, Figures 9a/9b.
 
 use crate::harness::SuiteResult;
-use crate::render::{f3, TextTable};
+use crate::result::{Cell, ResultTable};
 use fuleak_core::accounting::{account_intervals, PolicyRun};
 use fuleak_core::closed_form::BoundaryPolicy;
 use fuleak_core::{breakeven_interval, EnergyModel, IdleHistogram, TechnologyParams};
 use fuleak_uarch::CoreConfig;
 
 /// Renders Table 2 (the processor configuration actually in use).
-pub fn table2() -> TextTable {
+pub fn table2() -> ResultTable {
     let c = CoreConfig::alpha21264();
-    let mut t = TextTable::new(["Parameter", "Value"]);
+    let mut t = ResultTable::new(
+        "table2",
+        "Table 2 — architectural parameters",
+        ["Parameter", "Value"],
+    );
     let rows: Vec<(&str, String)> = vec![
         ("Fetch queue", format!("{} entries", c.fetch_queue)),
         (
@@ -92,27 +96,31 @@ pub fn table2() -> TextTable {
         ),
     ];
     for (k, v) in rows {
-        t.row([k.to_string(), v]);
+        t.row([Cell::str(k), Cell::str(v)]);
     }
     t
 }
 
 /// Renders Table 3: measured IPCs and FU selection next to the paper's.
-pub fn table3(suite: &SuiteResult) -> TextTable {
-    let mut t = TextTable::new([
-        "App", "Suite", "Max IPC", "(paper)", "IPC", "(paper)", "FUs", "(paper)",
-    ]);
+pub fn table3(suite: &SuiteResult) -> ResultTable {
+    let mut t = ResultTable::new(
+        "table3",
+        "Table 3 — benchmarks (measured vs paper)",
+        [
+            "App", "Suite", "Max IPC", "(paper)", "IPC", "(paper)", "FUs", "(paper)",
+        ],
+    );
     for run in &suite.runs {
         let r = run.reference();
         t.row([
-            run.name.to_string(),
-            r.suite.to_string(),
-            f3(run.max_ipc),
-            f3(r.paper_max_ipc),
-            f3(run.sim.ipc()),
-            f3(r.paper_ipc),
-            run.fus.to_string(),
-            r.paper_fus.to_string(),
+            Cell::str(run.name),
+            Cell::str(r.suite),
+            Cell::float(run.max_ipc, 3),
+            Cell::float(r.paper_max_ipc, 3),
+            Cell::float(run.sim.ipc(), 3),
+            Cell::float(r.paper_ipc, 3),
+            Cell::int(run.fus as i64),
+            Cell::int(r.paper_fus as i64),
         ]);
     }
     t
@@ -157,22 +165,22 @@ pub fn fig7(suite: &SuiteResult) -> Fig7Series {
 }
 
 /// Renders Figure 7 for one or two L2 latencies.
-pub fn fig7_table(series: &[Fig7Series]) -> TextTable {
+pub fn fig7_table(series: &[Fig7Series]) -> ResultTable {
     let mut header = vec!["interval (cycles)".to_string()];
     for s in series {
         header.push(format!("idle fraction (L2={})", s.l2_latency));
     }
-    let mut t = TextTable::new(header);
+    let mut t = ResultTable::new("fig7", "Figure 7 — idle-interval distribution", header);
     for b in 0..IdleHistogram::BUCKETS {
-        let mut row = vec![IdleHistogram::bucket_label(b).to_string()];
+        let mut row = vec![Cell::int(IdleHistogram::bucket_label(b) as i64)];
         for s in series {
-            row.push(format!("{:.4}", s.fractions[b]));
+            row.push(Cell::float(s.fractions[b], 4));
         }
         t.row(row);
     }
-    let mut total = vec!["TOTAL".to_string()];
+    let mut total = vec![Cell::str("TOTAL")];
     for s in series {
-        total.push(format!("{:.4}", s.total_idle_fraction));
+        total.push(Cell::float(s.total_idle_fraction, 4));
     }
     t.row(total);
     t
@@ -268,24 +276,29 @@ pub fn fig8(suite: &SuiteResult, p: f64, alpha: f64) -> Vec<Fig8Row> {
         .collect()
 }
 
-/// Renders Figure 8 at one technology point, with the suite average.
-pub fn fig8_table(suite: &SuiteResult, p: f64, alpha: f64) -> TextTable {
+/// Renders Figure 8 at one technology point, with the suite average
+/// (rename via [`ResultTable::named`] for the specific panel).
+pub fn fig8_table(suite: &SuiteResult, p: f64, alpha: f64) -> ResultTable {
     let rows = fig8(suite, p, alpha);
-    let mut t = TextTable::new([
-        "App (FUs)",
-        "MaxSleep",
-        "GradualSleep",
-        "AlwaysActive",
-        "NoOverhead",
-    ]);
+    let mut t = ResultTable::new(
+        "fig8",
+        format!("Figure 8 — normalized energy, p = {p} (alpha = {alpha})"),
+        [
+            "App (FUs)",
+            "MaxSleep",
+            "GradualSleep",
+            "AlwaysActive",
+            "NoOverhead",
+        ],
+    );
     let mut avg = [0.0; 4];
     for r in &rows {
         t.row([
-            format!("{} ({})", r.name, r.fus),
-            f3(r.energy[0]),
-            f3(r.energy[1]),
-            f3(r.energy[2]),
-            f3(r.energy[3]),
+            Cell::str(format!("{} ({})", r.name, r.fus)),
+            Cell::float(r.energy[0], 3),
+            Cell::float(r.energy[1], 3),
+            Cell::float(r.energy[2], 3),
+            Cell::float(r.energy[3], 3),
         ]);
         for (a, e) in avg.iter_mut().zip(r.energy) {
             *a += e;
@@ -295,11 +308,11 @@ pub fn fig8_table(suite: &SuiteResult, p: f64, alpha: f64) -> TextTable {
         *a /= rows.len() as f64;
     }
     t.row([
-        "Average".to_string(),
-        f3(avg[0]),
-        f3(avg[1]),
-        f3(avg[2]),
-        f3(avg[3]),
+        Cell::str("Average"),
+        Cell::float(avg[0], 3),
+        Cell::float(avg[1], 3),
+        Cell::float(avg[2], 3),
+        Cell::float(avg[3], 3),
     ]);
     t
 }
@@ -375,14 +388,18 @@ pub fn fig9_jobs(suite: &SuiteResult, jobs: usize) -> Vec<Fig9Row> {
 /// Renders Figure 9a from precomputed sweep rows (see [`fig9`] /
 /// [`fig9_jobs`]), so callers rendering both 9a and 9b — like
 /// `repro all` — compute the sweep once.
-pub fn fig9a_table(rows: &[Fig9Row]) -> TextTable {
-    let mut t = TextTable::new(["p", "MaxSleep", "GradualSleep", "AlwaysActive"]);
+pub fn fig9a_table(rows: &[Fig9Row]) -> ResultTable {
+    let mut t = ResultTable::new(
+        "fig9a",
+        "Figure 9a — energy relative to NoOverhead",
+        ["p", "MaxSleep", "GradualSleep", "AlwaysActive"],
+    );
     for r in rows {
         t.row([
-            format!("{:.2}", r.p),
-            f3(r.relative[0]),
-            f3(r.relative[1]),
-            f3(r.relative[2]),
+            Cell::float(r.p, 2),
+            Cell::float(r.relative[0], 3),
+            Cell::float(r.relative[1], 3),
+            Cell::float(r.relative[2], 3),
         ]);
     }
     t
@@ -390,21 +407,25 @@ pub fn fig9a_table(rows: &[Fig9Row]) -> TextTable {
 
 /// Renders Figure 9b from precomputed sweep rows (see [`fig9`] /
 /// [`fig9_jobs`]).
-pub fn fig9b_table(rows: &[Fig9Row]) -> TextTable {
-    let mut t = TextTable::new([
-        "p",
-        "MaxSleep",
-        "GradualSleep",
-        "AlwaysActive",
-        "NoOverhead",
-    ]);
+pub fn fig9b_table(rows: &[Fig9Row]) -> ResultTable {
+    let mut t = ResultTable::new(
+        "fig9b",
+        "Figure 9b — leakage / total energy",
+        [
+            "p",
+            "MaxSleep",
+            "GradualSleep",
+            "AlwaysActive",
+            "NoOverhead",
+        ],
+    );
     for r in rows {
         t.row([
-            format!("{:.2}", r.p),
-            f3(r.leakage_fraction[0]),
-            f3(r.leakage_fraction[1]),
-            f3(r.leakage_fraction[2]),
-            f3(r.leakage_fraction[3]),
+            Cell::float(r.p, 2),
+            Cell::float(r.leakage_fraction[0], 3),
+            Cell::float(r.leakage_fraction[1], 3),
+            Cell::float(r.leakage_fraction[2], 3),
+            Cell::float(r.leakage_fraction[3], 3),
         ]);
     }
     t

@@ -1,0 +1,355 @@
+//! The experiment registry: every paper table/figure as a named
+//! [`Experiment`] producing a typed, serializable [`ResultTable`].
+//!
+//! Experiments run against a [`Context`] — a shared [`Engine`] plus
+//! per-process memos (one suite per L2 latency, the Figure 9 sweep
+//! rows) — so `repro all` simulates each point once no matter how
+//! many experiments consume it. The `repro` binary is a thin driver
+//! over [`registry`]: it looks experiments up by name, runs them, and
+//! picks an output view (text, JSON, CSV, artifact files) of the
+//! returned table.
+
+use crate::empirical::Fig9Row;
+use crate::harness::{run_suite_on, Budget, SuiteResult};
+use crate::render;
+use crate::result::{Cell, ResultTable};
+use crate::scenario::{Engine, SweepSpec};
+use crate::{analytic, empirical};
+use std::collections::HashMap;
+
+/// Shared state experiments draw on: the scenario engine and the
+/// per-process memos that let Table 3, Figure 7, and Figures 8/9
+/// reuse one another's simulations.
+pub struct Context<'e> {
+    engine: &'e Engine,
+    budget: Budget,
+    progress: bool,
+    suites: HashMap<u64, SuiteResult>,
+    fig9_rows: Option<Vec<Fig9Row>>,
+}
+
+impl<'e> Context<'e> {
+    /// A context running on `engine` at `budget`.
+    pub fn new(engine: &'e Engine, budget: Budget) -> Self {
+        Context {
+            engine,
+            budget,
+            progress: false,
+            suites: HashMap::new(),
+            fig9_rows: None,
+        }
+    }
+
+    /// Enables progress lines on stderr (what `repro` shows while the
+    /// suite simulates).
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// The engine experiments simulate on.
+    pub fn engine(&self) -> &Engine {
+        self.engine
+    }
+
+    /// The instruction budget experiments run at.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// The benchmark suite at one L2 latency, simulated on first use
+    /// and memoized (all points land in the engine's shared caches).
+    pub fn suite(&mut self, l2_latency: u64) -> &SuiteResult {
+        if !self.suites.contains_key(&l2_latency) {
+            if self.progress {
+                eprintln!(
+                    "[repro] simulating the suite (L2 = {l2_latency} cycles, {} workers)...",
+                    self.engine.jobs()
+                );
+            }
+            let before = self.engine.stats();
+            let suite = run_suite_on(self.engine, l2_latency, self.budget);
+            if self.progress {
+                // Report this suite's own work, not process-cumulative
+                // totals (the engine outlives the suite).
+                eprintln!(
+                    "[repro] {}",
+                    render::engine_line(&self.engine.stats().since(&before))
+                );
+            }
+            self.suites.insert(l2_latency, suite);
+        }
+        &self.suites[&l2_latency]
+    }
+
+    /// The Figure 9 technology-sweep rows, computed once and shared
+    /// by fig9a and fig9b.
+    pub fn fig9_rows(&mut self) -> &[Fig9Row] {
+        if self.fig9_rows.is_none() {
+            let suite = self.suite(12).clone();
+            self.fig9_rows = Some(empirical::fig9_jobs(&suite, self.engine.jobs()));
+        }
+        self.fig9_rows.as_deref().expect("just inserted")
+    }
+}
+
+/// One reproducible experiment: a stable name and a run producing a
+/// typed [`ResultTable`] (which carries the human title).
+pub trait Experiment: Sync {
+    /// The stable identifier (`table3`, `fig7`, …) used on the CLI
+    /// and for artifact file names.
+    fn name(&self) -> &'static str;
+    /// Produces the experiment's table (simulating through the
+    /// context as needed).
+    fn run(&self, ctx: &mut Context<'_>) -> ResultTable;
+}
+
+/// A registry entry: the builders in [`analytic`]/[`empirical`] keyed
+/// by canonical name. The builders own the canonical name/title
+/// (shared builders like Figure 4/8 are renamed in their closure);
+/// `run` only checks the key agrees, so there is one source of truth.
+struct Entry {
+    name: &'static str,
+    build: fn(&mut Context<'_>) -> ResultTable,
+}
+
+impl Experiment for Entry {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn run(&self, ctx: &mut Context<'_>) -> ResultTable {
+        let table = (self.build)(ctx);
+        assert_eq!(
+            table.name(),
+            self.name,
+            "registry key and builder table name drifted"
+        );
+        table
+    }
+}
+
+/// Every experiment, in `repro all` order.
+static REGISTRY: [Entry; 14] = [
+    Entry {
+        name: "table1",
+        build: |_| analytic::table1(),
+    },
+    Entry {
+        name: "table2",
+        build: |_| empirical::table2(),
+    },
+    Entry {
+        name: "fig3",
+        build: |_| analytic::fig3_table(),
+    },
+    Entry {
+        name: "fig4a",
+        build: |_| analytic::fig4a_table(),
+    },
+    Entry {
+        name: "fig4b",
+        build: |_| {
+            analytic::fig4_policy_table(10.0, &[0.1, 0.9])
+                .named("fig4b", "Figure 4b — policies, idle interval = 10 cycles")
+        },
+    },
+    Entry {
+        name: "fig4c",
+        build: |_| {
+            analytic::fig4_policy_table(100.0, &[0.1, 0.9])
+                .named("fig4c", "Figure 4c — policies, idle interval = 100 cycles")
+        },
+    },
+    Entry {
+        name: "fig4d",
+        build: |_| {
+            analytic::fig4_policy_table(1.0, &[0.5])
+                .named("fig4d", "Figure 4d — worst case, idle interval = 1 cycle")
+        },
+    },
+    Entry {
+        name: "fig5c",
+        build: |_| analytic::fig5c_table(),
+    },
+    Entry {
+        name: "table3",
+        build: |ctx| empirical::table3(ctx.suite(12)),
+    },
+    Entry {
+        name: "fig7",
+        build: |ctx| {
+            let series12 = empirical::fig7(ctx.suite(12));
+            let series32 = empirical::fig7(ctx.suite(32));
+            let mut t = empirical::fig7_table(&[series12.clone(), series32.clone()]);
+            t.note(format!(
+                "suite-average idle fraction: {:.3} (L2=12; paper: 0.468), {:.3} (L2=32)",
+                series12.total_idle_fraction, series32.total_idle_fraction
+            ));
+            t
+        },
+    },
+    Entry {
+        name: "fig8a",
+        build: |ctx| {
+            empirical::fig8_table(ctx.suite(12), 0.05, 0.5).named(
+                "fig8a",
+                "Figure 8a — normalized energy, p = 0.05 (alpha = 0.5)",
+            )
+        },
+    },
+    Entry {
+        name: "fig8b",
+        build: |ctx| {
+            empirical::fig8_table(ctx.suite(12), 0.5, 0.5).named(
+                "fig8b",
+                "Figure 8b — normalized energy, p = 0.50 (alpha = 0.5)",
+            )
+        },
+    },
+    Entry {
+        name: "fig9a",
+        build: |ctx| empirical::fig9a_table(ctx.fig9_rows()),
+    },
+    Entry {
+        name: "fig9b",
+        build: |ctx| empirical::fig9b_table(ctx.fig9_rows()),
+    },
+];
+
+/// Every registered experiment, in `repro all` order.
+pub fn registry() -> impl Iterator<Item = &'static dyn Experiment> {
+    REGISTRY.iter().map(|e| e as &dyn Experiment)
+}
+
+/// Looks an experiment up by its stable name.
+pub fn by_name(name: &str) -> Option<&'static dyn Experiment> {
+    registry().find(|e| e.name() == name)
+}
+
+/// The registered experiment names, in `repro all` order.
+pub fn names() -> Vec<&'static str> {
+    registry().map(|e| e.name()).collect()
+}
+
+/// Runs a user-specified multi-axis sweep through `engine` and tables
+/// the per-point headline statistics: one row per scenario, the axis
+/// values echoed as leading columns, the machine identified by its
+/// delta from the Table 2 baseline and its canonical fingerprint.
+///
+/// # Errors
+///
+/// Returns the [`fuleak_uarch::ConfigError`] naming the offending
+/// field if an axis combination produces an invalid machine.
+pub fn sweep_table(
+    engine: &Engine,
+    spec: &SweepSpec,
+) -> Result<ResultTable, fuleak_uarch::ConfigError> {
+    let expanded = spec.try_expand()?;
+    let scenarios: Vec<_> = expanded.iter().map(|(_, s)| s.clone()).collect();
+    engine.prime(&scenarios);
+    let mut columns = vec!["bench".to_string()];
+    columns.extend(spec.axes().iter().map(|a| a.name.to_string()));
+    columns.extend(
+        [
+            "machine",
+            "fingerprint",
+            "cycles",
+            "committed",
+            "IPC",
+            "idle fraction",
+        ]
+        .map(String::from),
+    );
+    let mut t = ResultTable::new(
+        "sweep",
+        format!(
+            "Sweep — {} points ({} instructions/point)",
+            expanded.len(),
+            spec.budget().instructions()
+        ),
+        columns,
+    );
+    for (combo, s) in expanded {
+        let sim = engine.result(s.clone());
+        let mut row = vec![Cell::str(s.bench)];
+        row.extend(combo.iter().map(|&v| Cell::int(v as i64)));
+        row.push(Cell::str(s.machine.delta_label()));
+        row.push(Cell::str(format!("{:016x}", s.machine.fingerprint())));
+        row.push(Cell::int(sim.cycles as i64));
+        row.push(Cell::int(sim.committed as i64));
+        row.push(Cell::float(sim.ipc(), 3));
+        row.push(Cell::float(sim.idle_fraction(), 4));
+        t.row(row);
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_uniquely_named() {
+        let names = names();
+        assert_eq!(names.len(), 14);
+        assert_eq!(names[0], "table1");
+        assert_eq!(names[13], "fig9b");
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        assert!(by_name("fig7").is_some());
+        assert!(by_name("fig99").is_none());
+    }
+
+    #[test]
+    fn analytic_experiments_carry_canonical_names_and_titles() {
+        let engine = Engine::sequential();
+        let mut ctx = Context::new(&engine, Budget::Custom(1_000));
+        let t = by_name("fig4b").unwrap().run(&mut ctx);
+        assert_eq!(t.name(), "fig4b");
+        assert_eq!(t.title(), "Figure 4b — policies, idle interval = 10 cycles");
+        assert!(t.render().contains("MaxSleep"));
+        // No simulation was needed for a closed-form experiment.
+        assert_eq!(engine.cache().len(), 0);
+    }
+
+    #[test]
+    fn context_memoizes_the_suite_across_experiments() {
+        let engine = Engine::sequential();
+        let mut ctx = Context::new(&engine, Budget::Custom(5_000));
+        let _ = by_name("table3").unwrap().run(&mut ctx);
+        let misses = engine.stats().misses;
+        // fig8a reuses the memoized suite: no new simulation.
+        let t = by_name("fig8a").unwrap().run(&mut ctx);
+        assert_eq!(engine.stats().misses, misses);
+        assert_eq!(t.name(), "fig8a");
+    }
+
+    #[test]
+    fn sweep_table_echoes_axis_values_per_row() {
+        let engine = Engine::sequential();
+        let spec = SweepSpec::new(Budget::Custom(5_000))
+            .benches(["mst"])
+            .axis_int_fus([1, 2])
+            .axis_l2_latency([12])
+            .axis_width([2, 4]);
+        let t = sweep_table(&engine, &spec).unwrap();
+        assert_eq!(t.rows().len(), 4);
+        assert_eq!(t.columns()[0], "bench");
+        assert_eq!(t.columns()[1], "int_fus");
+        assert_eq!(t.columns()[3], "width");
+        let first = &t.rows()[0];
+        assert_eq!(first[0].text(), "mst");
+        assert_eq!(first[1].text(), "1");
+        assert_eq!(first[3].text(), "2");
+        // Sweep rows echo the machine's delta label.
+        assert!(t.rows()[0][4].text().contains("int_fus=1"));
+        assert!(t.rows()[0][4].text().contains("width=2"));
+        let bad = SweepSpec::new(Budget::Custom(5_000))
+            .benches(["mst"])
+            .axis_width([0]);
+        assert!(sweep_table(&engine, &bad).is_err());
+    }
+}

@@ -69,14 +69,7 @@ pub struct SuiteResult {
 /// IPC is the 4-FU run's, and the selected count is the minimum
 /// achieving at least 95% of it. Pure given the engine's cache.
 fn select_run(engine: &Engine, bench: &Benchmark, l2_latency: u64, budget: Budget) -> BenchRun {
-    let point = |fus: usize| {
-        engine.result(Scenario {
-            bench: bench.name,
-            fus,
-            l2_latency,
-            budget,
-        })
-    };
+    let point = |fus: usize| engine.result(Scenario::paper(bench.name, fus, l2_latency, budget));
     let four = point(*FU_CANDIDATES.end());
     let max_ipc = four.ipc();
     let mut selected = (*FU_CANDIDATES.end(), four);

@@ -18,6 +18,8 @@
 //! repro fig8a|fig8b       # per-benchmark policy energies (p=.05/.5)
 //! repro fig9a|fig9b       # technology sweep / leakage fraction
 //! repro all    [--quick]  # everything
+//! repro sweep --bench gzip --int-fus 1:4 --width 2,4 --l2 12,32
+//!                         # ad-hoc multi-axis machine sweeps
 //! ```
 //!
 //! Every subcommand accepts `--jobs N` to bound the scenario engine's
@@ -25,21 +27,33 @@
 //! execution, which is bit-identical to any parallel run). The bound
 //! governs the simulation-backed experiments and the Figure 9
 //! technology sweep; the remaining closed-form tables are
-//! microsecond-scale and always run sequentially.
+//! microsecond-scale and always run sequentially. `--budget N`
+//! replaces the Full/Quick presets with an explicit per-point
+//! instruction count, `--format text|json|csv` selects the stdout
+//! view, and `--out DIR` writes `<experiment>.json` and
+//! `<experiment>.csv` artifacts for every experiment run.
 //!
-//! The simulation-backed experiments share one [`scenario::Engine`]:
-//! each (benchmark × FU count × L2 latency × budget) point is
-//! simulated at most once per process and memoized, so `repro all`
-//! reuses the Table 3 points for Figures 7–9.
+//! Each experiment implements the [`experiment::Experiment`] trait
+//! and returns a typed [`result::ResultTable`]; text, JSON, and CSV
+//! are views of that one structure. The simulation-backed
+//! experiments share one [`scenario::Engine`]: each (benchmark ×
+//! [`fuleak_uarch::MachineConfig`] × budget) point is simulated at
+//! most once per process and memoized, so `repro all` reuses the
+//! Table 3 points for Figures 7–9 — and ad-hoc `repro sweep` grids
+//! over any `CoreConfig` axis share the same caches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analytic;
 pub mod empirical;
+pub mod experiment;
 pub mod harness;
 pub mod render;
+pub mod result;
 pub mod scenario;
 
+pub use experiment::{Context, Experiment};
 pub use harness::{Budget, SuiteResult};
+pub use result::{Cell, ResultTable, Value};
 pub use scenario::{Engine, Scenario, SimCache, SweepSpec};

@@ -79,6 +79,29 @@ pub fn engine_line(stats: &crate::scenario::EngineStats) -> String {
     )
 }
 
+/// Formats the engine's cumulative totals as one summary line, e.g.
+/// `engine total: 72 points simulated, sim cache 101/173 hits (58.4%),
+/// trace cache 63/72 hits (87.5%), 9 traces, 4 workers` — what
+/// `repro all` prints last so cross-experiment cache sharing is
+/// visible.
+pub fn engine_summary_line(stats: &crate::scenario::EngineStats) -> String {
+    let pct = |rate: Option<f64>| rate.map_or("n/a".to_string(), |r| format!("{:.1}%", 100.0 * r));
+    format!(
+        "engine total: {} points simulated, sim cache {}/{} hits ({}), trace cache {}/{} hits ({}), {} trace{}, {} worker{}",
+        stats.misses,
+        stats.hits,
+        stats.hits + stats.misses,
+        pct(stats.sim_hit_rate()),
+        stats.trace_hits,
+        stats.trace_hits + stats.captures,
+        pct(stats.trace_hit_rate()),
+        stats.traces,
+        if stats.traces == 1 { "" } else { "s" },
+        stats.jobs,
+        if stats.jobs == 1 { "" } else { "s" }
+    )
+}
+
 /// Formats a float with three decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")

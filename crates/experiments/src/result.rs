@@ -1,0 +1,360 @@
+//! The serializable result layer: every experiment produces a typed
+//! [`ResultTable`] — named columns, cells carrying both a typed value
+//! and its canonical display text — and the render/JSON/CSV outputs
+//! are all *views* of that one structure.
+//!
+//! Serialization is hand-rolled (the build environment vendors its
+//! few dependencies; no serde) and deterministic: equal tables
+//! serialize to byte-identical JSON and CSV on every platform, which
+//! CI exploits by diffing two runs' artifacts byte-for-byte.
+
+use crate::render::TextTable;
+use std::fmt::Write as _;
+
+/// A typed cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An integer (counts, cycle budgets, FU counts).
+    Int(i64),
+    /// A float (IPCs, energies, fractions).
+    Float(f64),
+    /// Free text (names, descriptions, "na").
+    Str(String),
+}
+
+/// One table cell: a typed [`Value`] plus the exact text the
+/// plain-text rendering shows (so numeric formatting — `1.235`,
+/// `0.05`, `3.4e-2` — survives the round trip from the historical
+/// output byte-for-byte while JSON consumers still get real numbers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// The typed value, what JSON serializes.
+    pub value: Value,
+    text: String,
+}
+
+impl Cell {
+    /// An integer cell, displayed in decimal.
+    pub fn int(v: i64) -> Self {
+        Cell {
+            text: v.to_string(),
+            value: Value::Int(v),
+        }
+    }
+
+    /// A float cell displayed with `precision` decimals.
+    pub fn float(v: f64, precision: usize) -> Self {
+        Cell {
+            text: format!("{v:.precision$}"),
+            value: Value::Float(v),
+        }
+    }
+
+    /// A float cell with an explicit display form (scientific
+    /// notation, shortest-form `{}`, …).
+    pub fn float_text(v: f64, text: impl Into<String>) -> Self {
+        Cell {
+            text: text.into(),
+            value: Value::Float(v),
+        }
+    }
+
+    /// A text cell.
+    pub fn str(s: impl Into<String>) -> Self {
+        let text = s.into();
+        Cell {
+            value: Value::Str(text.clone()),
+            text,
+        }
+    }
+
+    /// The display text of this cell.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+}
+
+/// A typed, named, serializable experiment result.
+///
+/// The plain-text view ([`ResultTable::render`]) reproduces the
+/// historical [`TextTable`] output byte-for-byte; [`to_json`] and
+/// [`to_csv`] expose the same rows to machines.
+///
+/// [`to_json`]: ResultTable::to_json
+/// [`to_csv`]: ResultTable::to_csv
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTable {
+    name: String,
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+    notes: Vec<String>,
+}
+
+impl ResultTable {
+    /// Creates an empty table with an identifier (`fig7`), a human
+    /// heading (`Figure 7 — idle-interval distribution`), and column
+    /// names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        columns: I,
+    ) -> Self {
+        ResultTable {
+            name: name.into(),
+            title: title.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Renames the table (e.g. the shared Figure 8 builder becoming
+    /// `fig8a` or `fig8b`).
+    pub fn named(mut self, name: impl Into<String>, title: impl Into<String>) -> Self {
+        self.name = name.into();
+        self.title = title.into();
+        self
+    }
+
+    /// Appends a row (must match the column count).
+    pub fn row<I: IntoIterator<Item = Cell>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<Cell> = cells.into_iter().collect();
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a free-text note (rendered after the table; serialized
+    /// under `"notes"`).
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The table's identifier (used for artifact file names).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The human heading.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<Cell>] {
+        &self.rows
+    }
+
+    /// The trailing notes.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// The plain-text view of this table.
+    pub fn to_text_table(&self) -> TextTable {
+        let mut t = TextTable::new(self.columns.iter().map(String::as_str));
+        for row in &self.rows {
+            t.row(row.iter().map(Cell::text));
+        }
+        t
+    }
+
+    /// Renders the table as aligned plain text (one view of the typed
+    /// data; byte-identical to the historical [`TextTable`] output).
+    pub fn render(&self) -> String {
+        self.to_text_table().render()
+    }
+
+    /// Serializes the table as deterministic JSON: object keys in
+    /// fixed order, rows as arrays of typed values (ints as integer
+    /// literals, floats in shortest round-trip form, non-finite
+    /// floats as `null`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"experiment\": {},", json_string(&self.name));
+        let _ = writeln!(out, "  \"title\": {},", json_string(&self.title));
+        out.push_str("  \"columns\": [");
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(c));
+        }
+        out.push_str("],\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push('[');
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_value(&cell.value));
+            }
+            out.push(']');
+        }
+        out.push_str(if self.rows.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"notes\": [");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(n));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Serializes the table as CSV (display-text cells, RFC-4180
+    /// quoting, `\n` line endings; notes are omitted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut line = |cells: Vec<&str>| {
+            let encoded: Vec<String> = cells.into_iter().map(csv_field).collect();
+            out.push_str(&encoded.join(","));
+            out.push('\n');
+        };
+        line(self.columns.iter().map(String::as_str).collect());
+        for row in &self.rows {
+            line(row.iter().map(Cell::text).collect());
+        }
+        out
+    }
+}
+
+/// JSON-escapes a string, including the surrounding quotes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serializes one typed value as a JSON literal. Floats use Rust's
+/// shortest round-trip `Display` (deterministic across platforms);
+/// non-finite floats become `null` (JSON has no NaN/Infinity).
+fn json_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) if !f.is_finite() => "null".to_string(),
+        Value::Float(f) => {
+            let s = format!("{f}");
+            // "1" would round-trip as an integer; keep the float type
+            // visible to consumers.
+            if s.contains('.') || s.contains('e') || s.contains('E') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Value::Str(s) => json_string(s),
+    }
+}
+
+/// Quotes a CSV field if it contains a delimiter, quote, or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultTable {
+        let mut t = ResultTable::new("demo", "Demo — a sample", ["name", "n", "x"]);
+        t.row([Cell::str("alpha"), Cell::int(3), Cell::float(1.23456, 3)]);
+        t.row([
+            Cell::str("be,ta"),
+            Cell::int(-1),
+            Cell::float_text(0.5, "0.5"),
+        ]);
+        t.note("one note");
+        t
+    }
+
+    #[test]
+    fn text_view_matches_text_table() {
+        let t = sample();
+        let mut expected = TextTable::new(["name", "n", "x"]);
+        expected.row(["alpha", "3", "1.235"]);
+        expected.row(["be,ta", "-1", "0.5"]);
+        assert_eq!(t.render(), expected.render());
+    }
+
+    #[test]
+    fn json_is_deterministic_and_typed() {
+        let t = sample();
+        assert_eq!(t.to_json(), t.to_json());
+        let json = t.to_json();
+        assert!(json.contains("\"experiment\": \"demo\""));
+        // JSON carries the full-precision typed value; the text view
+        // owns the 3-decimal display form.
+        assert!(json.contains("[\"alpha\", 3, 1.23456]"));
+        assert!(json.contains("[\"be,ta\", -1, 0.5]"));
+        assert!(json.contains("\"notes\": [\"one note\"]"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_floats_stay_floats_and_nonfinite_becomes_null() {
+        assert_eq!(json_value(&Value::Float(2.0)), "2.0");
+        assert_eq!(json_value(&Value::Float(0.05)), "0.05");
+        assert_eq!(json_value(&Value::Float(f64::NAN)), "null");
+        assert_eq!(json_value(&Value::Float(f64::INFINITY)), "null");
+        assert_eq!(json_value(&Value::Int(7)), "7");
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn csv_quotes_delimiters() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "name,n,x");
+        assert!(csv.contains("\"be,ta\",-1,0.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = ResultTable::new("x", "x", ["a", "b"]);
+        t.row([Cell::int(1)]);
+    }
+
+    #[test]
+    fn empty_table_serializes() {
+        let t = ResultTable::new("empty", "Empty", ["a"]);
+        assert!(t.to_json().contains("\"rows\": []"));
+        assert_eq!(t.to_csv(), "a\n");
+    }
+}

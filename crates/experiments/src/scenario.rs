@@ -1,15 +1,18 @@
 //! Scenario engine: deterministic, cached, parallel execution of
-//! simulation points.
+//! simulation points over arbitrary machine configurations.
 //!
 //! The paper's experiments all consume the same underlying object — a
-//! timing simulation of one benchmark at one FU count, one L2 latency,
-//! and one instruction budget. The seed harness re-simulated those
-//! points sequentially per experiment; this module makes the point the
-//! unit of work:
+//! timing simulation of one benchmark on one machine at one
+//! instruction budget. The seed harness re-simulated those points
+//! sequentially per experiment; this module makes the point the unit
+//! of work:
 //!
-//! * [`Scenario`] — the value-typed key of one simulation point;
-//! * [`SweepSpec`] — a cartesian-product builder (benchmarks × FU
-//!   counts × L2 latencies) expanding to a deterministic scenario list;
+//! * [`Scenario`] — the value-typed key of one simulation point: a
+//!   benchmark, a canonical [`MachineConfig`] (any Table 2 variant,
+//!   not just the paper's FU-count × L2-latency grid), and a budget;
+//! * [`SweepSpec`] — a multi-axis cartesian builder (benchmarks ×
+//!   any subset of `CoreConfig` axes: FU count, L2 latency, width,
+//!   ROB, cache sizes, …) expanding to a deterministic scenario list;
 //! * [`SimCache`] — a concurrent memo table from [`Scenario`] to its
 //!   [`SimResult`], so Table 3, Figure 7, Figures 8a/8b, and Figures
 //!   9a/9b reuse points instead of re-simulating;
@@ -19,7 +22,7 @@
 //! The engine also memoizes the *functional* half of each point: a
 //! dynamic trace depends only on `(bench, budget)`, so one packed
 //! [`EncodedTrace`] per benchmark is captured and replayed across the
-//! whole FU-count × L2-latency sweep instead of re-executing the
+//! whole machine-configuration sweep instead of re-executing the
 //! kernel for every microarchitectural variation (`DESIGN.md`).
 //!
 //! Every simulation is single-threaded and seeded, so a scenario's
@@ -30,8 +33,8 @@
 //! (`tests/tests/determinism.rs` asserts both).
 
 use crate::harness::Budget;
-use fuleak_uarch::{CoreConfig, SimResult, Simulator};
-use fuleak_workloads::{Benchmark, EncodedTrace};
+use fuleak_uarch::{ConfigError, CoreConfig, MachineConfig, SimResult, Simulator};
+use fuleak_workloads::{Benchmark, EncodedTrace, ExecError};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -52,50 +55,81 @@ fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 /// selection loop.
 pub const FU_CANDIDATES: std::ops::RangeInclusive<usize> = 1..=4;
 
-/// One simulation point: a benchmark at a fixed FU count, L2 latency,
-/// and instruction budget. `Copy`, hashable, and totally determines
-/// its [`SimResult`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// One simulation point: a benchmark on one canonical machine
+/// configuration at one instruction budget. Cheaply cloneable
+/// (machine configurations are interned `Arc`s), hashable, and
+/// totally determines its [`SimResult`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Scenario {
     /// Benchmark name (must exist in the [`Benchmark`] registry).
     pub bench: &'static str,
-    /// Integer functional-unit count (the paper studies 1–4).
-    pub fus: usize,
-    /// Unified L2 hit latency in cycles (the paper studies 12 and 32).
-    pub l2_latency: u64,
+    /// The machine to simulate on — any validated [`CoreConfig`],
+    /// canonicalized.
+    pub machine: MachineConfig,
     /// Dynamic instruction budget.
     pub budget: Budget,
 }
 
 impl Scenario {
+    /// A scenario on an arbitrary machine.
+    pub fn new(bench: &'static str, machine: MachineConfig, budget: Budget) -> Self {
+        Scenario {
+            bench,
+            machine,
+            budget,
+        }
+    }
+
+    /// A scenario on the paper's studied grid: Table 2 with the given
+    /// integer FU count and L2 hit latency.
+    pub fn paper(bench: &'static str, fus: usize, l2_latency: u64, budget: Budget) -> Self {
+        Scenario::new(bench, MachineConfig::paper(fus, l2_latency), budget)
+    }
+
+    /// The integer FU count of this scenario's machine.
+    pub fn int_fus(&self) -> usize {
+        self.machine.config().int_fus
+    }
+
+    /// The L2 hit latency of this scenario's machine.
+    pub fn l2_latency(&self) -> u64 {
+        self.machine.config().l2.latency
+    }
+
     /// Runs the timing simulation for this point, executing the kernel
     /// functionally first. Pure: equal scenarios produce equal results
     /// on any thread. Engine-driven runs use [`Scenario::run_trace`]
     /// with a cached trace instead; the two are bit-identical.
-    pub fn run(&self) -> SimResult {
-        self.run_trace(&self.capture_trace())
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::UnknownBenchmark`] if `bench` is not a
+    /// registered benchmark name, or the underlying [`ExecError`] if
+    /// the kernel's functional execution fails.
+    pub fn run(&self) -> Result<SimResult, ExecError> {
+        Ok(self.run_trace(&self.capture_trace()?))
     }
 
     /// Executes the functional half of this point: the packed dynamic
     /// trace, which depends only on `(bench, budget)` and is therefore
-    /// shared across every FU-count and L2-latency variation.
+    /// shared across every machine-configuration variation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bench` is not a registered benchmark name — build
-    /// sweeps through [`SweepSpec`] to get this validated up front.
-    pub fn capture_trace(&self) -> EncodedTrace {
+    /// Returns [`ExecError::UnknownBenchmark`] for names outside the
+    /// registry — build sweeps through [`SweepSpec`] to get this
+    /// validated up front.
+    pub fn capture_trace(&self) -> Result<EncodedTrace, ExecError> {
         capture_trace(self.bench, self.budget)
     }
 
     /// Runs the timing simulation for this point over an
     /// already-captured trace (which must be for this scenario's
-    /// `(bench, budget)`).
+    /// `(bench, budget)`). Panic-free: the machine configuration was
+    /// validated when the [`MachineConfig`] was built.
     pub fn run_trace(&self, trace: &EncodedTrace) -> SimResult {
-        let mut cfg = CoreConfig::with_int_fus(self.fus);
-        cfg.l2.latency = self.l2_latency;
-        Simulator::new(cfg)
-            .expect("table 2 configuration is valid")
+        Simulator::new(self.machine.config().clone())
+            .expect("machine configurations are validated at construction")
             .run(trace)
     }
 }
@@ -103,36 +137,44 @@ impl Scenario {
 /// Captures the packed dynamic trace of `bench` at `budget` (see
 /// [`Scenario::capture_trace`]).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `bench` is not a registered benchmark name.
-pub fn capture_trace(bench: &'static str, budget: Budget) -> EncodedTrace {
-    let bench = Benchmark::by_name(bench).unwrap_or_else(|| {
-        panic!(
-            "unknown benchmark `{bench}`; registered: {}",
-            registered_names()
-        )
-    });
+/// Returns [`ExecError::UnknownBenchmark`] for unregistered names, or
+/// the kernel's own [`ExecError`] if functional execution fails.
+pub fn capture_trace(bench: &str, budget: Budget) -> Result<EncodedTrace, ExecError> {
+    let bench = Benchmark::by_name(bench).ok_or_else(|| ExecError::UnknownBenchmark {
+        name: bench.to_string(),
+    })?;
     EncodedTrace::capture(&mut bench.instantiate(), budget.instructions())
-        .expect("kernels execute without errors")
 }
 
-/// Comma-separated registry names, for diagnostics.
-fn registered_names() -> String {
-    Benchmark::all()
-        .iter()
-        .map(|b| b.name)
-        .collect::<Vec<_>>()
-        .join(", ")
+/// One sweep axis: a named `CoreConfig` field (or field group) and the
+/// values it takes. The `apply` function writes one value into a
+/// configuration; axes compose by sequential application onto the
+/// sweep's base machine.
+#[derive(Debug, Clone)]
+pub struct Axis {
+    /// Canonical axis name (doubles as the result-table column name).
+    pub name: &'static str,
+    /// The values this axis sweeps, in output order.
+    pub values: Vec<u64>,
+    /// Writes one axis value into a configuration.
+    pub apply: fn(&mut CoreConfig, u64),
 }
 
-/// A cartesian sweep over benchmarks × FU counts × L2 latencies at one
-/// budget, expanding to a deterministic, duplicate-free scenario list.
+/// A cartesian sweep over benchmarks × any subset of machine axes at
+/// one budget, expanding to a deterministic, duplicate-free scenario
+/// list.
+///
+/// [`SweepSpec::new`] starts on the paper's grid (FU counts 1–4 at a
+/// 12-cycle L2); the `axis_*` builders replace or append axes, so any
+/// `CoreConfig` dimension — width, ROB size, L1D capacity, memory
+/// latency, … — becomes sweepable through the same engine and caches.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     benches: Vec<&'static str>,
-    fu_counts: Vec<usize>,
-    l2_latencies: Vec<u64>,
+    base: MachineConfig,
+    axes: Vec<Axis>,
     budget: Budget,
 }
 
@@ -142,10 +184,12 @@ impl SweepSpec {
     pub fn new(budget: Budget) -> Self {
         SweepSpec {
             benches: Benchmark::all().iter().map(|b| b.name).collect(),
-            fu_counts: FU_CANDIDATES.collect(),
-            l2_latencies: vec![12],
+            base: MachineConfig::baseline(),
+            axes: Vec::new(),
             budget,
         }
+        .axis_int_fus(FU_CANDIDATES)
+        .axis_l2_latency([12])
     }
 
     /// Restricts the sweep to the given benchmarks.
@@ -164,47 +208,179 @@ impl SweepSpec {
                 assert!(
                     Benchmark::by_name(name).is_some(),
                     "unknown benchmark `{name}`; registered: {}",
-                    registered_names()
+                    Benchmark::registered_names()
                 );
             })
             .collect();
         self
     }
 
-    /// Restricts the sweep to the given FU counts.
-    pub fn fu_counts(mut self, fus: impl IntoIterator<Item = usize>) -> Self {
-        self.fu_counts = fus.into_iter().collect();
+    /// Rebases the sweep on an arbitrary machine: every axis applies
+    /// its values on top of this configuration instead of Table 2.
+    pub fn base(mut self, base: MachineConfig) -> Self {
+        self.base = base;
         self
     }
 
-    /// Restricts the sweep to the given L2 latencies.
-    pub fn l2_latencies(mut self, l2s: impl IntoIterator<Item = u64>) -> Self {
-        self.l2_latencies = l2s.into_iter().collect();
-        self
-    }
-
-    /// Expands the sweep to its scenario list, in deterministic
-    /// (bench-major) order, without duplicates.
-    pub fn scenarios(&self) -> Vec<Scenario> {
-        let capacity = self.benches.len() * self.fu_counts.len() * self.l2_latencies.len();
-        let mut seen = HashSet::with_capacity(capacity);
-        let mut out = Vec::with_capacity(capacity);
-        for &bench in &self.benches {
-            for &fus in &self.fu_counts {
-                for &l2_latency in &self.l2_latencies {
-                    let s = Scenario {
-                        bench,
-                        fus,
-                        l2_latency,
-                        budget: self.budget,
-                    };
-                    if seen.insert(s) {
-                        out.push(s);
-                    }
-                }
-            }
+    /// Sets (or replaces, preserving axis order) a sweep axis. Axes
+    /// nest in insertion order, first axis outermost, benchmarks
+    /// outermost of all.
+    pub fn axis(
+        mut self,
+        name: &'static str,
+        values: impl IntoIterator<Item = u64>,
+        apply: fn(&mut CoreConfig, u64),
+    ) -> Self {
+        let values: Vec<u64> = values.into_iter().collect();
+        if let Some(existing) = self.axes.iter_mut().find(|a| a.name == name) {
+            existing.values = values;
+            existing.apply = apply;
+        } else {
+            self.axes.push(Axis {
+                name,
+                values,
+                apply,
+            });
         }
-        out
+        self
+    }
+
+    /// Sweeps the integer FU count (the paper's Table 3 dimension).
+    pub fn axis_int_fus(self, fus: impl IntoIterator<Item = usize>) -> Self {
+        self.axis("int_fus", fus.into_iter().map(|f| f as u64), |c, v| {
+            c.int_fus = v as usize;
+        })
+    }
+
+    /// Sweeps the L2 hit latency (the paper's Figure 7 dimension).
+    pub fn axis_l2_latency(self, l2s: impl IntoIterator<Item = u64>) -> Self {
+        self.axis("l2.latency", l2s, |c, v| c.l2.latency = v)
+    }
+
+    /// Sweeps the fetch/decode/issue/commit width.
+    pub fn axis_width(self, widths: impl IntoIterator<Item = usize>) -> Self {
+        self.axis("width", widths.into_iter().map(|w| w as u64), |c, v| {
+            c.width = v as usize;
+        })
+    }
+
+    /// Sweeps the reorder-buffer capacity.
+    pub fn axis_rob(self, robs: impl IntoIterator<Item = usize>) -> Self {
+        self.axis("rob_entries", robs.into_iter().map(|r| r as u64), |c, v| {
+            c.rob_entries = v as usize;
+        })
+    }
+
+    /// Sweeps the L1 data-cache capacity in bytes.
+    pub fn axis_l1d(self, sizes: impl IntoIterator<Item = u64>) -> Self {
+        self.axis("l1d.size_bytes", sizes, |c, v| c.l1d.size_bytes = v)
+    }
+
+    /// Sweeps the unified L2 capacity in bytes.
+    pub fn axis_l2_size(self, sizes: impl IntoIterator<Item = u64>) -> Self {
+        self.axis("l2.size_bytes", sizes, |c, v| c.l2.size_bytes = v)
+    }
+
+    /// Sweeps the main-memory latency in cycles.
+    pub fn axis_memory_latency(self, lats: impl IntoIterator<Item = u64>) -> Self {
+        self.axis("memory_latency", lats, |c, v| c.memory_latency = v)
+    }
+
+    /// Sweeps the outstanding-miss (MSHR) count.
+    pub fn axis_mshrs(self, mshrs: impl IntoIterator<Item = usize>) -> Self {
+        self.axis("mshrs", mshrs.into_iter().map(|m| m as u64), |c, v| {
+            c.mshrs = v as usize;
+        })
+    }
+
+    /// Restricts the sweep to the given FU counts (alias of
+    /// [`SweepSpec::axis_int_fus`], kept for the paper-grid callers).
+    pub fn fu_counts(self, fus: impl IntoIterator<Item = usize>) -> Self {
+        self.axis_int_fus(fus)
+    }
+
+    /// Restricts the sweep to the given L2 latencies (alias of
+    /// [`SweepSpec::axis_l2_latency`]).
+    pub fn l2_latencies(self, l2s: impl IntoIterator<Item = u64>) -> Self {
+        self.axis_l2_latency(l2s)
+    }
+
+    /// The sweep's axes, in nesting order.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// The sweep's benchmarks.
+    pub fn bench_names(&self) -> &[&'static str] {
+        &self.benches
+    }
+
+    /// The sweep's instruction budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Expands the sweep to its scenario list, in deterministic order
+    /// (benchmarks outermost, then axes in insertion order), without
+    /// duplicates. Each scenario carries the axis values that
+    /// produced it, so result tables can echo them as columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] for the first axis combination
+    /// producing an invalid machine (e.g. a zero width), identifying
+    /// the offending field.
+    pub fn try_expand(&self) -> Result<Vec<(Vec<u64>, Scenario)>, ConfigError> {
+        let total: usize =
+            self.benches.len() * self.axes.iter().map(|a| a.values.len()).product::<usize>();
+        let mut seen = HashSet::with_capacity(total);
+        let mut out = Vec::with_capacity(total);
+        let mut combo = vec![0u64; self.axes.len()];
+        for &bench in &self.benches {
+            self.expand_axes(bench, 0, &mut combo, &mut seen, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn expand_axes(
+        &self,
+        bench: &'static str,
+        depth: usize,
+        combo: &mut Vec<u64>,
+        seen: &mut HashSet<Scenario>,
+        out: &mut Vec<(Vec<u64>, Scenario)>,
+    ) -> Result<(), ConfigError> {
+        if depth == self.axes.len() {
+            let mut cfg = self.base.config().clone();
+            for (axis, &value) in self.axes.iter().zip(combo.iter()) {
+                (axis.apply)(&mut cfg, value);
+            }
+            let s = Scenario::new(bench, MachineConfig::new(cfg)?, self.budget);
+            if seen.insert(s.clone()) {
+                out.push((combo.clone(), s));
+            }
+            return Ok(());
+        }
+        for i in 0..self.axes[depth].values.len() {
+            combo[depth] = self.axes[depth].values[i];
+            self.expand_axes(bench, depth + 1, combo, seen, out)?;
+        }
+        Ok(())
+    }
+
+    /// Expands the sweep to its scenario list (see
+    /// [`SweepSpec::try_expand`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an axis combination produces an invalid machine; use
+    /// [`SweepSpec::try_expand`] to validate user-supplied axes.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        self.try_expand()
+            .unwrap_or_else(|e| panic!("sweep produced an invalid machine: {e}"))
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect()
     }
 }
 
@@ -280,6 +456,12 @@ pub struct EngineStats {
     pub hits: usize,
     /// Cache misses (points that had to be simulated).
     pub misses: usize,
+    /// Distinct functional traces retained.
+    pub traces: usize,
+    /// Trace-cache hits (replays served without re-execution).
+    pub trace_hits: usize,
+    /// Functional executions performed (trace-cache misses).
+    pub captures: usize,
 }
 
 impl EngineStats {
@@ -292,15 +474,31 @@ impl EngineStats {
             points: self.points.saturating_sub(earlier.points),
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
+            traces: self.traces.saturating_sub(earlier.traces),
+            trace_hits: self.trace_hits.saturating_sub(earlier.trace_hits),
+            captures: self.captures.saturating_sub(earlier.captures),
         }
+    }
+
+    /// Simulation-cache hit rate over all lookups, if any were made.
+    pub fn sim_hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+
+    /// Trace-cache hit rate over all lookups, if any were made.
+    pub fn trace_hit_rate(&self) -> Option<f64> {
+        let total = self.trace_hits + self.captures;
+        (total > 0).then(|| self.trace_hits as f64 / total as f64)
     }
 }
 
 /// A concurrent memo table from `(bench, budget)` to its packed
-/// functional trace, shared by every point of an FU × L2 sweep.
+/// functional trace, shared by every point of a machine sweep.
 #[derive(Debug, Default)]
 pub struct TraceCache {
     map: Mutex<HashMap<(&'static str, Budget), Arc<EncodedTrace>>>,
+    hits: AtomicUsize,
     captures: AtomicUsize,
 }
 
@@ -310,9 +508,21 @@ impl TraceCache {
         TraceCache::default()
     }
 
-    /// The cached trace for `(bench, budget)`, if present.
+    /// The cached trace for `(bench, budget)`, if present. Counts a
+    /// hit so [`TraceCache::hits`] means "replays served from cache".
     pub fn get(&self, bench: &'static str, budget: Budget) -> Option<Arc<EncodedTrace>> {
-        lock_unpoisoned(&self.map).get(&(bench, budget)).cloned()
+        let found = lock_unpoisoned(&self.map).get(&(bench, budget)).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Whether a trace is cached, without counting a lookup — for
+    /// bookkeeping probes (capture deduplication) that would
+    /// otherwise inflate the hit rate.
+    pub fn contains(&self, bench: &'static str, budget: Budget) -> bool {
+        lock_unpoisoned(&self.map).contains_key(&(bench, budget))
     }
 
     /// Inserts a trace, keeping the first insertion on a race (traces
@@ -337,6 +547,11 @@ impl TraceCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Lookups served from the cache since construction.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Functional executions performed since construction (cache
@@ -407,13 +622,20 @@ impl Engine {
 
     /// The packed trace for `(bench, budget)`, capturing (and caching)
     /// it on the calling thread if missing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bench` is not a registered benchmark name — the
+    /// engine-internal callers only reach this with names validated
+    /// by [`SweepSpec::benches`] or the [`Benchmark`] registry; use
+    /// [`Scenario::capture_trace`] for fallible capture.
     pub fn trace(&self, bench: &'static str, budget: Budget) -> Arc<EncodedTrace> {
         if let Some(t) = self.traces.get(bench, budget) {
             return t;
         }
         self.traces.captures.fetch_add(1, Ordering::Relaxed);
-        self.traces
-            .insert(bench, budget, Arc::new(capture_trace(bench, budget)))
+        let trace = capture_trace(bench, budget).unwrap_or_else(|e| panic!("{e}"));
+        self.traces.insert(bench, budget, Arc::new(trace))
     }
 
     /// Cache-effectiveness snapshot.
@@ -423,6 +645,9 @@ impl Engine {
             points: self.cache.len(),
             hits: self.cache.hits(),
             misses: self.cache.misses(),
+            traces: self.traces.len(),
+            trace_hits: self.traces.hits(),
+            captures: self.traces.captures(),
         }
     }
 
@@ -438,25 +663,25 @@ impl Engine {
     ///
     /// Work splits into two parallel phases: first the missing
     /// functional traces are captured — one per distinct
-    /// `(bench, budget)`, however many FU-count × L2-latency points
-    /// share it — then every point replays its benchmark's cached
-    /// trace through the timing model.
+    /// `(bench, budget)`, however many machine variants share it —
+    /// then every point replays its benchmark's cached trace through
+    /// the timing model.
     pub fn prime(&self, scenarios: &[Scenario]) -> usize {
         let mut queued = HashSet::with_capacity(scenarios.len());
         let mut todo: Vec<Scenario> = Vec::new();
-        for &s in scenarios {
-            if !queued.insert(s) {
+        for s in scenarios {
+            if !queued.insert(s.clone()) {
                 continue; // already queued this round; don't double-count
             }
-            if self.cache.get(&s).is_none() {
-                todo.push(s);
+            if self.cache.get(s).is_none() {
+                todo.push(s.clone());
             }
         }
         let mut trace_keys: Vec<(&'static str, Budget)> = Vec::new();
         let mut seen_keys = HashSet::new();
         for s in &todo {
             let key = (s.bench, s.budget);
-            if seen_keys.insert(key) && self.traces.get(key.0, key.1).is_none() {
+            if seen_keys.insert(key) && !self.traces.contains(key.0, key.1) {
                 trace_keys.push(key);
             }
         }
@@ -464,14 +689,16 @@ impl Engine {
             .captures
             .fetch_add(trace_keys.len(), Ordering::Relaxed);
         for ((bench, budget), trace) in parallel_map(self.jobs, trace_keys, |(bench, budget)| {
-            ((bench, budget), Arc::new(capture_trace(bench, budget)))
+            let trace = capture_trace(bench, budget).unwrap_or_else(|e| panic!("{e}"));
+            ((bench, budget), Arc::new(trace))
         }) {
             self.traces.insert(bench, budget, trace);
         }
         let simulated = todo.len();
         for (s, r) in parallel_map(self.jobs, todo, |s| {
             let trace = self.trace(s.bench, s.budget);
-            (s, Arc::new(s.run_trace(&trace)))
+            let result = Arc::new(s.run_trace(&trace));
+            (s, result)
         }) {
             self.cache.insert(s, r);
         }
@@ -481,12 +708,18 @@ impl Engine {
     /// Returns the result for one scenario, simulating it on the
     /// calling thread on a cache miss (replaying the benchmark's
     /// cached functional trace, capturing it first if needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario names an unregistered benchmark; use
+    /// [`Scenario::run`] for a fallible one-off point.
     pub fn result(&self, s: Scenario) -> Arc<SimResult> {
         if let Some(r) = self.cache.get(&s) {
             return r;
         }
         let trace = self.trace(s.bench, s.budget);
-        self.cache.insert(s, Arc::new(s.run_trace(&trace)))
+        let result = Arc::new(s.run_trace(&trace));
+        self.cache.insert(s, result)
     }
 }
 
@@ -548,12 +781,7 @@ mod tests {
     use super::*;
 
     fn tiny(bench: &'static str, fus: usize) -> Scenario {
-        Scenario {
-            bench,
-            fus,
-            l2_latency: 12,
-            budget: Budget::Custom(5_000),
-        }
+        Scenario::paper(bench, fus, 12, Budget::Custom(5_000))
     }
 
     #[test]
@@ -571,11 +799,69 @@ mod tests {
     }
 
     #[test]
+    fn sweep_spans_non_paper_axes() {
+        let spec = SweepSpec::new(Budget::Custom(5_000))
+            .benches(["mst"])
+            .axis_int_fus([2])
+            .axis_l2_latency([12])
+            .axis_width([2, 4])
+            .axis_rob([64, 128]);
+        let expanded = spec.try_expand().unwrap();
+        assert_eq!(expanded.len(), 4);
+        // Axis values are echoed combo-for-combo, nested in insertion
+        // order (int_fus, l2, width, rob).
+        assert_eq!(expanded[0].0, vec![2, 12, 2, 64]);
+        assert_eq!(expanded[3].0, vec![2, 12, 4, 128]);
+        let machines: HashSet<u64> = expanded
+            .iter()
+            .map(|(_, s)| s.machine.fingerprint())
+            .collect();
+        assert_eq!(machines.len(), 4, "each combo is a distinct machine");
+        // Later axes nest innermost: expanded[1] bumps rob, not width.
+        assert_eq!(expanded[1].1.machine.config().width, 2);
+        assert_eq!(expanded[1].1.machine.config().rob_entries, 128);
+    }
+
+    #[test]
+    fn sweep_surfaces_invalid_axis_combinations() {
+        let spec = SweepSpec::new(Budget::Custom(5_000))
+            .benches(["mst"])
+            .axis_width([0]);
+        let err = spec.try_expand().unwrap_err();
+        assert_eq!(err.field, "width");
+    }
+
+    #[test]
+    fn replacing_an_axis_preserves_its_position() {
+        let spec = SweepSpec::new(Budget::Custom(5_000))
+            .axis_l2_latency([32])
+            .axis_int_fus([1, 2]);
+        let names: Vec<&str> = spec.axes().iter().map(|a| a.name).collect();
+        assert_eq!(names, ["int_fus", "l2.latency"]);
+        assert_eq!(spec.axes()[0].values, [1, 2]);
+        assert_eq!(spec.axes()[1].values, [32]);
+    }
+
+    #[test]
     fn scenario_run_is_deterministic() {
         let s = tiny("mst", 2);
-        let a = s.run();
-        let b = s.run();
+        let a = s.run().unwrap();
+        let b = s.run().unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scenario_run_reports_unknown_benchmarks() {
+        let s = Scenario::paper("not-a-bench", 2, 12, Budget::Custom(1_000));
+        let err = s.run().unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::UnknownBenchmark {
+                name: "not-a-bench".to_string()
+            }
+        );
+        assert!(err.to_string().contains("unknown benchmark `not-a-bench`"));
+        assert!(err.to_string().contains("gzip"), "registry not listed");
     }
 
     #[test]
@@ -594,6 +880,32 @@ mod tests {
     }
 
     #[test]
+    fn machine_variants_key_the_cache_separately() {
+        let engine = Engine::sequential();
+        let budget = Budget::Custom(5_000);
+        let narrow = Scenario::new(
+            "mst",
+            MachineConfig::derived(|c| c.width = 2).unwrap(),
+            budget,
+        );
+        let wide = Scenario::new("mst", MachineConfig::baseline(), budget);
+        let a = engine.result(narrow.clone());
+        let b = engine.result(wide);
+        assert_eq!(engine.cache().len(), 2, "variants must not alias");
+        assert_ne!(*a, *b, "width change must affect timing");
+        // Same machine, rebuilt from scratch: cache hit, same Arc.
+        let narrow_again = Scenario::new(
+            "mst",
+            MachineConfig::derived(|c| c.width = 2).unwrap(),
+            budget,
+        );
+        let c = engine.result(narrow_again);
+        assert!(Arc::ptr_eq(&a, &c));
+        // And both variants replayed one shared functional trace.
+        assert_eq!(engine.trace_cache().captures(), 1);
+    }
+
+    #[test]
     fn parallel_and_sequential_engines_agree() {
         let spec = SweepSpec::new(Budget::Custom(5_000))
             .benches(["mst", "health"])
@@ -603,7 +915,11 @@ mod tests {
         seq.run_sweep(&spec);
         par.run_sweep(&spec);
         for s in spec.scenarios() {
-            assert_eq!(*seq.result(s), *par.result(s), "{s:?} diverged");
+            assert_eq!(
+                *seq.result(s.clone()),
+                *par.result(s.clone()),
+                "{s:?} diverged"
+            );
         }
     }
 
@@ -637,13 +953,7 @@ mod tests {
         assert!(engine.trace_cache().encoded_bytes() > 0);
         // Further sweeps and lazy lookups reuse the cached traces.
         engine.result(tiny("mst", 3));
-        let s = Scenario {
-            bench: "mst",
-            fus: 1,
-            l2_latency: 99,
-            budget: Budget::Custom(5_000),
-        };
-        engine.result(s);
+        engine.result(Scenario::paper("mst", 1, 99, Budget::Custom(5_000)));
         assert_eq!(engine.trace_cache().captures(), 2);
     }
 
@@ -651,8 +961,8 @@ mod tests {
     fn replayed_trace_matches_fresh_execution() {
         let engine = Engine::sequential();
         let s = tiny("health", 2);
-        let replayed = engine.result(s);
-        assert_eq!(*replayed, s.run(), "cached-trace path diverged");
+        let replayed = engine.result(s.clone());
+        assert_eq!(*replayed, s.run().unwrap(), "cached-trace path diverged");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 /// Parameters of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheParams {
     /// Total size in bytes.
     pub size_bytes: u64,
@@ -33,7 +33,7 @@ impl CacheParams {
 }
 
 /// TLB parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TlbParams {
     /// Number of entries.
     pub entries: u64,
@@ -47,7 +47,11 @@ pub struct TlbParams {
 
 /// The full core configuration (Table 2 defaults via
 /// [`CoreConfig::alpha21264`]).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Every field is integral, so configurations compare and hash
+/// exactly; [`crate::MachineConfig`] builds on that to give each
+/// variant a stable canonical fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CoreConfig {
     /// Fetch queue entries.
     pub fetch_queue: usize,

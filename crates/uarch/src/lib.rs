@@ -51,10 +51,12 @@ pub mod bpred;
 pub mod cache;
 pub mod config;
 pub mod fxhash;
+pub mod machine;
 pub mod pipeline;
 pub mod resources;
 pub mod stats;
 
 pub use config::{ConfigError, CoreConfig};
+pub use machine::MachineConfig;
 pub use pipeline::Simulator;
 pub use stats::{BranchStats, CacheStats, SimResult};

@@ -1,0 +1,322 @@
+//! Canonical machine configurations: interning and fingerprinting for
+//! [`CoreConfig`] variants.
+//!
+//! The scenario engine memoizes simulation points by their full
+//! machine configuration, not just the `(FU count, L2 latency)` pair
+//! the paper sweeps. [`MachineConfig`] makes that cheap:
+//!
+//! * every configuration gets a **canonical fingerprint** — an FNV-1a
+//!   hash over the fields in a fixed declaration order, each widened
+//!   to a little-endian `u64`. The encoding is independent of Rust's
+//!   `derive(Hash)` and of the platform, so the fingerprint is a
+//!   stable cache key across refactors (a golden test pins the
+//!   baseline's value);
+//! * validated configurations are **interned** in a process-wide
+//!   table keyed by fingerprint, so equal configurations share one
+//!   `Arc<CoreConfig>` — cloning a [`MachineConfig`] is one atomic
+//!   increment, equality is usually a pointer comparison, and hashing
+//!   is a single `u64` write;
+//! * each configuration can describe itself as a **delta from the
+//!   Alpha 21264 baseline** (`"int_fus=2 l2.latency=32"`), which the
+//!   sweep tooling uses to label arbitrary machine variants.
+
+use crate::config::{ConfigError, CoreConfig};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Getter widening one configuration field to `u64`.
+type FieldGetter = fn(&CoreConfig) -> u64;
+
+/// The canonical field order: one `(name, getter)` pair per
+/// configuration field, every value widened to `u64`. Both the
+/// fingerprint and the delta description iterate this table, so the
+/// two can never disagree about what a configuration contains.
+///
+/// Appending a field is a fingerprint-breaking change by construction
+/// (the golden test in `tests/machine_props.rs` will say so); never
+/// reorder or remove entries without bumping cache expectations.
+const FIELDS: &[(&str, FieldGetter)] = &[
+    ("fetch_queue", |c| c.fetch_queue as u64),
+    ("width", |c| c.width as u64),
+    ("mispredict_latency", |c| c.mispredict_latency),
+    ("rob_entries", |c| c.rob_entries as u64),
+    ("int_iq_entries", |c| c.int_iq_entries as u64),
+    ("fp_iq_entries", |c| c.fp_iq_entries as u64),
+    ("phys_int_regs", |c| c.phys_int_regs as u64),
+    ("phys_fp_regs", |c| c.phys_fp_regs as u64),
+    ("arch_int_regs", |c| c.arch_int_regs as u64),
+    ("arch_fp_regs", |c| c.arch_fp_regs as u64),
+    ("load_queue", |c| c.load_queue as u64),
+    ("store_queue", |c| c.store_queue as u64),
+    ("int_fus", |c| c.int_fus as u64),
+    ("fp_fus", |c| c.fp_fus as u64),
+    ("mul_latency", |c| c.mul_latency),
+    ("fp_latency", |c| c.fp_latency),
+    ("mshrs", |c| c.mshrs as u64),
+    ("l1i.size_bytes", |c| c.l1i.size_bytes),
+    ("l1i.ways", |c| c.l1i.ways),
+    ("l1i.line_bytes", |c| c.l1i.line_bytes),
+    ("l1i.latency", |c| c.l1i.latency),
+    ("l1d.size_bytes", |c| c.l1d.size_bytes),
+    ("l1d.ways", |c| c.l1d.ways),
+    ("l1d.line_bytes", |c| c.l1d.line_bytes),
+    ("l1d.latency", |c| c.l1d.latency),
+    ("l2.size_bytes", |c| c.l2.size_bytes),
+    ("l2.ways", |c| c.l2.ways),
+    ("l2.line_bytes", |c| c.l2.line_bytes),
+    ("l2.latency", |c| c.l2.latency),
+    ("itlb.entries", |c| c.itlb.entries),
+    ("itlb.ways", |c| c.itlb.ways),
+    ("itlb.page_bytes", |c| c.itlb.page_bytes),
+    ("itlb.miss_latency", |c| c.itlb.miss_latency),
+    ("dtlb.entries", |c| c.dtlb.entries),
+    ("dtlb.ways", |c| c.dtlb.ways),
+    ("dtlb.page_bytes", |c| c.dtlb.page_bytes),
+    ("dtlb.miss_latency", |c| c.dtlb.miss_latency),
+    ("memory_latency", |c| c.memory_latency),
+    ("bimodal_entries", |c| c.bimodal_entries as u64),
+    ("l1_history_entries", |c| c.l1_history_entries as u64),
+    ("history_bits", |c| u64::from(c.history_bits)),
+    ("l2_counter_entries", |c| c.l2_counter_entries as u64),
+    ("meta_entries", |c| c.meta_entries as u64),
+    ("ras_entries", |c| c.ras_entries as u64),
+    ("btb_sets", |c| c.btb_sets as u64),
+    ("btb_ways", |c| c.btb_ways as u64),
+];
+
+/// Computes the canonical 64-bit fingerprint of a configuration:
+/// FNV-1a over every field of [`FIELDS`], in order, as little-endian
+/// `u64` bytes. Stable across platforms, compilers, and std hasher
+/// changes.
+pub fn fingerprint(cfg: &CoreConfig) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for (_, get) in FIELDS {
+        for byte in get(cfg).to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// The process-wide intern table: fingerprint to every distinct
+/// configuration observed with it (a `Vec` so a fingerprint collision
+/// degrades to a linear probe instead of a correctness bug).
+fn intern(cfg: CoreConfig, fp: u64) -> Arc<CoreConfig> {
+    static TABLE: OnceLock<Mutex<HashMap<u64, Vec<Arc<CoreConfig>>>>> = OnceLock::new();
+    let table = TABLE.get_or_init(Mutex::default);
+    let mut table = table.lock().unwrap_or_else(PoisonError::into_inner);
+    let bucket = table.entry(fp).or_default();
+    if let Some(existing) = bucket.iter().find(|c| ***c == cfg) {
+        return existing.clone();
+    }
+    let arc = Arc::new(cfg);
+    bucket.push(arc.clone());
+    arc
+}
+
+/// A validated, interned, fingerprinted machine configuration — the
+/// canonical form a [`CoreConfig`] takes when used as (part of) a
+/// cache key.
+///
+/// Cloning is an `Arc` bump; equality is fingerprint-then-pointer
+/// comparison (falling back to a field compare only on fingerprint
+/// collision); hashing writes the precomputed fingerprint. Two
+/// `MachineConfig`s built from equal `CoreConfig`s — in any order, on
+/// any thread — are equal, hash equal, and share storage.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    cfg: Arc<CoreConfig>,
+    fingerprint: u64,
+}
+
+impl MachineConfig {
+    /// Canonicalizes a configuration, validating it first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] naming the first invalid field.
+    pub fn new(cfg: CoreConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let fingerprint = fingerprint(&cfg);
+        Ok(MachineConfig {
+            cfg: intern(cfg, fingerprint),
+            fingerprint,
+        })
+    }
+
+    /// The Alpha 21264 baseline (Table 2, 12-cycle L2).
+    pub fn baseline() -> Self {
+        static BASELINE: OnceLock<MachineConfig> = OnceLock::new();
+        BASELINE
+            .get_or_init(|| {
+                MachineConfig::new(CoreConfig::alpha21264()).expect("table 2 baseline is valid")
+            })
+            .clone()
+    }
+
+    /// The baseline with `edit` applied — the idiomatic way to express
+    /// a machine as a delta from Table 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] naming the first invalid field of
+    /// the edited configuration.
+    pub fn derived(edit: impl FnOnce(&mut CoreConfig)) -> Result<Self, ConfigError> {
+        let mut cfg = CoreConfig::alpha21264();
+        edit(&mut cfg);
+        MachineConfig::new(cfg)
+    }
+
+    /// The paper's studied variants: `int_fus` integer FUs at the
+    /// given L2 hit latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair is invalid (the paper's 1–4 FUs at any
+    /// positive latency never is).
+    pub fn paper(int_fus: usize, l2_latency: u64) -> Self {
+        Self::derived(|c| {
+            c.int_fus = int_fus;
+            c.l2.latency = l2_latency;
+        })
+        .expect("paper variant is valid")
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// The canonical fingerprint (see [`fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The fields differing from the Alpha 21264 baseline, in
+    /// canonical order, as `(name, baseline value, this value)`.
+    pub fn deltas(&self) -> Vec<(&'static str, u64, u64)> {
+        let base = CoreConfig::alpha21264();
+        FIELDS
+            .iter()
+            .filter_map(|(name, get)| {
+                let (was, now) = (get(&base), get(&self.cfg));
+                (was != now).then_some((*name, was, now))
+            })
+            .collect()
+    }
+
+    /// A compact human label for this machine: `"baseline"`, or the
+    /// changed fields as `name=value` pairs in canonical order
+    /// (`"int_fus=2 l2.latency=32"`).
+    pub fn delta_label(&self) -> String {
+        let deltas = self.deltas();
+        if deltas.is_empty() {
+            return "baseline".to_string();
+        }
+        deltas
+            .iter()
+            .map(|(name, _, now)| format!("{name}={now}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl fmt::Display for MachineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.delta_label())
+    }
+}
+
+impl PartialEq for MachineConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.fingerprint == other.fingerprint
+            && (Arc::ptr_eq(&self.cfg, &other.cfg) || self.cfg == other.cfg)
+    }
+}
+
+impl Eq for MachineConfig {}
+
+impl Hash for MachineConfig {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fingerprint);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_configs_intern_to_shared_storage() {
+        let a = MachineConfig::new(CoreConfig::with_int_fus(2)).unwrap();
+        let b = MachineConfig::derived(|c| c.int_fus = 2).unwrap();
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&a.cfg, &b.cfg));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn distinct_configs_have_distinct_fingerprints() {
+        let base = MachineConfig::baseline();
+        let wide = MachineConfig::derived(|c| c.width = 8).unwrap();
+        let slow_l2 = MachineConfig::derived(|c| c.l2.latency = 32).unwrap();
+        assert_ne!(base, wide);
+        assert_ne!(base.fingerprint(), wide.fingerprint());
+        assert_ne!(wide.fingerprint(), slow_l2.fingerprint());
+    }
+
+    #[test]
+    fn delta_labels_name_changed_fields_in_canonical_order() {
+        assert_eq!(MachineConfig::baseline().delta_label(), "baseline");
+        let m = MachineConfig::derived(|c| {
+            c.l2.latency = 32;
+            c.int_fus = 2;
+        })
+        .unwrap();
+        assert_eq!(m.delta_label(), "int_fus=2 l2.latency=32");
+        assert_eq!(m.to_string(), m.delta_label());
+        assert_eq!(m.deltas(), vec![("int_fus", 4, 2), ("l2.latency", 12, 32)]);
+    }
+
+    #[test]
+    fn paper_variant_matches_legacy_constructors() {
+        let m = MachineConfig::paper(3, 32);
+        let mut legacy = CoreConfig::with_int_fus(3);
+        legacy.l2.latency = 32;
+        assert_eq!(*m.config(), legacy);
+        assert_eq!(MachineConfig::paper(4, 12), MachineConfig::baseline());
+    }
+
+    #[test]
+    fn new_rejects_invalid_configs() {
+        assert!(MachineConfig::derived(|c| c.int_fus = 0).is_err());
+        assert!(MachineConfig::derived(|c| c.l1d.line_bytes = 48).is_err());
+    }
+
+    #[test]
+    fn fields_table_covers_every_config_field() {
+        // A field missing from FIELDS would silently alias distinct
+        // machines to one fingerprint. Guard: flipping any listed
+        // field changes the fingerprint, and the table's length is
+        // pinned so adding a CoreConfig field forces a look here.
+        assert_eq!(FIELDS.len(), 46);
+        let base = CoreConfig::alpha21264();
+        let base_fp = fingerprint(&base);
+        // Spot-check orthogonal fields from the head, middle, and
+        // tail of the table.
+        let mut c = base.clone();
+        c.rob_entries = 64;
+        assert_ne!(fingerprint(&c), base_fp);
+        let mut c = base.clone();
+        c.dtlb.miss_latency = 31;
+        assert_ne!(fingerprint(&c), base_fp);
+        let mut c = base;
+        c.btb_ways = 4;
+        assert_ne!(fingerprint(&c), base_fp);
+    }
+}

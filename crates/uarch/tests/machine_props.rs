@@ -1,0 +1,131 @@
+//! Property and golden tests for machine-configuration
+//! canonicalization: the [`MachineConfig`] fingerprint is the scenario
+//! engine's cache key, so equal configurations must hash equal, the
+//! fingerprint must be a pure order/representation-stable function of
+//! the field values, and the baseline's fingerprint must never drift
+//! across refactors (a silent change would invalidate — or worse,
+//! alias — every externally persisted cache key).
+
+use fuleak_uarch::machine::fingerprint;
+use fuleak_uarch::{CoreConfig, MachineConfig};
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// The pinned canonical fingerprint of the Table 2 baseline
+/// (FNV-1a over the canonical field order; see
+/// `uarch/src/machine.rs`). If this assertion fires, the canonical
+/// encoding changed: bump this constant **only** alongside a
+/// deliberate, documented cache-key break.
+const BASELINE_FINGERPRINT: u64 = 0xc9bc_2964_8604_457f;
+
+fn std_hash(m: &MachineConfig) -> u64 {
+    let mut h = DefaultHasher::new();
+    m.hash(&mut h);
+    h.finish()
+}
+
+prop_compose! {
+    /// An arbitrary *valid* delta from the baseline: a handful of
+    /// independent fields drawn from their legal ranges.
+    fn valid_config()(
+        int_fus in 1usize..=8,
+        width in 1usize..=8,
+        rob_pow in 4u32..=9,
+        l2_latency in 1u64..=64,
+        l1d_kb_pow in 4u32..=8,
+        mem_latency in 20u64..=400,
+        mshrs in 1usize..=16,
+    ) -> CoreConfig {
+        let mut c = CoreConfig::alpha21264();
+        c.int_fus = int_fus;
+        c.width = width;
+        c.rob_entries = 1 << rob_pow;
+        c.l2.latency = l2_latency;
+        c.l1d.size_bytes = 1024 << l1d_kb_pow;
+        c.memory_latency = mem_latency;
+        c.mshrs = mshrs;
+        c
+    }
+}
+
+proptest! {
+    /// Equal configurations — built independently, in any order —
+    /// produce equal `MachineConfig`s that hash equal (both through
+    /// the canonical fingerprint and through `std::hash`).
+    #[test]
+    fn equal_configs_compare_and_hash_equal(cfg in valid_config()) {
+        let a = MachineConfig::new(cfg.clone()).expect("generated config is valid");
+        let b = MachineConfig::new(cfg.clone()).expect("generated config is valid");
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        prop_assert_eq!(std_hash(&a), std_hash(&b));
+        // And the fingerprint is a pure function of the value, not of
+        // construction order or interning state.
+        prop_assert_eq!(a.fingerprint(), fingerprint(&cfg));
+    }
+
+    /// The fingerprint ignores *how* a configuration was produced
+    /// (struct literal vs sequential mutation) — only the final field
+    /// values matter.
+    #[test]
+    fn fingerprint_is_representation_stable(cfg in valid_config()) {
+        // Apply the same deltas in two different mutation orders.
+        let forward = MachineConfig::new(cfg.clone()).unwrap();
+        let mut rebuilt = CoreConfig::alpha21264();
+        rebuilt.mshrs = cfg.mshrs;
+        rebuilt.memory_latency = cfg.memory_latency;
+        rebuilt.l1d.size_bytes = cfg.l1d.size_bytes;
+        rebuilt.l2.latency = cfg.l2.latency;
+        rebuilt.rob_entries = cfg.rob_entries;
+        rebuilt.width = cfg.width;
+        rebuilt.int_fus = cfg.int_fus;
+        let backward = MachineConfig::new(rebuilt).unwrap();
+        prop_assert_eq!(forward.fingerprint(), backward.fingerprint());
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// A changed field value changes the fingerprint (no field is
+    /// silently excluded from the canonical encoding).
+    #[test]
+    fn changed_fields_change_the_fingerprint(cfg in valid_config(), bump in 1u64..=4) {
+        let base = fingerprint(&cfg);
+        let mut c = cfg.clone();
+        c.l2.latency += bump;
+        prop_assert!(fingerprint(&c) != base, "l2.latency change not fingerprinted");
+        let mut c = cfg.clone();
+        c.memory_latency += bump;
+        prop_assert!(fingerprint(&c) != base, "memory_latency change not fingerprinted");
+    }
+}
+
+/// Golden test: the default configuration's fingerprint is pinned, so
+/// a refactor that accidentally changes the canonical encoding (field
+/// order, widths, hash constants) fails loudly instead of silently
+/// invalidating cache keys.
+#[test]
+fn baseline_fingerprint_never_drifts() {
+    assert_eq!(
+        MachineConfig::baseline().fingerprint(),
+        BASELINE_FINGERPRINT,
+        "canonical fingerprint encoding changed — this breaks cache-key \
+         stability; see uarch/src/machine.rs"
+    );
+    assert_eq!(fingerprint(&CoreConfig::alpha21264()), BASELINE_FINGERPRINT);
+    assert_eq!(fingerprint(&CoreConfig::default()), BASELINE_FINGERPRINT);
+}
+
+/// The paper's studied grid maps to eight distinct fingerprints.
+#[test]
+fn paper_grid_fingerprints_are_distinct() {
+    let mut seen = std::collections::HashSet::new();
+    for fus in 1..=4 {
+        for l2 in [12, 32] {
+            assert!(
+                seen.insert(MachineConfig::paper(fus, l2).fingerprint()),
+                "duplicate fingerprint for fus={fus} l2={l2}"
+            );
+        }
+    }
+    assert_eq!(seen.len(), 8);
+}

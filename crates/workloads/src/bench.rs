@@ -44,6 +44,16 @@ impl Benchmark {
         REGISTRY.iter().find(|b| b.name == name)
     }
 
+    /// Comma-separated registry names, for "unknown benchmark"
+    /// diagnostics — the single source for every such listing.
+    pub fn registered_names() -> String {
+        REGISTRY
+            .iter()
+            .map(|b| b.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
     /// Builds the kernel image with the default seed.
     pub fn image(&self) -> KernelImage {
         (self.builder)(DEFAULT_SEED)

@@ -20,6 +20,12 @@ pub enum ExecError {
         /// The offending instruction index.
         pc: u32,
     },
+    /// A benchmark name that is not in the [`crate::Benchmark`]
+    /// registry was asked to execute.
+    UnknownBenchmark {
+        /// The unrecognized name.
+        name: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -27,6 +33,13 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::PcOutOfRange { pc } => {
                 write!(f, "program counter {pc} is outside the program")
+            }
+            ExecError::UnknownBenchmark { name } => {
+                write!(
+                    f,
+                    "unknown benchmark `{name}`; registered: {}",
+                    crate::Benchmark::registered_names()
+                )
             }
         }
     }

@@ -43,6 +43,6 @@ pub mod trace;
 
 pub use bench::Benchmark;
 pub use encoded::EncodedTrace;
-pub use exec::Machine;
+pub use exec::{ExecError, Machine};
 pub use isa::{AluOp, BranchCond, Instr, Program, ProgramBuilder, Reg};
 pub use trace::{ArchReg, BranchInfo, OpClass, TraceRecord};

@@ -7,6 +7,7 @@
 
 use fuleak_experiments::harness::{run_benchmark_on, run_suite_on, Budget};
 use fuleak_experiments::scenario::{Engine, Scenario, SweepSpec};
+use fuleak_uarch::MachineConfig;
 use fuleak_workloads::Benchmark;
 
 /// Small enough to keep the double suite run cheap, large enough to
@@ -50,13 +51,8 @@ fn suite_points_land_in_the_shared_cache() {
 
 #[test]
 fn scenario_results_are_stable_across_engines() {
-    let s = Scenario {
-        bench: "gzip",
-        fus: 2,
-        l2_latency: 12,
-        budget: BUDGET,
-    };
-    let a = Engine::new(3).result(s);
+    let s = Scenario::paper("gzip", 2, 12, BUDGET);
+    let a = Engine::new(3).result(s.clone());
     let b = Engine::sequential().result(s);
     assert_eq!(*a, *b);
 }
@@ -77,7 +73,12 @@ fn cached_trace_replay_is_bit_identical_to_fresh_execution() {
     assert_eq!(engine.trace_cache().len(), 2);
     assert_eq!(engine.trace_cache().captures(), 2);
     for s in spec.scenarios() {
-        assert_eq!(*engine.result(s), s.run(), "{s:?} diverged from replay");
+        let fresh = s.run().unwrap();
+        assert_eq!(
+            *engine.result(s.clone()),
+            fresh,
+            "{s:?} diverged from replay"
+        );
     }
 }
 
@@ -96,4 +97,72 @@ fn suite_runs_one_functional_execution_per_benchmark() {
     assert_eq!(run_suite_on(&seq, 12, BUDGET), twelve);
     assert_eq!(run_suite_on(&seq, 32, BUDGET), thirty_two);
     assert_eq!(seq.trace_cache().captures(), Benchmark::all().len());
+}
+
+#[test]
+fn non_paper_axes_key_the_cache_distinctly_across_worker_counts() {
+    // The MachineConfig key must separate machine variants the paper
+    // never studied — here width 2 vs width 4 — and keep the engine's
+    // jobs=1 ≡ jobs=4 guarantee over them.
+    let spec = SweepSpec::new(BUDGET)
+        .benches(["gzip"])
+        .axis_int_fus([2])
+        .axis_l2_latency([12])
+        .axis_width([2, 4]);
+    let scenarios = spec.scenarios();
+    assert_eq!(scenarios.len(), 2);
+
+    let seq = Engine::new(1);
+    let par = Engine::new(4);
+    assert_eq!(seq.run_sweep(&spec), 2);
+    assert_eq!(par.run_sweep(&spec), 2);
+
+    // Distinct cached points under distinct machine keys...
+    assert_eq!(seq.cache().len(), 2, "width variants aliased in the cache");
+    let narrow = seq.result(scenarios[0].clone());
+    let wide = seq.result(scenarios[1].clone());
+    assert_ne!(scenarios[0].machine, scenarios[1].machine);
+    assert_ne!(
+        scenarios[0].machine.fingerprint(),
+        scenarios[1].machine.fingerprint()
+    );
+    assert_ne!(*narrow, *wide, "width must change the timing result");
+
+    // ...agreeing field-exactly across worker counts, with re-lookup
+    // served from cache.
+    for s in &scenarios {
+        assert_eq!(
+            *seq.result(s.clone()),
+            *par.result(s.clone()),
+            "{s:?} diverged"
+        );
+    }
+    assert_eq!(seq.cache().len(), 2);
+    assert_eq!(par.cache().len(), 2);
+
+    // Both variants replayed the single captured gzip trace.
+    assert_eq!(seq.trace_cache().captures(), 1);
+}
+
+#[test]
+fn rebuilt_machine_configs_hit_the_same_cache_entry() {
+    // A MachineConfig rebuilt from an equal CoreConfig must be the
+    // same cache key: same fingerprint, same interned storage, and a
+    // cache hit rather than a re-simulation.
+    let engine = Engine::sequential();
+    let a = Scenario::new(
+        "mst",
+        MachineConfig::derived(|c| c.rob_entries = 64).unwrap(),
+        BUDGET,
+    );
+    let first = engine.result(a);
+    let misses = engine.stats().misses;
+    let b = Scenario::new(
+        "mst",
+        MachineConfig::derived(|c| c.rob_entries = 64).unwrap(),
+        BUDGET,
+    );
+    let second = engine.result(b);
+    assert_eq!(engine.stats().misses, misses, "equal machine re-simulated");
+    assert_eq!(*first, *second);
 }
