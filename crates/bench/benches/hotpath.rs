@@ -11,6 +11,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fuleak_experiments::harness::Budget;
 use fuleak_experiments::scenario::{Engine, Scenario, SweepSpec};
+use fuleak_uarch::{annotate, CoreConfig, TimingKernel};
 use fuleak_workloads::{Benchmark, EncodedTrace};
 
 const BUDGET: u64 = 200_000;
@@ -51,6 +52,23 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("point_trace_replay", |b| {
         b.iter(|| black_box(scenario(2).run_trace(&trace).cycles))
+    });
+    // The two-phase split: `annotate_trace` is the once-per-geometry
+    // cost, `timing_kernel_replay` is what every timing-axis point
+    // pays instead of `point_trace_replay` (the direct path).
+    let cfg = CoreConfig::with_int_fus(2);
+    let annotation = annotate(&cfg, &trace);
+    let mut kernel = TimingKernel::new();
+    assert_eq!(
+        kernel.run(&annotation, &cfg),
+        scenario(2).run_trace(&trace),
+        "two-phase must equal the direct path before its speed means anything"
+    );
+    group.bench_function("annotate_trace", |b| {
+        b.iter(|| black_box(annotate(&cfg, &trace).len()))
+    });
+    group.bench_function("timing_kernel_replay", |b| {
+        b.iter(|| black_box(kernel.run(&annotation, &cfg).cycles))
     });
     // The engine-level win: an FU × L2 sweep of one benchmark (8
     // timing points) against a fresh engine captures the functional

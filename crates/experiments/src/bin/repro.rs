@@ -65,6 +65,7 @@ struct Options {
 
 const USAGE: &str = "usage: repro <experiment>|all [--quick|--budget N] [--jobs N] [--format text|json|csv] [--out DIR]
        repro sweep [--bench A,B] [--int-fus L] [--l2 L] [--width L] [--rob L] [--l1d-kb L] [--l2-kb L] [--mem L] [--mshrs L] [options]
+       repro bench [--runs N] [--jobs N] [--out DIR]
        (value lists L: comma values and lo:hi ranges, e.g. 1:4 or 2,4,8)";
 
 /// Parses the shared options out of `args`, returning the leftover
@@ -314,6 +315,111 @@ fn run_sweep(args: &[&str], opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Times one closure over `runs` repetitions; returns every wall
+/// clock in seconds, in run order.
+fn time_runs(runs: usize, mut work: impl FnMut()) -> Vec<f64> {
+    (0..runs)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            work();
+            start.elapsed().as_secs_f64()
+        })
+        .collect()
+}
+
+fn json_seconds(seconds: &[f64]) -> String {
+    let list = seconds
+        .iter()
+        .map(|s| format!("{s:.3}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let best = seconds.iter().cloned().fold(f64::INFINITY, f64::min);
+    format!("{{\"seconds\": [{list}], \"best_seconds\": {best:.3}}}")
+}
+
+/// Runs `repro bench`: a machine-readable wall-clock harness for the
+/// perf trajectory (`BENCH_PR4.json` and the CI perf-smoke artifact).
+/// Times, best-of-N on a cold engine each run:
+///
+/// * the full `repro all --quick` experiment suite (tables rendered
+///   but not printed), and
+/// * a standard fixed-geometry sweep (2 benchmarks × FU 1–4 × four L2
+///   latencies = 32 points) — the shape the annotation cache
+///   accelerates most.
+fn run_bench(args: &[&str], opts: &Options) -> Result<(), String> {
+    let mut runs = 3usize;
+    let mut it = args.iter();
+    while let Some(&flag) = it.next() {
+        let (flag, value) = match flag.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (flag, None),
+        };
+        match flag {
+            "--runs" => {
+                let v = match value {
+                    Some(v) => v,
+                    None => it
+                        .next()
+                        .map(|s| s.to_string())
+                        .ok_or_else(|| "--runs needs a value".to_string())?,
+                };
+                runs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("invalid --runs value `{v}`"))?;
+            }
+            other => return Err(format!("unknown bench flag `{other}`")),
+        }
+    }
+    // The harness always times Budget::Quick (that is the recorded
+    // trajectory); reject shared options it would silently ignore
+    // rather than let `--budget 2000000` pretend to have been timed.
+    if let Budget::Custom(_) = opts.budget {
+        return Err("repro bench always times --quick; --budget is not supported".to_string());
+    }
+    if opts.format != Format::Text {
+        return Err("repro bench emits JSON only; --format is not supported".to_string());
+    }
+    let jobs = opts.engine.jobs();
+    eprintln!(
+        "[repro] bench: {runs} run(s) of `all --quick` and a 32-point sweep ({jobs} workers)..."
+    );
+    let all_quick = time_runs(runs, || {
+        let engine = Engine::new(jobs);
+        let mut ctx = Context::new(&engine, Budget::Quick).with_progress(false);
+        for name in experiment::names() {
+            let exp = experiment::by_name(name).expect("registry names resolve");
+            let _ = exp.run(&mut ctx);
+        }
+    });
+    let sweep_spec = || {
+        SweepSpec::new(Budget::Quick)
+            .benches(["gzip", "vpr"])
+            .axis_int_fus(1..=4)
+            .axis_l2_latency([12, 18, 24, 32])
+    };
+    let sweep_points = sweep_spec().scenarios().len();
+    let sweep = time_runs(runs, || {
+        let engine = Engine::new(jobs);
+        engine.run_sweep(&sweep_spec());
+    });
+    let json = format!(
+        "{{\n  \"name\": \"repro-bench\",\n  \"budget\": \"quick\",\n  \"jobs\": {jobs},\n  \"runs\": {runs},\n  \"all_quick\": {},\n  \"sweep_fixed_geometry\": {{\"points\": {sweep_points}, {}}}\n}}\n",
+        json_seconds(&all_quick),
+        json_seconds(&sweep).trim_start_matches('{').trim_end_matches('}'),
+    );
+    print!("{json}");
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create --out directory `{}`: {e}", dir.display()))?;
+        let path = dir.join("bench.json");
+        std::fs::write(&path, &json)
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let parsed = parse_options(&args).and_then(|(opts, rest)| {
@@ -322,6 +428,8 @@ fn main() -> ExitCode {
         }
         if rest[0] == "sweep" {
             run_sweep(&rest[1..], &opts)
+        } else if rest[0] == "bench" {
+            run_bench(&rest[1..], &opts)
         } else if let Some(flag) = rest.iter().find(|a| a.starts_with("--")) {
             Err(format!("unknown flag `{flag}`"))
         } else {

@@ -56,4 +56,4 @@ pub mod scenario;
 pub use experiment::{Context, Experiment};
 pub use harness::{Budget, SuiteResult};
 pub use result::{Cell, ResultTable, Value};
-pub use scenario::{Engine, Scenario, SimCache, SweepSpec};
+pub use scenario::{AnnotationCache, Engine, Scenario, SimCache, SweepSpec};

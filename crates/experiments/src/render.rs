@@ -81,17 +81,21 @@ pub fn engine_line(stats: &crate::scenario::EngineStats) -> String {
 
 /// Formats the engine's cumulative totals as one summary line, e.g.
 /// `engine total: 72 points simulated, sim cache 101/173 hits (58.4%),
-/// trace cache 63/72 hits (87.5%), 9 traces, 4 workers` — what
-/// `repro all` prints last so cross-experiment cache sharing is
-/// visible.
+/// annotation cache 63/72 hits (87.5%, 9 built), trace cache 9/18
+/// hits (50.0%), 9 traces, 4 workers` — what `repro all` prints last
+/// so cross-experiment sharing of all three cache layers is visible.
 pub fn engine_summary_line(stats: &crate::scenario::EngineStats) -> String {
     let pct = |rate: Option<f64>| rate.map_or("n/a".to_string(), |r| format!("{:.1}%", 100.0 * r));
     format!(
-        "engine total: {} points simulated, sim cache {}/{} hits ({}), trace cache {}/{} hits ({}), {} trace{}, {} worker{}",
+        "engine total: {} points simulated, sim cache {}/{} hits ({}), annotation cache {}/{} hits ({}, {} built), trace cache {}/{} hits ({}), {} trace{}, {} worker{}",
         stats.misses,
         stats.hits,
         stats.hits + stats.misses,
         pct(stats.sim_hit_rate()),
+        stats.annotation_hits,
+        stats.annotation_hits + stats.annotations_built,
+        pct(stats.annotation_hit_rate()),
+        stats.annotations_built,
         stats.trace_hits,
         stats.trace_hits + stats.captures,
         pct(stats.trace_hit_rate()),

@@ -19,11 +19,15 @@
 //! * [`Engine`] — a work-stealing executor (std scoped threads over a
 //!   shared job queue) that fans uncached points out across cores.
 //!
-//! The engine also memoizes the *functional* half of each point: a
+//! The engine also memoizes the *functional* half of each point — a
 //! dynamic trace depends only on `(bench, budget)`, so one packed
 //! [`EncodedTrace`] per benchmark is captured and replayed across the
-//! whole machine-configuration sweep instead of re-executing the
-//! kernel for every microarchitectural variation (`DESIGN.md`).
+//! whole machine-configuration sweep — and, since the two-phase
+//! split, the *front-end* half too: an [`AnnotationCache`] keyed by
+//! `(bench, budget, frontend_fingerprint)` holds each geometry's
+//! annotated trace, so a sweep over timing-only axes (FU counts, L2
+//! latency, width, ROB, …) annotates each benchmark once and replays
+//! the allocation-free timing kernel per point (`DESIGN.md`).
 //!
 //! Every simulation is single-threaded and seeded, so a scenario's
 //! result is a pure function of its key: the engine is free to run
@@ -33,12 +37,24 @@
 //! (`tests/tests/determinism.rs` asserts both).
 
 use crate::harness::Budget;
-use fuleak_uarch::{ConfigError, CoreConfig, MachineConfig, SimResult, Simulator};
-use fuleak_workloads::{Benchmark, EncodedTrace, ExecError};
+use fuleak_uarch::{
+    annotate, ConfigError, CoreConfig, MachineConfig, SimResult, Simulator, TimingKernel,
+};
+use fuleak_workloads::{AnnotatedTrace, Benchmark, EncodedTrace, ExecError};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+thread_local! {
+    /// One timing kernel per worker thread: every point the worker
+    /// simulates reuses the same scratch allocations through the
+    /// kernel's `reset()` path instead of rebuilding predictor and
+    /// cache heap structures per point. (`--jobs 1` runs everything on
+    /// the calling thread, so a whole `repro all` shares one kernel.)
+    static WORKER_KERNEL: RefCell<TimingKernel> = RefCell::new(TimingKernel::new());
+}
 
 /// Locks a mutex, tolerating poison: a worker that panicked while
 /// holding the lock must not convert every subsequent `lock()` into a
@@ -125,8 +141,15 @@ impl Scenario {
 
     /// Runs the timing simulation for this point over an
     /// already-captured trace (which must be for this scenario's
-    /// `(bench, budget)`). Panic-free: the machine configuration was
-    /// validated when the [`MachineConfig`] was built.
+    /// `(bench, budget)`) through the **direct single-phase path**
+    /// ([`Simulator::run`]). Panic-free: the machine configuration
+    /// was validated when the [`MachineConfig`] was built.
+    ///
+    /// The engine instead runs points in two phases (annotate once
+    /// per front-end geometry, then the timing kernel); the two paths
+    /// are field-exactly equal (`tests/tests/determinism.rs`,
+    /// `crates/uarch/tests/twophase_props.rs`), so this remains the
+    /// pinned reference implementation.
     pub fn run_trace(&self, trace: &EncodedTrace) -> SimResult {
         Simulator::new(self.machine.config().clone())
             .expect("machine configurations are validated at construction")
@@ -462,6 +485,13 @@ pub struct EngineStats {
     pub trace_hits: usize,
     /// Functional executions performed (trace-cache misses).
     pub captures: usize,
+    /// Distinct trace annotations retained.
+    pub annotations: usize,
+    /// Annotation-cache hits (points that reused a geometry's
+    /// annotated trace).
+    pub annotation_hits: usize,
+    /// Annotation passes performed (annotation-cache misses).
+    pub annotations_built: usize,
 }
 
 impl EngineStats {
@@ -477,6 +507,11 @@ impl EngineStats {
             traces: self.traces.saturating_sub(earlier.traces),
             trace_hits: self.trace_hits.saturating_sub(earlier.trace_hits),
             captures: self.captures.saturating_sub(earlier.captures),
+            annotations: self.annotations.saturating_sub(earlier.annotations),
+            annotation_hits: self.annotation_hits.saturating_sub(earlier.annotation_hits),
+            annotations_built: self
+                .annotations_built
+                .saturating_sub(earlier.annotations_built),
         }
     }
 
@@ -490,6 +525,12 @@ impl EngineStats {
     pub fn trace_hit_rate(&self) -> Option<f64> {
         let total = self.trace_hits + self.captures;
         (total > 0).then(|| self.trace_hits as f64 / total as f64)
+    }
+
+    /// Annotation-cache hit rate over all lookups, if any were made.
+    pub fn annotation_hit_rate(&self) -> Option<f64> {
+        let total = self.annotation_hits + self.annotations_built;
+        (total > 0).then(|| self.annotation_hits as f64 / total as f64)
     }
 }
 
@@ -569,17 +610,113 @@ impl TraceCache {
     }
 }
 
+/// A concurrent memo table from `(bench, budget, front-end geometry
+/// fingerprint)` to the benchmark's annotated trace — the phase-1
+/// product shared by every timing-axis variation of a machine (see
+/// [`fuleak_uarch::annotate`] and `DESIGN.md`). The paper's FU ×
+/// L2-latency grid hits this cache for all but one point per
+/// benchmark: FU counts and L2 latencies are timing axes, so the
+/// whole grid shares one front-end geometry.
+#[derive(Debug, Default)]
+pub struct AnnotationCache {
+    #[allow(clippy::type_complexity)]
+    map: Mutex<HashMap<(&'static str, Budget, u64), Arc<AnnotatedTrace>>>,
+    hits: AtomicUsize,
+    built: AtomicUsize,
+}
+
+impl AnnotationCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        AnnotationCache::default()
+    }
+
+    /// The cached annotation for `(bench, budget, geometry)`, if
+    /// present; counts a hit.
+    pub fn get(
+        &self,
+        bench: &'static str,
+        budget: Budget,
+        geometry: u64,
+    ) -> Option<Arc<AnnotatedTrace>> {
+        let found = lock_unpoisoned(&self.map)
+            .get(&(bench, budget, geometry))
+            .cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Whether an annotation is cached, without counting a lookup.
+    pub fn contains(&self, bench: &'static str, budget: Budget, geometry: u64) -> bool {
+        lock_unpoisoned(&self.map).contains_key(&(bench, budget, geometry))
+    }
+
+    /// Inserts an annotation, keeping the first insertion on a race
+    /// (annotations are pure functions of the key).
+    pub fn insert(
+        &self,
+        bench: &'static str,
+        budget: Budget,
+        geometry: u64,
+        ann: Arc<AnnotatedTrace>,
+    ) -> Arc<AnnotatedTrace> {
+        lock_unpoisoned(&self.map)
+            .entry((bench, budget, geometry))
+            .or_insert(ann)
+            .clone()
+    }
+
+    /// Number of distinct annotations cached.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.map).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache since construction.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Annotation passes performed since construction (cache misses;
+    /// raced duplicate builds included).
+    pub fn built(&self) -> usize {
+        self.built.load(Ordering::Relaxed)
+    }
+
+    /// Total packed bytes held across all cached annotations.
+    pub fn annotated_bytes(&self) -> usize {
+        lock_unpoisoned(&self.map)
+            .values()
+            .map(|a| a.annotated_bytes())
+            .sum()
+    }
+}
+
 /// Parallel, memoizing scenario executor.
 ///
 /// Construct once, share by reference: every sweep and every lookup
-/// goes through the same [`SimCache`] and [`TraceCache`], so repeated
-/// experiments reuse both each other's simulated points and the
-/// functional traces behind them.
+/// goes through the same [`SimCache`], [`TraceCache`], and
+/// [`AnnotationCache`], so repeated experiments reuse each other's
+/// simulated points, the functional traces behind them, and the
+/// per-geometry trace annotations in between.
+///
+/// Points are simulated in **two phases** (`DESIGN.md`): a cached
+/// annotation pass per `(bench, budget, front-end geometry)` followed
+/// by the allocation-free [`TimingKernel`], one kernel per worker
+/// thread with scratch reused across points. The result is
+/// field-exactly equal to the direct [`Scenario::run`] path.
 #[derive(Debug)]
 pub struct Engine {
     jobs: usize,
     cache: SimCache,
     traces: TraceCache,
+    annotations: AnnotationCache,
 }
 
 impl Default for Engine {
@@ -597,6 +734,7 @@ impl Engine {
             jobs: effective_jobs(jobs),
             cache: SimCache::new(),
             traces: TraceCache::new(),
+            annotations: AnnotationCache::new(),
         }
     }
 
@@ -618,6 +756,44 @@ impl Engine {
     /// The engine's functional-trace memo table.
     pub fn trace_cache(&self) -> &TraceCache {
         &self.traces
+    }
+
+    /// The engine's annotated-trace memo table.
+    pub fn annotation_cache(&self) -> &AnnotationCache {
+        &self.annotations
+    }
+
+    /// The annotated trace for `(bench, budget)` under `machine`'s
+    /// front-end geometry, annotating (and caching) it on the calling
+    /// thread if missing — capturing the functional trace first if
+    /// even that is missing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bench` is not a registered benchmark name (see
+    /// [`Engine::trace`]).
+    pub fn annotation(
+        &self,
+        bench: &'static str,
+        budget: Budget,
+        machine: &MachineConfig,
+    ) -> Arc<AnnotatedTrace> {
+        let geometry = machine.frontend_fingerprint();
+        if let Some(a) = self.annotations.get(bench, budget, geometry) {
+            return a;
+        }
+        self.annotations.built.fetch_add(1, Ordering::Relaxed);
+        let trace = self.trace(bench, budget);
+        let ann = annotate(machine.config(), &trace);
+        self.annotations
+            .insert(bench, budget, geometry, Arc::new(ann))
+    }
+
+    /// Runs one point through the two-phase path: cached annotation,
+    /// then the calling worker's reusable timing kernel.
+    fn run_point(&self, s: &Scenario) -> SimResult {
+        let ann = self.annotation(s.bench, s.budget, &s.machine);
+        WORKER_KERNEL.with(|k| k.borrow_mut().run(&ann, s.machine.config()))
     }
 
     /// The packed trace for `(bench, budget)`, capturing (and caching)
@@ -648,6 +824,9 @@ impl Engine {
             traces: self.traces.len(),
             trace_hits: self.traces.hits(),
             captures: self.traces.captures(),
+            annotations: self.annotations.len(),
+            annotation_hits: self.annotations.hits(),
+            annotations_built: self.annotations.built(),
         }
     }
 
@@ -661,11 +840,13 @@ impl Engine {
     /// Simulates every not-yet-cached scenario in `scenarios`.
     /// Returns how many points were actually simulated.
     ///
-    /// Work splits into two parallel phases: first the missing
+    /// Work splits into three parallel phases: first the missing
     /// functional traces are captured — one per distinct
     /// `(bench, budget)`, however many machine variants share it —
-    /// then every point replays its benchmark's cached trace through
-    /// the timing model.
+    /// then each distinct front-end geometry annotates its trace once
+    /// (one pass per `(bench, budget, frontend_fingerprint)`), and
+    /// finally every point replays its annotation through a worker's
+    /// reusable timing kernel.
     pub fn prime(&self, scenarios: &[Scenario]) -> usize {
         let mut queued = HashSet::with_capacity(scenarios.len());
         let mut todo: Vec<Scenario> = Vec::new();
@@ -694,10 +875,32 @@ impl Engine {
         }) {
             self.traces.insert(bench, budget, trace);
         }
+        let mut ann_work: Vec<(&'static str, Budget, u64, MachineConfig)> = Vec::new();
+        let mut seen_geometries = HashSet::new();
+        for s in &todo {
+            let geometry = s.machine.frontend_fingerprint();
+            let key = (s.bench, s.budget, geometry);
+            if seen_geometries.insert(key)
+                && !self.annotations.contains(s.bench, s.budget, geometry)
+            {
+                ann_work.push((s.bench, s.budget, geometry, s.machine.clone()));
+            }
+        }
+        self.annotations
+            .built
+            .fetch_add(ann_work.len(), Ordering::Relaxed);
+        for ((bench, budget, geometry), ann) in
+            parallel_map(self.jobs, ann_work, |(bench, budget, geometry, machine)| {
+                let trace = self.trace(bench, budget);
+                let ann = annotate(machine.config(), &trace);
+                ((bench, budget, geometry), Arc::new(ann))
+            })
+        {
+            self.annotations.insert(bench, budget, geometry, ann);
+        }
         let simulated = todo.len();
         for (s, r) in parallel_map(self.jobs, todo, |s| {
-            let trace = self.trace(s.bench, s.budget);
-            let result = Arc::new(s.run_trace(&trace));
+            let result = Arc::new(self.run_point(&s));
             (s, result)
         }) {
             self.cache.insert(s, r);
@@ -707,7 +910,9 @@ impl Engine {
 
     /// Returns the result for one scenario, simulating it on the
     /// calling thread on a cache miss (replaying the benchmark's
-    /// cached functional trace, capturing it first if needed).
+    /// cached annotation through the worker's timing kernel,
+    /// annotating — and capturing the functional trace — first if
+    /// needed).
     ///
     /// # Panics
     ///
@@ -717,8 +922,7 @@ impl Engine {
         if let Some(r) = self.cache.get(&s) {
             return r;
         }
-        let trace = self.trace(s.bench, s.budget);
-        let result = Arc::new(s.run_trace(&trace));
+        let result = Arc::new(self.run_point(&s));
         self.cache.insert(s, result)
     }
 }

@@ -146,6 +146,16 @@ impl MissTracker {
         }
     }
 
+    /// Clears the tracker and re-sizes it to `capacity` miss
+    /// registers, retaining the completion buffer's allocation (the
+    /// timing kernel reuses one tracker across simulation points).
+    pub fn reset(&mut self, capacity: usize) {
+        assert!(capacity > 0);
+        self.completions.clear();
+        self.completions.reserve(capacity);
+        self.capacity = capacity;
+    }
+
     /// Registers a miss wanting to start at `now` lasting `duration`
     /// cycles; returns its completion time after any MSHR stall.
     pub fn admit(&mut self, now: u64, duration: u64) -> u64 {

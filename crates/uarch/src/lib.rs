@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod annotate;
 pub mod bpred;
 pub mod cache;
 pub mod config;
@@ -55,8 +56,11 @@ pub mod machine;
 pub mod pipeline;
 pub mod resources;
 pub mod stats;
+pub mod timing;
 
+pub use annotate::annotate;
 pub use config::{ConfigError, CoreConfig};
 pub use machine::MachineConfig;
 pub use pipeline::Simulator;
 pub use stats::{BranchStats, CacheStats, SimResult};
+pub use timing::TimingKernel;

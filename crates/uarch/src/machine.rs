@@ -86,19 +86,72 @@ const FIELDS: &[(&str, FieldGetter)] = &[
     ("btb_ways", |c| c.btb_ways as u64),
 ];
 
+/// The **front-end geometry** subset of [`FIELDS`]: exactly the
+/// fields the trace annotator ([`crate::annotate`]) reads. Everything
+/// else — widths, queue and ROB sizes, FU counts, every latency, the
+/// MSHR count, and the whole D-side hierarchy — is a *timing* axis
+/// consumed only by the timing kernel ([`crate::timing`]).
+///
+/// The contract: two configurations with equal
+/// [`frontend_fingerprint`]s produce byte-identical annotations for
+/// any trace (`crates/uarch/tests/twophase_props.rs` exercises it),
+/// so the engine's annotation cache may key on the fingerprint alone.
+/// Growing the annotator to read a new field without adding it here
+/// would silently alias distinct annotations — extend this list in
+/// the same change, and expect the pinned golden fingerprint in
+/// `tests/machine_props.rs` to move.
+const FRONTEND_GEOMETRY_FIELDS: &[&str] = &[
+    "l1i.size_bytes",
+    "l1i.ways",
+    "l1i.line_bytes",
+    "itlb.entries",
+    "itlb.ways",
+    "itlb.page_bytes",
+    "bimodal_entries",
+    "l1_history_entries",
+    "history_bits",
+    "l2_counter_entries",
+    "meta_entries",
+    "ras_entries",
+    "btb_sets",
+    "btb_ways",
+];
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(h: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *h ^= u64::from(byte);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
 /// Computes the canonical 64-bit fingerprint of a configuration:
 /// FNV-1a over every field of [`FIELDS`], in order, as little-endian
 /// `u64` bytes. Stable across platforms, compilers, and std hasher
 /// changes.
 pub fn fingerprint(cfg: &CoreConfig) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = FNV_OFFSET;
     for (_, get) in FIELDS {
-        for byte in get(cfg).to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(FNV_PRIME);
-        }
+        fnv1a(&mut h, get(cfg));
+    }
+    h
+}
+
+/// Computes the front-end geometry fingerprint: FNV-1a over exactly
+/// the [`FRONTEND_GEOMETRY_FIELDS`], in canonical order, using the
+/// same encoding as [`fingerprint`]. Two configurations with equal
+/// values on those fields — whatever their timing axes — share one
+/// trace annotation.
+pub fn frontend_fingerprint(cfg: &CoreConfig) -> u64 {
+    let mut h = FNV_OFFSET;
+    for name in FRONTEND_GEOMETRY_FIELDS {
+        let (_, get) = FIELDS
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("geometry fields name canonical FIELDS entries");
+        fnv1a(&mut h, get(cfg));
     }
     h
 }
@@ -132,6 +185,7 @@ fn intern(cfg: CoreConfig, fp: u64) -> Arc<CoreConfig> {
 pub struct MachineConfig {
     cfg: Arc<CoreConfig>,
     fingerprint: u64,
+    frontend_fingerprint: u64,
 }
 
 impl MachineConfig {
@@ -143,9 +197,11 @@ impl MachineConfig {
     pub fn new(cfg: CoreConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let fingerprint = fingerprint(&cfg);
+        let frontend_fingerprint = frontend_fingerprint(&cfg);
         Ok(MachineConfig {
             cfg: intern(cfg, fingerprint),
             fingerprint,
+            frontend_fingerprint,
         })
     }
 
@@ -195,6 +251,13 @@ impl MachineConfig {
     /// The canonical fingerprint (see [`fingerprint`]).
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// The front-end geometry fingerprint (see
+    /// [`frontend_fingerprint`]): the annotation-cache key component
+    /// shared by every timing-axis variation of this machine.
+    pub fn frontend_fingerprint(&self) -> u64 {
+        self.frontend_fingerprint
     }
 
     /// The fields differing from the Alpha 21264 baseline, in
@@ -296,6 +359,65 @@ mod tests {
     fn new_rejects_invalid_configs() {
         assert!(MachineConfig::derived(|c| c.int_fus = 0).is_err());
         assert!(MachineConfig::derived(|c| c.l1d.line_bytes = 48).is_err());
+    }
+
+    #[test]
+    fn frontend_fingerprint_ignores_timing_axes_only() {
+        let base = MachineConfig::baseline();
+        // Timing axes: FU counts, width, ROB, queues, every latency,
+        // MSHRs, and the whole D-side — same front-end geometry.
+        let timing = MachineConfig::derived(|c| {
+            c.int_fus = 1;
+            c.fp_fus = 1;
+            c.width = 2;
+            c.rob_entries = 32;
+            c.int_iq_entries = 8;
+            c.fp_iq_entries = 8;
+            c.load_queue = 8;
+            c.store_queue = 8;
+            c.phys_int_regs = 64;
+            c.phys_fp_regs = 64;
+            c.fetch_queue = 4;
+            c.mispredict_latency = 3;
+            c.mul_latency = 3;
+            c.fp_latency = 2;
+            c.mshrs = 2;
+            c.memory_latency = 200;
+            c.l1i.latency = 4; // latency, not geometry
+            c.itlb.miss_latency = 99;
+            c.l1d.size_bytes = 16 * 1024;
+            c.l2.latency = 32;
+            c.l2.size_bytes = 1024 * 1024;
+            c.dtlb.entries = 64;
+        })
+        .unwrap();
+        assert_ne!(base.fingerprint(), timing.fingerprint());
+        assert_eq!(base.frontend_fingerprint(), timing.frontend_fingerprint());
+        // Each geometry field changes the frontend fingerprint.
+        for edit in [
+            (|c: &mut CoreConfig| c.l1i.size_bytes = 32 * 1024) as fn(&mut CoreConfig),
+            |c| c.l1i.ways = 2,
+            |c| c.l1i.line_bytes = 32,
+            |c| c.itlb.entries = 128,
+            |c| c.itlb.ways = 2,
+            |c| c.itlb.page_bytes = 4 * 1024,
+            |c| c.bimodal_entries = 1024,
+            |c| c.l1_history_entries = 512,
+            |c| c.history_bits = 8,
+            |c| c.l2_counter_entries = 2048,
+            |c| c.meta_entries = 512,
+            |c| c.ras_entries = 16,
+            |c| c.btb_sets = 2048,
+            |c| c.btb_ways = 4,
+        ] {
+            let m = MachineConfig::derived(edit).unwrap();
+            assert_ne!(
+                base.frontend_fingerprint(),
+                m.frontend_fingerprint(),
+                "geometry change not in the frontend fingerprint: {}",
+                m.delta_label()
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,14 @@ use std::hash::{Hash, Hasher};
 /// deliberate, documented cache-key break.
 const BASELINE_FINGERPRINT: u64 = 0xc9bc_2964_8604_457f;
 
+/// The pinned front-end geometry fingerprint of the Table 2 baseline
+/// (FNV-1a over `FRONTEND_GEOMETRY_FIELDS`) — the annotation-cache
+/// key component. Moving it means previously cached annotations no
+/// longer resolve (and, if moved *without* a matching annotator
+/// change, that the geometry/timing boundary drifted); bump it only
+/// alongside a deliberate change to the annotator's inputs.
+const BASELINE_FRONTEND_FINGERPRINT: u64 = 0x2eac_452b_1c7c_bd47;
+
 fn std_hash(m: &MachineConfig) -> u64 {
     let mut h = DefaultHasher::new();
     m.hash(&mut h);
@@ -113,6 +121,27 @@ fn baseline_fingerprint_never_drifts() {
     );
     assert_eq!(fingerprint(&CoreConfig::alpha21264()), BASELINE_FINGERPRINT);
     assert_eq!(fingerprint(&CoreConfig::default()), BASELINE_FINGERPRINT);
+}
+
+/// Golden test for the annotation-cache key: the baseline's front-end
+/// geometry fingerprint is pinned, so growing the annotator's inputs
+/// (which must extend `FRONTEND_GEOMETRY_FIELDS`) fails loudly here
+/// instead of silently aliasing annotations across distinct
+/// geometries.
+#[test]
+fn baseline_frontend_fingerprint_never_drifts() {
+    use fuleak_uarch::machine::frontend_fingerprint;
+    assert_eq!(
+        MachineConfig::baseline().frontend_fingerprint(),
+        BASELINE_FRONTEND_FINGERPRINT,
+        "front-end geometry encoding changed — this invalidates every \
+         annotation-cache key; see FRONTEND_GEOMETRY_FIELDS in \
+         uarch/src/machine.rs"
+    );
+    assert_eq!(
+        frontend_fingerprint(&CoreConfig::alpha21264()),
+        BASELINE_FRONTEND_FINGERPRINT
+    );
 }
 
 /// The paper's studied grid maps to eight distinct fingerprints.

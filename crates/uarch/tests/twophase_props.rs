@@ -1,0 +1,237 @@
+//! Property tests for the two-phase simulation split.
+//!
+//! The scenario engine runs every point as *annotate once per
+//! front-end geometry, then replay the timing kernel*; the direct
+//! single-phase [`Simulator`] is retained as the reference. These
+//! tests pin the two guarantees the split rests on, over random
+//! traces and random configurations spanning both geometry and
+//! timing axes:
+//!
+//! 1. **Field-exact equivalence** — the two-phase result equals the
+//!    direct result on every `SimResult` field (cycles, IPC inputs,
+//!    per-FU idle intervals, branch and cache counters), including
+//!    traces engineered to exercise store-forwarding races, BTB/RAS
+//!    pressure, and MSHR saturation.
+//! 2. **The `frontend_fingerprint` contract** — configurations that
+//!    agree on the geometry fields produce byte-identical
+//!    annotations no matter how far their timing axes diverge, so
+//!    the annotation cache may key on the fingerprint alone.
+
+use fuleak_uarch::annotate::annotate;
+use fuleak_uarch::machine::frontend_fingerprint;
+use fuleak_uarch::{CoreConfig, Simulator, TimingKernel};
+use fuleak_workloads::{ArchReg, BranchInfo, EncodedTrace, OpClass, TraceRecord};
+use proptest::prelude::*;
+use std::cell::RefCell;
+
+thread_local! {
+    /// One kernel shared across every generated case, like an engine
+    /// worker: each case both checks equivalence and stresses the
+    /// reset path against whatever shape the previous case left
+    /// behind.
+    static KERNEL: RefCell<TimingKernel> = RefCell::new(TimingKernel::new());
+}
+
+fn reg(code: u8) -> Option<ArchReg> {
+    // 0 = none; 1..=48 integer; 49..=96 floating-point.
+    match code {
+        0 => None,
+        c if c <= 48 => Some(ArchReg::Int(c - 1)),
+        c => Some(ArchReg::Fp((c - 49) % 48)),
+    }
+}
+
+prop_compose! {
+    /// One random-but-valid trace record. Addresses draw from a small
+    /// pool (forcing store→load matches, cache-set aliasing, and
+    /// line-fill collisions) plus occasional far misses; branches mix
+    /// every control class with self-consistent branch info.
+    fn record()(
+        pc in 0u32..96,
+        shape in 0u32..100,
+        reg_a in 0u8..=96,
+        reg_b in 0u8..=96,
+        reg_c in 0u8..=96,
+        near in 0u64..24,
+        far in 0u64..4,
+        taken in any::<bool>(),
+        target in 0u32..96,
+    ) -> TraceRecord {
+        let addr = if shape % 5 == 0 {
+            0x40_0000 + far * 0x1_0000 // far: L1/L2 misses, TLB pages
+        } else {
+            near * 8 // near: dense reuse and forwarding
+        };
+        let (op, dst, srcs, mem, branch): (OpClass, _, _, _, _) = match shape {
+            0..=29 => (OpClass::IntAlu, reg(reg_a % 49), [reg(reg_b % 49), reg(reg_c % 49)], None, None),
+            30..=34 => (OpClass::IntMul, reg(reg_a % 49), [reg(reg_b % 49), None], None, None),
+            35..=44 => (OpClass::Load, reg(1 + reg_a % 48), [reg(reg_b % 49), None], Some(addr), None),
+            45..=54 => (OpClass::Store, None, [reg(reg_a % 49), reg(reg_b % 49)], Some(addr), None),
+            55..=64 => (
+                OpClass::CondBranch,
+                None,
+                [reg(reg_a % 49), None],
+                None,
+                Some(BranchInfo { taken, next_pc: if taken { target } else { pc + 1 } }),
+            ),
+            65..=69 => (OpClass::Jump, None, [None, None], None,
+                Some(BranchInfo { taken: true, next_pc: target })),
+            70..=74 => (OpClass::Call, None, [None, None], None,
+                Some(BranchInfo { taken: true, next_pc: target })),
+            75..=79 => (OpClass::Return, None, [None, None], None,
+                Some(BranchInfo { taken: true, next_pc: target })),
+            80..=84 => (OpClass::IndirectJump, None, [reg(1 + reg_a % 48), None], None,
+                Some(BranchInfo { taken: true, next_pc: target })),
+            85..=91 => (OpClass::FpAdd, reg(49 + reg_a % 48), [reg(49 + reg_b % 48), None], None, None),
+            92..=96 => (OpClass::FpMul, reg(49 + reg_a % 48), [reg(49 + reg_b % 48), reg(49 + reg_c % 48)], None, None),
+            _ => (OpClass::Nop, None, [None, None], None, None),
+        };
+        TraceRecord { pc, op, dst, srcs, mem_addr: mem, branch }
+    }
+}
+
+prop_compose! {
+    /// A random valid configuration varying geometry and timing axes
+    /// together. Cache shapes come from fixed valid tuples (power-of-
+    /// two set counts); everything else ranges freely over legal
+    /// values.
+    fn config()(
+        l1i_shape in 0usize..4,
+        l1d_shape in 0usize..4,
+        l2_shape in 0usize..3,
+        itlb_shape in 0usize..3,
+        dtlb_shape in 0usize..2,
+        bimodal_pow in 2u32..=11,
+        hist_pow in 2u32..=10,
+        history_bits in 2u32..=12,
+        counter_pow in 4u32..=12,
+        meta_pow in 2u32..=10,
+        ras in 1usize..=32,
+        btb_pow in 0u32..=12,
+        btb_ways in 1usize..=3,
+        int_fus in 1usize..=4,
+        fp_fus in 1usize..=2,
+        width in 1usize..=6,
+        rob in prop_oneof![Just(8usize), Just(32), Just(128)],
+        iq in prop_oneof![Just(4usize), Just(32)],
+        lsq in prop_oneof![Just(4usize), Just(32)],
+        phys in 36usize..=96,
+        fetch_queue in 1usize..=8,
+        mispredict in 1u64..=12,
+        mul_latency in 1u64..=8,
+        fp_latency in 1u64..=5,
+        mshrs in prop_oneof![Just(1usize), Just(2), Just(8)],
+        mem_latency in prop_oneof![Just(20u64), Just(80), Just(200)],
+        l2_latency in prop_oneof![Just(5u64), Just(12), Just(32)],
+        itlb_miss in prop_oneof![Just(0u64), Just(10), Just(30)],
+        dtlb_miss in prop_oneof![Just(0u64), Just(10), Just(30)],
+    ) -> CoreConfig {
+        // (size, ways, line): set counts are powers of two.
+        let l1 = [(4096u64, 2u64, 32u64), (8192, 4, 64), (16384, 2, 64), (65536, 4, 64)];
+        let l2 = [(65536u64, 4u64, 64u64), (131072, 8, 128), (2 * 1024 * 1024, 8, 128)];
+        let tlb = [(8u64, 2u64), (64, 4), (256, 4)];
+        let mut c = CoreConfig::alpha21264();
+        (c.l1i.size_bytes, c.l1i.ways, c.l1i.line_bytes) = l1[l1i_shape];
+        (c.l1d.size_bytes, c.l1d.ways, c.l1d.line_bytes) = l1[l1d_shape];
+        (c.l2.size_bytes, c.l2.ways, c.l2.line_bytes) = l2[l2_shape];
+        (c.itlb.entries, c.itlb.ways) = tlb[itlb_shape];
+        (c.dtlb.entries, c.dtlb.ways) = tlb[dtlb_shape];
+        c.itlb.miss_latency = itlb_miss;
+        c.dtlb.miss_latency = dtlb_miss;
+        c.bimodal_entries = 1 << bimodal_pow;
+        c.l1_history_entries = 1 << hist_pow;
+        c.history_bits = history_bits;
+        c.l2_counter_entries = 1 << counter_pow;
+        c.meta_entries = 1 << meta_pow;
+        c.ras_entries = ras;
+        c.btb_sets = 1 << btb_pow;
+        c.btb_ways = btb_ways;
+        c.int_fus = int_fus;
+        c.fp_fus = fp_fus;
+        c.width = width;
+        c.rob_entries = rob;
+        c.int_iq_entries = iq;
+        c.fp_iq_entries = iq;
+        c.load_queue = lsq;
+        c.store_queue = lsq;
+        c.phys_int_regs = phys;
+        c.phys_fp_regs = phys;
+        c.fetch_queue = fetch_queue;
+        c.mispredict_latency = mispredict;
+        c.mul_latency = mul_latency;
+        c.fp_latency = fp_latency;
+        c.mshrs = mshrs;
+        c.memory_latency = mem_latency;
+        c.l2.latency = l2_latency;
+        c
+    }
+}
+
+fn encode(records: &[TraceRecord]) -> EncodedTrace {
+    let mut t = EncodedTrace::new();
+    for r in records {
+        t.push(r);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Two-phase simulation is field-exactly equal to the direct
+    /// single-phase path for random traces and random configurations
+    /// across both geometry and timing axes — and deterministically
+    /// repeatable on a warm, shared kernel.
+    #[test]
+    fn two_phase_equals_direct(
+        records in proptest::collection::vec(record(), 0..300),
+        cfg in config(),
+    ) {
+        prop_assume!(cfg.validate().is_ok());
+        let trace = encode(&records);
+        let direct = Simulator::new(cfg.clone()).unwrap().run(&trace);
+        let ann = annotate(&cfg, &trace);
+        let (first, second) = KERNEL.with(|k| {
+            let mut k = k.borrow_mut();
+            (k.run(&ann, &cfg), k.run(&ann, &cfg))
+        });
+        prop_assert_eq!(&first, &direct);
+        prop_assert_eq!(&second, &direct);
+    }
+
+    /// The `frontend_fingerprint` contract: configurations with equal
+    /// geometry fields produce byte-identical annotations however far
+    /// their timing axes diverge — and the fingerprint itself ignores
+    /// exactly those timing axes.
+    #[test]
+    fn equal_geometry_means_equal_annotation(
+        records in proptest::collection::vec(record(), 0..200),
+        cfg_a in config(),
+        cfg_b in config(),
+    ) {
+        prop_assume!(cfg_a.validate().is_ok() && cfg_b.validate().is_ok());
+        let trace = encode(&records);
+        // Graft A's geometry onto B, keeping B's timing axes.
+        let mut hybrid = cfg_b.clone();
+        hybrid.l1i = cfg_a.l1i;
+        hybrid.l1i.latency = cfg_b.l1i.latency; // latency is a timing axis
+        hybrid.itlb.entries = cfg_a.itlb.entries;
+        hybrid.itlb.ways = cfg_a.itlb.ways;
+        hybrid.itlb.page_bytes = cfg_a.itlb.page_bytes;
+        hybrid.bimodal_entries = cfg_a.bimodal_entries;
+        hybrid.l1_history_entries = cfg_a.l1_history_entries;
+        hybrid.history_bits = cfg_a.history_bits;
+        hybrid.l2_counter_entries = cfg_a.l2_counter_entries;
+        hybrid.meta_entries = cfg_a.meta_entries;
+        hybrid.ras_entries = cfg_a.ras_entries;
+        hybrid.btb_sets = cfg_a.btb_sets;
+        hybrid.btb_ways = cfg_a.btb_ways;
+        prop_assert_eq!(frontend_fingerprint(&hybrid), frontend_fingerprint(&cfg_a));
+        prop_assert_eq!(annotate(&hybrid, &trace), annotate(&cfg_a, &trace));
+        // And the hybrid still simulates exactly under two phases.
+        prop_assume!(hybrid.validate().is_ok());
+        let direct = Simulator::new(hybrid.clone()).unwrap().run(&trace);
+        let two = KERNEL.with(|k| k.borrow_mut().run(&annotate(&hybrid, &trace), &hybrid));
+        prop_assert_eq!(two, direct);
+    }
+}

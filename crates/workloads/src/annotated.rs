@@ -1,0 +1,243 @@
+//! Packed layout of a geometry-annotated trace.
+//!
+//! Phase 1 of the two-phase simulation (see `fuleak-uarch`'s
+//! `annotate` module and `DESIGN.md`) resolves every per-record
+//! outcome that depends only on trace order and *front-end geometry*
+//! — branch mispredict flags, fetch-group ends, I-cache/ITLB miss
+//! flags, and store→load match indices — and re-packs the scheduling
+//! metadata the timing kernel needs (operation kind, destination and
+//! source register codes) into one `u32` per record. The timing
+//! kernel (phase 2) then replays an [`AnnotatedTrace`] as a pure
+//! recurrence: no predictor tables, no I-side cache probes, no
+//! hash-map store matching, and no `TraceRecord` materialization on
+//! the per-point hot path.
+//!
+//! This module owns only the *layout* (it is plain data shared
+//! between the annotator that writes it and the kernel that reads
+//! it); the annotation logic lives in `fuleak-uarch`, next to the
+//! predictor and cache models it exercises.
+
+/// Operation kind of one record (bits [`KIND_MASK`] of its meta
+/// word). Collapses [`crate::OpClass`] to what the timing kernel
+/// distinguishes: the control classes fold into [`KIND_INT`] because
+/// their *timing* is single-cycle-integer and their control-flow
+/// effects are pre-resolved into the flag bits.
+pub const KIND_NOP: u32 = 0;
+/// Single-cycle integer operation (ALU and all control classes).
+pub const KIND_INT: u32 = 1;
+/// Integer multiply (`mul_latency` on an integer FU).
+pub const KIND_MUL: u32 = 2;
+/// Floating-point operation (`fp_latency` on an FP FU).
+pub const KIND_FP: u32 = 3;
+/// Memory load.
+pub const KIND_LOAD: u32 = 4;
+/// Memory store.
+pub const KIND_STORE: u32 = 5;
+
+/// Mask of the kind bits (low 3 bits of the meta word).
+pub const KIND_MASK: u32 = 0b111;
+
+/// Bit offset of the destination-register code (8 bits).
+pub const DST_SHIFT: u32 = 3;
+/// Bit offset of the first source-register code (8 bits).
+pub const SRC0_SHIFT: u32 = 11;
+/// Bit offset of the second source-register code (8 bits).
+pub const SRC1_SHIFT: u32 = 19;
+/// Mask of one register code.
+pub const REG_MASK: u32 = 0xFF;
+
+/// Register-code encoding, shared with [`crate::EncodedTrace`]'s
+/// scheme: `0` is "no register", `0x40 | r` an integer register,
+/// `0x80 | r` a floating-point register (`r < 64`).
+pub const REG_INT_BIT: u32 = 0x40;
+/// Floating-point register-code bit.
+pub const REG_FP_BIT: u32 = 0x80;
+/// Mask of the register number within a register code.
+pub const REG_NUM_MASK: u32 = 0x3F;
+
+/// Flag: this control record was mispredicted (fetch stalls until
+/// `max(resolve + 1, fetch + mispredict_latency)`).
+pub const FLAG_MISPREDICT: u32 = 1 << 27;
+/// Flag: this control record was a correctly-predicted taken branch
+/// (the fetch group ends; fetch resumes at `fetch + 1`).
+pub const FLAG_ENDS_GROUP: u32 = 1 << 28;
+/// Flag: this record's fetch probes a new I-cache line (the I-side
+/// stall flags below are only meaningful when this is set).
+pub const FLAG_NEW_LINE: u32 = 1 << 29;
+/// Flag: the new-line probe missed the ITLB (stall by the ITLB miss
+/// latency).
+pub const FLAG_ITLB_MISS: u32 = 1 << 30;
+/// Flag: the new-line probe missed the L1 I-cache (stall by the L2
+/// hit latency).
+pub const FLAG_L1I_MISS: u32 = 1 << 31;
+
+/// Per-load sentinel: no earlier store to this address exists.
+pub const NO_STORE_MATCH: u32 = u32::MAX;
+
+/// A trace annotated against one front-end geometry (see the
+/// [module docs](self)).
+///
+/// Struct-of-arrays: one meta word per record, one address per memory
+/// record (loads and stores, in record order), one store-match index
+/// per load (in load order) naming the youngest earlier store to the
+/// same address as an ordinal into the store sequence. Whole-trace
+/// outcome totals (branches, mispredicts, I-side misses) ride along
+/// so the kernel never recounts them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnnotatedTrace {
+    meta: Vec<u32>,
+    mem_addrs: Vec<u64>,
+    store_match: Vec<u32>,
+    stores: u32,
+    branches: u64,
+    mispredicts: u64,
+    l1i_misses: u64,
+    itlb_misses: u64,
+}
+
+impl AnnotatedTrace {
+    /// An empty annotated trace with room for `records` instructions.
+    pub fn with_capacity(records: usize) -> Self {
+        AnnotatedTrace {
+            meta: Vec::with_capacity(records),
+            ..Self::default()
+        }
+    }
+
+    /// Appends one record's packed meta word.
+    pub fn push_meta(&mut self, meta: u32) {
+        self.meta.push(meta);
+    }
+
+    /// Appends the effective address of a memory record (must be
+    /// called once, in record order, for every [`KIND_LOAD`] /
+    /// [`KIND_STORE`] meta pushed).
+    pub fn push_mem_addr(&mut self, addr: u64) {
+        self.mem_addrs.push(addr);
+    }
+
+    /// Appends one load's store-match: the ordinal (in store order) of
+    /// the youngest earlier store to the same address, or
+    /// [`NO_STORE_MATCH`].
+    pub fn push_store_match(&mut self, ordinal: u32) {
+        self.store_match.push(ordinal);
+    }
+
+    /// Counts one store (sizes the kernel's store-completion array).
+    pub fn count_store(&mut self) {
+        self.stores += 1;
+    }
+
+    /// Sets the whole-trace outcome totals.
+    pub fn set_totals(&mut self, branches: u64, mispredicts: u64, l1i: u64, itlb: u64) {
+        self.branches = branches;
+        self.mispredicts = mispredicts;
+        self.l1i_misses = l1i;
+        self.itlb_misses = itlb;
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// The packed meta words, one per record.
+    pub fn meta(&self) -> &[u32] {
+        &self.meta
+    }
+
+    /// Effective addresses of the memory records, in record order.
+    pub fn mem_addrs(&self) -> &[u64] {
+        &self.mem_addrs
+    }
+
+    /// Per-load store-match ordinals, in load order.
+    pub fn store_matches(&self) -> &[u32] {
+        &self.store_match
+    }
+
+    /// Number of store records.
+    pub fn stores(&self) -> usize {
+        self.stores as usize
+    }
+
+    /// Control instructions in the trace.
+    pub fn branches(&self) -> u64 {
+        self.branches
+    }
+
+    /// Mispredicted control instructions under the annotated geometry.
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts
+    }
+
+    /// L1 I-cache misses under the annotated geometry.
+    pub fn l1i_misses(&self) -> u64 {
+        self.l1i_misses
+    }
+
+    /// ITLB misses under the annotated geometry.
+    pub fn itlb_misses(&self) -> u64 {
+        self.itlb_misses
+    }
+
+    /// Approximate heap footprint of the annotation, in bytes.
+    pub fn annotated_bytes(&self) -> usize {
+        4 * self.meta.len() + 8 * self.mem_addrs.len() + 4 * self.store_match.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_bits_do_not_overlap_register_codes() {
+        let packed = KIND_MASK
+            | (REG_MASK << DST_SHIFT)
+            | (REG_MASK << SRC0_SHIFT)
+            | (REG_MASK << SRC1_SHIFT);
+        for flag in [
+            FLAG_MISPREDICT,
+            FLAG_ENDS_GROUP,
+            FLAG_NEW_LINE,
+            FLAG_ITLB_MISS,
+            FLAG_L1I_MISS,
+        ] {
+            assert_eq!(packed & flag, 0, "flag {flag:#x} collides");
+        }
+        // The five flags are distinct single bits.
+        let all =
+            FLAG_MISPREDICT | FLAG_ENDS_GROUP | FLAG_NEW_LINE | FLAG_ITLB_MISS | FLAG_L1I_MISS;
+        assert_eq!(all.count_ones(), 5);
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut t = AnnotatedTrace::with_capacity(4);
+        t.push_meta(KIND_LOAD | (0x41 << DST_SHIFT));
+        t.push_mem_addr(0x1000);
+        t.push_store_match(NO_STORE_MATCH);
+        t.push_meta(KIND_STORE);
+        t.push_mem_addr(0x1000);
+        t.count_store();
+        t.set_totals(3, 1, 2, 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.meta()[0] & KIND_MASK, KIND_LOAD);
+        assert_eq!(t.mem_addrs(), &[0x1000, 0x1000]);
+        assert_eq!(t.store_matches(), &[NO_STORE_MATCH]);
+        assert_eq!(t.stores(), 1);
+        assert_eq!(t.branches(), 3);
+        assert_eq!(t.mispredicts(), 1);
+        assert_eq!(t.l1i_misses(), 2);
+        assert_eq!(t.itlb_misses(), 4);
+        assert_eq!(t.annotated_bytes(), 2 * 4 + 2 * 8 + 4);
+        assert!(AnnotatedTrace::default().is_empty());
+    }
+}

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod annotated;
 pub mod bench;
 pub mod encoded;
 pub mod exec;
@@ -41,6 +42,7 @@ pub mod kernels;
 pub mod synthetic;
 pub mod trace;
 
+pub use annotated::AnnotatedTrace;
 pub use bench::Benchmark;
 pub use encoded::EncodedTrace;
 pub use exec::{ExecError, Machine};

@@ -145,6 +145,49 @@ fn non_paper_axes_key_the_cache_distinctly_across_worker_counts() {
 }
 
 #[test]
+fn l2_latency_sweep_shares_one_annotation_per_benchmark() {
+    // L2 latency is a timing axis: every point of an L2 sweep shares
+    // its benchmark's single front-end geometry annotation, and each
+    // two-phase result stays field-exactly equal to the direct
+    // single-phase path (`Scenario::run` executes the kernel fresh and
+    // runs the reference `Simulator`, touching no cache).
+    let engine = Engine::new(4);
+    let spec = SweepSpec::new(BUDGET)
+        .benches(["gzip", "mst"])
+        .axis_int_fus([1, 2, 4])
+        .axis_l2_latency([8, 12, 20, 32]);
+    engine.run_sweep(&spec);
+    assert_eq!(engine.stats().misses, 2 * 3 * 4);
+    assert_eq!(
+        engine.annotation_cache().len(),
+        2,
+        "an L2×FU sweep must annotate each benchmark exactly once"
+    );
+    assert_eq!(engine.annotation_cache().built(), 2);
+    assert!(engine.annotation_cache().annotated_bytes() > 0);
+    for s in spec.scenarios() {
+        assert_eq!(
+            *engine.result(s.clone()),
+            s.run().unwrap(),
+            "{s:?}: two-phase diverged from the direct path"
+        );
+    }
+    // A geometry change (smaller BTB) forces — and gets — exactly one
+    // new annotation per benchmark, under the same trace.
+    let narrow_btb = SweepSpec::new(BUDGET)
+        .benches(["gzip", "mst"])
+        .base(MachineConfig::derived(|c| c.btb_sets = 16).unwrap())
+        .axis_int_fus([1, 4])
+        .axis_l2_latency([12, 32]);
+    engine.run_sweep(&narrow_btb);
+    assert_eq!(engine.annotation_cache().len(), 4);
+    assert_eq!(engine.trace_cache().captures(), 2, "traces still shared");
+    for s in narrow_btb.scenarios() {
+        assert_eq!(*engine.result(s.clone()), s.run().unwrap(), "{s:?}");
+    }
+}
+
+#[test]
 fn rebuilt_machine_configs_hit_the_same_cache_entry() {
     // A MachineConfig rebuilt from an equal CoreConfig must be the
     // same cache key: same fingerprint, same interned storage, and a
