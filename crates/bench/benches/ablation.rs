@@ -1,11 +1,15 @@
-//! Bench: ablations beyond the paper — GradualSleep slice count and
-//! the extension policies (TimeoutSleep, AdaptiveSleep).
+//! Bench: ablations beyond the paper — GradualSleep slice count, the
+//! extension policies (TimeoutSleep, AdaptiveSleep), and the
+//! spectrum evaluator against the historical per-interval replay.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fuleak_core::accounting::{account_intervals, simulate_intervals};
 use fuleak_core::closed_form::BoundaryPolicy;
 use fuleak_core::policy::{AdaptiveSleep, TimeoutSleep};
-use fuleak_core::{breakeven_interval, EnergyModel, TechnologyParams};
+use fuleak_core::policy_eval::spectrum_run;
+use fuleak_core::{
+    breakeven_interval, EnergyModel, IntervalSpectrum, PolicyForm, TechnologyParams,
+};
 use fuleak_workloads::synthetic::bimodal_intervals;
 
 fn bench(c: &mut Criterion) {
@@ -33,6 +37,71 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             for slices in [1u32, 2, 4, 8, 16, 20, 32, 64, 128] {
                 std::hint::black_box(energy(slices));
+            }
+        })
+    });
+    // Spectrum evaluation vs per-interval replay: the same energies
+    // from a compact length → count multiset in O(distinct lengths).
+    let spectrum = IntervalSpectrum::from_lengths(&w.idle_intervals);
+    let forms = [
+        PolicyForm::MaxSleep,
+        PolicyForm::AlwaysActive,
+        PolicyForm::NoOverhead,
+        PolicyForm::GradualSleep {
+            slices: t_be.round() as u32,
+        },
+    ];
+    for form in forms {
+        let by_spectrum = spectrum_run(&model, form, w.active_cycles, &spectrum)
+            .energy
+            .total();
+        let by_replay = account_intervals(
+            &model,
+            match form {
+                PolicyForm::MaxSleep => BoundaryPolicy::MaxSleep,
+                PolicyForm::AlwaysActive => BoundaryPolicy::AlwaysActive,
+                PolicyForm::NoOverhead => BoundaryPolicy::NoOverhead,
+                PolicyForm::GradualSleep { slices } => BoundaryPolicy::GradualSleep { slices },
+                _ => unreachable!(),
+            },
+            w.active_cycles,
+            &w.idle_intervals,
+        )
+        .energy
+        .total();
+        assert!(
+            (by_spectrum - by_replay).abs() / by_replay < 1e-9,
+            "{form:?}"
+        );
+    }
+    c.bench_function("ablation_policy_spectrum_eval", |b| {
+        b.iter(|| {
+            for form in forms {
+                std::hint::black_box(spectrum_run(
+                    &model,
+                    form,
+                    w.active_cycles,
+                    std::hint::black_box(&spectrum),
+                ));
+            }
+        })
+    });
+    c.bench_function("ablation_policy_interval_replay", |b| {
+        b.iter(|| {
+            for policy in [
+                BoundaryPolicy::MaxSleep,
+                BoundaryPolicy::AlwaysActive,
+                BoundaryPolicy::NoOverhead,
+                BoundaryPolicy::GradualSleep {
+                    slices: t_be.round() as u32,
+                },
+            ] {
+                std::hint::black_box(account_intervals(
+                    &model,
+                    policy,
+                    w.active_cycles,
+                    std::hint::black_box(&w.idle_intervals),
+                ));
             }
         })
     });

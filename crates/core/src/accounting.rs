@@ -56,6 +56,18 @@ impl PolicyRun {
     }
 }
 
+impl std::ops::AddAssign for PolicyRun {
+    /// Accumulates another run fieldwise — how per-interval and
+    /// per-FU breakdowns roll up into workload totals.
+    fn add_assign(&mut self, rhs: Self) {
+        self.energy += rhs.energy;
+        self.active_cycles += rhs.active_cycles;
+        self.uncontrolled_idle_equiv += rhs.uncontrolled_idle_equiv;
+        self.sleep_equiv += rhs.sleep_equiv;
+        self.transitions_equiv += rhs.transitions_equiv;
+    }
+}
+
 /// Runs a controller over a per-cycle busy/idle stream.
 ///
 /// # Example

@@ -2,32 +2,45 @@
 //!
 //! The empirical half of the paper reduces each functional unit's
 //! activity to its *idle-interval distribution*: the simulator records,
-//! per FU, every maximal run of consecutive idle cycles. Figure 7 plots
-//! the fraction of total time spent idle, binned by the log2 of the
-//! interval length, with everything at or above 8192 cycles accumulated
-//! into the last bin.
+//! per FU, every maximal run of consecutive idle cycles, accumulated
+//! into an exact [`IntervalSpectrum`]. Figure 7 plots the fraction of
+//! total time spent idle, binned by the log2 of the interval length,
+//! with everything at or above 8192 cycles accumulated into the last
+//! bin.
+//!
+//! One recorder implementation exists: the cursor-based
+//! [`IdleCursor`], which consumes busy-cycle timestamps. The
+//! boolean-stream [`IdleRecorder`] is a thin adapter over it that
+//! counts cycles itself — the two can never drift apart
+//! (`crates/core/tests/interval_props.rs` pins both against the
+//! historical post-hoc conversion).
+
+use crate::spectrum::IntervalSpectrum;
 
 /// Records idle intervals from a per-cycle busy/idle stream.
+///
+/// A thin adapter over [`IdleCursor`]: it keeps its own cycle clock
+/// and forwards busy observations as timestamps, so there is exactly
+/// one interval-splitting implementation.
 ///
 /// # Example
 ///
 /// ```
-/// use fuleak_core::IdleRecorder;
+/// use fuleak_core::{IdleRecorder, IntervalSpectrum};
 ///
 /// let mut r = IdleRecorder::new();
 /// for &busy in &[true, false, false, true, false, true] {
 ///     r.observe(busy);
 /// }
 /// r.finish();
-/// assert_eq!(r.intervals(), &[2, 1]);
+/// assert_eq!(r.spectrum(), &IntervalSpectrum::from_lengths(&[2, 1]));
 /// assert_eq!(r.active_cycles(), 3);
 /// assert_eq!(r.total_cycles(), 6);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IdleRecorder {
-    intervals: Vec<u64>,
-    current_run: u64,
-    active_cycles: u64,
+    cursor: IdleCursor,
+    clock: u64,
 }
 
 impl IdleRecorder {
@@ -39,74 +52,65 @@ impl IdleRecorder {
     /// Observes one cycle.
     pub fn observe(&mut self, busy: bool) {
         if busy {
-            if self.current_run > 0 {
-                self.intervals.push(self.current_run);
-                self.current_run = 0;
-            }
-            self.active_cycles += 1;
-        } else {
-            self.current_run += 1;
+            self.cursor.record_busy(self.clock);
         }
+        self.clock += 1;
     }
 
     /// Closes any idle interval still open at the end of the run.
     pub fn finish(&mut self) {
-        if self.current_run > 0 {
-            self.intervals.push(self.current_run);
-            self.current_run = 0;
-        }
+        self.cursor.finish(self.clock);
     }
 
-    /// The completed idle intervals, in occurrence order. An idle run
-    /// still open at the end of the stream is not listed until
+    /// The completed idle intervals as a spectrum. An idle run still
+    /// open at the end of the stream is not included until
     /// [`IdleRecorder::finish`] closes it (it *is* counted by the
     /// cycle totals below).
-    pub fn intervals(&self) -> &[u64] {
-        &self.intervals
+    pub fn spectrum(&self) -> &IntervalSpectrum {
+        self.cursor.spectrum()
     }
 
-    /// Consumes the recorder, returning the interval list.
-    pub fn into_intervals(self) -> Vec<u64> {
-        self.intervals
+    /// Consumes the recorder, returning the spectrum.
+    pub fn into_spectrum(self) -> IntervalSpectrum {
+        self.cursor.into_spectrum()
     }
 
     /// Number of active (busy) cycles observed.
     pub fn active_cycles(&self) -> u64 {
-        self.active_cycles
+        self.cursor.active_cycles()
     }
 
     /// Total idle cycles observed, including any idle run still open
     /// at the end of the stream.
     pub fn idle_cycles(&self) -> u64 {
-        self.intervals.iter().sum::<u64>() + self.current_run
+        self.clock - self.cursor.active_cycles()
     }
 
     /// Total observed cycles (active + idle, open trailing run
     /// included).
     pub fn total_cycles(&self) -> u64 {
-        self.active_cycles + self.idle_cycles()
+        self.clock
     }
 
     /// Fraction of total time spent idle. Returns `None` before any
     /// cycle has been observed.
     pub fn idle_fraction(&self) -> Option<f64> {
-        let total = self.total_cycles();
-        (total > 0).then(|| self.idle_cycles() as f64 / total as f64)
+        (self.clock > 0).then(|| self.idle_cycles() as f64 / self.clock as f64)
     }
 }
 
 /// Cursor-based online idle-interval recorder over *absolute* cycle
-/// timestamps.
+/// timestamps — the single interval-splitting implementation.
 ///
-/// Where [`IdleRecorder`] consumes one boolean per cycle,
 /// `IdleCursor` consumes only the **busy** cycles, in nondecreasing
 /// order, and derives the idle gaps between them — the natural fit
 /// for a timing simulator that knows exactly which cycles a unit
-/// executes. It replaces the post-hoc "accumulate every busy cycle,
-/// sort, then diff" conversion with O(1) work per busy cycle and
-/// memory proportional to the number of idle *intervals* rather than
-/// the number of busy cycles (`crates/core/tests/interval_props.rs`
-/// proves the equivalence on arbitrary streams).
+/// executes. Each completed gap is accumulated straight into an
+/// [`IntervalSpectrum`], so memory is proportional to the number of
+/// *distinct* idle-interval lengths, never to the busy-cycle or
+/// interval count (`crates/core/tests/interval_props.rs` proves the
+/// equivalence with the historical post-hoc conversion on arbitrary
+/// streams).
 ///
 /// Duplicate timestamps are tolerated and counted as active exactly
 /// once per call, matching the historical conversion's handling of
@@ -115,21 +119,22 @@ impl IdleRecorder {
 /// # Example
 ///
 /// ```
-/// use fuleak_core::IdleCursor;
+/// use fuleak_core::{IdleCursor, IntervalSpectrum};
 ///
 /// let mut c = IdleCursor::new();
 /// for cycle in [2, 3, 7] {
 ///     c.record_busy(cycle);
 /// }
 /// c.finish(10);
-/// assert_eq!(c.intervals(), &[2, 3, 2]); // [0,2), [4,7), [8,10)
+/// // Gaps [0,2), [4,7), [8,10): lengths 2, 3, 2.
+/// assert_eq!(c.spectrum(), &IntervalSpectrum::from_lengths(&[2, 3, 2]));
 /// assert_eq!(c.active_cycles(), 3);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IdleCursor {
     /// First cycle not yet accounted for (everything below is final).
     cursor: u64,
-    intervals: Vec<u64>,
+    spectrum: IntervalSpectrum,
     active_cycles: u64,
 }
 
@@ -146,35 +151,41 @@ impl IdleCursor {
         self.active_cycles += 1;
         if cycle >= self.cursor {
             if cycle > self.cursor {
-                self.intervals.push(cycle - self.cursor);
+                self.spectrum.record(cycle - self.cursor);
             }
             self.cursor = cycle + 1;
         }
     }
 
-    /// Closes the stream at `total_cycles`, emitting the trailing idle
-    /// interval (if any). Busy cycles at or beyond `total_cycles`
+    /// Closes the stream at `total_cycles`, recording the trailing
+    /// idle interval (if any). Busy cycles at or beyond `total_cycles`
     /// already swallowed the tail, in which case this is a no-op.
     pub fn finish(&mut self, total_cycles: u64) {
         if total_cycles > self.cursor {
-            self.intervals.push(total_cycles - self.cursor);
+            self.spectrum.record(total_cycles - self.cursor);
             self.cursor = total_cycles;
         }
     }
 
-    /// The idle intervals recorded so far, in occurrence order.
-    pub fn intervals(&self) -> &[u64] {
-        &self.intervals
+    /// The idle intervals recorded so far, as a spectrum.
+    pub fn spectrum(&self) -> &IntervalSpectrum {
+        &self.spectrum
     }
 
-    /// Consumes the recorder, returning the interval list.
-    pub fn into_intervals(self) -> Vec<u64> {
-        self.intervals
+    /// Consumes the recorder, returning the spectrum.
+    pub fn into_spectrum(self) -> IntervalSpectrum {
+        self.spectrum
     }
 
     /// Number of busy cycles recorded (duplicates included).
     pub fn active_cycles(&self) -> u64 {
         self.active_cycles
+    }
+
+    /// The first cycle not yet accounted for — the start of the open
+    /// trailing idle run, if the stream is idle right now.
+    pub fn position(&self) -> u64 {
+        self.cursor
     }
 }
 
@@ -256,6 +267,16 @@ impl IdleHistogram {
         }
     }
 
+    /// Records every interval of a spectrum — the histogram is a lossy
+    /// log2 view of the exact spectrum, in O(distinct lengths).
+    pub fn record_spectrum(&mut self, spectrum: &IntervalSpectrum) {
+        for &(len, count) in spectrum.entries() {
+            let b = Self::bucket_of(len);
+            self.idle_cycles[b] += len * count;
+            self.counts[b] += count;
+        }
+    }
+
     /// Total idle cycles contributed by intervals in `bucket`.
     pub fn idle_cycles_in_bucket(&self, bucket: usize) -> u64 {
         self.idle_cycles[bucket]
@@ -324,6 +345,10 @@ impl Default for IdleHistogram {
 mod tests {
     use super::*;
 
+    fn lengths(r: &[u64]) -> IntervalSpectrum {
+        IntervalSpectrum::from_lengths(r)
+    }
+
     #[test]
     fn recorder_splits_runs() {
         let mut r = IdleRecorder::new();
@@ -333,7 +358,7 @@ mod tests {
             r.observe(b);
         }
         r.finish();
-        assert_eq!(r.intervals(), &[2, 1, 3]);
+        assert_eq!(r.spectrum(), &lengths(&[2, 1, 3]));
         assert_eq!(r.active_cycles(), 4);
         assert_eq!(r.idle_cycles(), 6);
         assert_eq!(r.total_cycles(), 10);
@@ -346,30 +371,32 @@ mod tests {
         r.observe(true);
         r.observe(false);
         r.observe(false);
-        assert_eq!(r.intervals(), &[] as &[u64]);
+        assert!(r.spectrum().is_empty());
         r.finish();
-        assert_eq!(r.intervals(), &[2]);
+        assert_eq!(r.spectrum(), &lengths(&[2]));
         r.finish(); // idempotent
-        assert_eq!(r.intervals(), &[2]);
+        assert_eq!(r.spectrum(), &lengths(&[2]));
     }
 
     #[test]
     fn totals_include_open_trailing_run() {
-        // Regression: an idle run still open when the stream ends used
-        // to vanish from idle_cycles/total_cycles/idle_fraction until
-        // finish() was called, silently undercounting idle time.
+        // Regression (PR 2): an idle run still open when the stream
+        // ends used to vanish from idle_cycles/total_cycles/
+        // idle_fraction until finish() was called, silently
+        // undercounting idle time. The adapter over IdleCursor must
+        // preserve those semantics.
         let mut r = IdleRecorder::new();
         for &b in &[true, true, false, false, false] {
             r.observe(b);
         }
-        assert_eq!(r.intervals(), &[] as &[u64], "run still open");
+        assert!(r.spectrum().is_empty(), "run still open");
         assert_eq!(r.idle_cycles(), 3);
         assert_eq!(r.total_cycles(), 5);
         assert!((r.idle_fraction().unwrap() - 0.6).abs() < 1e-12);
-        // finish() moves the run into the interval list without
-        // changing any total.
+        // finish() moves the run into the spectrum without changing
+        // any total.
         r.finish();
-        assert_eq!(r.intervals(), &[3]);
+        assert_eq!(r.spectrum(), &lengths(&[3]));
         assert_eq!(r.idle_cycles(), 3);
         assert_eq!(r.total_cycles(), 5);
     }
@@ -381,7 +408,7 @@ mod tests {
         c.record_busy(5);
         c.record_busy(6);
         c.finish(9);
-        assert_eq!(c.intervals(), &[4, 2]);
+        assert_eq!(c.spectrum(), &lengths(&[4, 2]));
         assert_eq!(c.active_cycles(), 3);
     }
 
@@ -391,13 +418,13 @@ mod tests {
         c.record_busy(3);
         c.record_busy(3); // duplicate: active again, no interval
         c.finish(4);
-        assert_eq!(c.intervals(), &[3]);
+        assert_eq!(c.spectrum(), &lengths(&[3]));
         assert_eq!(c.active_cycles(), 2);
 
         // Never busy: one interval covering the whole run.
         let mut c = IdleCursor::new();
         c.finish(7);
-        assert_eq!(c.intervals(), &[7]);
+        assert_eq!(c.spectrum(), &lengths(&[7]));
 
         // finish at/before the cursor is a no-op (and idempotent).
         let mut c = IdleCursor::new();
@@ -405,8 +432,9 @@ mod tests {
         c.finish(10);
         c.finish(10);
         c.finish(4);
-        assert_eq!(c.intervals(), &[9]);
-        assert_eq!(c.clone().into_intervals(), vec![9]);
+        assert_eq!(c.spectrum(), &lengths(&[9]));
+        assert_eq!(c.position(), 10);
+        assert_eq!(c.clone().into_spectrum(), lengths(&[9]));
     }
 
     #[test]
@@ -423,7 +451,7 @@ mod tests {
         }
         bools.finish();
         cursor.finish(busy.len() as u64);
-        assert_eq!(bools.intervals(), cursor.intervals());
+        assert_eq!(bools.spectrum(), cursor.spectrum());
         assert_eq!(bools.active_cycles(), cursor.active_cycles());
     }
 
@@ -433,7 +461,7 @@ mod tests {
         assert_eq!(r.idle_fraction(), None);
         r.finish();
         assert_eq!(r.total_cycles(), 0);
-        assert!(r.into_intervals().is_empty());
+        assert!(r.into_spectrum().is_empty());
     }
 
     #[test]
@@ -468,6 +496,16 @@ mod tests {
         assert_eq!(h.count_in_bucket(2), 3);
         assert_eq!(h.total_idle_cycles(), 18);
         assert_eq!(h.total_intervals(), 3);
+    }
+
+    #[test]
+    fn spectrum_view_matches_per_interval_recording() {
+        let intervals = [5u64, 6, 7, 7, 9_000, 1];
+        let mut per_interval = IdleHistogram::new();
+        per_interval.record_all(&intervals);
+        let mut via_spectrum = IdleHistogram::new();
+        via_spectrum.record_spectrum(&lengths(&intervals));
+        assert_eq!(per_interval, via_spectrum);
     }
 
     #[test]
@@ -525,7 +563,7 @@ mod tests {
         }
         r.finish();
         let mut h = IdleHistogram::new();
-        h.record_all(r.intervals());
+        h.record_spectrum(r.spectrum());
         assert_eq!(h.total_idle_cycles(), 4);
         assert_eq!(h.total_intervals(), 2);
     }

@@ -31,7 +31,13 @@
 //! * [`accounting`] — drives a controller over a busy/idle cycle stream
 //!   or an idle-interval list and produces an energy breakdown;
 //! * [`intervals`] — idle-interval recording and the log-scale
-//!   histogram of Figure 7.
+//!   histogram of Figure 7;
+//! * [`spectrum`] — exact, compact idle-interval spectra (sorted
+//!   length → count pairs), the representation the timing simulator
+//!   records per functional unit;
+//! * [`policy_eval`] — closed-form per-interval policy energies and
+//!   the O(distinct-lengths) spectrum evaluator behind the empirical
+//!   experiments.
 //!
 //! # Quickstart
 //!
@@ -68,10 +74,14 @@ pub mod error;
 pub mod intervals;
 pub mod model;
 pub mod policy;
+pub mod policy_eval;
+pub mod spectrum;
 pub mod tech;
 
 pub use breakeven::breakeven_interval;
 pub use error::ModelError;
 pub use intervals::{IdleCursor, IdleHistogram, IdleRecorder};
 pub use model::{CycleCounts, EnergyModel, NormalizedEnergy};
+pub use policy_eval::PolicyForm;
+pub use spectrum::IntervalSpectrum;
 pub use tech::TechnologyParams;

@@ -262,6 +262,31 @@ impl EnergyModel {
         self.active_cycle().total() * total_cycles
     }
 
+    /// A canonical FNV-1a fingerprint over the model's five scalars
+    /// (`p`, `k`, `e_sleep`, `d`, `alpha` — IEEE-754 bit patterns in
+    /// that fixed order), platform- and hasher-independent. Equal
+    /// models fingerprint equal, so the value can key policy-energy
+    /// memo tables the same way `MachineConfig::fingerprint` keys
+    /// simulation caches.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for value in [
+            self.tech.leakage_factor(),
+            self.tech.leak_ratio(),
+            self.tech.sleep_overhead(),
+            self.tech.duty_cycle(),
+            self.alpha,
+        ] {
+            for byte in value.to_bits().to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+        hash
+    }
+
     fn pkda(&self) -> (f64, f64, f64, f64) {
         (
             self.tech.leakage_factor(),
@@ -394,6 +419,24 @@ mod tests {
         assert_eq!(acc, a);
         assert_eq!(NormalizedEnergy::zero().leakage_fraction(), None);
         assert_eq!(a.to_femtojoules(22.2), 15.0 * 22.2);
+    }
+
+    #[test]
+    fn fingerprint_separates_every_parameter() {
+        let base = model(0.5, 0.5);
+        assert_eq!(base.fingerprint(), model(0.5, 0.5).fingerprint());
+        assert_ne!(base.fingerprint(), model(0.05, 0.5).fingerprint());
+        assert_ne!(base.fingerprint(), model(0.5, 0.25).fingerprint());
+        let custom =
+            EnergyModel::new(TechnologyParams::new(0.5, 0.002, 0.01, 0.5).unwrap(), 0.5).unwrap();
+        assert_ne!(base.fingerprint(), custom.fingerprint(), "k must matter");
+        let overhead =
+            EnergyModel::new(TechnologyParams::new(0.5, 0.001, 0.02, 0.5).unwrap(), 0.5).unwrap();
+        assert_ne!(
+            base.fingerprint(),
+            overhead.fingerprint(),
+            "e_sleep must matter"
+        );
     }
 
     #[test]

@@ -1,0 +1,512 @@
+//! Closed-form policy evaluation over idle-interval spectra.
+//!
+//! Every sleep controller in [`crate::policy`] makes its per-cycle
+//! decisions from the position *within* the current idle interval
+//! (plus, for [`crate::policy::AdaptiveSleep`], a running prediction
+//! folded in at interval boundaries). The energy an interval of `t`
+//! idle cycles costs under a policy is therefore a closed form in `t`
+//! — derived per policy in `DESIGN.md` §7 — and a whole workload's
+//! policy energy is a dot product between its
+//! [`IntervalSpectrum`](crate::IntervalSpectrum) and that closed
+//! form: O(distinct lengths) instead of the O(cycles) of
+//! [`crate::accounting::simulate_cycles`] or the O(intervals ·
+//! slices) of [`crate::accounting::account_intervals`].
+//!
+//! Three evaluators are provided, exact to one another (pinned by
+//! `crates/core/tests/spectrum_props.rs`):
+//!
+//! * [`interval_run`] — one idle interval under a fresh controller;
+//! * [`intervals_run`] — an interval *list* in occurrence order
+//!   (generalizes `account_intervals` to the extension policies,
+//!   carrying AdaptiveSleep's predictor across intervals);
+//! * [`spectrum_run`] — an [`IntervalSpectrum`](crate::IntervalSpectrum);
+//!   order-free policies reduce to the dot product, and AdaptiveSleep
+//!   is *defined* to observe the spectrum in its canonical
+//!   ascending-length order (a spectrum is a multiset, so some order
+//!   must be chosen; ascending is the sorted, deterministic one).
+
+use crate::accounting::PolicyRun;
+use crate::closed_form::BoundaryPolicy;
+use crate::model::EnergyModel;
+use crate::policy::{
+    AdaptiveSleep, AlwaysActive, GradualSleep, MaxSleep, NoOverhead, SleepController, TimeoutSleep,
+};
+use crate::spectrum::IntervalSpectrum;
+use std::hash::{Hash, Hasher};
+
+/// A sleep policy as a *value*: the controller family plus every
+/// parameter its closed form needs. Unlike the stateful
+/// [`SleepController`] objects, a `PolicyForm` is `Copy`, comparable,
+/// and hashable (so it can key caches; the `f64` parameters hash by
+/// bit pattern).
+#[derive(Debug, Clone, Copy)]
+pub enum PolicyForm {
+    /// Never assert Sleep (clock gating only).
+    AlwaysActive,
+    /// Assert Sleep on the first idle cycle of every interval.
+    MaxSleep,
+    /// MaxSleep with free transitions — the unachievable lower bound.
+    NoOverhead,
+    /// Stagger Sleep across `slices` circuit slices, one per idle
+    /// cycle (Section 3.2 of the paper).
+    GradualSleep {
+        /// Number of slices the FU is divided into (at least 1).
+        slices: u32,
+    },
+    /// Wait `timeout` idle cycles before asserting Sleep on the whole
+    /// FU.
+    TimeoutSleep {
+        /// Uncontrolled idle cycles tolerated before sleeping.
+        timeout: u64,
+    },
+    /// Predict the coming interval from an EWMA of recent interval
+    /// lengths; sleep immediately when the prediction exceeds the
+    /// breakeven interval, otherwise fall back to a breakeven-length
+    /// timeout.
+    AdaptiveSleep {
+        /// The technology's breakeven interval (cycles).
+        breakeven: f64,
+        /// EWMA weight of the newest interval, in `(0, 1]`.
+        weight: f64,
+    },
+}
+
+impl PartialEq for PolicyForm {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for PolicyForm {}
+
+impl Hash for PolicyForm {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+impl PolicyForm {
+    /// A canonical `(discriminant, param, param)` tuple — `f64`
+    /// parameters by bit pattern — so equality and hashing agree and
+    /// the form can key memo tables.
+    fn key(&self) -> (u8, u64, u64) {
+        match *self {
+            PolicyForm::AlwaysActive => (0, 0, 0),
+            PolicyForm::MaxSleep => (1, 0, 0),
+            PolicyForm::NoOverhead => (2, 0, 0),
+            PolicyForm::GradualSleep { slices } => (3, u64::from(slices), 0),
+            PolicyForm::TimeoutSleep { timeout } => (4, timeout, 0),
+            PolicyForm::AdaptiveSleep { breakeven, weight } => {
+                (5, breakeven.to_bits(), weight.to_bits())
+            }
+        }
+    }
+
+    /// The boundary policies of [`crate::closed_form`] as forms.
+    pub fn from_boundary(policy: BoundaryPolicy) -> Self {
+        match policy {
+            BoundaryPolicy::AlwaysActive => PolicyForm::AlwaysActive,
+            BoundaryPolicy::MaxSleep => PolicyForm::MaxSleep,
+            BoundaryPolicy::NoOverhead => PolicyForm::NoOverhead,
+            BoundaryPolicy::GradualSleep { slices } => PolicyForm::GradualSleep { slices },
+        }
+    }
+
+    /// A short display name (matches the controller's).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyForm::AlwaysActive => "AlwaysActive",
+            PolicyForm::MaxSleep => "MaxSleep",
+            PolicyForm::NoOverhead => "NoOverhead",
+            PolicyForm::GradualSleep { .. } => "GradualSleep",
+            PolicyForm::TimeoutSleep { .. } => "TimeoutSleep",
+            PolicyForm::AdaptiveSleep { .. } => "AdaptiveSleep",
+        }
+    }
+
+    /// Instantiates the corresponding cycle-level controller — the
+    /// reference implementation the closed forms are proven against.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (`slices == 0`, a non-finite
+    /// breakeven, a weight outside `(0, 1]`), exactly as the
+    /// controller constructors do.
+    pub fn controller(&self) -> Box<dyn SleepController> {
+        match *self {
+            PolicyForm::AlwaysActive => Box::new(AlwaysActive),
+            PolicyForm::MaxSleep => Box::new(MaxSleep::new()),
+            PolicyForm::NoOverhead => Box::new(NoOverhead::new()),
+            PolicyForm::GradualSleep { slices } => Box::new(GradualSleep::new(slices)),
+            PolicyForm::TimeoutSleep { timeout } => Box::new(TimeoutSleep::new(timeout)),
+            PolicyForm::AdaptiveSleep { breakeven, weight } => {
+                Box::new(AdaptiveSleep::new(breakeven, weight))
+            }
+        }
+    }
+}
+
+/// Scales an idle-only interval run by an interval count.
+fn scaled(run: PolicyRun, count: f64) -> PolicyRun {
+    debug_assert_eq!(run.active_cycles, 0);
+    PolicyRun {
+        energy: run.energy * count,
+        active_cycles: 0,
+        uncontrolled_idle_equiv: run.uncontrolled_idle_equiv * count,
+        sleep_equiv: run.sleep_equiv * count,
+        transitions_equiv: run.transitions_equiv * count,
+    }
+}
+
+/// One idle interval that stays uncontrolled for `u` cycles and then
+/// (if anything remains) transitions and sleeps for the other `t - u`.
+fn timeout_shape(model: &EnergyModel, t: u64, u: u64) -> PolicyRun {
+    debug_assert!(u <= t);
+    let mut run = PolicyRun {
+        energy: model.uncontrolled_idle_cycle() * u as f64,
+        uncontrolled_idle_equiv: u as f64,
+        ..PolicyRun::default()
+    };
+    if t > u {
+        run.energy += model.transition() + model.sleep_cycle() * (t - u) as f64;
+        run.transitions_equiv = 1.0;
+        run.sleep_equiv = (t - u) as f64;
+    }
+    run
+}
+
+/// The effective timeout of AdaptiveSleep's hedge mode: the
+/// controller stays awake while `idle_run <= breakeven`, so it
+/// tolerates `floor(breakeven)` uncontrolled cycles.
+fn adaptive_hedge_timeout(breakeven: f64) -> u64 {
+    breakeven.floor() as u64
+}
+
+/// The [`AdaptiveSleep`] constructor's parameter contract, enforced
+/// identically by every evaluator so an invalid form panics instead
+/// of silently pricing garbage.
+fn check_adaptive(breakeven: f64, weight: f64) {
+    assert!(
+        breakeven.is_finite() && breakeven > 0.0,
+        "breakeven must be finite and positive"
+    );
+    assert!(
+        weight > 0.0 && weight <= 1.0,
+        "EWMA weight must lie in (0, 1]"
+    );
+}
+
+/// Closed-form energy breakdown of a **single** idle interval of `t`
+/// cycles under `policy`, driven by a *fresh* controller (AdaptiveSleep
+/// starts at its neutral prediction). Exact against
+/// [`crate::accounting::simulate_cycles`]; active cycles are excluded
+/// (the interval is idle throughout).
+///
+/// # Panics
+///
+/// Panics if `policy` carries invalid parameters (`slices == 0`, a
+/// non-finite breakeven).
+pub fn interval_run(model: &EnergyModel, policy: PolicyForm, t: u64) -> PolicyRun {
+    let t_f = t as f64;
+    match policy {
+        PolicyForm::AlwaysActive => PolicyRun {
+            energy: model.uncontrolled_idle_cycle() * t_f,
+            uncontrolled_idle_equiv: t_f,
+            ..PolicyRun::default()
+        },
+        PolicyForm::MaxSleep => timeout_shape(model, t, 0),
+        PolicyForm::NoOverhead => {
+            // As MaxSleep, minus the transition bill: the controller
+            // still flips asleep but `bill_transitions` is false, so
+            // neither the energy nor the transition count accrues.
+            PolicyRun {
+                energy: model.sleep_cycle() * t_f,
+                sleep_equiv: t_f,
+                ..PolicyRun::default()
+            }
+        }
+        PolicyForm::GradualSleep { slices } => {
+            assert!(slices > 0, "GradualSleep requires at least one slice");
+            let n = f64::from(slices);
+            // Slice i (1-based, i <= t) idles i-1 cycles, transitions,
+            // then sleeps t-i+1 cycles; slices beyond t idle all t.
+            // With r = min(t, slices) slices reached, the slept
+            // cycle-equivalents are (Σ_{i=1..r} t-i+1)/n and the
+            // transition equivalents r/n.
+            let r = t.min(u64::from(slices));
+            let slept_cycles = r * t - r * (r - 1) / 2; // exact in u64
+            let slept = slept_cycles as f64 / n;
+            let reached = r as f64 / n;
+            PolicyRun {
+                energy: model.uncontrolled_idle_cycle() * (t_f - slept)
+                    + model.transition() * reached
+                    + model.sleep_cycle() * slept,
+                uncontrolled_idle_equiv: t_f - slept,
+                sleep_equiv: slept,
+                transitions_equiv: reached,
+                ..PolicyRun::default()
+            }
+        }
+        PolicyForm::TimeoutSleep { timeout } => timeout_shape(model, t, t.min(timeout)),
+        PolicyForm::AdaptiveSleep { breakeven, weight } => {
+            check_adaptive(breakeven, weight);
+            // A fresh controller predicts exactly the breakeven, so
+            // `ewma > breakeven` is false: hedge mode.
+            timeout_shape(model, t, t.min(adaptive_hedge_timeout(breakeven)))
+        }
+    }
+}
+
+/// Closed-form evaluation of an idle-interval **list** in occurrence
+/// order, plus `active_cycles` active cycles — the per-interval
+/// generalization of [`crate::accounting::account_intervals`] to every
+/// policy family. O(1) per interval: AdaptiveSleep's predictor is the
+/// only cross-interval state, folded in closed form.
+pub fn intervals_run(
+    model: &EnergyModel,
+    policy: PolicyForm,
+    active_cycles: u64,
+    idle_intervals: &[u64],
+) -> PolicyRun {
+    let mut run = PolicyRun {
+        energy: model.active_cycle() * active_cycles as f64,
+        active_cycles,
+        ..PolicyRun::default()
+    };
+    if let PolicyForm::AdaptiveSleep { breakeven, weight } = policy {
+        check_adaptive(breakeven, weight);
+        let hedge = adaptive_hedge_timeout(breakeven);
+        let mut ewma = breakeven; // neutral start, as the controller
+        for &t in idle_intervals {
+            let u = if ewma > breakeven { 0 } else { t.min(hedge) };
+            run += timeout_shape(model, t, u);
+            if t > 0 {
+                ewma = (1.0 - weight) * ewma + weight * t as f64;
+            }
+        }
+    } else {
+        for &t in idle_intervals {
+            run += interval_run(model, policy, t);
+        }
+    }
+    run
+}
+
+/// Closed-form evaluation of an [`IntervalSpectrum`]: the workload's
+/// policy energy as a dot product between the spectrum and the
+/// per-length closed form, in O(distinct lengths) for every
+/// order-free policy. History-dependent AdaptiveSleep observes the
+/// spectrum in its canonical ascending-length order (equivalently,
+/// [`intervals_run`] over [`IntervalSpectrum::to_lengths`]) and
+/// therefore costs O(total intervals) — its predictor folds every
+/// interval, though still O(1) each rather than O(cycles).
+///
+/// Agrees with [`crate::accounting::account_intervals`] and with the
+/// cycle-level controllers for every policy
+/// (`crates/core/tests/spectrum_props.rs`).
+pub fn spectrum_run(
+    model: &EnergyModel,
+    policy: PolicyForm,
+    active_cycles: u64,
+    spectrum: &IntervalSpectrum,
+) -> PolicyRun {
+    let mut run = PolicyRun {
+        energy: model.active_cycle() * active_cycles as f64,
+        active_cycles,
+        ..PolicyRun::default()
+    };
+    if let PolicyForm::AdaptiveSleep { breakeven, weight } = policy {
+        check_adaptive(breakeven, weight);
+        let hedge = adaptive_hedge_timeout(breakeven);
+        let mut ewma = breakeven;
+        for &(t, count) in spectrum.entries() {
+            for _ in 0..count {
+                let u = if ewma > breakeven { 0 } else { t.min(hedge) };
+                run += timeout_shape(model, t, u);
+                ewma = (1.0 - weight) * ewma + weight * t as f64;
+            }
+        }
+    } else {
+        for &(t, count) in spectrum.entries() {
+            run += scaled(interval_run(model, policy, t), count as f64);
+        }
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accounting::{account_intervals, simulate_intervals};
+    use crate::breakeven::breakeven_interval;
+    use crate::tech::TechnologyParams;
+
+    fn model(p: f64, alpha: f64) -> EnergyModel {
+        EnergyModel::new(TechnologyParams::with_leakage_factor(p).unwrap(), alpha).unwrap()
+    }
+
+    fn close(a: &PolicyRun, b: &PolicyRun) -> bool {
+        (a.energy.total() - b.energy.total()).abs() < 1e-9
+            && a.active_cycles == b.active_cycles
+            && (a.uncontrolled_idle_equiv - b.uncontrolled_idle_equiv).abs() < 1e-9
+            && (a.sleep_equiv - b.sleep_equiv).abs() < 1e-9
+            && (a.transitions_equiv - b.transitions_equiv).abs() < 1e-9
+    }
+
+    #[test]
+    fn forms_compare_and_hash_by_parameters() {
+        use std::collections::HashSet;
+        let be = 20.0;
+        let forms = [
+            PolicyForm::AlwaysActive,
+            PolicyForm::MaxSleep,
+            PolicyForm::NoOverhead,
+            PolicyForm::GradualSleep { slices: 4 },
+            PolicyForm::GradualSleep { slices: 8 },
+            PolicyForm::TimeoutSleep { timeout: 4 },
+            PolicyForm::AdaptiveSleep {
+                breakeven: be,
+                weight: 0.25,
+            },
+            PolicyForm::AdaptiveSleep {
+                breakeven: be,
+                weight: 0.5,
+            },
+        ];
+        let set: HashSet<PolicyForm> = forms.into_iter().collect();
+        assert_eq!(set.len(), forms.len(), "all parameterizations distinct");
+        assert_eq!(
+            PolicyForm::GradualSleep { slices: 4 },
+            PolicyForm::GradualSleep { slices: 4 }
+        );
+        assert_ne!(
+            PolicyForm::GradualSleep { slices: 4 },
+            PolicyForm::TimeoutSleep { timeout: 4 }
+        );
+    }
+
+    #[test]
+    fn boundary_conversion_and_names() {
+        for (b, name) in [
+            (BoundaryPolicy::AlwaysActive, "AlwaysActive"),
+            (BoundaryPolicy::MaxSleep, "MaxSleep"),
+            (BoundaryPolicy::NoOverhead, "NoOverhead"),
+            (BoundaryPolicy::GradualSleep { slices: 3 }, "GradualSleep"),
+        ] {
+            let f = PolicyForm::from_boundary(b);
+            assert_eq!(f.name(), name);
+            assert_eq!(f.controller().name(), name);
+        }
+    }
+
+    #[test]
+    fn interval_run_matches_account_intervals_per_interval() {
+        let m = model(0.2, 0.4);
+        for t in [1u64, 2, 5, 13, 100, 5000] {
+            for b in [
+                BoundaryPolicy::AlwaysActive,
+                BoundaryPolicy::MaxSleep,
+                BoundaryPolicy::NoOverhead,
+                BoundaryPolicy::GradualSleep { slices: 7 },
+                BoundaryPolicy::GradualSleep { slices: 1024 },
+            ] {
+                let old = account_intervals(&m, b, 0, &[t]);
+                let new = interval_run(&m, PolicyForm::from_boundary(b), t);
+                assert!(close(&old, &new), "{b:?} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn extension_closed_forms_match_controllers() {
+        let m = model(0.05, 0.5);
+        let be = breakeven_interval(&m);
+        let intervals = vec![1u64, 3, 7, 19, 19, 50, 500, 2, 2, 2];
+        for form in [
+            PolicyForm::TimeoutSleep { timeout: 0 },
+            PolicyForm::TimeoutSleep { timeout: 5 },
+            PolicyForm::TimeoutSleep { timeout: u64::MAX },
+            PolicyForm::AdaptiveSleep {
+                breakeven: be,
+                weight: 0.25,
+            },
+            PolicyForm::AdaptiveSleep {
+                breakeven: be,
+                weight: 1.0,
+            },
+        ] {
+            let closed = intervals_run(&m, form, 40, &intervals);
+            let simulated = simulate_intervals(&m, form.controller().as_mut(), 40, &intervals);
+            assert!(close(&closed, &simulated), "{form:?}");
+        }
+    }
+
+    #[test]
+    fn spectrum_run_is_the_dot_product_for_order_free_policies() {
+        let m = model(0.5, 0.5);
+        let intervals = vec![4u64, 1, 9, 4, 4, 1, 30];
+        let spectrum = IntervalSpectrum::from_lengths(&intervals);
+        for form in [
+            PolicyForm::AlwaysActive,
+            PolicyForm::MaxSleep,
+            PolicyForm::NoOverhead,
+            PolicyForm::GradualSleep { slices: 5 },
+            PolicyForm::TimeoutSleep { timeout: 3 },
+        ] {
+            let by_list = intervals_run(&m, form, 12, &intervals);
+            let by_spectrum = spectrum_run(&m, form, 12, &spectrum);
+            assert!(close(&by_list, &by_spectrum), "{form:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "breakeven")]
+    fn spectrum_run_rejects_invalid_adaptive_forms() {
+        // Every evaluator enforces the controller's parameter
+        // contract — no silent garbage from an invalid form.
+        let m = model(0.5, 0.5);
+        let s = IntervalSpectrum::from_lengths(&[3, 9]);
+        let _ = spectrum_run(
+            &m,
+            PolicyForm::AdaptiveSleep {
+                breakeven: f64::NAN,
+                weight: 0.25,
+            },
+            10,
+            &s,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA")]
+    fn intervals_run_rejects_invalid_adaptive_weight() {
+        let m = model(0.5, 0.5);
+        let _ = intervals_run(
+            &m,
+            PolicyForm::AdaptiveSleep {
+                breakeven: 10.0,
+                weight: 0.0,
+            },
+            10,
+            &[3, 9],
+        );
+    }
+
+    #[test]
+    fn adaptive_spectrum_run_uses_canonical_order() {
+        let m = model(0.05, 0.5);
+        let be = breakeven_interval(&m);
+        let form = PolicyForm::AdaptiveSleep {
+            breakeven: be,
+            weight: 1.0, // maximally order-sensitive
+        };
+        // Short-then-long differs from long-then-short...
+        let asc = intervals_run(&m, form, 10, &[2, 500]);
+        let desc = intervals_run(&m, form, 10, &[500, 2]);
+        assert!((asc.energy.total() - desc.energy.total()).abs() > 1e-9);
+        // ...and the spectrum evaluator is pinned to ascending order.
+        let spectrum = IntervalSpectrum::from_lengths(&[500, 2]);
+        let by_spectrum = spectrum_run(&m, form, 10, &spectrum);
+        assert!(close(&by_spectrum, &asc));
+    }
+}

@@ -2,13 +2,15 @@
 //!
 //! The timing simulator used to buffer every busy cycle per FU and
 //! convert the sorted list into idle intervals after the run; the
-//! [`IdleCursor`] replaces that with incremental recording. These
-//! tests pin the equivalence: on *any* nondecreasing busy stream —
-//! duplicates and trailing idle included — the online recorder must
-//! reproduce the historical post-hoc conversion exactly, and agree
-//! with the boolean-stream [`IdleRecorder`].
+//! [`IdleCursor`] replaces that with incremental recording straight
+//! into an [`IntervalSpectrum`]. These tests pin the equivalence: on
+//! *any* nondecreasing busy stream — duplicates and trailing idle
+//! included — the online recorder must reproduce the historical
+//! post-hoc conversion exactly, and the boolean-stream
+//! [`IdleRecorder`] adapter must agree with the cursor it wraps,
+//! open-trailing-run totals included (the PR 2 semantics).
 
-use fuleak_core::{IdleCursor, IdleRecorder};
+use fuleak_core::{IdleCursor, IdleRecorder, IntervalSpectrum};
 use proptest::prelude::*;
 
 /// The historical post-hoc conversion (the old
@@ -63,7 +65,10 @@ proptest! {
         }
         cursor.finish(total);
         let oracle = idle_from_busy_oracle(&cycles, total);
-        prop_assert_eq!(cursor.intervals(), oracle.as_slice());
+        prop_assert_eq!(
+            cursor.spectrum(),
+            &IntervalSpectrum::from_lengths(&oracle)
+        );
         prop_assert_eq!(cursor.active_cycles(), cycles.len() as u64);
     }
 
@@ -91,11 +96,13 @@ proptest! {
         prop_assert_eq!(split_cursor, whole_cursor);
     }
 
-    /// The cursor recorder and the boolean-stream recorder agree on
+    /// The boolean-stream adapter agrees with the cursor it wraps on
     /// deduplicated streams (the boolean form cannot express a
-    /// duplicate busy cycle).
+    /// duplicate busy cycle), and its cycle totals — which include an
+    /// idle run still open at the end of the stream, per the PR 2
+    /// semantics — conserve every cycle *before* `finish()` runs.
     #[test]
-    fn cursor_matches_boolean_recorder(stream in busy_stream()) {
+    fn adapter_matches_cursor_and_counts_open_runs(stream in busy_stream()) {
         let (cycles, total) = stream;
         let mut dedup = cycles.clone();
         dedup.dedup();
@@ -110,12 +117,18 @@ proptest! {
             }
             bools.observe(busy);
         }
+        // Open-trailing-run semantics: totals are complete before the
+        // stream is finished, even though the spectrum is not.
+        prop_assert_eq!(bools.total_cycles(), total);
+        prop_assert_eq!(bools.idle_cycles() + dedup.len() as u64, total);
         bools.finish();
         cursor.finish(total);
-        prop_assert_eq!(cursor.intervals(), bools.intervals());
+        prop_assert_eq!(cursor.spectrum(), bools.spectrum());
         prop_assert_eq!(cursor.active_cycles(), bools.active_cycles());
         // Conservation either way: every cycle is active or idle.
-        let idle: u64 = cursor.intervals().iter().sum();
-        prop_assert_eq!(idle + dedup.len() as u64, total);
+        prop_assert_eq!(
+            cursor.spectrum().idle_cycles() + dedup.len() as u64,
+            total
+        );
     }
 }

@@ -34,13 +34,29 @@
 //! * `--mem` — main-memory latency in cycles;
 //! * `--mshrs` — outstanding-miss registers.
 //!
+//! Evaluation axes price every simulated point under a sleep-policy /
+//! technology grid (closed-form over the recorded idle spectra — no
+//! re-simulation; rows multiply instead):
+//!
+//! * `--policy P,Q` — policy names (`maxsleep`, `gradualsleep`,
+//!   `alwaysactive`, `nooverhead`, `timeout`, `adaptive`; default:
+//!   the four Figure 8 policies);
+//! * `--slices N,M` — GradualSleep slice counts (default:
+//!   breakeven-many);
+//! * `--leak F,G` — technology leakage factors `p` in `[0, 1]`
+//!   (default 0.05);
+//! * `--transition F,G` — sleep-switch overheads `E_slp/E_D` in
+//!   `[0, 1]` (default 0.01).
+//!
 //! All simulation-backed experiments share one engine, so `repro all`
 //! simulates each (benchmark × machine × budget) point exactly once
 //! and finishes with a cumulative cache-effectiveness summary on
-//! stderr.
+//! stderr. Beyond the paper's tables, `repro policy-ext` runs the
+//! extension-policy study (not part of `all`).
 
 use fuleak_experiments::experiment::{self, sweep_table, Context};
 use fuleak_experiments::harness::Budget;
+use fuleak_experiments::policy::PolicyKind;
 use fuleak_experiments::render;
 use fuleak_experiments::result::ResultTable;
 use fuleak_experiments::scenario::{Engine, SweepSpec};
@@ -64,9 +80,10 @@ struct Options {
 }
 
 const USAGE: &str = "usage: repro <experiment>|all [--quick|--budget N] [--jobs N] [--format text|json|csv] [--out DIR]
-       repro sweep [--bench A,B] [--int-fus L] [--l2 L] [--width L] [--rob L] [--l1d-kb L] [--l2-kb L] [--mem L] [--mshrs L] [options]
+       repro sweep [--bench A,B] [--int-fus L] [--l2 L] [--width L] [--rob L] [--l1d-kb L] [--l2-kb L] [--mem L] [--mshrs L]
+                   [--policy P,Q] [--slices L] [--leak F,G] [--transition F,G] [options]
        repro bench [--runs N] [--jobs N] [--out DIR]
-       (value lists L: comma values and lo:hi ranges, e.g. 1:4 or 2,4,8)";
+       (value lists L: comma values and lo:hi ranges, e.g. 1:4 or 2,4,8; F,G: fractions in [0,1])";
 
 /// Parses the shared options out of `args`, returning the leftover
 /// (mode-specific) arguments.
@@ -174,6 +191,39 @@ fn parse_values(flag: &str, s: &str) -> Result<Vec<u64>, String> {
     Ok(out)
 }
 
+/// Parses a comma-separated list of fractions in `[0, 1]` (the
+/// energy-model evaluation axes).
+fn parse_fractions(flag: &str, s: &str) -> Result<Vec<f64>, String> {
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        let v: f64 = part
+            .parse()
+            .map_err(|_| format!("invalid {flag} value `{part}` (expected a number)"))?;
+        if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+            return Err(format!("{flag} value `{part}` must lie in [0, 1]"));
+        }
+        out.push(v);
+    }
+    if out.is_empty() {
+        return Err(format!("{flag} needs at least one value"));
+    }
+    Ok(out)
+}
+
+/// Parses a comma-separated list of policy names.
+fn parse_policies(s: &str) -> Result<Vec<PolicyKind>, String> {
+    s.split(',')
+        .map(|name| {
+            PolicyKind::parse(name).ok_or_else(|| {
+                format!(
+                    "unknown policy `{name}`; known: {}",
+                    PolicyKind::known_names()
+                )
+            })
+        })
+        .collect()
+}
+
 /// Prints a table to stdout in the selected format and, with `--out`,
 /// writes its JSON and CSV artifacts.
 fn emit(table: &ResultTable, opts: &Options) -> Result<(), String> {
@@ -218,7 +268,7 @@ fn run_experiments(targets: &[&str], opts: &Options) -> Result<(), String> {
         let exp = experiment::by_name(name).ok_or_else(|| {
             format!(
                 "unknown experiment `{name}`; known: {}",
-                experiment::names().join(" ")
+                experiment::all_names().join(" ")
             )
         })?;
         let table = exp.run(&mut ctx);
@@ -291,6 +341,19 @@ fn run_sweep(args: &[&str], opts: &Options) -> Result<(), String> {
                 let mshrs = parse_values(flag, &value)?;
                 spec.axis_mshrs(mshrs.into_iter().map(|v| v as usize))
             }
+            "--policy" => spec.axis_policy(parse_policies(&value)?),
+            "--slices" => {
+                let slices = parse_values(flag, &value)?;
+                if let Some(&bad) = slices.iter().find(|&&v| v == 0 || v > u64::from(u32::MAX)) {
+                    return Err(format!(
+                        "--slices value `{bad}` must lie in 1..={}",
+                        u32::MAX
+                    ));
+                }
+                spec.axis_slices(slices.into_iter().map(|v| v as u32))
+            }
+            "--leak" => spec.axis_leak_ratio(parse_fractions(flag, &value)?),
+            "--transition" => spec.axis_transition_cost(parse_fractions(flag, &value)?),
             other => return Err(format!("unknown sweep flag `{other}`")),
         };
     }
@@ -299,10 +362,18 @@ fn run_sweep(args: &[&str], opts: &Options) -> Result<(), String> {
         .map_err(|e| format!("invalid sweep: {e}"))?
         .len();
     if opts.format == Format::Text {
-        eprintln!(
-            "[repro] sweeping {points} points ({} workers)...",
-            opts.engine.jobs()
-        );
+        if spec.has_eval_axes() {
+            eprintln!(
+                "[repro] sweeping {points} machine points x {} policy points ({} workers)...",
+                spec.eval_points().len(),
+                opts.engine.jobs()
+            );
+        } else {
+            eprintln!(
+                "[repro] sweeping {points} points ({} workers)...",
+                opts.engine.jobs()
+            );
+        }
     }
     let table = sweep_table(&opts.engine, &spec).map_err(|e| format!("invalid sweep: {e}"))?;
     emit(&table, opts)?;
@@ -404,10 +475,125 @@ fn run_bench(args: &[&str], opts: &Options) -> Result<(), String> {
         let engine = Engine::new(jobs);
         engine.run_sweep(&sweep_spec());
     });
+
+    // Policy-evaluation workload: price a policy × slices × leakage
+    // grid over the quick suite (a) with the closed-form spectrum
+    // evaluator and (b) with the historical per-interval replay
+    // (`account_intervals` over the expanded interval lists — the
+    // pre-spectrum implementation). Identical energies, so the ratio
+    // is the pure per-point policy-evaluation speedup.
+    use fuleak_core::accounting::account_intervals;
+    use fuleak_core::closed_form::BoundaryPolicy;
+    use fuleak_core::{EnergyModel, PolicyForm, TechnologyParams};
+    use fuleak_experiments::harness::run_suite_on;
+    use fuleak_experiments::policy::policy_energy_of;
+    let engine = Engine::new(jobs);
+    let suite = run_suite_on(&engine, 12, Budget::Quick);
+    let lists: Vec<Vec<Vec<u64>>> = suite
+        .runs
+        .iter()
+        .map(|r| r.sim.fu_idle.iter().map(|s| s.to_lengths()).collect())
+        .collect();
+    let grid: Vec<(PolicyKind, Option<u32>)> = vec![
+        (PolicyKind::MaxSleep, None),
+        (PolicyKind::AlwaysActive, None),
+        (PolicyKind::NoOverhead, None),
+        (PolicyKind::GradualSleep, None),
+        (PolicyKind::GradualSleep, Some(2)),
+        (PolicyKind::GradualSleep, Some(8)),
+        (PolicyKind::GradualSleep, Some(32)),
+        (PolicyKind::GradualSleep, Some(128)),
+    ];
+    let leaks = [0.05, 0.5];
+    let policy_points = grid.len() * leaks.len() * suite.runs.len();
+    let model_at = |p: f64| {
+        EnergyModel::new(
+            TechnologyParams::with_leakage_factor(p).expect("p in range"),
+            0.5,
+        )
+        .expect("alpha in range")
+    };
+    let boundary_of = |form: PolicyForm| match form {
+        PolicyForm::MaxSleep => BoundaryPolicy::MaxSleep,
+        PolicyForm::AlwaysActive => BoundaryPolicy::AlwaysActive,
+        PolicyForm::NoOverhead => BoundaryPolicy::NoOverhead,
+        PolicyForm::GradualSleep { slices } => BoundaryPolicy::GradualSleep { slices },
+        _ => unreachable!("the bench grid holds boundary policies only"),
+    };
+    // Sanity: both paths price one point identically before timing.
+    {
+        let model = model_at(0.5);
+        let form = PolicyKind::GradualSleep.form(&model, Some(8));
+        let by_spectrum = policy_energy_of(&model, form, &suite.runs[0].sim);
+        let by_replay: f64 = lists[0]
+            .iter()
+            .enumerate()
+            .map(|(fu, list)| {
+                account_intervals(
+                    &model,
+                    boundary_of(form),
+                    suite.runs[0].sim.fu_active[fu],
+                    list,
+                )
+                .energy
+                .total()
+            })
+            .sum();
+        assert!(
+            (by_spectrum.energy.total() - by_replay).abs() / by_replay < 1e-9,
+            "spectrum and replay paths disagree"
+        );
+    }
+    eprintln!(
+        "[repro] bench: policy evaluation, {policy_points} points, spectrum vs interval replay..."
+    );
+    let policy_spectrum = time_runs(runs, || {
+        for &p in &leaks {
+            let model = model_at(p);
+            for run in &suite.runs {
+                for &(kind, slices) in &grid {
+                    let form = kind.form(&model, slices);
+                    std::hint::black_box(policy_energy_of(&model, form, &run.sim));
+                }
+            }
+        }
+    });
+    let policy_replay = time_runs(runs, || {
+        for &p in &leaks {
+            let model = model_at(p);
+            for (run, fu_lists) in suite.runs.iter().zip(&lists) {
+                for &(kind, slices) in &grid {
+                    let form = kind.form(&model, slices);
+                    let boundary = boundary_of(form);
+                    for (fu, list) in fu_lists.iter().enumerate() {
+                        std::hint::black_box(account_intervals(
+                            &model,
+                            boundary,
+                            run.sim.fu_active[fu],
+                            list,
+                        ));
+                    }
+                }
+            }
+        }
+    });
+    let best = |secs: &[f64]| secs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let per_point_us = |secs: &[f64]| 1e6 * best(secs) / policy_points as f64;
+    let speedup = per_point_us(&policy_replay) / per_point_us(&policy_spectrum);
+    let policy_side = |secs: &[f64]| {
+        format!(
+            "{{\"best_seconds\": {:.6}, \"per_point_us\": {:.2}}}",
+            best(secs),
+            per_point_us(secs)
+        )
+    };
+
     let json = format!(
-        "{{\n  \"name\": \"repro-bench\",\n  \"budget\": \"quick\",\n  \"jobs\": {jobs},\n  \"runs\": {runs},\n  \"all_quick\": {},\n  \"sweep_fixed_geometry\": {{\"points\": {sweep_points}, {}}}\n}}\n",
+        "{{\n  \"name\": \"repro-bench\",\n  \"budget\": \"quick\",\n  \"jobs\": {jobs},\n  \"runs\": {runs},\n  \"all_quick\": {},\n  \"sweep_fixed_geometry\": {{\"points\": {sweep_points}, {}}},\n  \"policy_eval\": {{\"points\": {policy_points}, \"spectrum\": {}, \"interval_replay\": {}, \"speedup_per_point\": {speedup:.1}}}\n}}\n",
         json_seconds(&all_quick),
         json_seconds(&sweep).trim_start_matches('{').trim_end_matches('}'),
+        policy_side(&policy_spectrum),
+        policy_side(&policy_replay),
     );
     print!("{json}");
     if let Some(dir) = &opts.out {
@@ -424,7 +610,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let parsed = parse_options(&args).and_then(|(opts, rest)| {
         if rest.is_empty() {
-            return Err(format!("experiments: {}", experiment::names().join(" ")));
+            return Err(format!(
+                "experiments: {}",
+                experiment::all_names().join(" ")
+            ));
         }
         if rest[0] == "sweep" {
             run_sweep(&rest[1..], &opts)

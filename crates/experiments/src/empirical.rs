@@ -1,12 +1,22 @@
 //! Simulation-driven experiments: Table 2, Table 3, Figure 7,
-//! Figures 8a/8b, Figures 9a/9b.
+//! Figures 8a/8b, Figures 9a/9b, and the `policy-ext` extension-policy
+//! study.
+//!
+//! Policy energies are priced by the closed-form spectrum evaluator
+//! ([`crate::policy::policy_energy_of`]) over each run's per-FU
+//! [`fuleak_core::IntervalSpectrum`]s; the `_on` variants additionally
+//! memoize every evaluation in the engine's
+//! [`crate::policy::PolicyCache`].
 
-use crate::harness::SuiteResult;
+use crate::harness::{BenchRun, SuiteResult};
+use crate::policy::{policy_energy_of, EVAL_ALPHA};
 use crate::result::{Cell, ResultTable};
-use fuleak_core::accounting::{account_intervals, PolicyRun};
-use fuleak_core::closed_form::BoundaryPolicy;
-use fuleak_core::{breakeven_interval, EnergyModel, IdleHistogram, TechnologyParams};
+use crate::scenario::Engine;
+use fuleak_core::accounting::PolicyRun;
+use fuleak_core::{EnergyModel, IdleHistogram, TechnologyParams};
 use fuleak_uarch::CoreConfig;
+
+pub use crate::policy::PolicyKind;
 
 /// Renders Table 2 (the processor configuration actually in use).
 pub fn table2() -> ResultTable {
@@ -146,7 +156,7 @@ pub fn fig7(suite: &SuiteResult) -> Fig7Series {
     for run in &suite.runs {
         for fu in &run.sim.fu_idle {
             let mut h = IdleHistogram::new();
-            h.record_all(fu);
+            h.record_spectrum(fu);
             let f = h.time_fractions(run.sim.cycles);
             for (a, x) in acc.iter_mut().zip(f.iter()) {
                 *a += x;
@@ -194,51 +204,24 @@ pub const POLICIES: [(&str, PolicyKind); 4] = [
     ("NoOverhead", PolicyKind::NoOverhead),
 ];
 
-/// Policy selector for the empirical experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PolicyKind {
-    /// Sleep on every idle cycle.
-    MaxSleep,
-    /// Staggered slices (breakeven-many, per the paper).
-    GradualSleep,
-    /// Clock gating only.
-    AlwaysActive,
-    /// The unachievable lower bound.
-    NoOverhead,
-}
-
-impl PolicyKind {
-    fn boundary(self, model: &EnergyModel) -> BoundaryPolicy {
-        match self {
-            PolicyKind::MaxSleep => BoundaryPolicy::MaxSleep,
-            PolicyKind::AlwaysActive => BoundaryPolicy::AlwaysActive,
-            PolicyKind::NoOverhead => BoundaryPolicy::NoOverhead,
-            PolicyKind::GradualSleep => BoundaryPolicy::GradualSleep {
-                slices: breakeven_interval(model).round().clamp(1.0, 1024.0) as u32,
-            },
-        }
-    }
-}
-
 /// Total energy of one benchmark under one policy, summed over its
-/// FUs, in units of the per-FU `E_D`.
-pub fn benchmark_energy(
-    run: &crate::harness::BenchRun,
+/// FUs, in units of the per-FU `E_D` — the spectrum evaluator applied
+/// to the run's per-FU idle spectra.
+pub fn benchmark_energy(run: &BenchRun, model: &EnergyModel, policy: PolicyKind) -> PolicyRun {
+    policy_energy_of(model, policy.form(model, None), &run.sim)
+}
+
+/// [`benchmark_energy`] memoized in `engine`'s
+/// [`crate::policy::PolicyCache`], keyed by the run's scenario, the
+/// resolved policy form, and the model fingerprint. Values are
+/// identical to the uncached path (same evaluator, same inputs).
+pub fn benchmark_energy_on(
+    engine: &Engine,
+    run: &BenchRun,
     model: &EnergyModel,
     policy: PolicyKind,
 ) -> PolicyRun {
-    let boundary = policy.boundary(model);
-    let mut total = PolicyRun::default();
-    for (fu, intervals) in run.sim.fu_idle.iter().enumerate() {
-        let active = run.sim.fu_active[fu];
-        let r = account_intervals(model, boundary, active, intervals);
-        total.energy += r.energy;
-        total.active_cycles += r.active_cycles;
-        total.uncontrolled_idle_equiv += r.uncontrolled_idle_equiv;
-        total.sleep_equiv += r.sleep_equiv;
-        total.transitions_equiv += r.transitions_equiv;
-    }
-    total
+    engine.policy_run(&run.scenario, policy.form(model, None), model)
 }
 
 /// One Figure 8 row: per-benchmark normalized energies at one `alpha`.
@@ -252,10 +235,12 @@ pub struct Fig8Row {
     pub energy: [f64; 4],
 }
 
-/// Figures 8a/8b: per-benchmark energy of the four policies at leakage
-/// factor `p` and activity factor `alpha`, normalized to the
-/// 100%-computation baseline `E_max`.
-pub fn fig8(suite: &SuiteResult, p: f64, alpha: f64) -> Vec<Fig8Row> {
+/// Figures 8a/8b rows with a caller-chosen energy evaluator (cached
+/// or not — the values are identical either way).
+fn fig8_rows<F>(suite: &SuiteResult, p: f64, alpha: f64, energy_of: F) -> Vec<Fig8Row>
+where
+    F: Fn(&BenchRun, &EnergyModel, PolicyKind) -> PolicyRun,
+{
     let tech = TechnologyParams::with_leakage_factor(p).expect("p in range");
     let model = EnergyModel::new(tech, alpha).expect("alpha in range");
     suite
@@ -265,7 +250,7 @@ pub fn fig8(suite: &SuiteResult, p: f64, alpha: f64) -> Vec<Fig8Row> {
             let e_max = model.max_energy(run.sim.cycles as f64) * run.fus as f64;
             let mut energy = [0.0; 4];
             for (slot, (_, kind)) in energy.iter_mut().zip(POLICIES) {
-                *slot = benchmark_energy(run, &model, kind).energy.total() / e_max;
+                *slot = energy_of(run, &model, kind).energy.total() / e_max;
             }
             Fig8Row {
                 name: run.name,
@@ -276,10 +261,33 @@ pub fn fig8(suite: &SuiteResult, p: f64, alpha: f64) -> Vec<Fig8Row> {
         .collect()
 }
 
+/// Figures 8a/8b: per-benchmark energy of the four policies at leakage
+/// factor `p` and activity factor `alpha`, normalized to the
+/// 100%-computation baseline `E_max`.
+pub fn fig8(suite: &SuiteResult, p: f64, alpha: f64) -> Vec<Fig8Row> {
+    fig8_rows(suite, p, alpha, benchmark_energy)
+}
+
+/// [`fig8`] with every policy evaluation memoized in `engine`'s
+/// policy cache.
+pub fn fig8_on(engine: &Engine, suite: &SuiteResult, p: f64, alpha: f64) -> Vec<Fig8Row> {
+    fig8_rows(suite, p, alpha, |run, model, kind| {
+        benchmark_energy_on(engine, run, model, kind)
+    })
+}
+
 /// Renders Figure 8 at one technology point, with the suite average
 /// (rename via [`ResultTable::named`] for the specific panel).
 pub fn fig8_table(suite: &SuiteResult, p: f64, alpha: f64) -> ResultTable {
-    let rows = fig8(suite, p, alpha);
+    fig8_table_from(fig8(suite, p, alpha), p, alpha)
+}
+
+/// [`fig8_table`] evaluated through `engine`'s policy cache.
+pub fn fig8_table_on(engine: &Engine, suite: &SuiteResult, p: f64, alpha: f64) -> ResultTable {
+    fig8_table_from(fig8_on(engine, suite, p, alpha), p, alpha)
+}
+
+fn fig8_table_from(rows: Vec<Fig8Row>, p: f64, alpha: f64) -> ResultTable {
     let mut t = ResultTable::new(
         "fig8",
         format!("Figure 8 — normalized energy, p = {p} (alpha = {alpha})"),
@@ -343,6 +351,23 @@ pub fn fig9(suite: &SuiteResult) -> Vec<Fig9Row> {
 /// `SimCache`); output order (and every value) is identical for any
 /// worker count.
 pub fn fig9_jobs(suite: &SuiteResult, jobs: usize) -> Vec<Fig9Row> {
+    fig9_rows(suite, jobs, &benchmark_energy)
+}
+
+/// [`fig9_jobs`] with every policy evaluation memoized in `engine`'s
+/// policy cache (within one technology point the NoOverhead and
+/// leakage-fraction passes re-read the same evaluations, so the cache
+/// halves the work even cold).
+pub fn fig9_jobs_on(engine: &Engine, suite: &SuiteResult, jobs: usize) -> Vec<Fig9Row> {
+    fig9_rows(suite, jobs, &|run, model, kind| {
+        benchmark_energy_on(engine, run, model, kind)
+    })
+}
+
+fn fig9_rows<F>(suite: &SuiteResult, jobs: usize, energy_of: &F) -> Vec<Fig9Row>
+where
+    F: Fn(&BenchRun, &EnergyModel, PolicyKind) -> PolicyRun + Sync,
+{
     crate::scenario::parallel_map(jobs, (1..=20).collect(), |i| {
         let p = i as f64 * 0.05;
         let tech = TechnologyParams::with_leakage_factor(p).expect("p in range");
@@ -350,7 +375,7 @@ pub fn fig9_jobs(suite: &SuiteResult, jobs: usize) -> Vec<Fig9Row> {
         let mut rel = [0.0; 3];
         let mut leak = [0.0; 4];
         for run in &suite.runs {
-            let no = benchmark_energy(run, &model, PolicyKind::NoOverhead)
+            let no = energy_of(run, &model, PolicyKind::NoOverhead)
                 .energy
                 .total();
             for (k, kind) in [
@@ -361,10 +386,10 @@ pub fn fig9_jobs(suite: &SuiteResult, jobs: usize) -> Vec<Fig9Row> {
             .into_iter()
             .enumerate()
             {
-                rel[k] += benchmark_energy(run, &model, kind).energy.total() / no;
+                rel[k] += energy_of(run, &model, kind).energy.total() / no;
             }
             for (k, (_, kind)) in POLICIES.into_iter().enumerate() {
-                leak[k] += benchmark_energy(run, &model, kind)
+                leak[k] += energy_of(run, &model, kind)
                     .energy
                     .leakage_fraction()
                     .unwrap_or(0.0);
@@ -428,6 +453,87 @@ pub fn fig9b_table(rows: &[Fig9Row]) -> ResultTable {
             Cell::float(r.leakage_fraction[3], 3),
         ]);
     }
+    t
+}
+
+/// The `policy-ext` column order: the paper's proposed design first,
+/// then the two "more complex control strategies", then the bounds.
+pub const EXT_POLICIES: [PolicyKind; 6] = [
+    PolicyKind::GradualSleep,
+    PolicyKind::TimeoutSleep,
+    PolicyKind::AdaptiveSleep,
+    PolicyKind::MaxSleep,
+    PolicyKind::AlwaysActive,
+    PolicyKind::NoOverhead,
+];
+
+/// The `repro policy-ext` experiment: normalized per-benchmark energy
+/// of the extension controllers (breakeven-timeout `TimeoutSleep`,
+/// EWMA-predicting `AdaptiveSleep`) next to `GradualSleep` and the
+/// bounds, at both of the paper's technology points — reproducing the
+/// conclusion that more complex control strategies do not beat the
+/// simple staggered design. Every evaluation goes through `engine`'s
+/// policy cache.
+pub fn policy_ext_table(engine: &Engine, suite: &SuiteResult) -> ResultTable {
+    let mut t = ResultTable::new(
+        "policy-ext",
+        format!("Extension policies vs GradualSleep — E/E_max (alpha = {EVAL_ALPHA})"),
+        [
+            "App (FUs)",
+            "p",
+            "GradualSleep",
+            "TimeoutSleep",
+            "AdaptiveSleep",
+            "MaxSleep",
+            "AlwaysActive",
+            "NoOverhead",
+        ],
+    );
+    let mut deltas = Vec::new();
+    for p in [0.05, 0.5] {
+        let tech = TechnologyParams::with_leakage_factor(p).expect("p in range");
+        let model = EnergyModel::new(tech, EVAL_ALPHA).expect("alpha in range");
+        let mut avg = [0.0; 6];
+        for run in &suite.runs {
+            let e_max = model.max_energy(run.sim.cycles as f64) * run.fus as f64;
+            let mut row = vec![
+                Cell::str(format!("{} ({})", run.name, run.fus)),
+                Cell::float(p, 2),
+            ];
+            for (slot, kind) in avg.iter_mut().zip(EXT_POLICIES) {
+                let e = benchmark_energy_on(engine, run, &model, kind)
+                    .energy
+                    .total()
+                    / e_max;
+                *slot += e;
+                row.push(Cell::float(e, 3));
+            }
+            t.row(row);
+        }
+        for a in &mut avg {
+            *a /= suite.runs.len() as f64;
+        }
+        let mut row = vec![Cell::str("Average"), Cell::float(p, 2)];
+        row.extend(avg.iter().map(|&a| Cell::float(a, 3)));
+        t.row(row);
+        // How much the complex controllers trail (positive) or lead
+        // (negative) GradualSleep, suite-average.
+        let pct = |a: f64| 100.0 * (a - avg[0]) / avg[0];
+        deltas.push(format!(
+            "p = {p}: TimeoutSleep {:+.1}%, AdaptiveSleep {:+.1}%",
+            pct(avg[1]),
+            pct(avg[2])
+        ));
+    }
+    t.note(format!(
+        "extension energy vs GradualSleep (suite average): {} — complex control buys no significant advantage",
+        deltas.join("; ")
+    ));
+    t.note(
+        "AdaptiveSleep is history-dependent; its spectrum evaluation observes each FU's \
+         intervals in canonical ascending-length order, not trace order"
+            .to_string(),
+    );
     t
 }
 

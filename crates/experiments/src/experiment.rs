@@ -83,11 +83,16 @@ impl<'e> Context<'e> {
     }
 
     /// The Figure 9 technology-sweep rows, computed once and shared
-    /// by fig9a and fig9b.
+    /// by fig9a and fig9b (policy evaluations land in the engine's
+    /// [`crate::policy::PolicyCache`]).
     pub fn fig9_rows(&mut self) -> &[Fig9Row] {
         if self.fig9_rows.is_none() {
             let suite = self.suite(12).clone();
-            self.fig9_rows = Some(empirical::fig9_jobs(&suite, self.engine.jobs()));
+            self.fig9_rows = Some(empirical::fig9_jobs_on(
+                self.engine,
+                &suite,
+                self.engine.jobs(),
+            ));
         }
         self.fig9_rows.as_deref().expect("just inserted")
     }
@@ -108,9 +113,13 @@ pub trait Experiment: Sync {
 /// by canonical name. The builders own the canonical name/title
 /// (shared builders like Figure 4/8 are renamed in their closure);
 /// `run` only checks the key agrees, so there is one source of truth.
+/// Entries outside the paper's tables/figures (`in_all = false`, like
+/// the `policy-ext` extension study) run by name but are not part of
+/// `repro all` — its transcript stays pinned to the paper.
 struct Entry {
     name: &'static str,
     build: fn(&mut Context<'_>) -> ResultTable,
+    in_all: bool,
 }
 
 impl Experiment for Entry {
@@ -130,25 +139,30 @@ impl Experiment for Entry {
 }
 
 /// Every experiment, in `repro all` order.
-static REGISTRY: [Entry; 14] = [
+static REGISTRY: [Entry; 15] = [
     Entry {
         name: "table1",
+        in_all: true,
         build: |_| analytic::table1(),
     },
     Entry {
         name: "table2",
+        in_all: true,
         build: |_| empirical::table2(),
     },
     Entry {
         name: "fig3",
+        in_all: true,
         build: |_| analytic::fig3_table(),
     },
     Entry {
         name: "fig4a",
+        in_all: true,
         build: |_| analytic::fig4a_table(),
     },
     Entry {
         name: "fig4b",
+        in_all: true,
         build: |_| {
             analytic::fig4_policy_table(10.0, &[0.1, 0.9])
                 .named("fig4b", "Figure 4b — policies, idle interval = 10 cycles")
@@ -156,6 +170,7 @@ static REGISTRY: [Entry; 14] = [
     },
     Entry {
         name: "fig4c",
+        in_all: true,
         build: |_| {
             analytic::fig4_policy_table(100.0, &[0.1, 0.9])
                 .named("fig4c", "Figure 4c — policies, idle interval = 100 cycles")
@@ -163,6 +178,7 @@ static REGISTRY: [Entry; 14] = [
     },
     Entry {
         name: "fig4d",
+        in_all: true,
         build: |_| {
             analytic::fig4_policy_table(1.0, &[0.5])
                 .named("fig4d", "Figure 4d — worst case, idle interval = 1 cycle")
@@ -170,14 +186,17 @@ static REGISTRY: [Entry; 14] = [
     },
     Entry {
         name: "fig5c",
+        in_all: true,
         build: |_| analytic::fig5c_table(),
     },
     Entry {
         name: "table3",
+        in_all: true,
         build: |ctx| empirical::table3(ctx.suite(12)),
     },
     Entry {
         name: "fig7",
+        in_all: true,
         build: |ctx| {
             let series12 = empirical::fig7(ctx.suite(12));
             let series32 = empirical::fig7(ctx.suite(32));
@@ -191,8 +210,10 @@ static REGISTRY: [Entry; 14] = [
     },
     Entry {
         name: "fig8a",
+        in_all: true,
         build: |ctx| {
-            empirical::fig8_table(ctx.suite(12), 0.05, 0.5).named(
+            let suite = ctx.suite(12).clone();
+            empirical::fig8_table_on(ctx.engine(), &suite, 0.05, 0.5).named(
                 "fig8a",
                 "Figure 8a — normalized energy, p = 0.05 (alpha = 0.5)",
             )
@@ -200,8 +221,10 @@ static REGISTRY: [Entry; 14] = [
     },
     Entry {
         name: "fig8b",
+        in_all: true,
         build: |ctx| {
-            empirical::fig8_table(ctx.suite(12), 0.5, 0.5).named(
+            let suite = ctx.suite(12).clone();
+            empirical::fig8_table_on(ctx.engine(), &suite, 0.5, 0.5).named(
                 "fig8b",
                 "Figure 8b — normalized energy, p = 0.50 (alpha = 0.5)",
             )
@@ -209,33 +232,62 @@ static REGISTRY: [Entry; 14] = [
     },
     Entry {
         name: "fig9a",
+        in_all: true,
         build: |ctx| empirical::fig9a_table(ctx.fig9_rows()),
     },
     Entry {
         name: "fig9b",
+        in_all: true,
         build: |ctx| empirical::fig9b_table(ctx.fig9_rows()),
+    },
+    Entry {
+        name: "policy-ext",
+        in_all: false, // beyond the paper: keeps `repro all` pinned
+        build: |ctx| {
+            let suite = ctx.suite(12).clone();
+            empirical::policy_ext_table(ctx.engine(), &suite)
+        },
     },
 ];
 
-/// Every registered experiment, in `repro all` order.
+/// Every registered experiment — the paper's tables/figures in
+/// `repro all` order, then the extras runnable by name only.
 pub fn registry() -> impl Iterator<Item = &'static dyn Experiment> {
     REGISTRY.iter().map(|e| e as &dyn Experiment)
 }
 
-/// Looks an experiment up by its stable name.
+/// Looks an experiment up by its stable name (extras like
+/// `policy-ext` included).
 pub fn by_name(name: &str) -> Option<&'static dyn Experiment> {
     registry().find(|e| e.name() == name)
 }
 
-/// The registered experiment names, in `repro all` order.
+/// The experiment names `repro all` expands to, in order — the
+/// paper's tables and figures only.
 pub fn names() -> Vec<&'static str> {
-    registry().map(|e| e.name()).collect()
+    REGISTRY
+        .iter()
+        .filter(|e| e.in_all)
+        .map(|e| e.name)
+        .collect()
+}
+
+/// Every runnable experiment name, extras last.
+pub fn all_names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|e| e.name).collect()
 }
 
 /// Runs a user-specified multi-axis sweep through `engine` and tables
 /// the per-point headline statistics: one row per scenario, the axis
 /// values echoed as leading columns, the machine identified by its
 /// delta from the Table 2 baseline and its canonical fingerprint.
+///
+/// With evaluation axes set ([`SweepSpec::axis_policy`] /
+/// `axis_slices` / `axis_leak_ratio` / `axis_transition_cost`), every
+/// machine point is additionally priced under the expanded
+/// policy/technology grid — one row per (scenario × eval point),
+/// served from the engine's [`crate::policy::PolicyCache`] so a warm
+/// engine re-runs no simulation at all.
 ///
 /// # Errors
 ///
@@ -248,6 +300,9 @@ pub fn sweep_table(
     let expanded = spec.try_expand()?;
     let scenarios: Vec<_> = expanded.iter().map(|(_, s)| s.clone()).collect();
     engine.prime(&scenarios);
+    if spec.has_eval_axes() {
+        return Ok(policy_sweep_table(engine, spec, expanded));
+    }
     let mut columns = vec!["bench".to_string()];
     columns.extend(spec.axes().iter().map(|a| a.name.to_string()));
     columns.extend(
@@ -285,21 +340,96 @@ pub fn sweep_table(
     Ok(t)
 }
 
+/// The evaluation-axis view of a sweep: every simulated point priced
+/// under the policy × slices × leakage × transition-cost grid. Rows
+/// echo machine-axis values, then the resolved policy point (the
+/// actual GradualSleep slice count, the technology knobs), then the
+/// energy headline: total `E/E_D`, the Figure 8 normalization
+/// `E/E_max`, the leakage fraction, and the transition count.
+fn policy_sweep_table(
+    engine: &Engine,
+    spec: &SweepSpec,
+    expanded: Vec<(Vec<u64>, crate::scenario::Scenario)>,
+) -> ResultTable {
+    use fuleak_core::PolicyForm;
+    let points = spec.eval_points();
+    let mut columns = vec!["bench".to_string()];
+    columns.extend(spec.axes().iter().map(|a| a.name.to_string()));
+    columns.extend(
+        [
+            "machine",
+            "policy",
+            "slices",
+            "p",
+            "e_tr",
+            "E/E_D",
+            "E/E_max",
+            "leak frac",
+            "transitions",
+        ]
+        .map(String::from),
+    );
+    let mut t = ResultTable::new(
+        "sweep",
+        format!(
+            "Sweep — {} machine points × {} policy points ({} instructions/point)",
+            expanded.len(),
+            points.len(),
+            spec.budget().instructions()
+        ),
+        columns,
+    );
+    for (combo, s) in expanded {
+        for pt in &points {
+            let model = pt
+                .model()
+                .expect("eval axis values are validated at build time");
+            let form = pt.policy.form(&model, pt.slices);
+            let run = engine.policy_run(&s, form, &model);
+            let mut row = vec![Cell::str(s.bench)];
+            row.extend(combo.iter().map(|&v| Cell::int(v as i64)));
+            row.push(Cell::str(s.machine.delta_label()));
+            row.push(Cell::str(pt.policy.name()));
+            row.push(match form {
+                PolicyForm::GradualSleep { slices } => Cell::int(i64::from(slices)),
+                _ => Cell::str("-"),
+            });
+            row.push(Cell::float_text(pt.leak, format!("{}", pt.leak)));
+            row.push(Cell::float_text(
+                pt.transition,
+                format!("{}", pt.transition),
+            ));
+            row.push(Cell::float(run.energy.total(), 1));
+            row.push(Cell::float(run.normalized_to_max(&model), 4));
+            row.push(Cell::float(run.energy.leakage_fraction().unwrap_or(0.0), 4));
+            row.push(Cell::float(run.transitions_equiv, 1));
+            t.row(row);
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::PolicyKind;
 
     #[test]
     fn registry_is_complete_and_uniquely_named() {
         let names = names();
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 14, "`repro all` stays pinned to the paper");
         assert_eq!(names[0], "table1");
         assert_eq!(names[13], "fig9b");
-        let mut dedup = names.clone();
+        assert!(!names.contains(&"policy-ext"));
+        let all = all_names();
+        assert_eq!(all.len(), 15);
+        assert_eq!(all[14], "policy-ext");
+        let mut dedup = all.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), names.len());
+        assert_eq!(dedup.len(), all.len());
         assert!(by_name("fig7").is_some());
+        assert!(by_name("policy-ext").is_some(), "extras run by name");
         assert!(by_name("fig99").is_none());
     }
 
@@ -351,5 +481,74 @@ mod tests {
             .benches(["mst"])
             .axis_width([0]);
         assert!(sweep_table(&engine, &bad).is_err());
+    }
+
+    #[test]
+    fn policy_sweep_prices_warm_points_without_new_simulation() {
+        let engine = Engine::sequential();
+        let machine_spec = SweepSpec::new(Budget::Custom(5_000))
+            .benches(["mst"])
+            .axis_int_fus([1, 2])
+            .axis_l2_latency([12]);
+        // Warm the simulation caches with a plain machine sweep...
+        let plain = sweep_table(&engine, &machine_spec).unwrap();
+        assert_eq!(plain.rows().len(), 2);
+        let simulated = engine.stats().misses;
+
+        // ...then a policy × slices × leakage sweep over the same
+        // machine grid must be pure evaluation: rows multiply, the
+        // sim cache gains nothing, and the policy cache fills.
+        let eval_spec = machine_spec
+            .axis_policy([PolicyKind::MaxSleep, PolicyKind::GradualSleep])
+            .axis_slices([2, 8])
+            .axis_leak_ratio([0.05, 0.5]);
+        let t = sweep_table(&engine, &eval_spec).unwrap();
+        assert_eq!(engine.stats().misses, simulated, "re-simulated a point");
+        // MaxSleep dedups across slice values: (1 + 2) policies × 2
+        // leaks = 6 eval points over 2 machine points.
+        assert_eq!(eval_spec.eval_points().len(), 6);
+        assert_eq!(t.rows().len(), 12);
+        assert_eq!(engine.policy_cache().len(), 12);
+        assert!(t.columns().iter().any(|c| c == "policy"));
+        // The resolved GradualSleep slice count is echoed; MaxSleep
+        // rows carry the placeholder.
+        let slices_col = t.columns().iter().position(|c| c == "slices").unwrap();
+        let texts: Vec<&str> = t.rows().iter().map(|r| r[slices_col].text()).collect();
+        assert!(texts.contains(&"2") && texts.contains(&"8") && texts.contains(&"-"));
+
+        // Re-running the same eval sweep is pure cache replay.
+        let again = sweep_table(&engine, &eval_spec).unwrap();
+        assert_eq!(engine.policy_cache().len(), 12);
+        assert!(engine.policy_cache().hits() >= 12);
+        assert_eq!(t.to_json(), again.to_json(), "eval sweep must be stable");
+    }
+
+    #[test]
+    fn policy_ext_reproduces_the_no_advantage_claim() {
+        let engine = Engine::new(0);
+        let mut ctx = Context::new(&engine, Budget::Custom(60_000));
+        let t = by_name("policy-ext").unwrap().run(&mut ctx);
+        assert_eq!(t.name(), "policy-ext");
+        assert!(t.columns().iter().any(|c| c == "AdaptiveSleep"));
+        // Two technology points × (9 benchmarks + average).
+        assert_eq!(t.rows().len(), 2 * 10);
+        assert!(t.notes()[0].contains("GradualSleep"));
+        // The headline claim: at both technology points, neither
+        // extension beats GradualSleep by a significant margin — the
+        // paper quantifies "significant" as whole design-points, so
+        // allow a few percent of slack — and nothing undercuts the
+        // NoOverhead floor.
+        for row in t.rows().iter().filter(|r| r[0].text() == "Average") {
+            let value = |i: usize| row[i].text().parse::<f64>().unwrap();
+            let gradual = value(2);
+            let floor = value(7); // NoOverhead
+            for ext in [value(3), value(4)] {
+                assert!(
+                    ext >= gradual * 0.95,
+                    "extension {ext} significantly beats GradualSleep {gradual}"
+                );
+                assert!(ext >= floor - 1e-9, "extension {ext} beats the floor");
+            }
+        }
     }
 }

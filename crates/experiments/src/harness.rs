@@ -47,6 +47,10 @@ pub struct BenchRun {
     /// The timing results at the selected FU count, shared with the
     /// engine's [`crate::scenario::SimCache`] (no copy is made).
     pub sim: Arc<SimResult>,
+    /// The simulation point behind `sim` — the key policy
+    /// evaluations are memoized under in the engine's
+    /// [`crate::policy::PolicyCache`].
+    pub scenario: Scenario,
 }
 
 impl BenchRun {
@@ -84,6 +88,7 @@ fn select_run(engine: &Engine, bench: &Benchmark, l2_latency: u64, budget: Budge
         name: bench.name,
         max_ipc,
         fus: selected.0,
+        scenario: Scenario::paper(bench.name, selected.0, l2_latency, budget),
         sim: selected.1,
     }
 }

@@ -49,6 +49,7 @@ pub mod analytic;
 pub mod empirical;
 pub mod experiment;
 pub mod harness;
+pub mod policy;
 pub mod render;
 pub mod result;
 pub mod scenario;

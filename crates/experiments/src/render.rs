@@ -82,12 +82,13 @@ pub fn engine_line(stats: &crate::scenario::EngineStats) -> String {
 /// Formats the engine's cumulative totals as one summary line, e.g.
 /// `engine total: 72 points simulated, sim cache 101/173 hits (58.4%),
 /// annotation cache 63/72 hits (87.5%, 9 built), trace cache 9/18
-/// hits (50.0%), 9 traces, 4 workers` — what `repro all` prints last
-/// so cross-experiment sharing of all three cache layers is visible.
+/// hits (50.0%), 9 traces, policy cache 720/1440 hits (50.0%, 720
+/// runs), 4 workers` — what `repro all` prints last so
+/// cross-experiment sharing of all four cache layers is visible.
 pub fn engine_summary_line(stats: &crate::scenario::EngineStats) -> String {
     let pct = |rate: Option<f64>| rate.map_or("n/a".to_string(), |r| format!("{:.1}%", 100.0 * r));
     format!(
-        "engine total: {} points simulated, sim cache {}/{} hits ({}), annotation cache {}/{} hits ({}, {} built), trace cache {}/{} hits ({}), {} trace{}, {} worker{}",
+        "engine total: {} points simulated, sim cache {}/{} hits ({}), annotation cache {}/{} hits ({}, {} built), trace cache {}/{} hits ({}), {} trace{}, policy cache {}/{} hits ({}, {} run{}), {} worker{}",
         stats.misses,
         stats.hits,
         stats.hits + stats.misses,
@@ -101,6 +102,11 @@ pub fn engine_summary_line(stats: &crate::scenario::EngineStats) -> String {
         pct(stats.trace_hit_rate()),
         stats.traces,
         if stats.traces == 1 { "" } else { "s" },
+        stats.policy_hits,
+        stats.policy_hits + stats.policy_misses,
+        pct(stats.policy_hit_rate()),
+        stats.policy_runs,
+        if stats.policy_runs == 1 { "" } else { "s" },
         stats.jobs,
         if stats.jobs == 1 { "" } else { "s" }
     )

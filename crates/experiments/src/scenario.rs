@@ -29,6 +29,16 @@
 //! latency, width, ROB, …) annotates each benchmark once and replays
 //! the allocation-free timing kernel per point (`DESIGN.md`).
 //!
+//! On top of the simulation caches sits a fourth, *evaluation* layer:
+//! a [`crate::policy::PolicyCache`] memoizing
+//! `(scenario, policy form, energy-model fingerprint)` →
+//! [`PolicyRun`], and [`SweepSpec`] evaluation axes
+//! ([`SweepSpec::axis_policy`], [`SweepSpec::axis_slices`],
+//! [`SweepSpec::axis_leak_ratio`], [`SweepSpec::axis_transition_cost`])
+//! that multiply *result rows* rather than simulated points — a
+//! policy/technology sweep over a warm engine runs no simulation at
+//! all (`DESIGN.md` §7).
+//!
 //! Every simulation is single-threaded and seeded, so a scenario's
 //! result is a pure function of its key: the engine is free to run
 //! points in any order on any number of workers and still produce
@@ -37,6 +47,10 @@
 //! (`tests/tests/determinism.rs` asserts both).
 
 use crate::harness::Budget;
+use crate::policy::{default_eval_axes, policy_energy_of, EvalPoint, PolicyCache, PolicyKind};
+use fuleak_core::accounting::PolicyRun;
+use fuleak_core::policy_eval::PolicyForm;
+use fuleak_core::EnergyModel;
 use fuleak_uarch::{
     annotate, ConfigError, CoreConfig, MachineConfig, SimResult, Simulator, TimingKernel,
 };
@@ -62,7 +76,7 @@ thread_local! {
 /// (memo tables, work queues) is always in a consistent state at any
 /// panic point — entries are inserted atomically — so continuing past
 /// the poison flag is sound.
-fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -199,6 +213,15 @@ pub struct SweepSpec {
     base: MachineConfig,
     axes: Vec<Axis>,
     budget: Budget,
+    /// Post-simulation evaluation axes (policy × slices × leakage ×
+    /// transition cost). Empty vectors mean "axis not set"; if *any*
+    /// of them is set the sweep prices every machine point under the
+    /// expanded policy/technology grid, with paper defaults filling
+    /// the unset axes (see [`SweepSpec::eval_points`]).
+    policies: Vec<PolicyKind>,
+    slices: Vec<u32>,
+    leaks: Vec<f64>,
+    transitions: Vec<f64>,
 }
 
 impl SweepSpec {
@@ -210,6 +233,10 @@ impl SweepSpec {
             base: MachineConfig::baseline(),
             axes: Vec::new(),
             budget,
+            policies: Vec::new(),
+            slices: Vec::new(),
+            leaks: Vec::new(),
+            transitions: Vec::new(),
         }
         .axis_int_fus(FU_CANDIDATES)
         .axis_l2_latency([12])
@@ -314,6 +341,128 @@ impl SweepSpec {
         self.axis("mshrs", mshrs.into_iter().map(|m| m as u64), |c, v| {
             c.mshrs = v as usize;
         })
+    }
+
+    /// Sweeps the sleep policy the idle spectra are priced under —
+    /// the first *evaluation* axis: policy points multiply the result
+    /// rows, not the simulated scenarios, and are served from the
+    /// engine's [`PolicyCache`] without re-running the timing kernel.
+    pub fn axis_policy(mut self, kinds: impl IntoIterator<Item = PolicyKind>) -> Self {
+        self.policies = kinds.into_iter().collect();
+        self
+    }
+
+    /// Sweeps GradualSleep's slice count (evaluation axis; other
+    /// policy families ignore it and are deduplicated across its
+    /// values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slice count is zero — validated at build time like
+    /// [`SweepSpec::benches`].
+    pub fn axis_slices(mut self, slices: impl IntoIterator<Item = u32>) -> Self {
+        self.slices = slices
+            .into_iter()
+            .inspect(|&s| assert!(s > 0, "GradualSleep requires at least one slice"))
+            .collect();
+        self
+    }
+
+    /// Sweeps the technology leakage factor `p = E_hi / E_D`
+    /// (evaluation axis; the paper's Figure 9 technology dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value is not a fraction in `[0, 1]`.
+    pub fn axis_leak_ratio(mut self, ps: impl IntoIterator<Item = f64>) -> Self {
+        self.leaks = ps
+            .into_iter()
+            .inspect(|&p| {
+                assert!(
+                    p.is_finite() && (0.0..=1.0).contains(&p),
+                    "leakage factor must lie in [0, 1], got {p}"
+                );
+            })
+            .collect();
+        self
+    }
+
+    /// Sweeps the per-transition sleep-switch overhead `E_slp / E_D`
+    /// (evaluation axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value is not a fraction in `[0, 1]`.
+    pub fn axis_transition_cost(mut self, costs: impl IntoIterator<Item = f64>) -> Self {
+        self.transitions = costs
+            .into_iter()
+            .inspect(|&c| {
+                assert!(
+                    c.is_finite() && (0.0..=1.0).contains(&c),
+                    "transition cost must lie in [0, 1], got {c}"
+                );
+            })
+            .collect();
+        self
+    }
+
+    /// Whether any evaluation axis is set — if so, the sweep table
+    /// prices every machine point under [`SweepSpec::eval_points`].
+    pub fn has_eval_axes(&self) -> bool {
+        !(self.policies.is_empty()
+            && self.slices.is_empty()
+            && self.leaks.is_empty()
+            && self.transitions.is_empty())
+    }
+
+    /// Expands the evaluation grid — policy × slices × leakage ×
+    /// transition cost, in that nesting order — filling unset axes
+    /// with the paper defaults (the four Figure 8 policies,
+    /// breakeven-many slices, near-term leakage, default overhead)
+    /// and dropping duplicates (slice overrides only differentiate
+    /// GradualSleep).
+    pub fn eval_points(&self) -> Vec<EvalPoint> {
+        let (d_policies, d_slices, d_leaks, d_transitions) = default_eval_axes();
+        let policies = if self.policies.is_empty() {
+            d_policies
+        } else {
+            self.policies.clone()
+        };
+        let slices: Vec<Option<u32>> = if self.slices.is_empty() {
+            d_slices
+        } else {
+            self.slices.iter().map(|&s| Some(s)).collect()
+        };
+        let leaks = if self.leaks.is_empty() {
+            d_leaks
+        } else {
+            self.leaks.clone()
+        };
+        let transitions = if self.transitions.is_empty() {
+            d_transitions
+        } else {
+            self.transitions.clone()
+        };
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for &policy in &policies {
+            for &slice_override in &slices {
+                for &leak in &leaks {
+                    for &transition in &transitions {
+                        let point = EvalPoint {
+                            policy,
+                            slices: slice_override,
+                            leak,
+                            transition,
+                        };
+                        if seen.insert(point.key()) {
+                            out.push(point);
+                        }
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Restricts the sweep to the given FU counts (alias of
@@ -492,6 +641,12 @@ pub struct EngineStats {
     pub annotation_hits: usize,
     /// Annotation passes performed (annotation-cache misses).
     pub annotations_built: usize,
+    /// Distinct policy evaluations retained.
+    pub policy_runs: usize,
+    /// Policy-cache hits (evaluations served without re-pricing).
+    pub policy_hits: usize,
+    /// Policy evaluations performed (policy-cache misses).
+    pub policy_misses: usize,
 }
 
 impl EngineStats {
@@ -512,6 +667,9 @@ impl EngineStats {
             annotations_built: self
                 .annotations_built
                 .saturating_sub(earlier.annotations_built),
+            policy_runs: self.policy_runs.saturating_sub(earlier.policy_runs),
+            policy_hits: self.policy_hits.saturating_sub(earlier.policy_hits),
+            policy_misses: self.policy_misses.saturating_sub(earlier.policy_misses),
         }
     }
 
@@ -531,6 +689,12 @@ impl EngineStats {
     pub fn annotation_hit_rate(&self) -> Option<f64> {
         let total = self.annotation_hits + self.annotations_built;
         (total > 0).then(|| self.annotation_hits as f64 / total as f64)
+    }
+
+    /// Policy-cache hit rate over all lookups, if any were made.
+    pub fn policy_hit_rate(&self) -> Option<f64> {
+        let total = self.policy_hits + self.policy_misses;
+        (total > 0).then(|| self.policy_hits as f64 / total as f64)
     }
 }
 
@@ -717,6 +881,7 @@ pub struct Engine {
     cache: SimCache,
     traces: TraceCache,
     annotations: AnnotationCache,
+    policies: PolicyCache,
 }
 
 impl Default for Engine {
@@ -735,6 +900,7 @@ impl Engine {
             cache: SimCache::new(),
             traces: TraceCache::new(),
             annotations: AnnotationCache::new(),
+            policies: PolicyCache::new(),
         }
     }
 
@@ -761,6 +927,33 @@ impl Engine {
     /// The engine's annotated-trace memo table.
     pub fn annotation_cache(&self) -> &AnnotationCache {
         &self.annotations
+    }
+
+    /// The engine's policy-evaluation memo table.
+    pub fn policy_cache(&self) -> &PolicyCache {
+        &self.policies
+    }
+
+    /// Prices one scenario under a policy at a technology point — the
+    /// summed-over-FUs [`fuleak_core::accounting::PolicyRun`] of the
+    /// spectrum evaluator — memoized in the [`PolicyCache`]. On a
+    /// policy-cache miss the scenario's `SimResult` comes from the
+    /// [`SimCache`] (simulating on the calling thread only if even
+    /// that is missing), so a warm policy/technology sweep never
+    /// re-runs the timing kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario names an unregistered benchmark (see
+    /// [`Engine::result`]).
+    pub fn policy_run(&self, s: &Scenario, form: PolicyForm, model: &EnergyModel) -> PolicyRun {
+        let model_fp = model.fingerprint();
+        if let Some(run) = self.policies.get(s, form, model_fp) {
+            return run;
+        }
+        let sim = self.result(s.clone());
+        let run = policy_energy_of(model, form, &sim);
+        self.policies.insert(s.clone(), form, model_fp, run)
     }
 
     /// The annotated trace for `(bench, budget)` under `machine`'s
@@ -827,6 +1020,9 @@ impl Engine {
             annotations: self.annotations.len(),
             annotation_hits: self.annotations.hits(),
             annotations_built: self.annotations.built(),
+            policy_runs: self.policies.len(),
+            policy_hits: self.policies.hits(),
+            policy_misses: self.policies.misses(),
         }
     }
 

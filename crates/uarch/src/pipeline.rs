@@ -292,7 +292,7 @@ impl Simulator {
         let mut fu_idle = Vec::with_capacity(int_pool.units());
         let mut fu_active = Vec::with_capacity(int_pool.units());
         for fu in int_pool.into_stats(cycles) {
-            fu_idle.push(fu.idle_intervals);
+            fu_idle.push(fu.idle);
             fu_active.push(fu.active_cycles);
         }
         let caches = CacheStats {
@@ -531,8 +531,8 @@ mod tests {
     fn fu_idle_intervals_cover_the_run() {
         let trace: Vec<_> = (0..2_000).map(|i| alu(i % 8, 1, 1)).collect();
         let r = sim().run(trace);
-        for (f, intervals) in r.fu_idle.iter().enumerate() {
-            let idle: u64 = intervals.iter().sum();
+        for (f, spectrum) in r.fu_idle.iter().enumerate() {
+            let idle = spectrum.idle_cycles();
             let busy = r.fu_active[f];
             assert_eq!(
                 idle + busy,

@@ -20,7 +20,7 @@
 //!   the in-flight window plus the number of idle intervals — never
 //!   to the total cycle count (see `DESIGN.md`).
 
-use fuleak_core::IdleCursor;
+use fuleak_core::{IdleCursor, IntervalSpectrum};
 use std::collections::BTreeMap;
 
 /// At most `width` events per cycle, for nondecreasing requests.
@@ -117,12 +117,12 @@ pub struct FuPool {
     recorders: Vec<IdleCursor>,
 }
 
-/// One unit's final statistics: its idle intervals (occurrence order)
-/// and its busy-cycle count.
+/// One unit's final statistics: its idle-interval spectrum and its
+/// busy-cycle count.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuStats {
-    /// Maximal idle runs, in occurrence order.
-    pub idle_intervals: Vec<u64>,
+    /// Maximal idle runs, as an exact length → count spectrum.
+    pub idle: IntervalSpectrum,
     /// Cycles the unit executed an operation.
     pub active_cycles: u64,
 }
@@ -209,7 +209,7 @@ impl FuPool {
                 r.finish(total_cycles);
                 FuStats {
                     active_cycles: r.active_cycles(),
-                    idle_intervals: r.into_intervals(),
+                    idle: r.into_spectrum(),
                 }
             })
             .collect()
@@ -299,10 +299,10 @@ mod tests {
         p.allocate(5); // unit 0 @ 5 (rr pointer)
         let stats = p.into_stats(10);
         // Unit 0 busy at {0, 5} over 10 cycles: idle [1,5), [6,10).
-        assert_eq!(stats[0].idle_intervals, vec![4, 4]);
+        assert_eq!(stats[0].idle, IntervalSpectrum::from_lengths(&[4, 4]));
         assert_eq!(stats[0].active_cycles, 2);
         // Unit 1 busy at {0}: one long trailing idle run.
-        assert_eq!(stats[1].idle_intervals, vec![9]);
+        assert_eq!(stats[1].idle, IntervalSpectrum::from_lengths(&[9]));
         assert_eq!(stats[1].active_cycles, 1);
     }
 
@@ -341,8 +341,9 @@ mod tests {
         p.retire_before(10);
         p.retire_before(10); // no-op
         let stats = p.into_stats(6);
-        assert_eq!(stats[0].idle_intervals, vec![1, 4]); // busy @1 of 6
-        assert_eq!(stats[1].idle_intervals, vec![4, 1]); // busy @4 of 6
+        // Busy @1 of 6: idle runs 1 and 4; busy @4 of 6: runs 4 and 1.
+        assert_eq!(stats[0].idle, IntervalSpectrum::from_lengths(&[1, 4]));
+        assert_eq!(stats[1].idle, IntervalSpectrum::from_lengths(&[4, 1]));
     }
 
     #[test]

@@ -1,7 +1,7 @@
-//! Simulation results: IPC, per-FU idle intervals, branch and cache
-//! statistics.
+//! Simulation results: IPC, per-FU idle-interval spectra, branch and
+//! cache statistics.
 
-use fuleak_core::IdleHistogram;
+use fuleak_core::{IdleHistogram, IntervalSpectrum};
 
 /// Branch prediction statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -53,16 +53,23 @@ impl CacheStats {
 /// The result of one timing-simulation run.
 ///
 /// `PartialEq` is field-exact: two results compare equal only when
-/// every cycle count and idle interval matches, which is what the
-/// scenario engine's determinism guarantee is stated in terms of.
+/// every cycle count and idle-spectrum line matches, which is what
+/// the scenario engine's determinism guarantee is stated in terms of.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimResult {
     /// Total cycles (cycle of the last commit).
     pub cycles: u64,
     /// Committed instructions.
     pub committed: u64,
-    /// Per-integer-FU idle intervals, in occurrence order.
-    pub fu_idle: Vec<Vec<u64>>,
+    /// Per-integer-FU idle-interval spectra (exact length → count
+    /// multisets). Interval *order* is deliberately not retained:
+    /// every order-free sleep policy (all but AdaptiveSleep) is a
+    /// function of the lengths alone, and the history-dependent
+    /// AdaptiveSleep is evaluated over the spectrum's canonical
+    /// ascending order (`fuleak_core::policy_eval`). In exchange a
+    /// cached result stays proportional to the number of *distinct*
+    /// lengths rather than the interval count.
+    pub fu_idle: Vec<IntervalSpectrum>,
     /// Per-integer-FU busy (active) cycle counts.
     pub fu_active: Vec<u64>,
     /// Branch statistics.
@@ -82,20 +89,22 @@ impl SimResult {
     }
 
     /// Fraction of FU-cycles spent idle, averaged over the integer
-    /// FUs (the quantity Figure 7 aggregates).
+    /// FUs (the quantity Figure 7 aggregates). Derived exactly from
+    /// the spectra — interval lengths and counts are integers.
     pub fn idle_fraction(&self) -> f64 {
         if self.cycles == 0 || self.fu_idle.is_empty() {
             return 0.0;
         }
-        let idle: u64 = self.fu_idle.iter().map(|v| v.iter().sum::<u64>()).sum();
+        let idle: u64 = self.fu_idle.iter().map(IntervalSpectrum::idle_cycles).sum();
         idle as f64 / (self.cycles as f64 * self.fu_idle.len() as f64)
     }
 
-    /// Merges every FU's idle intervals into one Figure 7 histogram.
+    /// Merges every FU's idle spectrum into one Figure 7 histogram
+    /// (the lossy log2 view of the exact spectra).
     pub fn idle_histogram(&self) -> IdleHistogram {
         let mut h = IdleHistogram::new();
         for fu in &self.fu_idle {
-            h.record_all(fu);
+            h.record_spectrum(fu);
         }
         h
     }
@@ -134,7 +143,10 @@ mod tests {
         let r = SimResult {
             cycles: 100,
             committed: 150,
-            fu_idle: vec![vec![30], vec![10, 10]],
+            fu_idle: vec![
+                IntervalSpectrum::from_lengths(&[30]),
+                IntervalSpectrum::from_lengths(&[10, 10]),
+            ],
             fu_active: vec![70, 80],
             ..SimResult::default()
         };
@@ -148,7 +160,10 @@ mod tests {
         let r = SimResult {
             cycles: 100,
             committed: 10,
-            fu_idle: vec![vec![4, 4], vec![16]],
+            fu_idle: vec![
+                IntervalSpectrum::from_lengths(&[4, 4]),
+                IntervalSpectrum::from_lengths(&[16]),
+            ],
             fu_active: vec![92, 84],
             ..SimResult::default()
         };

@@ -38,7 +38,7 @@ use crate::config::{CacheParams, CoreConfig, TlbParams};
 use crate::fxhash::FxHashMap;
 use crate::resources::BandwidthLimiter;
 use crate::stats::{BranchStats, CacheStats, SimResult};
-use fuleak_core::IdleCursor;
+use fuleak_core::{IdleCursor, IntervalSpectrum};
 use fuleak_workloads::annotated::{
     AnnotatedTrace, DST_SHIFT, FLAG_ENDS_GROUP, FLAG_ITLB_MISS, FLAG_L1I_MISS, FLAG_MISPREDICT,
     FLAG_NEW_LINE, KIND_FP, KIND_INT, KIND_LOAD, KIND_MASK, KIND_MUL, KIND_NOP, KIND_STORE,
@@ -229,9 +229,9 @@ impl FuRing {
         }
     }
 
-    /// Retires everything and returns `(idle intervals, active
+    /// Retires everything and returns `(idle spectra, active
     /// cycles)` per unit, each stream closed at `total_cycles`.
-    fn finish(&mut self, total_cycles: u64) -> (Vec<Vec<u64>>, Vec<u64>) {
+    fn finish(&mut self, total_cycles: u64) -> (Vec<IntervalSpectrum>, Vec<u64>) {
         while self.live > 0 {
             let slot = &mut self.buf[(self.base as usize) & self.mask];
             if *slot != 0 {
@@ -252,7 +252,7 @@ impl FuRing {
         for r in &mut self.recorders {
             r.finish(total_cycles);
             active.push(r.active_cycles());
-            idle.push(std::mem::take(r).into_intervals());
+            idle.push(std::mem::take(r).into_spectrum());
         }
         (idle, active)
     }
@@ -885,7 +885,7 @@ mod tests {
         assert_eq!(ring.allocate(far, far), far + 1);
         let (idle, active) = ring.finish(far + 2);
         assert_eq!(active, vec![3]);
-        assert_eq!(idle, vec![vec![far - 1]]);
+        assert_eq!(idle, vec![IntervalSpectrum::from_lengths(&[far - 1])]);
     }
 
     #[test]

@@ -209,3 +209,48 @@ fn rebuilt_machine_configs_hit_the_same_cache_entry() {
     assert_eq!(engine.stats().misses, misses, "equal machine re-simulated");
     assert_eq!(*first, *second);
 }
+
+#[test]
+fn policy_sweep_is_identical_across_worker_counts_and_pure_on_warm_caches() {
+    // The evaluation layer inherits the engine guarantee: a policy ×
+    // slices × leakage sweep serializes byte-identically whether the
+    // underlying points were simulated on 1 worker or 4, and over a
+    // warm engine it is pure cache evaluation — no simulation, no
+    // annotation, no trace capture.
+    use fuleak_experiments::experiment::sweep_table;
+    use fuleak_experiments::policy::PolicyKind;
+
+    let spec = SweepSpec::new(BUDGET)
+        .benches(["gzip", "mst"])
+        .axis_int_fus([1, 2])
+        .axis_l2_latency([12])
+        .axis_policy([
+            PolicyKind::MaxSleep,
+            PolicyKind::GradualSleep,
+            PolicyKind::AlwaysActive,
+            PolicyKind::NoOverhead,
+        ])
+        .axis_slices([2, 8, 32])
+        .axis_leak_ratio([0.05, 0.5]);
+
+    let seq = Engine::new(1);
+    let par = Engine::new(4);
+    let table_seq = sweep_table(&seq, &spec).unwrap();
+    let table_par = sweep_table(&par, &spec).unwrap();
+    assert_eq!(table_seq.to_json(), table_par.to_json());
+    assert_eq!(table_seq.to_csv(), table_par.to_csv());
+    // 4 machine points × (3 gradual slice counts + 3 dedup'd others)
+    // × 2 leakage points.
+    assert_eq!(table_seq.rows().len(), 4 * (3 + 3) * 2);
+
+    // Warm re-evaluation: rows reprice from the policy cache alone.
+    let sims = par.stats().misses;
+    let annotations = par.annotation_cache().built();
+    let captures = par.trace_cache().captures();
+    let again = sweep_table(&par, &spec).unwrap();
+    assert_eq!(again.to_json(), table_par.to_json());
+    assert_eq!(par.stats().misses, sims, "warm policy sweep re-simulated");
+    assert_eq!(par.annotation_cache().built(), annotations);
+    assert_eq!(par.trace_cache().captures(), captures);
+    assert!(par.policy_cache().hits() >= again.rows().len());
+}

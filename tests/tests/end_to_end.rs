@@ -55,10 +55,9 @@ fn ipc_ordering_matches_table3_extremes() {
 #[test]
 fn fu_utilization_accounts_for_every_cycle() {
     for run in &suite().runs {
-        for (fu, intervals) in run.sim.fu_idle.iter().enumerate() {
-            let idle: u64 = intervals.iter().sum();
+        for (fu, spectrum) in run.sim.fu_idle.iter().enumerate() {
             assert_eq!(
-                idle + run.sim.fu_active[fu],
+                spectrum.idle_cycles() + run.sim.fu_active[fu],
                 run.sim.cycles,
                 "{} FU{fu}",
                 run.name

@@ -202,7 +202,7 @@ proptest! {
         }
         rec.finish();
         let active = rec.active_cycles();
-        let intervals = rec.intervals().to_vec();
+        let intervals = rec.spectrum().to_lengths();
         prop_assert_eq!(
             active + intervals.iter().sum::<u64>(),
             pattern.len() as u64
