@@ -32,7 +32,10 @@
 //! * `--l1d-kb` — L1 data-cache capacity in KiB;
 //! * `--l2-kb` — unified L2 capacity in KiB;
 //! * `--mem` — main-memory latency in cycles;
-//! * `--mshrs` — outstanding-miss registers.
+//! * `--mshrs` — outstanding-miss registers;
+//! * `--no-batch` — replay every point on the scalar reference
+//!   kernel instead of lane-batching timing siblings (output is
+//!   bit-identical either way).
 //!
 //! Evaluation axes price every simulated point under a sleep-policy /
 //! technology grid (closed-form over the recorded idle spectra — no
@@ -81,7 +84,7 @@ struct Options {
 
 const USAGE: &str = "usage: repro <experiment>|all [--quick|--budget N] [--jobs N] [--format text|json|csv] [--out DIR]
        repro sweep [--bench A,B] [--int-fus L] [--l2 L] [--width L] [--rob L] [--l1d-kb L] [--l2-kb L] [--mem L] [--mshrs L]
-                   [--policy P,Q] [--slices L] [--leak F,G] [--transition F,G] [options]
+                   [--policy P,Q] [--slices L] [--leak F,G] [--transition F,G] [--no-batch] [options]
        repro bench [--runs N] [--jobs N] [--out DIR]
        (value lists L: comma values and lo:hi ranges, e.g. 1:4 or 2,4,8; F,G: fractions in [0,1])";
 
@@ -296,6 +299,13 @@ fn run_sweep(args: &[&str], opts: &Options) -> Result<(), String> {
             Some((f, v)) => (f, Some(v.to_string())),
             None => (flag, None),
         };
+        if flag == "--no-batch" {
+            if value.is_some() {
+                return Err("--no-batch takes no value".to_string());
+            }
+            opts.engine.set_batching(false);
+            continue;
+        }
         let value = match value {
             Some(v) => v,
             None => it
@@ -413,10 +423,15 @@ fn json_seconds(seconds: &[f64]) -> String {
 /// Times, best-of-N on a cold engine each run:
 ///
 /// * the full `repro all --quick` experiment suite (tables rendered
-///   but not printed), and
+///   but not printed),
 /// * a standard fixed-geometry sweep (2 benchmarks × FU 1–4 × four L2
 ///   latencies = 32 points) — the shape the annotation cache
-///   accelerates most.
+///   accelerates most, and
+/// * that sweep's replay phase alone, at the kernel layer: a scalar
+///   per-point loop vs the lane-batched kernel chunked to
+///   [`MAX_LANES`], over identical cached annotations (asserted
+///   field-equal before timing, so the ratio isolates traversal
+///   cost).
 fn run_bench(args: &[&str], opts: &Options) -> Result<(), String> {
     let mut runs = 3usize;
     let mut it = args.iter();
@@ -454,7 +469,7 @@ fn run_bench(args: &[&str], opts: &Options) -> Result<(), String> {
     }
     let jobs = opts.engine.jobs();
     eprintln!(
-        "[repro] bench: {runs} run(s) of `all --quick` and a 32-point sweep ({jobs} workers)..."
+        "[repro] bench: {runs} run(s) of `all --quick`, a 32-point sweep, and its lane-batched replay ({jobs} workers)..."
     );
     let all_quick = time_runs(runs, || {
         let engine = Engine::new(jobs);
@@ -588,10 +603,62 @@ fn run_bench(args: &[&str], opts: &Options) -> Result<(), String> {
         )
     };
 
+    // Lane-batched replay workload: the fixed-geometry sweep's points
+    // replayed at the kernel layer — a scalar per-point loop vs the
+    // lane-batched kernel chunked to `MAX_LANES` — over the same
+    // cached annotations. Both paths are asserted field-equal before
+    // timing, so the ratio isolates the traversal cost alone.
+    use fuleak_uarch::{BatchedKernel, CoreConfig, TimingKernel, MAX_LANES};
+    use fuleak_workloads::annotated::AnnotatedTrace;
+    use std::sync::Arc;
+    let scenarios = sweep_spec().scenarios();
+    let mut lane_groups: Vec<(Arc<AnnotatedTrace>, Vec<CoreConfig>)> = Vec::new();
+    for s in &scenarios {
+        let ann = engine.annotation(s.bench, s.budget, &s.machine);
+        match lane_groups.iter_mut().find(|(a, _)| Arc::ptr_eq(a, &ann)) {
+            Some((_, cfgs)) => cfgs.push(s.machine.config().clone()),
+            None => lane_groups.push((ann, vec![s.machine.config().clone()])),
+        }
+    }
+    let mut scalar_kernel = TimingKernel::new();
+    let mut batched_kernel = BatchedKernel::new();
+    for (ann, cfgs) in &lane_groups {
+        for chunk in cfgs.chunks(MAX_LANES) {
+            let batched = batched_kernel.run(ann, chunk);
+            for (cfg, lane) in chunk.iter().zip(&batched) {
+                assert!(
+                    scalar_kernel.run(ann, cfg) == *lane,
+                    "scalar and batched kernels disagree on a sweep point"
+                );
+            }
+        }
+    }
+    eprintln!(
+        "[repro] bench: lane-batched replay, {sweep_points} points, scalar vs batched kernel..."
+    );
+    let replay_scalar = time_runs(runs, || {
+        for (ann, cfgs) in &lane_groups {
+            for cfg in cfgs {
+                std::hint::black_box(scalar_kernel.run(ann, cfg));
+            }
+        }
+    });
+    let replay_batched = time_runs(runs, || {
+        for (ann, cfgs) in &lane_groups {
+            for chunk in cfgs.chunks(MAX_LANES) {
+                std::hint::black_box(batched_kernel.run(ann, chunk));
+            }
+        }
+    });
+    let traversal_ratio = best(&replay_scalar) / best(&replay_batched);
+    let max_lanes = MAX_LANES;
+
     let json = format!(
-        "{{\n  \"name\": \"repro-bench\",\n  \"budget\": \"quick\",\n  \"jobs\": {jobs},\n  \"runs\": {runs},\n  \"all_quick\": {},\n  \"sweep_fixed_geometry\": {{\"points\": {sweep_points}, {}}},\n  \"policy_eval\": {{\"points\": {policy_points}, \"spectrum\": {}, \"interval_replay\": {}, \"speedup_per_point\": {speedup:.1}}}\n}}\n",
+        "{{\n  \"name\": \"repro-bench\",\n  \"budget\": \"quick\",\n  \"jobs\": {jobs},\n  \"runs\": {runs},\n  \"all_quick\": {},\n  \"sweep_fixed_geometry\": {{\"points\": {sweep_points}, {}}},\n  \"batched_sweep\": {{\"points\": {sweep_points}, \"max_lanes\": {max_lanes}, \"scalar\": {}, \"batched\": {}, \"traversal_ratio\": {traversal_ratio:.2}}},\n  \"policy_eval\": {{\"points\": {policy_points}, \"spectrum\": {}, \"interval_replay\": {}, \"speedup_per_point\": {speedup:.1}}}\n}}\n",
         json_seconds(&all_quick),
         json_seconds(&sweep).trim_start_matches('{').trim_end_matches('}'),
+        json_seconds(&replay_scalar),
+        json_seconds(&replay_batched),
         policy_side(&policy_spectrum),
         policy_side(&policy_replay),
     );
@@ -632,5 +699,40 @@ fn main() -> ExitCode {
             eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn options() -> Options {
+        Options {
+            budget: Budget::Quick,
+            engine: Engine::new(1),
+            format: Format::Json,
+            out: None,
+        }
+    }
+
+    #[test]
+    fn no_batch_rejects_attached_value() {
+        let opts = options();
+        let err = run_sweep(&["--no-batch=1"], &opts).unwrap_err();
+        assert!(err.contains("--no-batch takes no value"), "{err}");
+        assert!(
+            opts.engine.batching(),
+            "a rejected flag must not flip the engine"
+        );
+    }
+
+    #[test]
+    fn no_batch_disables_engine_batching() {
+        let opts = options();
+        // The later bogus flag aborts the sweep before any simulation,
+        // but `--no-batch` has already taken effect on the engine.
+        let err = run_sweep(&["--no-batch", "--bogus", "1"], &opts).unwrap_err();
+        assert!(err.contains("unknown sweep flag"), "{err}");
+        assert!(!opts.engine.batching());
     }
 }

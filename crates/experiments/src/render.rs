@@ -83,12 +83,25 @@ pub fn engine_line(stats: &crate::scenario::EngineStats) -> String {
 /// `engine total: 72 points simulated, sim cache 101/173 hits (58.4%),
 /// annotation cache 63/72 hits (87.5%, 9 built), trace cache 9/18
 /// hits (50.0%), 9 traces, policy cache 720/1440 hits (50.0%, 720
-/// runs), 4 workers` — what `repro all` prints last so
-/// cross-experiment sharing of all four cache layers is visible.
+/// runs), lane batching 64 points in 4 batches (16.0 lanes/batch,
+/// 8 scalar), 4 workers` — what `repro all` prints last so
+/// cross-experiment sharing of all four cache layers, plus the
+/// batching effectiveness of the replay phase, is visible.
 pub fn engine_summary_line(stats: &crate::scenario::EngineStats) -> String {
     let pct = |rate: Option<f64>| rate.map_or("n/a".to_string(), |r| format!("{:.1}%", 100.0 * r));
+    let batching = match stats.mean_lanes_per_batch() {
+        Some(mean) => format!(
+            "lane batching {} points in {} batch{} ({:.1} lanes/batch, {} scalar)",
+            stats.batched_lanes,
+            stats.batches,
+            if stats.batches == 1 { "" } else { "es" },
+            mean,
+            stats.scalar_fallbacks,
+        ),
+        None => format!("lane batching off ({} scalar)", stats.scalar_fallbacks),
+    };
     format!(
-        "engine total: {} points simulated, sim cache {}/{} hits ({}), annotation cache {}/{} hits ({}, {} built), trace cache {}/{} hits ({}), {} trace{}, policy cache {}/{} hits ({}, {} run{}), {} worker{}",
+        "engine total: {} points simulated, sim cache {}/{} hits ({}), annotation cache {}/{} hits ({}, {} built), trace cache {}/{} hits ({}), {} trace{}, policy cache {}/{} hits ({}, {} run{}), {}, {} worker{}",
         stats.misses,
         stats.hits,
         stats.hits + stats.misses,
@@ -107,6 +120,7 @@ pub fn engine_summary_line(stats: &crate::scenario::EngineStats) -> String {
         pct(stats.policy_hit_rate()),
         stats.policy_runs,
         if stats.policy_runs == 1 { "" } else { "s" },
+        batching,
         stats.jobs,
         if stats.jobs == 1 { "" } else { "s" }
     )

@@ -1,0 +1,788 @@
+//! Lane-batched timing kernel: one trace traversal, G config lanes.
+//!
+//! A sweep over *timing* axes (FU counts, L2 latency, width, ROB,
+//! memory latency, …) replays the **same** [`AnnotatedTrace`] once
+//! per point — the scalar [`crate::TimingKernel`] decodes every
+//! packed record G times to produce G results. [`BatchedKernel::run`]
+//! decodes each record **once** and advances G independent lane
+//! states in lockstep, so the per-record decode, the annotation
+//! stream's memory traffic, and the loop bookkeeping are amortized
+//! across the whole batch — and, because the G per-lane recurrences
+//! are mutually independent while the scalar kernel's single
+//! recurrence is one long dependency chain, the host core gets G
+//! parallel chains to overlap per record instead of one.
+//!
+//! The traversal is monomorphized over the lane count
+//! (`run_chunk::<G>`): the per-lane hot state — capacity-window
+//! headers ([`LaneWindows`]), bandwidth limiters ([`LaneBw`]),
+//! register scoreboards, fetch frontiers — lives in fixed-size stack
+//! arrays indexed by a compile-time-bounded lane, so the lane loop
+//! carries no bounds checks and can unroll, giving each lane its own
+//! static branch sites (lane-local branch history predicts well;
+//! a single shared site alternating G lanes' outcomes does not).
+//! Window ring storage, store-completion times, and the per-lane
+//! structured scratch — functional-unit occupancy rings
+//! ([`FuRing`]) and the D-side hierarchy ([`FlatMemory`]) — stay in
+//! kernel-owned slabs reused batch to batch, extending the scalar
+//! kernel's **reset, not rebuild** contract: after a warm-up run at a
+//! given shape, a batch performs no scratch allocations
+//! ([`BatchedKernel::scratch_growths`] counts the exceptions).
+//!
+//! Batches wider than [`MAX_LANES`] are processed in chunks of that
+//! width so the combined lane state (occupancy rings, cache tag
+//! slabs, window slabs) stays cache-resident; `DESIGN.md` §9 has the
+//! measured sweep over chunk widths behind the chosen value.
+//!
+//! Every lane's result is **field-exactly equal** to the scalar
+//! kernel's (and therefore to the direct [`crate::Simulator`]) — the
+//! proptests in `tests/batched_props.rs` pin that across random
+//! traces × lane counts × mixed timing configurations, including
+//! duplicate configurations in one batch.
+
+// Every per-lane pass is written `for lane in 0..G` over parallel
+// fixed-size lane arrays; a few passes happen to touch only one array
+// and would satisfy `needless_range_loop` as iterator chains, but the
+// uniform indexed shape is what keeps the dozens of passes visually
+// comparable (and unrollable), so the lint is silenced wholesale.
+#![allow(clippy::needless_range_loop)]
+
+use crate::config::CoreConfig;
+use crate::stats::{BranchStats, CacheStats, SimResult};
+use crate::timing::{FlatMemory, FuRing};
+use fuleak_workloads::annotated::{
+    AnnotatedTrace, DST_SHIFT, FLAG_ENDS_GROUP, FLAG_ITLB_MISS, FLAG_L1I_MISS, FLAG_MISPREDICT,
+    FLAG_NEW_LINE, KIND_FP, KIND_INT, KIND_LOAD, KIND_MASK, KIND_MUL, KIND_NOP, KIND_STORE,
+    NO_STORE_MATCH, REG_FP_BIT, REG_INT_BIT, REG_MASK, SRC0_SHIFT, SRC1_SHIFT,
+};
+
+/// Widest batch one traversal advances at once — also the largest
+/// monomorphized lane count. Wider groups are chunked: each extra
+/// lane adds its occupancy rings, cache tag slabs, and window slabs
+/// to the working set, and past this width the state falls out of
+/// cache faster than the shared decode amortizes (measured in
+/// `DESIGN.md` §9; the engine also uses this as its dispatch chunk
+/// size).
+pub const MAX_LANES: usize = 8;
+
+/// Architectural register count per bank; the merged scoreboard has
+/// `4 × REGS` rows — one per raw 8-bit register field, so the
+/// integer ([`REG_INT_BIT`]`| n`) and floating-point
+/// ([`REG_FP_BIT`]`| n`) banks land in disjoint rows and the "no
+/// register" encoding (row 0, never written) reads as 0 — and every
+/// masked field indexes it without a bounds check.
+const REGS: usize = 64;
+
+/// One capacity-window kind across the G lanes of a chunk — the
+/// header half of the scalar kernel's `FixedWindow`, one fixed-size
+/// stack array per field so lane indexing is bounds-check-free. Ring
+/// storage lives in a kernel-owned slab shared by all lanes: per-lane
+/// sizes differ (window capacities are timing axes), so lane `l` owns
+/// the `[offset[l], offset[l] + size[l])` segment of the buffer.
+struct LaneWindows<const G: usize> {
+    size: [u32; G],
+    head: [u32; G],
+    len: [u32; G],
+    offset: [u32; G],
+}
+
+impl<const G: usize> LaneWindows<G> {
+    /// Lays the G lanes' rings out in `buf` (growing it only if this
+    /// shape needs more than any previous batch) and returns the
+    /// header block. Ring contents need no clearing: `len` starts at
+    /// zero and slots are written before they are read.
+    fn new(sizes: [usize; G], buf: &mut Vec<u64>, growths: &mut u64) -> Self {
+        let mut w = LaneWindows {
+            size: [0; G],
+            head: [0; G],
+            len: [0; G],
+            offset: [0; G],
+        };
+        let mut total = 0u32;
+        for lane in 0..G {
+            let size = sizes[lane];
+            assert!(size > 0 && size <= u32::MAX as usize);
+            w.offset[lane] = total;
+            w.size[lane] = size as u32;
+            total += size as u32;
+        }
+        if buf.len() < total as usize {
+            buf.resize(total as usize, 0);
+            *growths += 1;
+        }
+        w
+    }
+
+    /// The earliest cycle lane `lane`'s next allocation may start.
+    ///
+    /// Branchless: the oldest-release slot is loaded unconditionally
+    /// (any stale value there is discarded by the select while the
+    /// window is still filling), so the only branch left is the
+    /// never-taken slice bounds check.
+    #[inline(always)]
+    fn constraint(&self, buf: &[u64], lane: usize) -> u64 {
+        let oldest = buf[(self.offset[lane] + self.head[lane]) as usize];
+        if self.len[lane] < self.size[lane] {
+            0
+        } else {
+            oldest
+        }
+    }
+
+    /// Records the release time of lane `lane`'s allocation just made.
+    /// Branchless for the same reason as [`LaneWindows::constraint`]:
+    /// the filling-phase and steady-state updates are computed as
+    /// selects, not taken branches.
+    #[inline(always)]
+    fn record(&mut self, buf: &mut [u64], lane: usize, release: u64) {
+        let size = self.size[lane];
+        let head = self.head[lane];
+        let len = self.len[lane];
+        let filling = len < size;
+        let mut i = head + if filling { len } else { 0 };
+        if i >= size {
+            i -= size;
+        }
+        buf[(self.offset[lane] + i) as usize] = release;
+        self.len[lane] = len + filling as u32;
+        let advanced = if head + 1 == size { 0 } else { head + 1 };
+        self.head[lane] = if filling { head } else { advanced };
+    }
+}
+
+/// One in-order bandwidth limiter kind across the G lanes — the
+/// stack-array form of [`crate::resources::BandwidthLimiter`], same
+/// recurrence.
+struct LaneBw<const G: usize> {
+    width: [u32; G],
+    cycle: [u64; G],
+    used: [u32; G],
+}
+
+impl<const G: usize> LaneBw<G> {
+    fn new(widths: [usize; G]) -> Self {
+        let mut width = [0u32; G];
+        for lane in 0..G {
+            assert!(widths[lane] > 0 && widths[lane] <= u32::MAX as usize);
+            width[lane] = widths[lane] as u32;
+        }
+        LaneBw {
+            width,
+            cycle: [0; G],
+            used: [0; G],
+        }
+    }
+
+    /// Branchless: all three outcomes (jump forward, same cycle,
+    /// width exhausted) are computed as selects — the slot-grant
+    /// pattern is data-dependent, so taken branches here mispredict.
+    #[inline(always)]
+    fn next(&mut self, lane: usize, earliest: u64) -> u64 {
+        let cycle = self.cycle[lane];
+        let used = self.used[lane];
+        let width = self.width[lane];
+        let jumped = earliest > cycle;
+        let exhausted = used >= width;
+        let granted = if jumped {
+            earliest
+        } else {
+            cycle + exhausted as u64
+        };
+        self.cycle[lane] = granted;
+        self.used[lane] = if jumped || exhausted { 1 } else { used + 1 };
+        granted
+    }
+}
+
+/// The per-lane structured scratch that has no profitable interleaved
+/// form: occupancy rings retire cycle-by-cycle and the D-side
+/// hierarchy is sized by each lane's own cache geometry, so each lane
+/// keeps one reusable slab of each.
+#[derive(Debug, Default)]
+struct LaneSlab {
+    int_pool: FuRing,
+    fp_pool: FuRing,
+    dmem: FlatMemory,
+}
+
+/// The reusable lane-batched phase-2 simulator (see the
+/// [module docs](self)).
+///
+/// Construct once per worker thread, call [`BatchedKernel::run`] per
+/// timing-sibling group; every slab is reset in place, so a warm
+/// kernel performs no scratch allocations per batch.
+#[derive(Debug, Default)]
+pub struct BatchedKernel {
+    fetch_queue_buf: Vec<u64>,
+    rob_buf: Vec<u64>,
+    int_iq_buf: Vec<u64>,
+    fp_iq_buf: Vec<u64>,
+    ldq_buf: Vec<u64>,
+    stq_buf: Vec<u64>,
+    int_ren_buf: Vec<u64>,
+    fp_ren_buf: Vec<u64>,
+    /// Store completion times, ordinal-major (`ordinal × G + lane`).
+    /// Never cleared: the annotator guarantees a load's match ordinal
+    /// names an older store of the same trace, so every slot is
+    /// written before it is read (same argument as the scalar
+    /// kernel's `store_done`).
+    store_done: Vec<u64>,
+    slabs: Vec<LaneSlab>,
+    slab_growths: u64,
+}
+
+impl BatchedKernel {
+    /// Creates a kernel with empty scratch (sized lazily by the first
+    /// [`BatchedKernel::run`]).
+    pub fn new() -> Self {
+        BatchedKernel::default()
+    }
+
+    /// Cumulative scratch-buffer growth events since construction,
+    /// across every shared slab and per-lane slab.
+    ///
+    /// The first batch at a given shape sizes the buffers; after
+    /// that, repeating a batch must not move this counter — the
+    /// per-batch hot loop is allocation-free (the idle spectra handed
+    /// to the caller inside each [`SimResult`] are the documented
+    /// exception, as for the scalar kernel).
+    /// `tests/batched_props.rs` asserts the steady state per lane.
+    pub fn scratch_growths(&self) -> u64 {
+        self.slab_growths
+            + self
+                .slabs
+                .iter()
+                .map(|s| {
+                    s.int_pool.growths
+                        + s.fp_pool.growths
+                        + s.dmem.l1.growths
+                        + s.dmem.l2.growths
+                        + s.dmem.tlb.cache.growths
+                        + s.dmem.growths
+                })
+                .sum::<u64>()
+    }
+
+    /// Replays `ann` across every configuration in `cfgs`, returning
+    /// one [`SimResult`] per configuration, in order — each
+    /// field-exactly equal to [`crate::TimingKernel::run`] over the
+    /// same `(ann, cfg)` pair. Configurations may repeat (lanes are
+    /// fully independent). Batches wider than [`MAX_LANES`] are
+    /// traversed in chunks of that width.
+    ///
+    /// Every configuration's front-end geometry must match the one
+    /// `ann` was annotated under (same
+    /// [`crate::machine::frontend_fingerprint`]) — the same contract
+    /// as the scalar kernel, per lane.
+    pub fn run(&mut self, ann: &AnnotatedTrace, cfgs: &[CoreConfig]) -> Vec<SimResult> {
+        let mut out = Vec::with_capacity(cfgs.len());
+        for chunk in cfgs.chunks(MAX_LANES) {
+            match chunk.len() {
+                1 => self.run_chunk::<1>(ann, chunk, &mut out),
+                2 => self.run_chunk::<2>(ann, chunk, &mut out),
+                3 => self.run_chunk::<3>(ann, chunk, &mut out),
+                4 => self.run_chunk::<4>(ann, chunk, &mut out),
+                5 => self.run_chunk::<5>(ann, chunk, &mut out),
+                6 => self.run_chunk::<6>(ann, chunk, &mut out),
+                7 => self.run_chunk::<7>(ann, chunk, &mut out),
+                8 => self.run_chunk::<8>(ann, chunk, &mut out),
+                _ => unreachable!("chunks are bounded by MAX_LANES"),
+            }
+        }
+        out
+    }
+
+    /// One traversal advancing exactly `G` lanes; appends one result
+    /// per lane to `out`. The body is the scalar kernel's recurrence
+    /// verbatim, with the record decoded once and the per-lane state
+    /// in stack arrays indexed by the compile-time-bounded lane.
+    fn run_chunk<const G: usize>(
+        &mut self,
+        ann: &AnnotatedTrace,
+        cfgs: &[CoreConfig],
+        out: &mut Vec<SimResult>,
+    ) {
+        assert_eq!(cfgs.len(), G);
+        // The same guard the scalar kernel's reset enforces, per lane:
+        // flat caches index by shift/mask, so an invalid configuration
+        // would produce a plausible-looking wrong result in release.
+        for cfg in cfgs {
+            if let Err(e) = cfg.validate() {
+                panic!("BatchedKernel requires valid configurations: {e}");
+            }
+        }
+
+        // Disjoint reborrows of the kernel's reusable slabs.
+        let BatchedKernel {
+            fetch_queue_buf,
+            rob_buf,
+            int_iq_buf,
+            fp_iq_buf,
+            ldq_buf,
+            stq_buf,
+            int_ren_buf,
+            fp_ren_buf,
+            store_done,
+            slabs,
+            slab_growths,
+        } = self;
+
+        let mut fetch_queue = LaneWindows::<G>::new(
+            std::array::from_fn(|l| cfgs[l].fetch_queue),
+            fetch_queue_buf,
+            slab_growths,
+        );
+        let mut rob = LaneWindows::<G>::new(
+            std::array::from_fn(|l| cfgs[l].rob_entries),
+            rob_buf,
+            slab_growths,
+        );
+        let mut int_iq = LaneWindows::<G>::new(
+            std::array::from_fn(|l| cfgs[l].int_iq_entries),
+            int_iq_buf,
+            slab_growths,
+        );
+        let mut fp_iq = LaneWindows::<G>::new(
+            std::array::from_fn(|l| cfgs[l].fp_iq_entries),
+            fp_iq_buf,
+            slab_growths,
+        );
+        let mut ldq = LaneWindows::<G>::new(
+            std::array::from_fn(|l| cfgs[l].load_queue),
+            ldq_buf,
+            slab_growths,
+        );
+        let mut stq = LaneWindows::<G>::new(
+            std::array::from_fn(|l| cfgs[l].store_queue),
+            stq_buf,
+            slab_growths,
+        );
+        let mut int_ren = LaneWindows::<G>::new(
+            std::array::from_fn(|l| cfgs[l].int_renames()),
+            int_ren_buf,
+            slab_growths,
+        );
+        let mut fp_ren = LaneWindows::<G>::new(
+            std::array::from_fn(|l| cfgs[l].fp_renames()),
+            fp_ren_buf,
+            slab_growths,
+        );
+        let fetch_queue_buf: &mut [u64] = fetch_queue_buf;
+        let rob_buf: &mut [u64] = rob_buf;
+        let int_iq_buf: &mut [u64] = int_iq_buf;
+        let fp_iq_buf: &mut [u64] = fp_iq_buf;
+        let ldq_buf: &mut [u64] = ldq_buf;
+        let stq_buf: &mut [u64] = stq_buf;
+        let int_ren_buf: &mut [u64] = int_ren_buf;
+        let fp_ren_buf: &mut [u64] = fp_ren_buf;
+
+        if store_done.len() < ann.stores() * G {
+            store_done.resize(ann.stores() * G, 0);
+            *slab_growths += 1;
+        }
+        let store_done: &mut [u64] = store_done;
+        if slabs.len() < G {
+            slabs.resize_with(G, LaneSlab::default);
+            *slab_growths += 1;
+        }
+        let slabs: &mut [LaneSlab] = &mut slabs[..G];
+        for (slab, cfg) in slabs.iter_mut().zip(cfgs) {
+            slab.int_pool.reset(cfg.int_fus, true);
+            slab.fp_pool.reset(cfg.fp_fus, false);
+            slab.dmem.reset(cfg);
+        }
+
+        // Per-lane hot state, on the stack for the whole traversal.
+        // One scoreboard row per raw 8-bit register field: integer
+        // registers land in rows `REG_INT_BIT | n`, floating-point in
+        // `REG_FP_BIT | n`, and row 0 — the "no source" encoding — is
+        // never written, so operand readiness needs no branch at all:
+        // `board[s][lane]` is the producer's completion time, or 0.
+        let mut board = [[0u64; G]; 4 * REGS];
+        // Per-record staging, one slot per lane.
+        let mut fetch = [0u64; G];
+        let mut gate = [0u64; G];
+        let mut ready = [0u64; G];
+        let mut complete = [0u64; G];
+        let mut fetch_frontier = [0u64; G];
+        let mut last_commit = [0u64; G];
+        let mut fetch_bw = LaneBw::<G>::new(std::array::from_fn(|l| cfgs[l].width));
+        let mut dispatch_bw = LaneBw::<G>::new(std::array::from_fn(|l| cfgs[l].width));
+        let mut commit_bw = LaneBw::<G>::new(std::array::from_fn(|l| cfgs[l].width));
+        let itlb_miss_latency: [u64; G] = std::array::from_fn(|l| cfgs[l].itlb.miss_latency);
+        let l1i_miss_latency: [u64; G] = std::array::from_fn(|l| cfgs[l].l2.latency);
+        let mispredict_latency: [u64; G] = std::array::from_fn(|l| cfgs[l].mispredict_latency);
+        let mul_latency: [u64; G] = std::array::from_fn(|l| cfgs[l].mul_latency);
+        let fp_latency: [u64; G] = std::array::from_fn(|l| cfgs[l].fp_latency);
+
+        let mem_addrs = ann.mem_addrs();
+        let store_matches = ann.store_matches();
+        let mut mem_cursor = 0usize;
+        let mut load_cursor = 0usize;
+        let mut store_cursor = 0usize;
+
+        // The stage order per lane is exactly the scalar kernel's; the
+        // loop is merely transposed into per-stage lane passes so that
+        // every *data-dependent* branch — instruction kind, destination
+        // class, control-flow flags, store-forwarding applicability —
+        // is taken **once per record**, shared by all G lanes, while
+        // the passes inside each arm are select-based straight-line
+        // code. A per-lane copy of those branches (the obvious
+        // transposition) re-pays the scalar kernel's full
+        // misprediction tax in every lane and gains nothing; this
+        // shape amortizes it G ways (measured in `DESIGN.md` §9).
+        for &meta in ann.meta() {
+            // ---------- Shared decode (once per record) ----------
+            let kind = meta & KIND_MASK;
+            let dst = (meta >> DST_SHIFT) & REG_MASK;
+            let s0 = ((meta >> SRC0_SHIFT) & REG_MASK) as usize;
+            let s1 = ((meta >> SRC1_SHIFT) & REG_MASK) as usize;
+
+            // ---------- Fetch ----------
+            if meta & FLAG_NEW_LINE != 0 {
+                let itlb_on = (meta & FLAG_ITLB_MISS != 0) as u64;
+                let l1i_on = (meta & FLAG_L1I_MISS != 0) as u64;
+                for lane in 0..G {
+                    let earliest = fetch_frontier[lane]
+                        .max(fetch_queue.constraint(fetch_queue_buf, lane))
+                        + itlb_on * itlb_miss_latency[lane]
+                        + l1i_on * l1i_miss_latency[lane];
+                    fetch[lane] = fetch_bw.next(lane, earliest);
+                }
+            } else {
+                for lane in 0..G {
+                    let earliest =
+                        fetch_frontier[lane].max(fetch_queue.constraint(fetch_queue_buf, lane));
+                    fetch[lane] = fetch_bw.next(lane, earliest);
+                }
+            }
+
+            // ---------- Dispatch (rename) ----------
+            for lane in 0..G {
+                gate[lane] = (fetch[lane] + 1).max(rob.constraint(rob_buf, lane));
+            }
+            match kind {
+                KIND_NOP => {}
+                KIND_FP => {
+                    for lane in 0..G {
+                        gate[lane] = gate[lane].max(fp_iq.constraint(fp_iq_buf, lane));
+                    }
+                }
+                KIND_LOAD => {
+                    for lane in 0..G {
+                        gate[lane] = gate[lane]
+                            .max(int_iq.constraint(int_iq_buf, lane))
+                            .max(ldq.constraint(ldq_buf, lane));
+                    }
+                }
+                KIND_STORE => {
+                    for lane in 0..G {
+                        gate[lane] = gate[lane]
+                            .max(int_iq.constraint(int_iq_buf, lane))
+                            .max(stq.constraint(stq_buf, lane));
+                    }
+                }
+                _ => {
+                    for lane in 0..G {
+                        gate[lane] = gate[lane].max(int_iq.constraint(int_iq_buf, lane));
+                    }
+                }
+            }
+            if dst & REG_INT_BIT != 0 {
+                for lane in 0..G {
+                    gate[lane] = gate[lane].max(int_ren.constraint(int_ren_buf, lane));
+                }
+            } else if dst & REG_FP_BIT != 0 {
+                for lane in 0..G {
+                    gate[lane] = gate[lane].max(fp_ren.constraint(fp_ren_buf, lane));
+                }
+            }
+
+            // ---------- Operand readiness ----------
+            // `gate` leaves this pass holding the retire limit
+            // (dispatch + 1), which readiness also lower-bounds.
+            for lane in 0..G {
+                let dispatch = dispatch_bw.next(lane, gate[lane]);
+                fetch_queue.record(fetch_queue_buf, lane, dispatch);
+                gate[lane] = dispatch + 1;
+                ready[lane] = (dispatch + 1).max(board[s0][lane]).max(board[s1][lane]);
+            }
+
+            // ---------- Issue & execute ----------
+            match kind {
+                KIND_NOP => complete[..G].copy_from_slice(&ready[..G]),
+                KIND_INT => {
+                    for lane in 0..G {
+                        let issue = slabs[lane].int_pool.allocate(ready[lane], gate[lane]);
+                        int_iq.record(int_iq_buf, lane, issue);
+                        complete[lane] = issue + 1;
+                    }
+                }
+                KIND_MUL => {
+                    for lane in 0..G {
+                        let issue = slabs[lane].int_pool.allocate(ready[lane], gate[lane]);
+                        int_iq.record(int_iq_buf, lane, issue);
+                        complete[lane] = issue + mul_latency[lane];
+                    }
+                }
+                KIND_FP => {
+                    for lane in 0..G {
+                        let issue = slabs[lane].fp_pool.allocate(ready[lane], gate[lane]);
+                        fp_iq.record(fp_iq_buf, lane, issue);
+                        complete[lane] = issue + fp_latency[lane];
+                    }
+                }
+                KIND_LOAD => {
+                    let addr = mem_addrs[mem_cursor];
+                    mem_cursor += 1;
+                    let store_match = store_matches[load_cursor];
+                    load_cursor += 1;
+                    if store_match == NO_STORE_MATCH {
+                        for lane in 0..G {
+                            let issue = slabs[lane].int_pool.allocate(ready[lane], gate[lane]);
+                            int_iq.record(int_iq_buf, lane, issue);
+                            complete[lane] = slabs[lane].dmem.access(addr, issue + 1);
+                        }
+                    } else {
+                        let row = store_match as usize * G;
+                        for lane in 0..G {
+                            let issue = slabs[lane].int_pool.allocate(ready[lane], gate[lane]);
+                            int_iq.record(int_iq_buf, lane, issue);
+                            let agen_done = issue + 1;
+                            let done = store_done[row + lane];
+                            complete[lane] = if done >= agen_done {
+                                // Forward from the in-flight older
+                                // store whose data is not yet drained.
+                                done + 1
+                            } else {
+                                slabs[lane].dmem.access(addr, agen_done)
+                            };
+                        }
+                    }
+                }
+                _ => {
+                    debug_assert_eq!(kind, KIND_STORE);
+                    let addr = mem_addrs[mem_cursor];
+                    mem_cursor += 1;
+                    let row = store_cursor * G;
+                    store_cursor += 1;
+                    for lane in 0..G {
+                        let issue = slabs[lane].int_pool.allocate(ready[lane], gate[lane]);
+                        int_iq.record(int_iq_buf, lane, issue);
+                        let done = issue + 1;
+                        store_done[row + lane] = done;
+                        // Warm the cache and occupy an MSHR on a miss;
+                        // the store buffer hides the latency from
+                        // commit.
+                        slabs[lane].dmem.access(addr, done);
+                        complete[lane] = done;
+                    }
+                }
+            }
+
+            // ---------- Control flow (pre-resolved) ----------
+            if meta & FLAG_MISPREDICT != 0 {
+                for lane in 0..G {
+                    fetch_frontier[lane] = fetch_frontier[lane]
+                        .max(complete[lane] + 1)
+                        .max(fetch[lane] + mispredict_latency[lane]);
+                }
+            } else if meta & FLAG_ENDS_GROUP != 0 {
+                for lane in 0..G {
+                    fetch_frontier[lane] = fetch_frontier[lane].max(fetch[lane] + 1);
+                }
+            }
+
+            // ---------- Register writeback ----------
+            if dst & (REG_INT_BIT | REG_FP_BIT) != 0 {
+                board[dst as usize] = complete;
+            }
+
+            // ---------- Commit (in order) ----------
+            for lane in 0..G {
+                let commit = commit_bw.next(lane, (complete[lane] + 1).max(last_commit[lane]));
+                last_commit[lane] = commit;
+                rob.record(rob_buf, lane, commit);
+            }
+            if kind == KIND_LOAD {
+                for lane in 0..G {
+                    ldq.record(ldq_buf, lane, last_commit[lane]);
+                }
+            } else if kind == KIND_STORE {
+                for lane in 0..G {
+                    stq.record(stq_buf, lane, last_commit[lane]);
+                }
+            }
+            if dst & REG_INT_BIT != 0 {
+                for lane in 0..G {
+                    int_ren.record(int_ren_buf, lane, last_commit[lane]);
+                }
+            } else if dst & REG_FP_BIT != 0 {
+                for lane in 0..G {
+                    fp_ren.record(fp_ren_buf, lane, last_commit[lane]);
+                }
+            }
+        }
+
+        for (lane, slab) in slabs.iter_mut().enumerate() {
+            let cycles = last_commit[lane];
+            let (fu_idle, fu_active) = slab.int_pool.finish(cycles);
+            slab.dmem.note_growths();
+            out.push(SimResult {
+                cycles,
+                committed: ann.len() as u64,
+                fu_idle,
+                fu_active,
+                branch: BranchStats {
+                    branches: ann.branches(),
+                    mispredicts: ann.mispredicts(),
+                },
+                caches: CacheStats {
+                    l1d_accesses: slab.dmem.l1.accesses,
+                    l1d_misses: slab.dmem.l1.misses,
+                    l2_accesses: slab.dmem.l2.accesses,
+                    l2_misses: slab.dmem.l2.misses,
+                    l1i_misses: ann.l1i_misses(),
+                    dtlb_misses: slab.dmem.tlb.cache.misses,
+                    itlb_misses: ann.itlb_misses(),
+                },
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate;
+    use crate::TimingKernel;
+    use fuleak_workloads::{Benchmark, EncodedTrace};
+
+    fn capture(name: &str, budget: u64) -> EncodedTrace {
+        let bench = Benchmark::by_name(name).unwrap();
+        EncodedTrace::capture(&mut bench.instantiate(), budget).unwrap()
+    }
+
+    /// The paper-grid timing variants of the baseline machine: FU
+    /// counts × L2 latencies, all one front-end geometry.
+    fn timing_grid() -> Vec<CoreConfig> {
+        let mut cfgs = Vec::new();
+        for fus in 1..=4 {
+            for l2 in [12, 18, 24, 32] {
+                let mut cfg = CoreConfig::alpha21264();
+                cfg.int_fus = fus;
+                cfg.l2.latency = l2;
+                cfgs.push(cfg);
+            }
+        }
+        cfgs
+    }
+
+    #[test]
+    fn batched_matches_scalar_on_benchmarks() {
+        let mut scalar = TimingKernel::new();
+        let mut batched = BatchedKernel::new();
+        for name in ["gzip", "mcf", "health"] {
+            let trace = capture(name, 30_000);
+            let base = CoreConfig::alpha21264();
+            let ann = annotate(&base, &trace);
+            let cfgs = timing_grid();
+            let results = batched.run(&ann, &cfgs);
+            assert_eq!(results.len(), cfgs.len());
+            for (cfg, result) in cfgs.iter().zip(&results) {
+                let reference = scalar.run(&ann, cfg);
+                assert_eq!(result, &reference, "{name} lane diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_configs_produce_identical_lanes() {
+        let trace = capture("mst", 20_000);
+        let base = CoreConfig::alpha21264();
+        let ann = annotate(&base, &trace);
+        let mut narrow = base.clone();
+        narrow.int_fus = 1;
+        let cfgs = vec![base.clone(), narrow.clone(), base.clone(), narrow];
+        let results = BatchedKernel::new().run(&ann, &cfgs);
+        assert_eq!(results[0], results[2]);
+        assert_eq!(results[1], results[3]);
+        assert_ne!(results[0], results[1]);
+    }
+
+    #[test]
+    fn wide_batches_chunk_past_max_lanes() {
+        let trace = capture("gzip", 10_000);
+        let base = CoreConfig::alpha21264();
+        let ann = annotate(&base, &trace);
+        // MAX_LANES + 3 lanes: a full chunk plus an odd remainder, so
+        // both the widest and a narrow monomorphization run.
+        let mut cfgs = Vec::new();
+        for i in 0..MAX_LANES + 3 {
+            let mut cfg = base.clone();
+            cfg.l2.latency = 10 + i as u64;
+            cfgs.push(cfg);
+        }
+        let results = BatchedKernel::new().run(&ann, &cfgs);
+        assert_eq!(results.len(), cfgs.len());
+        let mut scalar = TimingKernel::new();
+        for (cfg, result) in cfgs.iter().zip(&results) {
+            assert_eq!(result, &scalar.run(&ann, cfg));
+        }
+    }
+
+    #[test]
+    fn every_lane_count_matches_scalar() {
+        let trace = capture("vpr", 15_000);
+        let base = CoreConfig::alpha21264();
+        let ann = annotate(&base, &trace);
+        let grid = timing_grid();
+        let mut scalar = TimingKernel::new();
+        let mut batched = BatchedKernel::new();
+        for g in 1..=MAX_LANES {
+            let cfgs = &grid[..g];
+            let results = batched.run(&ann, cfgs);
+            for (cfg, result) in cfgs.iter().zip(&results) {
+                assert_eq!(result, &scalar.run(&ann, cfg), "g={g} lane diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_kernel_performs_no_scratch_allocations() {
+        let trace = capture("gzip", 20_000);
+        let base = CoreConfig::alpha21264();
+        let ann = annotate(&base, &trace);
+        let cfgs = timing_grid();
+        let mut kernel = BatchedKernel::new();
+        let first = kernel.run(&ann, &cfgs);
+        let warm = kernel.scratch_growths();
+        let second = kernel.run(&ann, &cfgs);
+        assert_eq!(first, second, "repeated batches must be deterministic");
+        assert_eq!(
+            kernel.scratch_growths(),
+            warm,
+            "a warm kernel re-running the same batch grew scratch buffers"
+        );
+    }
+
+    #[test]
+    fn empty_batch_and_empty_trace_are_safe() {
+        let mut kernel = BatchedKernel::new();
+        assert!(kernel.run(&AnnotatedTrace::default(), &[]).is_empty());
+        let cfg = CoreConfig::alpha21264();
+        let results = kernel.run(&AnnotatedTrace::default(), std::slice::from_ref(&cfg));
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].cycles, 0);
+        assert_eq!(results[0].committed, 0);
+        assert_eq!(results[0].fu_idle.len(), cfg.int_fus);
+    }
+
+    #[test]
+    fn single_lane_matches_scalar() {
+        let trace = capture("vpr", 15_000);
+        let cfg = CoreConfig::with_int_fus(2);
+        let ann = annotate(&cfg, &trace);
+        let batched = BatchedKernel::new().run(&ann, std::slice::from_ref(&cfg));
+        assert_eq!(batched[0], TimingKernel::new().run(&ann, &cfg));
+    }
+}

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod annotate;
+pub mod batched;
 pub mod bpred;
 pub mod cache;
 pub mod config;
@@ -59,6 +60,7 @@ pub mod stats;
 pub mod timing;
 
 pub use annotate::annotate;
+pub use batched::{BatchedKernel, MAX_LANES};
 pub use config::{ConfigError, CoreConfig};
 pub use machine::MachineConfig;
 pub use pipeline::Simulator;

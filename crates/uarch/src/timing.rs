@@ -47,8 +47,13 @@ use fuleak_workloads::annotated::{
 
 /// Initial capacity (cycles) of each functional-unit occupancy ring.
 /// Grows geometrically if a configuration's in-flight window ever
-/// spans more cycles (counted as a scratch growth).
-const FU_RING_INITIAL: usize = 1 << 16;
+/// spans more cycles (counted as a scratch growth). Kept small: the
+/// in-flight span is bounded by the ROB depth plus the longest memory
+/// round-trip (a few hundred cycles), and the ring is zeroed on every
+/// reset — a generous ring costs a large memset per point *and*, in
+/// the lane-batched kernel, multiplies across lanes into more
+/// resident scratch than the host's caches hold.
+const FU_RING_INITIAL: usize = 1 << 10;
 
 /// A fixed-capacity reusable ring implementing the same contract as
 /// [`crate::resources::CapacityWindow`]: the `i`-th allocation may
@@ -110,8 +115,11 @@ impl FixedWindow {
 /// are kept); the ring window covers `[base, base + capacity)` and only
 /// ever needs to reach as far back as the in-order dispatch frontier,
 /// because every future allocation's ready time exceeds it.
+///
+/// Crate-visible so the lane-batched kernel ([`crate::batched`]) can
+/// hold one ring per lane as its per-lane occupancy slab.
 #[derive(Debug, Default)]
-struct FuRing {
+pub(crate) struct FuRing {
     units: usize,
     full: u16,
     rr: usize,
@@ -122,11 +130,11 @@ struct FuRing {
     live: usize,
     record_stats: bool,
     recorders: Vec<IdleCursor>,
-    growths: u64,
+    pub(crate) growths: u64,
 }
 
 impl FuRing {
-    fn reset(&mut self, units: usize, record_stats: bool) {
+    pub(crate) fn reset(&mut self, units: usize, record_stats: bool) {
         assert!(units > 0 && units <= 16);
         if self.buf.is_empty() {
             self.buf = vec![0; FU_RING_INITIAL];
@@ -201,7 +209,7 @@ impl FuRing {
     /// current dispatch frontier + 1); the ring retires up to it when
     /// it needs room.
     #[inline]
-    fn allocate(&mut self, ready: u64, retire_limit: u64) -> u64 {
+    pub(crate) fn allocate(&mut self, ready: u64, retire_limit: u64) -> u64 {
         debug_assert!(ready >= self.base);
         let mut cycle = ready;
         loop {
@@ -212,18 +220,24 @@ impl FuRing {
                 }
             }
             let slot = &mut self.buf[(cycle as usize) & self.mask];
-            if *slot != self.full {
-                for k in 0..self.units {
-                    let f = (self.rr + k) % self.units;
-                    if *slot & (1 << f) == 0 {
-                        if *slot == 0 {
-                            self.live += 1;
-                        }
-                        *slot |= 1 << f;
-                        self.rr = (f + 1) % self.units;
-                        return cycle;
-                    }
+            let free = !*slot & self.full;
+            if free != 0 {
+                // First free unit in cyclic order from the rotating
+                // pointer: the bits at or above `rr`, else wrap to the
+                // lowest free bit — same unit the linear scan found,
+                // without the per-step modulo.
+                let above = free >> self.rr;
+                let f = if above != 0 {
+                    self.rr + above.trailing_zeros() as usize
+                } else {
+                    free.trailing_zeros() as usize
+                };
+                if *slot == 0 {
+                    self.live += 1;
                 }
+                *slot |= 1 << f;
+                self.rr = if f + 1 == self.units { 0 } else { f + 1 };
+                return cycle;
             }
             cycle += 1;
         }
@@ -231,7 +245,7 @@ impl FuRing {
 
     /// Retires everything and returns `(idle spectra, active
     /// cycles)` per unit, each stream closed at `total_cycles`.
-    fn finish(&mut self, total_cycles: u64) -> (Vec<IntervalSpectrum>, Vec<u64>) {
+    pub(crate) fn finish(&mut self, total_cycles: u64) -> (Vec<IntervalSpectrum>, Vec<u64>) {
         while self.live > 0 {
             let slot = &mut self.buf[(self.base as usize) & self.mask];
             if *slot != 0 {
@@ -263,17 +277,17 @@ impl FuRing {
 /// with one contiguous `sets × ways` slab reset between points
 /// instead of per-set `Vec`s rebuilt per point.
 #[derive(Debug, Default)]
-struct FlatCache {
+pub(crate) struct FlatCache {
     sets: u64,
     ways: usize,
-    line_shift: u32,
+    pub(crate) line_shift: u32,
     /// `sets - 1` when `sets` is a power of two, else 0 (modulo path).
     set_mask: u64,
     /// `line + 1` per way, most recently used first; 0 is invalid.
     tags: Vec<u64>,
-    accesses: u64,
-    misses: u64,
-    growths: u64,
+    pub(crate) accesses: u64,
+    pub(crate) misses: u64,
+    pub(crate) growths: u64,
 }
 
 impl FlatCache {
@@ -309,24 +323,36 @@ impl FlatCache {
         let base = set * self.ways;
         let slots = &mut self.tags[base..base + self.ways];
         let tag = line + 1;
-        if let Some(i) = slots.iter().position(|&t| t == tag) {
-            slots.copy_within(0..i, 1);
-            slots[0] = tag;
-            true
-        } else {
-            self.misses += 1;
-            slots.copy_within(0..self.ways - 1, 1);
-            slots[0] = tag;
-            false
+        // Tags are unique within a set, so at most one way matches; a
+        // miss behaves like a match in the last way (the LRU victim).
+        // Finding the position and rotating it to the front with
+        // selects keeps the access free of data-dependent branches —
+        // the hit way's position is effectively random, so the
+        // early-exit scan and variable-length `copy_within` this
+        // replaces mispredicted constantly.
+        let mut pos = self.ways - 1;
+        let mut hit = false;
+        for (way, &t) in slots.iter().enumerate() {
+            let eq = t == tag;
+            pos = if eq { way } else { pos };
+            hit |= eq;
         }
+        self.misses += !hit as u64;
+        let mut carry = tag;
+        for (way, slot) in slots.iter_mut().enumerate() {
+            let cur = *slot;
+            *slot = if way <= pos { carry } else { cur };
+            carry = cur;
+        }
+        hit
     }
 }
 
 /// Flat DTLB: a [`FlatCache`] over page numbers, mirroring
 /// [`crate::cache::Tlb`].
 #[derive(Debug, Default)]
-struct FlatTlb {
-    cache: FlatCache,
+pub(crate) struct FlatTlb {
+    pub(crate) cache: FlatCache,
     page_shift: u32,
     miss_latency: u64,
 }
@@ -354,10 +380,10 @@ impl FlatTlb {
 /// tracking — semantics identical to [`crate::cache::DataMemory`],
 /// state reused across points.
 #[derive(Debug)]
-struct FlatMemory {
-    l1: FlatCache,
-    l2: FlatCache,
-    tlb: FlatTlb,
+pub(crate) struct FlatMemory {
+    pub(crate) l1: FlatCache,
+    pub(crate) l2: FlatCache,
+    pub(crate) tlb: FlatTlb,
     mshrs: MissTracker,
     l1_latency: u64,
     l2_latency: u64,
@@ -371,7 +397,7 @@ struct FlatMemory {
     accesses_since_prune: u64,
     /// High-water capacities of the fill maps, for growth counting.
     fill_caps: (usize, usize),
-    growths: u64,
+    pub(crate) growths: u64,
 }
 
 impl Default for FlatMemory {
@@ -395,7 +421,7 @@ impl Default for FlatMemory {
 }
 
 impl FlatMemory {
-    fn reset(&mut self, cfg: &CoreConfig) {
+    pub(crate) fn reset(&mut self, cfg: &CoreConfig) {
         self.l1.reset_params(&cfg.l1d);
         self.l2.reset_params(&cfg.l2);
         self.tlb.reset(&cfg.dtlb);
@@ -411,7 +437,7 @@ impl FlatMemory {
 
     /// Performs a data access issued at `now`; returns the cycle the
     /// data is available (see [`crate::cache::DataMemory::access`]).
-    fn access(&mut self, addr: u64, now: u64) -> u64 {
+    pub(crate) fn access(&mut self, addr: u64, now: u64) -> u64 {
         self.maybe_prune(now);
         let start = now + self.tlb.translate(addr);
         let l1_line = addr >> self.l1.line_shift;
@@ -465,7 +491,7 @@ impl FlatMemory {
     }
 
     /// Folds any fill-map capacity growth into the growth counter.
-    fn note_growths(&mut self) {
+    pub(crate) fn note_growths(&mut self) {
         let caps = (self.l1_fills.capacity(), self.l2_fills.capacity());
         if caps.0 > self.fill_caps.0 {
             self.growths += 1;

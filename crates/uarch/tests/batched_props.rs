@@ -1,0 +1,235 @@
+//! Property tests for the lane-batched timing kernel.
+//!
+//! [`BatchedKernel`] replays one annotation across G timing
+//! configurations in a single trace traversal; the scalar
+//! [`TimingKernel`] is the reference. These tests pin the batching
+//! contract over random traces × random lane counts × mixed timing
+//! configurations:
+//!
+//! 1. **Per-lane field-exact equivalence** — every lane of a batch
+//!    equals the scalar kernel run over the same `(annotation,
+//!    config)` pair, on every `SimResult` field, for lane counts from
+//!    1 through past [`MAX_LANES`] (so both the widest chunk and odd
+//!    remainders run), including duplicate configurations sharing one
+//!    batch.
+//! 2. **Reset, not rebuild, per batch** — re-running a batch on a warm
+//!    kernel reproduces the results exactly and performs no scratch
+//!    allocations (`scratch_growths` does not move once the shapes
+//!    have been seen).
+
+use fuleak_uarch::annotate::annotate;
+use fuleak_uarch::{BatchedKernel, CoreConfig, TimingKernel, MAX_LANES};
+use fuleak_workloads::{ArchReg, BranchInfo, EncodedTrace, OpClass, TraceRecord};
+use proptest::prelude::*;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Long-lived kernels shared across every generated case, like
+    /// engine workers: each case stresses the reset path against
+    /// whatever shapes the previous case left behind.
+    static SCALAR: RefCell<TimingKernel> = RefCell::new(TimingKernel::new());
+    static BATCHED: RefCell<BatchedKernel> = RefCell::new(BatchedKernel::new());
+}
+
+fn reg(code: u8) -> Option<ArchReg> {
+    // 0 = none; 1..=48 integer; 49..=96 floating-point.
+    match code {
+        0 => None,
+        c if c <= 48 => Some(ArchReg::Int(c - 1)),
+        c => Some(ArchReg::Fp((c - 49) % 48)),
+    }
+}
+
+prop_compose! {
+    /// One random-but-valid trace record — the same distribution the
+    /// two-phase equivalence suite uses: a small address pool forcing
+    /// store→load matches and cache aliasing, every control class,
+    /// and occasional far misses.
+    fn record()(
+        pc in 0u32..96,
+        shape in 0u32..100,
+        reg_a in 0u8..=96,
+        reg_b in 0u8..=96,
+        reg_c in 0u8..=96,
+        near in 0u64..24,
+        far in 0u64..4,
+        taken in any::<bool>(),
+        target in 0u32..96,
+    ) -> TraceRecord {
+        let addr = if shape % 5 == 0 {
+            0x40_0000 + far * 0x1_0000 // far: L1/L2 misses, TLB pages
+        } else {
+            near * 8 // near: dense reuse and forwarding
+        };
+        let (op, dst, srcs, mem, branch): (OpClass, _, _, _, _) = match shape {
+            0..=29 => (OpClass::IntAlu, reg(reg_a % 49), [reg(reg_b % 49), reg(reg_c % 49)], None, None),
+            30..=34 => (OpClass::IntMul, reg(reg_a % 49), [reg(reg_b % 49), None], None, None),
+            35..=44 => (OpClass::Load, reg(1 + reg_a % 48), [reg(reg_b % 49), None], Some(addr), None),
+            45..=54 => (OpClass::Store, None, [reg(reg_a % 49), reg(reg_b % 49)], Some(addr), None),
+            55..=64 => (
+                OpClass::CondBranch,
+                None,
+                [reg(reg_a % 49), None],
+                None,
+                Some(BranchInfo { taken, next_pc: if taken { target } else { pc + 1 } }),
+            ),
+            65..=69 => (OpClass::Jump, None, [None, None], None,
+                Some(BranchInfo { taken: true, next_pc: target })),
+            70..=74 => (OpClass::Call, None, [None, None], None,
+                Some(BranchInfo { taken: true, next_pc: target })),
+            75..=79 => (OpClass::Return, None, [None, None], None,
+                Some(BranchInfo { taken: true, next_pc: target })),
+            80..=84 => (OpClass::IndirectJump, None, [reg(1 + reg_a % 48), None], None,
+                Some(BranchInfo { taken: true, next_pc: target })),
+            85..=91 => (OpClass::FpAdd, reg(49 + reg_a % 48), [reg(49 + reg_b % 48), None], None, None),
+            92..=96 => (OpClass::FpMul, reg(49 + reg_a % 48), [reg(49 + reg_b % 48), reg(49 + reg_c % 48)], None, None),
+            _ => (OpClass::Nop, None, [None, None], None, None),
+        };
+        TraceRecord { pc, op, dst, srcs, mem_addr: mem, branch }
+    }
+}
+
+/// One lane's draw of the timing axes — everything a batch is allowed
+/// to vary between lanes while sharing a single annotation: FU
+/// counts, widths, window capacities, physical registers, latencies,
+/// MSHRs, and the whole D-side geometry. Front-end geometry stays the
+/// base's, so every lane keeps the base's `frontend_fingerprint`.
+#[derive(Debug, Clone)]
+struct TimingAxes {
+    int_fus: usize,
+    fp_fus: usize,
+    width: usize,
+    rob: usize,
+    iq: usize,
+    lsq: usize,
+    phys: usize,
+    fetch_queue: usize,
+    mispredict: u64,
+    mul_latency: u64,
+    fp_latency: u64,
+    mshrs: usize,
+    mem_latency: u64,
+    l2_latency: u64,
+    l1d_shape: usize,
+    dtlb_shape: usize,
+    dtlb_miss: u64,
+}
+
+prop_compose! {
+    fn timing_axes()(
+        int_fus in 1usize..=4,
+        fp_fus in 1usize..=2,
+        width in 1usize..=6,
+        rob in prop_oneof![Just(8usize), Just(32), Just(128)],
+        iq in prop_oneof![Just(4usize), Just(32)],
+        lsq in prop_oneof![Just(4usize), Just(32)],
+        phys in 36usize..=96,
+        fetch_queue in 1usize..=8,
+        mispredict in 1u64..=12,
+        mul_latency in 1u64..=8,
+        fp_latency in 1u64..=5,
+        mshrs in prop_oneof![Just(1usize), Just(2), Just(8)],
+        mem_latency in prop_oneof![Just(20u64), Just(80), Just(200)],
+        l2_latency in prop_oneof![Just(5u64), Just(12), Just(32)],
+        l1d_shape in 0usize..4,
+        dtlb_shape in 0usize..2,
+        dtlb_miss in prop_oneof![Just(0u64), Just(10), Just(30)],
+    ) -> TimingAxes {
+        TimingAxes {
+            int_fus, fp_fus, width, rob, iq, lsq, phys, fetch_queue,
+            mispredict, mul_latency, fp_latency, mshrs, mem_latency,
+            l2_latency, l1d_shape, dtlb_shape, dtlb_miss,
+        }
+    }
+}
+
+/// Grafts one lane's timing axes onto the shared base configuration.
+fn apply(base: &CoreConfig, t: &TimingAxes) -> CoreConfig {
+    // (size, ways, line): set counts are powers of two.
+    let l1 = [
+        (4096u64, 2u64, 32u64),
+        (8192, 4, 64),
+        (16384, 2, 64),
+        (65536, 4, 64),
+    ];
+    let tlb = [(8u64, 2u64), (64, 4)];
+    let mut c = base.clone();
+    (c.l1d.size_bytes, c.l1d.ways, c.l1d.line_bytes) = l1[t.l1d_shape];
+    (c.dtlb.entries, c.dtlb.ways) = tlb[t.dtlb_shape];
+    c.dtlb.miss_latency = t.dtlb_miss;
+    c.int_fus = t.int_fus;
+    c.fp_fus = t.fp_fus;
+    c.width = t.width;
+    c.rob_entries = t.rob;
+    c.int_iq_entries = t.iq;
+    c.fp_iq_entries = t.iq;
+    c.load_queue = t.lsq;
+    c.store_queue = t.lsq;
+    c.phys_int_regs = t.phys;
+    c.phys_fp_regs = t.phys;
+    c.fetch_queue = t.fetch_queue;
+    c.mispredict_latency = t.mispredict;
+    c.mul_latency = t.mul_latency;
+    c.fp_latency = t.fp_latency;
+    c.mshrs = t.mshrs;
+    c.memory_latency = t.mem_latency;
+    c.l2.latency = t.l2_latency;
+    c
+}
+
+fn encode(records: &[TraceRecord]) -> EncodedTrace {
+    let mut t = EncodedTrace::new();
+    for r in records {
+        t.push(r);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Every lane of a batch is field-exactly equal to the scalar
+    /// kernel over the same `(annotation, config)` pair — for lane
+    /// counts spanning 1 through past `MAX_LANES`, with duplicated
+    /// configurations injected into the batch, and reproducibly on a
+    /// warm kernel whose scratch must not grow once the batch's
+    /// shapes have been seen.
+    #[test]
+    fn batched_equals_scalar_per_lane(
+        records in proptest::collection::vec(record(), 0..300),
+        axes in proptest::collection::vec(timing_axes(), 1..MAX_LANES + 3),
+        dup_from in 0usize..(MAX_LANES + 2),
+        dup_to in 0usize..(MAX_LANES + 2),
+    ) {
+        let base = CoreConfig::alpha21264();
+        let mut cfgs: Vec<CoreConfig> = axes.iter().map(|t| apply(&base, t)).collect();
+        // Duplicate one lane's configuration into another slot: lanes
+        // must stay independent even when a batch repeats a config.
+        if dup_from < cfgs.len() && dup_to < cfgs.len() {
+            cfgs[dup_to] = cfgs[dup_from].clone();
+        }
+        for cfg in &cfgs {
+            prop_assume!(cfg.validate().is_ok());
+        }
+        let trace = encode(&records);
+        let ann = annotate(&base, &trace);
+        let (first, second, grew) = BATCHED.with(|k| {
+            let mut k = k.borrow_mut();
+            let first = k.run(&ann, &cfgs);
+            let warm = k.scratch_growths();
+            let second = k.run(&ann, &cfgs);
+            (first, second, k.scratch_growths() != warm)
+        });
+        prop_assert_eq!(first.len(), cfgs.len());
+        prop_assert!(!grew, "warm rerun of the same batch grew scratch");
+        SCALAR.with(|k| {
+            let mut k = k.borrow_mut();
+            for (lane, (cfg, result)) in cfgs.iter().zip(&first).enumerate() {
+                let reference = k.run(&ann, cfg);
+                prop_assert!(result == &reference, "lane {lane} diverged");
+            }
+            Ok(())
+        })?;
+        prop_assert_eq!(first, second);
+    }
+}
