@@ -8,7 +8,7 @@
 //! multiply per word, as popularized by rustc) makes per-instruction
 //! lookups cheap while keeping behavior fully deterministic.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Rustc's Fx mixing constant (64-bit golden-ratio multiplier).
@@ -66,6 +66,9 @@ impl Hasher for FxHasher {
 /// A `HashMap` using [`FxHasher`].
 pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,6 +84,17 @@ mod tests {
             assert_eq!(m.get(&(i * 8)), Some(&i));
         }
         assert_eq!(m.get(&7), None);
+    }
+
+    #[test]
+    fn set_round_trips() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..100u64 {
+            assert!(s.insert(i * 3));
+        }
+        assert_eq!(s.len(), 100);
+        assert!(s.contains(&99));
+        assert!(!s.contains(&100));
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub mod accounting;
 pub mod breakeven;
 pub mod closed_form;
 pub mod error;
+pub mod fxhash;
 pub mod intervals;
 pub mod model;
 pub mod policy;

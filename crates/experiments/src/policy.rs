@@ -27,11 +27,11 @@
 
 use crate::scenario::Scenario;
 use fuleak_core::accounting::PolicyRun;
+use fuleak_core::fxhash::FxHashMap;
 use fuleak_core::policy_eval::{spectrum_run, PolicyForm};
 use fuleak_core::tech::{DEFAULT_DUTY_CYCLE, DEFAULT_LEAK_RATIO, DEFAULT_SLEEP_OVERHEAD};
 use fuleak_core::{breakeven_interval, EnergyModel, ModelError, TechnologyParams};
 use fuleak_uarch::SimResult;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -233,7 +233,7 @@ pub fn policy_energy_of(model: &EnergyModel, form: PolicyForm, sim: &SimResult) 
 #[derive(Debug, Default)]
 pub struct PolicyCache {
     #[allow(clippy::type_complexity)]
-    map: Mutex<HashMap<(Scenario, PolicyForm, u64), PolicyRun>>,
+    map: Mutex<FxHashMap<(Scenario, PolicyForm, u64), PolicyRun>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }

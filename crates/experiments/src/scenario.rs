@@ -49,6 +49,7 @@
 use crate::harness::Budget;
 use crate::policy::{default_eval_axes, policy_energy_of, EvalPoint, PolicyCache, PolicyKind};
 use fuleak_core::accounting::PolicyRun;
+use fuleak_core::fxhash::{FxHashMap, FxHashSet};
 use fuleak_core::policy_eval::PolicyForm;
 use fuleak_core::EnergyModel;
 use fuleak_uarch::{
@@ -57,7 +58,7 @@ use fuleak_uarch::{
 };
 use fuleak_workloads::{AnnotatedTrace, Benchmark, EncodedTrace, ExecError};
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -451,7 +452,7 @@ impl SweepSpec {
         } else {
             self.transitions.clone()
         };
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut out = Vec::new();
         for &policy in &policies {
             for &slice_override in &slices {
@@ -513,7 +514,7 @@ impl SweepSpec {
     pub fn try_expand(&self) -> Result<Vec<(Vec<u64>, Scenario)>, ConfigError> {
         let total: usize =
             self.benches.len() * self.axes.iter().map(|a| a.values.len()).product::<usize>();
-        let mut seen = HashSet::with_capacity(total);
+        let mut seen = FxHashSet::with_capacity_and_hasher(total, Default::default());
         let mut out = Vec::with_capacity(total);
         let mut combo = vec![0u64; self.axes.len()];
         for &bench in &self.benches {
@@ -527,7 +528,7 @@ impl SweepSpec {
         bench: &'static str,
         depth: usize,
         combo: &mut Vec<u64>,
-        seen: &mut HashSet<Scenario>,
+        seen: &mut FxHashSet<Scenario>,
         out: &mut Vec<(Vec<u64>, Scenario)>,
     ) -> Result<(), ConfigError> {
         if depth == self.axes.len() {
@@ -567,7 +568,7 @@ impl SweepSpec {
 /// A concurrent memo table from [`Scenario`] to its result.
 #[derive(Debug, Default)]
 pub struct SimCache {
-    map: Mutex<HashMap<Scenario, Arc<SimResult>>>,
+    map: Mutex<FxHashMap<Scenario, Arc<SimResult>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -729,7 +730,7 @@ impl EngineStats {
 /// functional trace, shared by every point of a machine sweep.
 #[derive(Debug, Default)]
 pub struct TraceCache {
-    map: Mutex<HashMap<(&'static str, Budget), Arc<EncodedTrace>>>,
+    map: Mutex<FxHashMap<(&'static str, Budget), Arc<EncodedTrace>>>,
     hits: AtomicUsize,
     captures: AtomicUsize,
 }
@@ -811,7 +812,7 @@ impl TraceCache {
 #[derive(Debug, Default)]
 pub struct AnnotationCache {
     #[allow(clippy::type_complexity)]
-    map: Mutex<HashMap<(&'static str, Budget, u64), Arc<AnnotatedTrace>>>,
+    map: Mutex<FxHashMap<(&'static str, Budget, u64), Arc<AnnotatedTrace>>>,
     hits: AtomicUsize,
     built: AtomicUsize,
 }
@@ -1106,7 +1107,7 @@ impl Engine {
     /// finally every point replays its annotation through a worker's
     /// reusable timing kernel.
     pub fn prime(&self, scenarios: &[Scenario]) -> usize {
-        let mut queued = HashSet::with_capacity(scenarios.len());
+        let mut queued = FxHashSet::with_capacity_and_hasher(scenarios.len(), Default::default());
         let mut todo: Vec<Scenario> = Vec::new();
         for s in scenarios {
             if !queued.insert(s.clone()) {
@@ -1117,7 +1118,7 @@ impl Engine {
             }
         }
         let mut trace_keys: Vec<(&'static str, Budget)> = Vec::new();
-        let mut seen_keys = HashSet::new();
+        let mut seen_keys = FxHashSet::default();
         for s in &todo {
             let key = (s.bench, s.budget);
             if seen_keys.insert(key) && !self.traces.contains(key.0, key.1) {
@@ -1134,7 +1135,7 @@ impl Engine {
             self.traces.insert(bench, budget, trace);
         }
         let mut ann_work: Vec<(&'static str, Budget, u64, MachineConfig)> = Vec::new();
-        let mut seen_geometries = HashSet::new();
+        let mut seen_geometries = FxHashSet::default();
         for s in &todo {
             let geometry = s.machine.frontend_fingerprint();
             let key = (s.bench, s.budget, geometry);
@@ -1187,7 +1188,7 @@ impl Engine {
             return todo.into_iter().map(ReplayWork::Single).collect();
         }
         let mut groups: Vec<Vec<Scenario>> = Vec::new();
-        let mut index: HashMap<(&'static str, Budget, u64), usize> = HashMap::new();
+        let mut index: FxHashMap<(&'static str, Budget, u64), usize> = FxHashMap::default();
         for s in todo {
             let key = (s.bench, s.budget, s.machine.frontend_fingerprint());
             match index.get(&key) {
@@ -1352,7 +1353,7 @@ mod tests {
         // order (int_fus, l2, width, rob).
         assert_eq!(expanded[0].0, vec![2, 12, 2, 64]);
         assert_eq!(expanded[3].0, vec![2, 12, 4, 128]);
-        let machines: HashSet<u64> = expanded
+        let machines: FxHashSet<u64> = expanded
             .iter()
             .map(|(_, s)| s.machine.fingerprint())
             .collect();
@@ -1518,7 +1519,7 @@ mod tests {
         // Panic while holding the SimCache lock, as a crashing worker
         // would.
         let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = engine.cache.map.lock().unwrap();
+            let _guard = lock_unpoisoned(&engine.cache.map);
             panic!("worker died mid-insert");
         }));
         assert!(poison.is_err());

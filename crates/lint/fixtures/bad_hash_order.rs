@@ -1,0 +1,10 @@
+// Fixture: default-hasher collections in an output path. Replayed
+// under the pretend path `crates/experiments/src/result.rs`.
+
+use std::collections::HashMap; // BAD: hash-order
+use std::collections::HashSet; // BAD: hash-order
+
+pub struct Table {
+    rows: HashMap<String, u64>, // BAD: hash-order
+    seen: HashSet<u64>, // BAD: hash-order
+}

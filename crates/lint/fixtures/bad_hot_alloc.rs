@@ -1,0 +1,20 @@
+// Fixture: every banned allocation construct in steady-state code.
+// Replayed under the pretend path `crates/uarch/src/timing.rs`.
+// Marked lines are the expected findings.
+
+pub struct Kernel {
+    scratch: Vec<u64>,
+}
+
+impl Kernel {
+    fn step(&mut self, n: usize) -> usize {
+        let v: Vec<u64> = Vec::new(); // BAD: hot-alloc
+        let w = vec![0u64; n]; // BAD: hot-alloc
+        let b = Box::new(n); // BAD: hot-alloc
+        let label = format!("step {n}"); // BAD: hot-alloc
+        let owned = label.to_string(); // BAD: hot-alloc
+        let copied = self.scratch.clone(); // BAD: hot-alloc
+        let gathered: Vec<u64> = (0..4).collect(); // BAD: hot-alloc
+        v.len() + w.len() + *b + owned.len() + copied.len() + gathered.len()
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: the poison-cascade pattern. Replayed under the pretend
+// path `crates/experiments/src/policy.rs`.
+
+use std::sync::Mutex;
+
+fn read(counter: &Mutex<u64>) -> u64 {
+    *counter.lock().unwrap() // BAD: lock-unwrap
+}

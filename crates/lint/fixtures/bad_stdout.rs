@@ -1,0 +1,7 @@
+// Fixture: stdout writes outside the whitelisted render surface.
+// Replayed under the pretend path `crates/experiments/src/scenario.rs`.
+
+fn narrate(step: usize) {
+    println!("step {step}"); // BAD: stdout
+    print!("still going"); // BAD: stdout
+}

@@ -1,0 +1,9 @@
+// Fixture: wall-clock reads outside the bench/repro timing surfaces.
+// Replayed under the pretend path `crates/core/src/energy.rs`.
+
+use std::time::SystemTime; // BAD: wallclock
+
+fn stamp() -> u64 {
+    let t = std::time::Instant::now(); // BAD: wallclock
+    t.elapsed().as_nanos() as u64
+}

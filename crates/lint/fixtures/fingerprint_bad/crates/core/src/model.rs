@@ -1,0 +1,19 @@
+// Fingerprint fixture (violations): only one distinct tech getter
+// for two TechnologyParams fields, and `beta` is never hashed.
+
+use crate::tech::TechnologyParams;
+
+pub struct EnergyModel {
+    tech: TechnologyParams,
+    alpha: f64,
+    beta: f64,
+}
+
+impl EnergyModel {
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0u64;
+        h ^= self.tech.leakage_factor().to_bits();
+        h ^= self.alpha.to_bits();
+        h
+    }
+}

@@ -1,0 +1,7 @@
+// Fingerprint fixture: two technology scalars (same as the clean
+// tree) — the model next door only fingerprints one of them.
+
+pub struct TechnologyParams {
+    p: f64,
+    k: f64,
+}

@@ -1,0 +1,14 @@
+// Fingerprint fixture (violations): `rob_entries` and the expanded
+// `l1d.ways` have no FIELDS entries next door.
+
+pub struct CacheParams {
+    pub size_bytes: u64,
+    pub ways: u32,
+}
+
+pub struct CoreConfig {
+    pub width: u32,
+    pub depth: u32,
+    pub rob_entries: u32,
+    pub l1d: CacheParams,
+}

@@ -1,0 +1,17 @@
+// Fingerprint fixture (violations): a duplicate entry, a getter that
+// reads the wrong field, a stale entry naming no CoreConfig field,
+// and an unresolved front-end geometry name.
+
+use crate::config::CoreConfig;
+
+type FieldGetter = fn(&CoreConfig) -> u64;
+
+const FIELDS: &[(&str, FieldGetter)] = &[
+    ("width", |c| c.width as u64),
+    ("width", |c| c.width as u64),
+    ("depth", |c| c.width as u64),
+    ("l1d.size_bytes", |c| c.l1d.size_bytes),
+    ("issue_queue", |c| c.width as u64),
+];
+
+const FRONTEND_GEOMETRY_FIELDS: &[&str] = &["width", "fetch_queue"];

@@ -1,0 +1,24 @@
+// Fingerprint fixture (clean): `fingerprint` draws one distinct
+// getter per TechnologyParams field and hashes every non-tech scalar
+// by name.
+
+use crate::tech::TechnologyParams;
+
+pub struct EnergyModel {
+    tech: TechnologyParams,
+    alpha: f64,
+}
+
+impl EnergyModel {
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0u64;
+        for bits in [
+            self.tech.leakage_factor().to_bits(),
+            self.tech.leak_ratio().to_bits(),
+            self.alpha.to_bits(),
+        ] {
+            h ^= bits;
+        }
+        h
+    }
+}

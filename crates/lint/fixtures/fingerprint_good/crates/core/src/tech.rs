@@ -1,0 +1,7 @@
+// Fingerprint fixture (clean): two private technology scalars, so
+// the model's fingerprint must draw exactly two distinct getters.
+
+pub struct TechnologyParams {
+    p: f64,
+    k: f64,
+}

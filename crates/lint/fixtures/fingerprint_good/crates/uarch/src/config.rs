@@ -1,0 +1,13 @@
+// Fingerprint fixture (clean): a miniature CoreConfig with one
+// nested cache geometry, fully covered by the FIELDS table next door.
+
+pub struct CacheParams {
+    pub size_bytes: u64,
+    pub ways: u32,
+}
+
+pub struct CoreConfig {
+    pub width: u32,
+    pub rob_entries: u32,
+    pub l1d: CacheParams,
+}

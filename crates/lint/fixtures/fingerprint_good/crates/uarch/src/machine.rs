@@ -1,0 +1,16 @@
+// Fingerprint fixture (clean): FIELDS covers every expanded
+// CoreConfig field exactly once, each getter reads its named field,
+// and every FRONTEND_GEOMETRY_FIELDS entry resolves.
+
+use crate::config::CoreConfig;
+
+type FieldGetter = fn(&CoreConfig) -> u64;
+
+const FIELDS: &[(&str, FieldGetter)] = &[
+    ("width", |c| c.width as u64),
+    ("rob_entries", |c| c.rob_entries as u64),
+    ("l1d.size_bytes", |c| c.l1d.size_bytes),
+    ("l1d.ways", |c| c.l1d.ways as u64),
+];
+
+const FRONTEND_GEOMETRY_FIELDS: &[&str] = &["width", "l1d.size_bytes"];

@@ -1,0 +1,19 @@
+// Fixture: deterministic alternatives in an output path — ordered
+// maps, sorted vectors, and one justified allow for a proven
+// lookup-only map. Replayed under `crates/experiments/src/result.rs`.
+
+use std::collections::BTreeMap;
+// Lookup-only memo (never iterated), so hasher order is unobservable.
+use std::collections::HashMap; // lint:allow(hash-order)
+
+pub struct Table {
+    rows: BTreeMap<String, u64>,
+    // Same lookup-only justification as the import above.
+    memo: HashMap<u64, u64>, // lint:allow(hash-order)
+}
+
+impl Table {
+    fn sorted_keys(&self) -> Vec<&String> {
+        self.rows.keys().collect()
+    }
+}

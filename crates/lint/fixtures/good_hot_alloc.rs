@@ -1,0 +1,36 @@
+// Fixture: the allowed allocation shapes for the hot path — growth
+// confined to `new`/`reset*`/`grow*`, steady state reusing scratch,
+// test code exempt. Replayed under `crates/uarch/src/timing.rs`.
+
+pub struct Kernel {
+    scratch: Vec<u64>,
+}
+
+impl Kernel {
+    fn new(capacity: usize) -> Self {
+        Kernel {
+            scratch: Vec::with_capacity(capacity),
+        }
+    }
+
+    fn reset_scratch(&mut self, n: usize) {
+        self.scratch = vec![0u64; n];
+    }
+
+    fn grow_slabs(&mut self) {
+        self.scratch.extend(Vec::new());
+    }
+
+    fn step(&mut self) -> u64 {
+        self.scratch.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_clones_are_fine_in_tests() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(v.clone().len(), 3);
+    }
+}

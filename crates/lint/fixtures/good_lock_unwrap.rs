@@ -1,0 +1,24 @@
+// Fixture: poison-tolerant locking via `lock_unpoisoned`, with test
+// code free to assert on poisoning directly. Replayed under the
+// pretend path `crates/experiments/src/policy.rs`.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn read(counter: &Mutex<u64>) -> u64 {
+    *lock_unpoisoned(counter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap_locks() {
+        let m = Mutex::new(7u64);
+        assert_eq!(*m.lock().unwrap(), 7);
+    }
+}

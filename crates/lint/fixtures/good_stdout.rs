@@ -1,0 +1,16 @@
+// Fixture: the compliant ways to emit text from a non-render module —
+// stderr, returned strings, and test-only prints. Replayed under the
+// pretend path `crates/experiments/src/scenario.rs`.
+
+fn narrate(step: usize) -> String {
+    eprintln!("step {step}");
+    format!("step {step}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("debugging output is fine here");
+    }
+}

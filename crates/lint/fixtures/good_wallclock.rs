@@ -1,0 +1,22 @@
+// Fixture: deterministic time — simulated cycle counters instead of
+// the wall clock, with test code exempt. Replayed under the pretend
+// path `crates/core/src/energy.rs`.
+
+pub struct Clock {
+    cycle: u64,
+}
+
+impl Clock {
+    fn tick(&mut self) -> u64 {
+        self.cycle += 1;
+        self.cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_read_the_wall_clock() {
+        let _ = std::time::Instant::now();
+    }
+}

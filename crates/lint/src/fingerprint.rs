@@ -1,0 +1,508 @@
+//! The `fingerprint-fields` rule: cross-file completeness of the
+//! cache-key fingerprints.
+//!
+//! Every cache layer in the engine is keyed by an FNV-1a fingerprint
+//! computed over an explicit field list. A field added to the hashed
+//! struct but not to the list makes distinct configurations alias one
+//! fingerprint — every cache silently serves wrong results. This
+//! module parses the actual definitions and cross-checks them:
+//!
+//! * every [`CoreConfig`] field (nested `CacheParams`/`TlbParams`
+//!   fields expanded to `l1i.size_bytes` form) has a
+//!   `machine.rs::FIELDS` entry, and every `FIELDS` entry names a
+//!   real field whose getter actually reads it;
+//! * every `FRONTEND_GEOMETRY_FIELDS` entry names a `FIELDS` entry
+//!   (so `frontend_fingerprint`'s runtime `expect` can never fire);
+//! * `EnergyModel::fingerprint` hashes one distinct technology getter
+//!   per `TechnologyParams` field plus every non-tech scalar field of
+//!   `EnergyModel` by name.
+//!
+//! [`CoreConfig`]: https://docs.rs — see `crates/uarch/src/config.rs`
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::Violation;
+use std::fs;
+use std::path::Path;
+
+const RULE: &str = "fingerprint-fields";
+
+const CONFIG_RS: &str = "crates/uarch/src/config.rs";
+const MACHINE_RS: &str = "crates/uarch/src/machine.rs";
+const MODEL_RS: &str = "crates/core/src/model.rs";
+const TECH_RS: &str = "crates/core/src/tech.rs";
+
+/// One parsed struct field: name, first identifier of its type, and
+/// the line it is declared on.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    ty: String,
+    line: usize,
+}
+
+/// One parsed `FIELDS` entry: the canonical name string, its line,
+/// and the getter-closure tokens.
+#[derive(Debug)]
+struct TableEntry {
+    name: String,
+    line: usize,
+    getter: Vec<Tok>,
+}
+
+/// Runs the completeness checks against the workspace at `root`.
+/// Sub-checks are independent: the `CoreConfig`/`FIELDS` check runs
+/// iff `config.rs` exists, the `EnergyModel` check iff `model.rs`
+/// exists — so fixture trees can exercise either alone, while a
+/// present-but-unparseable file is always a violation.
+pub fn check(root: &Path) -> Vec<Violation> {
+    let mut v = Vec::new();
+    if let Some(config) = read(root, CONFIG_RS) {
+        check_core_config(root, &config, &mut v);
+    }
+    if let Some(model) = read(root, MODEL_RS) {
+        check_energy_model(root, &model, &mut v);
+    }
+    v
+}
+
+fn read(root: &Path, rel: &str) -> Option<String> {
+    fs::read_to_string(root.join(rel)).ok()
+}
+
+fn violation(file: &str, line: usize, message: String) -> Violation {
+    Violation {
+        file: file.to_string(),
+        line,
+        rule: RULE,
+        message,
+    }
+}
+
+/// `CoreConfig` fields (expanded) vs `machine.rs::FIELDS` vs
+/// `FRONTEND_GEOMETRY_FIELDS`.
+fn check_core_config(root: &Path, config_src: &str, out: &mut Vec<Violation>) {
+    let config_toks = lex(config_src).tokens;
+    let Some(core) = struct_fields(&config_toks, "CoreConfig") else {
+        out.push(violation(
+            CONFIG_RS,
+            1,
+            "could not locate `struct CoreConfig` to cross-check FIELDS coverage".into(),
+        ));
+        return;
+    };
+    let cache = struct_fields(&config_toks, "CacheParams").unwrap_or_default();
+    let tlb = struct_fields(&config_toks, "TlbParams").unwrap_or_default();
+
+    // Expand nested cache/TLB params to their canonical dotted names.
+    let mut expanded: Vec<(String, usize)> = Vec::new();
+    for f in &core {
+        let subs = match f.ty.as_str() {
+            "CacheParams" => Some(&cache),
+            "TlbParams" => Some(&tlb),
+            _ => None,
+        };
+        match subs {
+            Some(subs) if !subs.is_empty() => {
+                for s in subs.iter() {
+                    expanded.push((format!("{}.{}", f.name, s.name), f.line));
+                }
+            }
+            _ => expanded.push((f.name.clone(), f.line)),
+        }
+    }
+
+    let Some(machine_src) = read(root, MACHINE_RS) else {
+        out.push(violation(
+            MACHINE_RS,
+            1,
+            "config.rs exists but machine.rs (the FIELDS table) is missing".into(),
+        ));
+        return;
+    };
+    let machine_toks = lex(&machine_src).tokens;
+    let Some(fields) = fields_table(&machine_toks) else {
+        out.push(violation(
+            MACHINE_RS,
+            1,
+            "could not locate the `FIELDS` table to cross-check CoreConfig coverage".into(),
+        ));
+        return;
+    };
+
+    // Every config field is fingerprinted…
+    for (name, line) in &expanded {
+        if !fields.iter().any(|e| e.name == *name) {
+            out.push(violation(
+                CONFIG_RS,
+                *line,
+                format!(
+                    "CoreConfig field `{name}` has no machine.rs::FIELDS entry: distinct \
+                     machines would alias one fingerprint and corrupt every cache layer"
+                ),
+            ));
+        }
+    }
+    // …every FIELDS entry is a real field, read by its own getter,
+    // exactly once.
+    for (i, e) in fields.iter().enumerate() {
+        if !expanded.iter().any(|(name, _)| *name == e.name) {
+            out.push(violation(
+                MACHINE_RS,
+                e.line,
+                format!(
+                    "FIELDS entry `{}` names no CoreConfig field (stale or misspelled entry)",
+                    e.name
+                ),
+            ));
+        } else if !getter_reads(&e.getter, &e.name) {
+            out.push(violation(
+                MACHINE_RS,
+                e.line,
+                format!(
+                    "FIELDS entry `{}` has a getter that never reads `c.{}` — the name and \
+                     the hashed value disagree",
+                    e.name, e.name
+                ),
+            ));
+        }
+        if fields[..i].iter().any(|p| p.name == e.name) {
+            out.push(violation(
+                MACHINE_RS,
+                e.line,
+                format!("duplicate FIELDS entry `{}`", e.name),
+            ));
+        }
+    }
+    // Front-end geometry names must resolve against FIELDS.
+    for (name, line) in frontend_fields(&machine_toks) {
+        if !fields.iter().any(|e| e.name == name) {
+            out.push(violation(
+                MACHINE_RS,
+                line,
+                format!(
+                    "FRONTEND_GEOMETRY_FIELDS entry `{name}` names no FIELDS entry: \
+                     `frontend_fingerprint` would panic at runtime"
+                ),
+            ));
+        }
+    }
+}
+
+/// `EnergyModel::fingerprint` vs the `TechnologyParams` and
+/// `EnergyModel` scalar fields.
+fn check_energy_model(root: &Path, model_src: &str, out: &mut Vec<Violation>) {
+    let model_toks = lex(model_src).tokens;
+    let Some(model_fields) = struct_fields(&model_toks, "EnergyModel") else {
+        out.push(violation(
+            MODEL_RS,
+            1,
+            "could not locate `struct EnergyModel` to cross-check its fingerprint".into(),
+        ));
+        return;
+    };
+    let tech_fields = match read(root, TECH_RS) {
+        Some(src) => struct_fields(&lex(&src).tokens, "TechnologyParams").unwrap_or_default(),
+        None => Vec::new(),
+    };
+    let Some((fp_line, body)) = fn_body(&model_toks, "fingerprint") else {
+        out.push(violation(
+            MODEL_RS,
+            1,
+            "EnergyModel has no `fingerprint` method to check".into(),
+        ));
+        return;
+    };
+
+    let tech_field = model_fields
+        .iter()
+        .find(|f| f.ty == "TechnologyParams")
+        .map(|f| f.name.clone());
+
+    // Each TechnologyParams field must contribute one distinct
+    // `self.<tech>.<getter>()` value to the hash. Getter names are not
+    // field names, so completeness is checked by count: as many
+    // distinct tech accessors as there are tech fields.
+    if let Some(tech) = &tech_field {
+        let mut getters: Vec<&str> = Vec::new();
+        for i in 0..body.len() {
+            if ident_at(body, i, "self")
+                && punct_at(body, i + 1, '.')
+                && ident_at(body, i + 2, tech)
+                && punct_at(body, i + 3, '.')
+            {
+                if let Some(TokKind::Ident(g)) = body.get(i + 4).map(|t| &t.kind) {
+                    if !getters.contains(&g.as_str()) {
+                        getters.push(g.as_str());
+                    }
+                }
+            }
+        }
+        if getters.len() != tech_fields.len() {
+            out.push(violation(
+                MODEL_RS,
+                fp_line,
+                format!(
+                    "EnergyModel::fingerprint draws {} distinct `self.{tech}.*` values but \
+                     TechnologyParams has {} fields: a technology scalar is not (or is \
+                     doubly) fingerprinted",
+                    getters.len(),
+                    tech_fields.len()
+                ),
+            ));
+        }
+    }
+
+    // Every non-tech scalar field must be hashed by name.
+    for f in model_fields.iter().filter(|f| f.ty != "TechnologyParams") {
+        let referenced = (0..body.len()).any(|i| {
+            ident_at(body, i, "self")
+                && punct_at(body, i + 1, '.')
+                && ident_at(body, i + 2, &f.name)
+        });
+        if !referenced {
+            out.push(violation(
+                MODEL_RS,
+                fp_line,
+                format!(
+                    "EnergyModel field `{}` is not referenced by `fingerprint`: equal-looking \
+                     models with different `{}` would share a cache key",
+                    f.name, f.name
+                ),
+            ));
+        }
+    }
+}
+
+/// Parses the named struct's fields from a token stream.
+fn struct_fields(toks: &[Tok], name: &str) -> Option<Vec<Field>> {
+    let mut i =
+        (0..toks.len()).find(|&i| ident_at(toks, i, "struct") && ident_at(toks, i + 1, name))? + 2;
+    while i < toks.len() && !punct_at(toks, i, '{') {
+        if punct_at(toks, i, ';') {
+            return Some(Vec::new()); // unit struct
+        }
+        i += 1;
+    }
+    i += 1; // past `{`
+    let mut fields = Vec::new();
+    let mut depth = 1usize;
+    while i < toks.len() && depth > 0 {
+        match &toks[i].kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            TokKind::Punct('}') => {
+                depth -= 1;
+                i += 1;
+            }
+            // Skip field attributes like `#[allow(…)]`.
+            TokKind::Punct('#') if punct_at(toks, i + 1, '[') => {
+                let mut brackets = 0usize;
+                i += 1;
+                while i < toks.len() {
+                    match &toks[i].kind {
+                        TokKind::Punct('[') => brackets += 1,
+                        TokKind::Punct(']') => {
+                            brackets -= 1;
+                            if brackets == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            TokKind::Ident(id) if depth == 1 => {
+                // `pub name: Type,` with `pub`/`pub(crate)` optional.
+                let mut j = i;
+                if id == "pub" {
+                    j += 1;
+                    if punct_at(toks, j, '(') {
+                        while j < toks.len() && !punct_at(toks, j, ')') {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                let (TokKind::Ident(fname), true) =
+                    (toks.get(j).map(|t| &t.kind)?, punct_at(toks, j + 1, ':'))
+                else {
+                    i += 1;
+                    continue;
+                };
+                let line = toks[j].line;
+                let mut k = j + 2;
+                let ty = loop {
+                    match toks.get(k).map(|t| &t.kind) {
+                        Some(TokKind::Ident(ty)) => break ty.clone(),
+                        Some(_) => k += 1, // `&`, `'a`, `::`, …
+                        None => break String::new(),
+                    }
+                };
+                fields.push(Field {
+                    name: fname.clone(),
+                    ty,
+                    line,
+                });
+                // Skip to the field-separating comma at this depth.
+                let mut nest = 0i32;
+                while k < toks.len() {
+                    match &toks[k].kind {
+                        TokKind::Punct('<') | TokKind::Punct('(') | TokKind::Punct('[') => {
+                            nest += 1
+                        }
+                        TokKind::Punct('>') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                            nest -= 1
+                        }
+                        TokKind::Punct(',') if nest <= 0 => break,
+                        TokKind::Punct('}') if nest <= 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                i = if punct_at(toks, k, ',') { k + 1 } else { k };
+            }
+            _ => i += 1,
+        }
+    }
+    Some(fields)
+}
+
+/// Parses the `FIELDS: &[(&str, FieldGetter)]` table.
+fn fields_table(toks: &[Tok]) -> Option<Vec<TableEntry>> {
+    let decl =
+        (0..toks.len()).find(|&i| ident_at(toks, i, "FIELDS") && punct_at(toks, i + 1, ':'))?;
+    let mut i = decl;
+    // Skip the type annotation (which also contains `[`): the table
+    // body starts at the first `[` after the `=`.
+    while i < toks.len() && !punct_at(toks, i, '=') {
+        i += 1;
+    }
+    while i < toks.len() && !punct_at(toks, i, '[') {
+        i += 1;
+    }
+    i += 1;
+    let mut entries = Vec::new();
+    while i < toks.len() && !punct_at(toks, i, ']') {
+        if punct_at(toks, i, '(') {
+            // One `("name", |c| …)` tuple: the name is the first
+            // string literal, the getter is everything after the
+            // separating comma up to the tuple's closing paren.
+            let open = i;
+            let mut depth = 0usize;
+            let mut name: Option<(String, usize)> = None;
+            let mut getter = Vec::new();
+            let mut in_getter = false;
+            loop {
+                match toks.get(i).map(|t| &t.kind) {
+                    Some(TokKind::Punct('(')) => depth += 1,
+                    Some(TokKind::Punct(')')) => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    Some(TokKind::Str(s)) if name.is_none() && depth == 1 => {
+                        name = Some((s.clone(), toks[i].line));
+                    }
+                    Some(TokKind::Punct(',')) if depth == 1 && !in_getter => {
+                        in_getter = true;
+                        i += 1;
+                        continue;
+                    }
+                    None => return Some(entries),
+                    _ => {}
+                }
+                if in_getter && i > open {
+                    getter.push(toks[i].clone());
+                }
+                i += 1;
+            }
+            if let Some((name, line)) = name {
+                entries.push(TableEntry { name, line, getter });
+            }
+        }
+        i += 1;
+    }
+    Some(entries)
+}
+
+/// Parses the `FRONTEND_GEOMETRY_FIELDS: &[&str]` list into
+/// `(name, line)` pairs; empty if the list is absent.
+fn frontend_fields(toks: &[Tok]) -> Vec<(String, usize)> {
+    let Some(decl) = (0..toks.len())
+        .find(|&i| ident_at(toks, i, "FRONTEND_GEOMETRY_FIELDS") && punct_at(toks, i + 1, ':'))
+    else {
+        return Vec::new();
+    };
+    let mut i = decl;
+    while i < toks.len() && !punct_at(toks, i, '=') {
+        i += 1;
+    }
+    let mut names = Vec::new();
+    while i < toks.len() && !punct_at(toks, i, ']') {
+        if let TokKind::Str(s) = &toks[i].kind {
+            names.push((s.clone(), toks[i].line));
+        }
+        i += 1;
+    }
+    names
+}
+
+/// Whether a getter body reads `c.<name>` (dotted names become
+/// `c.part0.part1`).
+fn getter_reads(getter: &[Tok], name: &str) -> bool {
+    let parts: Vec<&str> = name.split('.').collect();
+    (0..getter.len()).any(|i| {
+        let mut j = i;
+        if !ident_at(getter, j, "c") {
+            return false;
+        }
+        j += 1;
+        for part in &parts {
+            if !(punct_at(getter, j, '.') && ident_at(getter, j + 1, part)) {
+                return false;
+            }
+            j += 2;
+        }
+        true
+    })
+}
+
+/// Finds `fn <name>` and returns its declaration line plus body
+/// tokens (between the body's braces).
+fn fn_body<'t>(toks: &'t [Tok], name: &str) -> Option<(usize, &'t [Tok])> {
+    let decl = (0..toks.len()).find(|&i| ident_at(toks, i, "fn") && ident_at(toks, i + 1, name))?;
+    let line = toks[decl].line;
+    let mut i = decl;
+    while i < toks.len() && !punct_at(toks, i, '{') {
+        i += 1;
+    }
+    let open = i;
+    let mut depth = 0usize;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((line, &toks[open + 1..i]));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn ident_at(toks: &[Tok], i: usize, s: &str) -> bool {
+    matches!(toks.get(i).map(|t| &t.kind), Some(TokKind::Ident(id)) if id == s)
+}
+
+fn punct_at(toks: &[Tok], i: usize, c: char) -> bool {
+    toks.get(i).map(|t| &t.kind) == Some(&TokKind::Punct(c))
+}

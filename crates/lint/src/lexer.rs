@@ -1,0 +1,382 @@
+//! A minimal Rust-source lexer for the invariant checker.
+//!
+//! The rules in [`crate::rules`] must never fire on text inside
+//! comments, string literals, or char literals — `// like this
+//! println!` is not a violation. This lexer strips all three into a
+//! flat token stream (identifiers, punctuation, literals) tagged with
+//! 1-indexed source lines, which is exactly enough for the
+//! sequence-matching rules and the cross-file fingerprint parser.
+//!
+//! It is deliberately not a full Rust lexer: no raw identifiers, and
+//! numeric literals collapse to a single [`TokKind::Num`] token. The
+//! subset covers everything this workspace writes; the fixture corpus
+//! and the workspace-lints-clean integration test keep it honest.
+//!
+//! While scanning line comments the lexer also collects
+//! `lint:allow(<rule>)` escape markers, which suppress exactly the
+//! named rule on exactly the line the comment sits on.
+
+/// What a token is, with payload where the rules need one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `Vec`, `println`, …).
+    Ident(String),
+    /// One punctuation character (`!`, `:`, `{`, …).
+    Punct(char),
+    /// A string literal, with its (unescaped-as-written) content.
+    Str(String),
+    /// A char or byte-char literal (content never matters to rules).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal.
+    Num,
+}
+
+/// One token plus the 1-indexed line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind and payload.
+    pub kind: TokKind,
+    /// 1-indexed source line.
+    pub line: usize,
+}
+
+/// The output of [`lex`]: the token stream plus any
+/// `lint:allow(rule)` markers found in line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order, comments and whitespace stripped.
+    pub tokens: Vec<Tok>,
+    /// `(line, rule)` pairs: rule `rule` is allowed on line `line`.
+    pub allows: Vec<(usize, String)>,
+}
+
+/// Lexes `source` into tokens and allow markers. Never fails: bytes
+/// the lexer does not understand become [`TokKind::Punct`] tokens.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let comment: String = chars[start..i].iter().collect();
+                collect_allows(&comment, line, &mut out.allows);
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, nested per Rust's rules.
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let tok_line = line;
+                let (content, next) = scan_string(&chars, i + 1, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str(content),
+                    line: tok_line,
+                });
+                i = next;
+            }
+            '\'' => {
+                let tok_line = line;
+                i = scan_quote(&chars, i, tok_line, &mut line, &mut out.tokens);
+            }
+            'r' | 'b' if raw_string_start(&chars, i).is_some() => {
+                let tok_line = line;
+                let hashes = raw_string_start(&chars, i).expect("checked above");
+                let (content, next) = scan_raw_string(&chars, i, hashes, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str(content),
+                    line: tok_line,
+                });
+                i = next;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident(chars[start..i].iter().collect()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Num,
+                    line,
+                });
+            }
+            c => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a double-quoted string body starting just after the opening
+/// quote; returns the content and the index past the closing quote.
+fn scan_string(chars: &[char], mut i: usize, line: &mut usize) -> (String, usize) {
+    let mut content = String::new();
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                content.push(chars[i]);
+                if let Some(&escaped) = chars.get(i + 1) {
+                    content.push(escaped);
+                    if escaped == '\n' {
+                        *line += 1;
+                    }
+                }
+                i += 2;
+            }
+            '"' => return (content, i + 1),
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                content.push(c);
+                i += 1;
+            }
+        }
+    }
+    (content, i)
+}
+
+/// Distinguishes a lifetime from a char literal at a `'` and pushes
+/// the right token; returns the index past the literal.
+fn scan_quote(
+    chars: &[char],
+    i: usize,
+    tok_line: usize,
+    line: &mut usize,
+    tokens: &mut Vec<Tok>,
+) -> usize {
+    debug_assert_eq!(chars[i], '\'');
+    match chars.get(i + 1) {
+        // `'\n'`-style escaped char: consume the escape, then scan to
+        // the closing quote (covers `'\''`, `'\\'`, `'\u{..}'`).
+        Some('\\') => {
+            let mut j = i + 3; // past `'`, `\`, and the escaped char
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            tokens.push(Tok {
+                kind: TokKind::Char,
+                line: tok_line,
+            });
+            j + 1
+        }
+        // Identifier-shaped: `'a` (lifetime) or `'a'` (char literal).
+        Some(&c) if c.is_alphanumeric() || c == '_' => {
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'\'') {
+                tokens.push(Tok {
+                    kind: TokKind::Char,
+                    line: tok_line,
+                });
+                j + 1
+            } else {
+                tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    line: tok_line,
+                });
+                j
+            }
+        }
+        // `'"'`, `'('`, … — a single non-identifier char.
+        Some(&c) => {
+            if c == '\n' {
+                *line += 1;
+            }
+            tokens.push(Tok {
+                kind: TokKind::Char,
+                line: tok_line,
+            });
+            if chars.get(i + 2) == Some(&'\'') {
+                i + 3
+            } else {
+                i + 2
+            }
+        }
+        None => {
+            tokens.push(Tok {
+                kind: TokKind::Char,
+                line: tok_line,
+            });
+            i + 1
+        }
+    }
+}
+
+/// If `chars[i..]` starts a raw (or raw byte) string — `r"`, `r#"`,
+/// `br"`, … — returns the number of `#` guards; otherwise `None`.
+fn raw_string_start(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Scans a raw string starting at its `r`/`b` prefix; returns the
+/// content and the index past the closing delimiter.
+fn scan_raw_string(
+    chars: &[char],
+    mut i: usize,
+    hashes: usize,
+    line: &mut usize,
+) -> (String, usize) {
+    while chars.get(i) != Some(&'"') {
+        i += 1; // skip the `b`/`r`/`#` prefix
+    }
+    i += 1;
+    let mut content = String::new();
+    while i < chars.len() {
+        if chars[i] == '"' && (1..=hashes).all(|k| chars.get(i + k) == Some(&'#')) {
+            return (content, i + 1 + hashes);
+        }
+        if chars[i] == '\n' {
+            *line += 1;
+        }
+        content.push(chars[i]);
+        i += 1;
+    }
+    (content, i)
+}
+
+/// Collects every `lint:allow(a, b)` marker in a line comment.
+fn collect_allows(comment: &str, line: usize, allows: &mut Vec<(usize, String)>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:allow(") {
+        rest = &rest[pos + "lint:allow(".len()..];
+        let Some(end) = rest.find(')') else { return };
+        for rule in rest[..end].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                allows.push((line, rule.to_string()));
+            }
+        }
+        rest = &rest[end + 1..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped_from_idents() {
+        let src = "let x = \"println\"; // println\n/* println */ call();";
+        assert_eq!(idents(src), ["let", "x", "call"]);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines_are_tracked() {
+        let src = "/* a /* b */ c\n */\nfoo();";
+        let toks = lex(src).tokens;
+        assert_eq!(toks[0].kind, TokKind::Ident("foo".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let src = "let c = 'x'; let q = '\\''; fn f<'a>(s: &'a str, t: &'static str) {}";
+        let kinds: Vec<_> = lex(src).tokens.into_iter().map(|t| t.kind).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == TokKind::Char).count(), 2);
+        assert_eq!(kinds.iter().filter(|k| **k == TokKind::Lifetime).count(), 3);
+    }
+
+    #[test]
+    fn string_escapes_and_multiline_strings_keep_line_numbers() {
+        let src = "let s = \"a\\\"b\nc\";\nnext();";
+        let toks = lex(src).tokens;
+        assert_eq!(toks[3].kind, TokKind::Str("a\\\"b\nc".into()));
+        let next = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("next".into()));
+        assert_eq!(next.unwrap().line, 3);
+    }
+
+    #[test]
+    fn raw_strings_do_not_honor_escapes() {
+        let src = "let s = r#\"a \\\" b\"#; done();";
+        let toks = lex(src).tokens;
+        assert!(toks.iter().any(|t| t.kind == TokKind::Ident("done".into())));
+        assert!(toks.iter().any(|t| matches!(
+            &t.kind,
+            TokKind::Str(s) if s == "a \\\" b"
+        )));
+    }
+
+    #[test]
+    fn allow_markers_are_collected_per_line() {
+        let src = "a(); // lint:allow(stdout)\nb(); // lint:allow(hot-alloc, wallclock)\n";
+        let allows = lex(src).allows;
+        assert_eq!(
+            allows,
+            vec![
+                (1, "stdout".to_string()),
+                (2, "hot-alloc".to_string()),
+                (2, "wallclock".to_string()),
+            ]
+        );
+    }
+}

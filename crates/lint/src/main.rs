@@ -1,0 +1,179 @@
+//! The `fuleak-lint` binary: walks `crates/*/src`, reports invariant
+//! violations with `file:line`, and exits non-zero when any exist —
+//! the CI gate beside clippy.
+//!
+//! ```console
+//! $ fuleak-lint [--root DIR] [--format text|json] [--fix-allowlist]
+//! ```
+//!
+//! `--format json` emits the findings through the workspace's
+//! deterministic-JSON conventions (fixed key order, sorted rows);
+//! `--fix-allowlist` is a dry run that prints the `lint:allow`
+//! markers which would silence the current findings, for triage.
+
+#![forbid(unsafe_code)]
+
+use fuleak_lint::{lint_workspace, Report};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fuleak-lint [--root DIR] [--format text|json] [--fix-allowlist]";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut fix_allowlist = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => return usage_error("--format must be `text` or `json`"),
+            },
+            "--fix-allowlist" => fix_allowlist = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fuleak-lint: cannot lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if report.files_scanned == 0 {
+        eprintln!(
+            "fuleak-lint: no source files under {}/crates/*/src",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    if fix_allowlist {
+        print_allowlist(&report);
+    } else {
+        match format {
+            Format::Text => print_text(&report),
+            Format::Json => print!("{}", to_json(&report)),
+        }
+    }
+    eprintln!(
+        "fuleak-lint: {} violation(s) across {} file(s) scanned",
+        report.violations.len(),
+        report.files_scanned
+    );
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("fuleak-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn print_text(report: &Report) {
+    for v in &report.violations {
+        println!("{v}");
+    }
+}
+
+/// The dry-run allowlist: one suggested marker per violation. Nothing
+/// is written; paste a marker (plus a justification) onto the named
+/// line to accept the exception deliberately.
+fn print_allowlist(report: &Report) {
+    for v in &report.violations {
+        println!("{}:{}: // lint:allow({})", v.file, v.line, v.rule);
+    }
+}
+
+/// Deterministic JSON: fixed key order, violations pre-sorted by the
+/// library, strings escaped the same way `result.rs` escapes them.
+fn to_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        let _ = write!(
+            out,
+            "{{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_string(&v.file),
+            v.line,
+            json_string(v.rule),
+            json_string(&v.message)
+        );
+    }
+    out.push_str(if report.violations.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    let _ = writeln!(out, "  \"count\": {},", report.violations.len());
+    let _ = writeln!(out, "  \"files_scanned\": {}", report.files_scanned);
+    out.push_str("}\n");
+    out
+}
+
+/// JSON-escapes a string, including the surrounding quotes (mirrors
+/// `crates/experiments/src/result.rs`).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuleak_lint::Violation;
+
+    #[test]
+    fn json_report_is_deterministic_and_escaped() {
+        let report = Report {
+            violations: vec![Violation {
+                file: "a.rs".into(),
+                line: 3,
+                rule: "stdout",
+                message: "say \"hi\"".into(),
+            }],
+            files_scanned: 2,
+        };
+        let json = to_json(&report);
+        assert_eq!(json, to_json(&report));
+        assert!(json.contains("\"file\": \"a.rs\""));
+        assert!(json.contains("\\\"hi\\\""));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"files_scanned\": 2"));
+    }
+}

@@ -52,12 +52,16 @@ pub mod batched;
 pub mod bpred;
 pub mod cache;
 pub mod config;
-pub mod fxhash;
 pub mod machine;
 pub mod pipeline;
 pub mod resources;
 pub mod stats;
 pub mod timing;
+
+// The deterministic hot-loop hasher lives in `fuleak-core` so every
+// crate shares one definition; re-exported here for the pipeline's
+// internal `crate::fxhash::` paths and for downstream convenience.
+pub use fuleak_core::fxhash;
 
 pub use annotate::annotate;
 pub use batched::{BatchedKernel, MAX_LANES};

@@ -21,7 +21,9 @@
 //!   sweep tooling uses to label arbitrary machine variants.
 
 use crate::config::{ConfigError, CoreConfig};
-use std::collections::HashMap;
+// The intern table below is lookup-only (entry/get, never iterated),
+// so hasher-dependent order cannot reach any output.
+use std::collections::HashMap; // lint:allow(hash-order)
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
@@ -160,7 +162,9 @@ pub fn frontend_fingerprint(cfg: &CoreConfig) -> u64 {
 /// configuration observed with it (a `Vec` so a fingerprint collision
 /// degrades to a linear probe instead of a correctness bug).
 fn intern(cfg: CoreConfig, fp: u64) -> Arc<CoreConfig> {
-    static TABLE: OnceLock<Mutex<HashMap<u64, Vec<Arc<CoreConfig>>>>> = OnceLock::new();
+    // Lookup-only map (entry by fingerprint, linear probe inside one
+    // bucket); it is never iterated, so ordering is unobservable.
+    static TABLE: OnceLock<Mutex<HashMap<u64, Vec<Arc<CoreConfig>>>>> = OnceLock::new(); // lint:allow(hash-order)
     let table = TABLE.get_or_init(Mutex::default);
     let mut table = table.lock().unwrap_or_else(PoisonError::into_inner);
     let bucket = table.entry(fp).or_default();
@@ -313,6 +317,91 @@ impl Hash for MachineConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_frontend_geometry_field_names_a_fields_entry() {
+        // Backs the `expect` in `frontend_fingerprint`: the runtime
+        // lookup can never fire if every name resolves here.
+        for name in FRONTEND_GEOMETRY_FIELDS {
+            assert!(
+                FIELDS.iter().any(|(n, _)| n == name),
+                "FRONTEND_GEOMETRY_FIELDS entry `{name}` has no FIELDS entry"
+            );
+        }
+    }
+
+    #[test]
+    fn fields_getters_cover_every_config_field_exactly_once() {
+        use crate::config::{CacheParams, TlbParams};
+        // Field i (in FIELDS order) carries the value i+1. The struct
+        // literal is exhaustive, so adding a `CoreConfig` field without
+        // visiting this test is a compile error; the sorted-getter
+        // assertion then forces a matching FIELDS entry.
+        let cfg = CoreConfig {
+            fetch_queue: 1,
+            width: 2,
+            mispredict_latency: 3,
+            rob_entries: 4,
+            int_iq_entries: 5,
+            fp_iq_entries: 6,
+            phys_int_regs: 7,
+            phys_fp_regs: 8,
+            arch_int_regs: 9,
+            arch_fp_regs: 10,
+            load_queue: 11,
+            store_queue: 12,
+            int_fus: 13,
+            fp_fus: 14,
+            mul_latency: 15,
+            fp_latency: 16,
+            mshrs: 17,
+            l1i: CacheParams {
+                size_bytes: 18,
+                ways: 19,
+                line_bytes: 20,
+                latency: 21,
+            },
+            l1d: CacheParams {
+                size_bytes: 22,
+                ways: 23,
+                line_bytes: 24,
+                latency: 25,
+            },
+            l2: CacheParams {
+                size_bytes: 26,
+                ways: 27,
+                line_bytes: 28,
+                latency: 29,
+            },
+            itlb: TlbParams {
+                entries: 30,
+                ways: 31,
+                page_bytes: 32,
+                miss_latency: 33,
+            },
+            dtlb: TlbParams {
+                entries: 34,
+                ways: 35,
+                page_bytes: 36,
+                miss_latency: 37,
+            },
+            memory_latency: 38,
+            bimodal_entries: 39,
+            l1_history_entries: 40,
+            history_bits: 41,
+            l2_counter_entries: 42,
+            meta_entries: 43,
+            ras_entries: 44,
+            btb_sets: 45,
+            btb_ways: 46,
+        };
+        // Each getter reads its own field: in FIELDS order the values
+        // are exactly 1..=46, so no getter aliases another field and
+        // no field goes unread.
+        let values: Vec<u64> = FIELDS.iter().map(|(_, get)| get(&cfg)).collect();
+        let expected: Vec<u64> = (1..=FIELDS.len() as u64).collect();
+        assert_eq!(values, expected);
+    }
 
     #[test]
     fn equal_configs_intern_to_shared_storage() {

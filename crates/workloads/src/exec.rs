@@ -9,7 +9,7 @@
 
 use crate::isa::{Instr, Program, NUM_FP_REGS, NUM_INT_REGS};
 use crate::trace::{ArchReg, BranchInfo, OpClass, TraceRecord};
-use std::collections::HashMap;
+use fuleak_core::fxhash::FxHashMap;
 use std::fmt;
 
 /// An error raised during functional execution.
@@ -75,7 +75,7 @@ pub struct Machine {
     int_regs: [u64; NUM_INT_REGS],
     fp_regs: [f64; NUM_FP_REGS],
     /// Sparse word-addressed memory: key is `byte_address >> 3`.
-    memory: HashMap<u64, u64>,
+    memory: FxHashMap<u64, u64>,
     pc: u32,
     halted: bool,
     retired: u64,
@@ -89,7 +89,7 @@ impl Machine {
             program,
             int_regs: [0; NUM_INT_REGS],
             fp_regs: [0.0; NUM_FP_REGS],
-            memory: HashMap::new(),
+            memory: FxHashMap::default(),
             pc: 0,
             halted: false,
             retired: 0,
