@@ -1,0 +1,436 @@
+//! Versioned, deterministic binary codec for persisted results.
+//!
+//! The result types the disk store persists ([`crate::IntervalSpectrum`],
+//! [`crate::accounting::PolicyRun`], and — in their own crates —
+//! `SimResult` and `AnnotatedTrace`) implement [`Codec`]: a hand-rolled
+//! little-endian encoding in the spirit of the experiment layer's JSON
+//! serializer — no derive magic, no external dependency, every byte
+//! accounted for. The format contract:
+//!
+//! * **Deterministic** — equal values encode to equal bytes on every
+//!   platform (fixed-width little-endian integers; `f64` by IEEE-754
+//!   bit pattern, so round-trips are *exact*, `-0.0` and subnormals
+//!   included).
+//! * **Exact round-trip** — `from_bytes(to_bytes(v)) == v` for every
+//!   valid value (`crates/core/tests/codec_props.rs`,
+//!   `crates/uarch/tests/codec_props.rs`).
+//! * **Total decoding** — `decode` never panics on hostile input:
+//!   truncated, bit-flipped, or garbage buffers produce a
+//!   [`CodecError`], never an abort and never an unbounded
+//!   allocation (length prefixes are validated against the bytes
+//!   actually remaining before any reservation).
+//!
+//! [`CODEC_VERSION`] names the encoding itself; the disk store writes
+//! it (next to its own container version) into every entry header, so
+//! bumping it on any format change invalidates stale entries instead
+//! of misdecoding them.
+
+use std::fmt;
+
+/// Version of the value encodings in this module (and of the
+/// `Codec` impls in `fuleak-workloads`/`fuleak-uarch`, which share
+/// it). Bump on **any** change to any `encode` layout: persisted
+/// entries carry this version and are treated as misses when it
+/// moves.
+pub const CODEC_VERSION: u32 = 1;
+
+/// Why a buffer failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the value did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// The bytes parsed but violate the value's invariants (the
+    /// message names the failed check).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, remaining } => {
+                write!(f, "truncated: needed {needed} bytes, {remaining} remain")
+            }
+            CodecError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A bounds-checked cursor over an encoded buffer.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over the whole buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Truncated`] if fewer than `n` remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Truncated`] at end of buffer.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Truncated`] if fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Truncated`] if fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+    }
+
+    /// Reads an `f64` by bit pattern (exact, including `-0.0` and
+    /// NaN payloads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Truncated`] if fewer than 8 bytes remain.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an element count that was encoded as `u64`, validating
+    /// that `count * elem_size` bytes could still follow — so a
+    /// corrupted length can neither overflow `usize` nor drive an
+    /// unbounded `Vec` reservation.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if the count itself is cut off,
+    /// [`CodecError::Invalid`] if the count promises more bytes than
+    /// remain.
+    pub fn len(&mut self, elem_size: usize) -> Result<usize, CodecError> {
+        let n = self.u64()?;
+        let fits = usize::try_from(n)
+            .ok()
+            .and_then(|n| n.checked_mul(elem_size))
+            .is_some_and(|bytes| bytes <= self.remaining());
+        if !fits {
+            return Err(CodecError::Invalid("length prefix exceeds buffer"));
+        }
+        Ok(n as usize)
+    }
+}
+
+/// Appends a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` by bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Appends a length-prefixed byte string (`u64` count + bytes).
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// The FNV-1a offset basis (shared with the fingerprint scheme in
+/// `crates/uarch/src/machine.rs` and `crates/core/src/model.rs`).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte string — the store's content address and entry
+/// checksum. Platform-stable by construction (pure byte arithmetic).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A value with a versioned, deterministic binary encoding (see the
+/// [module docs](self) for the contract).
+pub trait Codec: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the reader, leaving the cursor after
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or any invariant violation; never
+    /// panics.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError>;
+
+    /// This value as a standalone byte string.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a standalone byte string, requiring every byte to be
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation, invariant violation, or trailing
+    /// garbage.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(CodecError::Invalid("trailing bytes after value"));
+        }
+        Ok(v)
+    }
+}
+
+impl Codec for crate::IntervalSpectrum {
+    /// Entry count, then ascending `(length, count)` pairs.
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.entries().len() as u64);
+        for &(len, count) in self.entries() {
+            put_u64(out, len);
+            put_u64(out, count);
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let n = r.len(16)?;
+        let mut s = crate::IntervalSpectrum::new();
+        let mut prev = 0u64;
+        for _ in 0..n {
+            let len = r.u64()?;
+            let count = r.u64()?;
+            if len == 0 || count == 0 {
+                return Err(CodecError::Invalid("spectrum entry with zero length/count"));
+            }
+            if len <= prev {
+                return Err(CodecError::Invalid(
+                    "spectrum lengths not strictly ascending",
+                ));
+            }
+            prev = len;
+            s.record_n(len, count);
+        }
+        Ok(s)
+    }
+}
+
+impl Codec for crate::NormalizedEnergy {
+    /// The five breakdown terms, bit-exact.
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.dynamic);
+        put_f64(out, self.leak_hi);
+        put_f64(out, self.leak_lo);
+        put_f64(out, self.transition);
+        put_f64(out, self.overhead);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let e = crate::NormalizedEnergy {
+            dynamic: r.f64()?,
+            leak_hi: r.f64()?,
+            leak_lo: r.f64()?,
+            transition: r.f64()?,
+            overhead: r.f64()?,
+        };
+        let terms = [e.dynamic, e.leak_hi, e.leak_lo, e.transition, e.overhead];
+        if terms.iter().any(|t| !t.is_finite()) {
+            return Err(CodecError::Invalid("non-finite energy term"));
+        }
+        Ok(e)
+    }
+}
+
+impl Codec for crate::accounting::PolicyRun {
+    /// Energy breakdown, then the cycle-equivalent accounting.
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.energy.encode(out);
+        put_u64(out, self.active_cycles);
+        put_f64(out, self.uncontrolled_idle_equiv);
+        put_f64(out, self.sleep_equiv);
+        put_f64(out, self.transitions_equiv);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let run = crate::accounting::PolicyRun {
+            energy: crate::NormalizedEnergy::decode(r)?,
+            active_cycles: r.u64()?,
+            uncontrolled_idle_equiv: r.f64()?,
+            sleep_equiv: r.f64()?,
+            transitions_equiv: r.f64()?,
+        };
+        let equivs = [
+            run.uncontrolled_idle_equiv,
+            run.sleep_equiv,
+            run.transitions_equiv,
+        ];
+        if equivs.iter().any(|e| !e.is_finite() || *e < 0.0) {
+            return Err(CodecError::Invalid(
+                "negative or non-finite cycle equivalent",
+            ));
+        }
+        Ok(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accounting::PolicyRun;
+    use crate::{IntervalSpectrum, NormalizedEnergy};
+
+    #[test]
+    fn spectrum_round_trips_exactly() {
+        let s = IntervalSpectrum::from_lengths(&[3, 1, 3, 7, 1000]);
+        let bytes = s.to_bytes();
+        assert_eq!(IntervalSpectrum::from_bytes(&bytes).unwrap(), s);
+        assert_eq!(
+            IntervalSpectrum::from_bytes(&IntervalSpectrum::new().to_bytes()).unwrap(),
+            IntervalSpectrum::new()
+        );
+    }
+
+    #[test]
+    fn spectrum_rejects_disorder_and_zeros() {
+        let mut bytes = Vec::new();
+        put_u64(&mut bytes, 2);
+        for pair in [(5u64, 1u64), (3, 1)] {
+            put_u64(&mut bytes, pair.0);
+            put_u64(&mut bytes, pair.1);
+        }
+        assert_eq!(
+            IntervalSpectrum::from_bytes(&bytes),
+            Err(CodecError::Invalid(
+                "spectrum lengths not strictly ascending"
+            ))
+        );
+        let mut zero = Vec::new();
+        put_u64(&mut zero, 1);
+        put_u64(&mut zero, 0);
+        put_u64(&mut zero, 4);
+        assert!(IntervalSpectrum::from_bytes(&zero).is_err());
+    }
+
+    #[test]
+    fn truncation_is_an_error_never_a_panic() {
+        let s = IntervalSpectrum::from_lengths(&[2, 9, 9]);
+        let bytes = s.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                IntervalSpectrum::from_bytes(&bytes[..cut]).is_err(),
+                "{cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_does_not_reserve() {
+        // A length prefix of u64::MAX must fail the remaining-bytes
+        // check instead of attempting a huge allocation.
+        let mut bytes = Vec::new();
+        put_u64(&mut bytes, u64::MAX);
+        assert_eq!(
+            IntervalSpectrum::from_bytes(&bytes),
+            Err(CodecError::Invalid("length prefix exceeds buffer"))
+        );
+    }
+
+    #[test]
+    fn policy_run_round_trips_bit_exactly() {
+        let run = PolicyRun {
+            energy: NormalizedEnergy {
+                dynamic: 1.5,
+                leak_hi: 0.25,
+                leak_lo: 1e-9,
+                transition: 0.125,
+                overhead: -0.0,
+            },
+            active_cycles: 123,
+            uncontrolled_idle_equiv: 0.3,
+            sleep_equiv: 10.7,
+            transitions_equiv: 2.0,
+        };
+        let back = PolicyRun::from_bytes(&run.to_bytes()).unwrap();
+        // Bit-exact, not just approximately equal: compare patterns.
+        assert_eq!(back.energy.overhead.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back, run);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = IntervalSpectrum::new().to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            IntervalSpectrum::from_bytes(&bytes),
+            Err(CodecError::Invalid("trailing bytes after value"))
+        );
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+        // Classic FNV-1a test vector.
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

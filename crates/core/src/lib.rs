@@ -37,7 +37,10 @@
 //!   records per functional unit;
 //! * [`policy_eval`] — closed-form per-interval policy energies and
 //!   the O(distinct-lengths) spectrum evaluator behind the empirical
-//!   experiments.
+//!   experiments;
+//! * [`codec`] — the versioned, deterministic binary encoding the
+//!   experiment layer's persistent result store uses to round-trip
+//!   spectra and policy runs exactly.
 //!
 //! # Quickstart
 //!
@@ -70,6 +73,7 @@
 pub mod accounting;
 pub mod breakeven;
 pub mod closed_form;
+pub mod codec;
 pub mod error;
 pub mod fxhash;
 pub mod intervals;
@@ -80,6 +84,7 @@ pub mod spectrum;
 pub mod tech;
 
 pub use breakeven::breakeven_interval;
+pub use codec::{Codec, CodecError, CODEC_VERSION};
 pub use error::ModelError;
 pub use intervals::{IdleCursor, IdleHistogram, IdleRecorder};
 pub use model::{CycleCounts, EnergyModel, NormalizedEnergy};

@@ -1,0 +1,158 @@
+//! Property tests for the binary codec (`fuleak_core::codec`).
+//!
+//! The disk store's correctness rests on two codec properties, pinned
+//! here over random values and random byte damage:
+//!
+//! 1. **Exact round-trip** — `from_bytes(to_bytes(v)) == v` for every
+//!    valid [`IntervalSpectrum`], [`NormalizedEnergy`], and
+//!    [`PolicyRun`], including `f64` bit patterns like `-0.0` and
+//!    subnormals (the encodings are bitwise, never lossy).
+//! 2. **Hostile bytes never panic** — truncations at every length and
+//!    single-bit flips anywhere in an encoding either decode to *some*
+//!    valid value or return a clean error; they must never panic or
+//!    over-allocate (length prefixes are validated against the
+//!    remaining buffer before any `Vec` reservation).
+
+use fuleak_core::accounting::PolicyRun;
+use fuleak_core::{Codec, IntervalSpectrum, NormalizedEnergy};
+use proptest::prelude::*;
+
+prop_compose! {
+    /// Interval lengths heavy on repeats, so spectra carry counts > 1.
+    fn lengths()(v in prop::collection::vec(
+        prop_oneof![1u64..6, 1u64..200, 1_000u64..50_000], 1..40)) -> Vec<u64> {
+        v
+    }
+}
+
+/// Finite `f64`s drawn from the full bit-pattern space (negative
+/// zero, subnormals, huge magnitudes) — bit-exactness is the
+/// property, so the weirder the better. Non-finite patterns fold to
+/// a boundary value the codec accepts.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let v = f64::from_bits(bits);
+        if v.is_finite() {
+            v
+        } else {
+            -0.0
+        }
+    })
+}
+
+prop_compose! {
+    fn energy()(
+        dynamic in finite_f64(),
+        leak_hi in finite_f64(),
+        leak_lo in finite_f64(),
+        transition in finite_f64(),
+        overhead in finite_f64(),
+    ) -> NormalizedEnergy {
+        NormalizedEnergy { dynamic, leak_hi, leak_lo, transition, overhead }
+    }
+}
+
+prop_compose! {
+    fn policy_run()(
+        energy in energy(),
+        active_cycles in any::<u64>(),
+        uncontrolled_idle_equiv in finite_f64(),
+        sleep_equiv in finite_f64(),
+        transitions_equiv in finite_f64(),
+    ) -> PolicyRun {
+        PolicyRun {
+            energy,
+            active_cycles,
+            // The decoder rejects negative cycle equivalents.
+            uncontrolled_idle_equiv: uncontrolled_idle_equiv.abs(),
+            sleep_equiv: sleep_equiv.abs(),
+            transitions_equiv: transitions_equiv.abs(),
+        }
+    }
+}
+
+/// Exercises decode over every truncation and every single-bit flip
+/// of `bytes`: any outcome is fine except a panic, and a truncation
+/// must never decode successfully because the trait requires full
+/// consumption of an exact buffer.
+fn never_panics<T: Codec>(bytes: &[u8]) -> Result<(), TestCaseError> {
+    for cut in 0..bytes.len() {
+        prop_assert!(
+            T::from_bytes(&bytes[..cut]).is_err(),
+            "truncation to {} of {} decoded",
+            cut,
+            bytes.len()
+        );
+    }
+    for i in 0..bytes.len() {
+        for bit in [0x01u8, 0x80] {
+            let mut bent = bytes.to_vec();
+            bent[i] ^= bit;
+            let _ = T::from_bytes(&bent); // may be Ok or Err; must not panic
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn spectrum_round_trips(lengths in lengths()) {
+        let s = IntervalSpectrum::from_lengths(&lengths);
+        let bytes = s.to_bytes();
+        prop_assert_eq!(IntervalSpectrum::from_bytes(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn spectrum_rejects_damage_cleanly(lengths in lengths()) {
+        let bytes = IntervalSpectrum::from_lengths(&lengths).to_bytes();
+        never_panics::<IntervalSpectrum>(&bytes)?;
+    }
+
+    #[test]
+    fn energy_round_trips_bit_exactly(e in energy()) {
+        let bytes = e.to_bytes();
+        let back = NormalizedEnergy::from_bytes(&bytes).unwrap();
+        // Bit-pattern equality, not float equality: -0.0 survives.
+        prop_assert_eq!(back.dynamic.to_bits(), e.dynamic.to_bits());
+        prop_assert_eq!(back.leak_hi.to_bits(), e.leak_hi.to_bits());
+        prop_assert_eq!(back.leak_lo.to_bits(), e.leak_lo.to_bits());
+        prop_assert_eq!(back.transition.to_bits(), e.transition.to_bits());
+        prop_assert_eq!(back.overhead.to_bits(), e.overhead.to_bits());
+    }
+
+    #[test]
+    fn energy_rejects_damage_cleanly(e in energy()) {
+        never_panics::<NormalizedEnergy>(&e.to_bytes())?;
+    }
+
+    #[test]
+    fn policy_run_round_trips(run in policy_run()) {
+        let bytes = run.to_bytes();
+        let back = PolicyRun::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.active_cycles, run.active_cycles);
+        prop_assert_eq!(back.energy.dynamic.to_bits(), run.energy.dynamic.to_bits());
+        prop_assert_eq!(back.energy.overhead.to_bits(), run.energy.overhead.to_bits());
+        prop_assert_eq!(
+            back.uncontrolled_idle_equiv.to_bits(),
+            run.uncontrolled_idle_equiv.to_bits()
+        );
+        prop_assert_eq!(back.sleep_equiv.to_bits(), run.sleep_equiv.to_bits());
+        prop_assert_eq!(back.transitions_equiv.to_bits(), run.transitions_equiv.to_bits());
+    }
+
+    #[test]
+    fn policy_run_rejects_damage_cleanly(run in policy_run()) {
+        never_panics::<PolicyRun>(&run.to_bytes())?;
+    }
+
+    /// Arbitrary garbage — not even derived from a valid encoding —
+    /// must fail or succeed cleanly, and hostile length prefixes must
+    /// not allocate: decoding returns before reserving more than the
+    /// buffer could hold.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 1..200)) {
+        let _ = IntervalSpectrum::from_bytes(&bytes);
+        let _ = NormalizedEnergy::from_bytes(&bytes);
+        let _ = PolicyRun::from_bytes(&bytes);
+    }
+}

@@ -57,15 +57,18 @@
 //! stderr. Beyond the paper's tables, `repro policy-ext` runs the
 //! extension-policy study (not part of `all`).
 
+use fuleak_experiments::cli::apply_sweep_flag;
 use fuleak_experiments::experiment::{self, sweep_table, Context};
 use fuleak_experiments::harness::Budget;
 use fuleak_experiments::policy::PolicyKind;
 use fuleak_experiments::render;
 use fuleak_experiments::result::ResultTable;
 use fuleak_experiments::scenario::{Engine, SweepSpec};
-use fuleak_workloads::Benchmark;
+use fuleak_experiments::serve::Server;
+use fuleak_experiments::store::{ResultStore, StoreKind};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// The stdout view of a result table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,16 +80,19 @@ enum Format {
 
 struct Options {
     budget: Budget,
-    engine: Engine,
+    engine: Arc<Engine>,
     format: Format,
     out: Option<PathBuf>,
 }
 
-const USAGE: &str = "usage: repro <experiment>|all [--quick|--budget N] [--jobs N] [--format text|json|csv] [--out DIR]
+const USAGE: &str = "usage: repro <experiment>|all [--quick|--budget N] [--jobs N] [--format text|json|csv] [--out DIR] [--store DIR]
        repro sweep [--bench A,B] [--int-fus L] [--l2 L] [--width L] [--rob L] [--l1d-kb L] [--l2-kb L] [--mem L] [--mshrs L]
                    [--policy P,Q] [--slices L] [--leak F,G] [--transition F,G] [--no-batch] [options]
        repro bench [--runs N] [--jobs N] [--out DIR]
-       (value lists L: comma values and lo:hi ranges, e.g. 1:4 or 2,4,8; F,G: fractions in [0,1])";
+       repro store stats|clear|gc --max-mb N   (needs --store DIR or FULEAK_STORE)
+       repro serve [--addr HOST:PORT] [--quick|--budget N] [--jobs N] [--store DIR]
+       (value lists L: comma values and lo:hi ranges, e.g. 1:4 or 2,4,8; F,G: fractions in [0,1];
+        --store DIR / FULEAK_STORE=DIR attach a persistent result store behind the engine caches)";
 
 /// Parses the shared options out of `args`, returning the leftover
 /// (mode-specific) arguments.
@@ -96,6 +102,7 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<&str>), String> {
     let mut jobs = 0usize; // 0 = all cores
     let mut format = Format::Text;
     let mut out = None;
+    let mut store: Option<PathBuf> = None;
     let mut rest = Vec::new();
     let mut it = args.iter();
     let parse_u64 = |flag: &str, v: &str| {
@@ -149,6 +156,7 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<&str>), String> {
                 };
             }
             "--out" => out = Some(PathBuf::from(take(flag, &mut value, &mut it)?)),
+            "--store" => store = Some(PathBuf::from(take(flag, &mut value, &mut it)?)),
             _ => rest.push(arg.as_str()),
         }
     }
@@ -160,71 +168,28 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<&str>), String> {
         None if quick => Budget::Quick,
         None => Budget::Full,
     };
+    // `--store DIR` wins; the FULEAK_STORE environment variable is the
+    // ambient fallback (empty disables it).
+    let store = store.or_else(|| {
+        std::env::var_os("FULEAK_STORE")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+    });
+    let engine = Arc::new(Engine::new(jobs));
+    if let Some(dir) = store {
+        let st = ResultStore::open(&dir)
+            .map_err(|e| format!("cannot open --store directory `{}`: {e}", dir.display()))?;
+        engine.set_store(Some(Arc::new(st)));
+    }
     Ok((
         Options {
             budget,
-            engine: Engine::new(jobs),
+            engine,
             format,
             out,
         },
         rest,
     ))
-}
-
-/// Parses a sweep value list: comma-separated values and inclusive
-/// `lo:hi` ranges, e.g. `1:4`, `2,4,8`, `1:2,8`.
-fn parse_values(flag: &str, s: &str) -> Result<Vec<u64>, String> {
-    let bad = |part: &str| format!("invalid {flag} value `{part}` (expected N or LO:HI)");
-    let mut out = Vec::new();
-    for part in s.split(',') {
-        if let Some((lo, hi)) = part.split_once(':') {
-            let lo: u64 = lo.parse().map_err(|_| bad(part))?;
-            let hi: u64 = hi.parse().map_err(|_| bad(part))?;
-            if lo > hi {
-                return Err(format!("empty {flag} range `{part}`"));
-            }
-            out.extend(lo..=hi);
-        } else {
-            out.push(part.parse().map_err(|_| bad(part))?);
-        }
-    }
-    if out.is_empty() {
-        return Err(format!("{flag} needs at least one value"));
-    }
-    Ok(out)
-}
-
-/// Parses a comma-separated list of fractions in `[0, 1]` (the
-/// energy-model evaluation axes).
-fn parse_fractions(flag: &str, s: &str) -> Result<Vec<f64>, String> {
-    let mut out = Vec::new();
-    for part in s.split(',') {
-        let v: f64 = part
-            .parse()
-            .map_err(|_| format!("invalid {flag} value `{part}` (expected a number)"))?;
-        if !v.is_finite() || !(0.0..=1.0).contains(&v) {
-            return Err(format!("{flag} value `{part}` must lie in [0, 1]"));
-        }
-        out.push(v);
-    }
-    if out.is_empty() {
-        return Err(format!("{flag} needs at least one value"));
-    }
-    Ok(out)
-}
-
-/// Parses a comma-separated list of policy names.
-fn parse_policies(s: &str) -> Result<Vec<PolicyKind>, String> {
-    s.split(',')
-        .map(|name| {
-            PolicyKind::parse(name).ok_or_else(|| {
-                format!(
-                    "unknown policy `{name}`; known: {}",
-                    PolicyKind::known_names()
-                )
-            })
-        })
-        .collect()
 }
 
 /// Prints a table to stdout in the selected format and, with `--out`,
@@ -313,59 +278,7 @@ fn run_sweep(args: &[&str], opts: &Options) -> Result<(), String> {
                 .map(|s| s.to_string())
                 .ok_or_else(|| format!("{flag} needs a value"))?,
         };
-        spec = match flag {
-            "--bench" => {
-                let mut benches = Vec::new();
-                for name in value.split(',') {
-                    let b = Benchmark::by_name(name).ok_or_else(|| {
-                        format!(
-                            "unknown benchmark `{name}`; registered: {}",
-                            Benchmark::registered_names()
-                        )
-                    })?;
-                    benches.push(b.name);
-                }
-                spec.benches(benches)
-            }
-            "--int-fus" => {
-                let fus = parse_values(flag, &value)?;
-                spec.axis_int_fus(fus.into_iter().map(|v| v as usize))
-            }
-            "--l2" => spec.axis_l2_latency(parse_values(flag, &value)?),
-            "--width" => {
-                let widths = parse_values(flag, &value)?;
-                spec.axis_width(widths.into_iter().map(|v| v as usize))
-            }
-            "--rob" => {
-                let robs = parse_values(flag, &value)?;
-                spec.axis_rob(robs.into_iter().map(|v| v as usize))
-            }
-            "--l1d-kb" => {
-                spec.axis_l1d(parse_values(flag, &value)?.into_iter().map(|kb| kb * 1024))
-            }
-            "--l2-kb" => {
-                spec.axis_l2_size(parse_values(flag, &value)?.into_iter().map(|kb| kb * 1024))
-            }
-            "--mem" => spec.axis_memory_latency(parse_values(flag, &value)?),
-            "--mshrs" => {
-                let mshrs = parse_values(flag, &value)?;
-                spec.axis_mshrs(mshrs.into_iter().map(|v| v as usize))
-            }
-            "--policy" => spec.axis_policy(parse_policies(&value)?),
-            "--slices" => {
-                let slices = parse_values(flag, &value)?;
-                if let Some(&bad) = slices.iter().find(|&&v| v == 0 || v > u64::from(u32::MAX)) {
-                    return Err(format!(
-                        "--slices value `{bad}` must lie in 1..={}",
-                        u32::MAX
-                    ));
-                }
-                spec.axis_slices(slices.into_iter().map(|v| v as u32))
-            }
-            "--leak" => spec.axis_leak_ratio(parse_fractions(flag, &value)?),
-            "--transition" => spec.axis_transition_cost(parse_fractions(flag, &value)?),
-            other => return Err(format!("unknown sweep flag `{other}`")),
-        };
+        spec = apply_sweep_flag(spec, flag, &value)?;
     }
     let points = spec
         .try_expand()
@@ -426,7 +339,10 @@ fn json_seconds(seconds: &[f64]) -> String {
 ///   but not printed),
 /// * a standard fixed-geometry sweep (2 benchmarks × FU 1–4 × four L2
 ///   latencies = 32 points) — the shape the annotation cache
-///   accelerates most, and
+///   accelerates most,
+/// * that sweep against a persistent store, cold (simulate +
+///   write-behind) vs warm (a fresh engine served entirely from
+///   disk — asserted zero-simulation and byte-identical first), and
 /// * that sweep's replay phase alone, at the kernel layer: a scalar
 ///   per-point loop vs the lane-batched kernel chunked to
 ///   [`MAX_LANES`], over identical cached annotations (asserted
@@ -490,6 +406,50 @@ fn run_bench(args: &[&str], opts: &Options) -> Result<(), String> {
         let engine = Engine::new(jobs);
         engine.run_sweep(&sweep_spec());
     });
+
+    // Persistent-store workload: the same fixed-geometry sweep against
+    // a scratch store directory — cold (simulate + write-behind) vs
+    // warm (a fresh engine reading every point back from disk). The
+    // warm pass asserts zero simulations and byte-identical tables
+    // before being timed, so the ratio is the pure warm-start win.
+    use fuleak_experiments::experiment::sweep_table;
+    use fuleak_experiments::ResultStore;
+    let store_dir = std::env::temp_dir().join(format!("fuleak-bench-store-{}", std::process::id()));
+    let open_store = |dir: &std::path::Path| {
+        std::sync::Arc::new(ResultStore::open(dir).expect("open bench store directory"))
+    };
+    {
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let cold = Engine::new(jobs);
+        cold.set_store(Some(open_store(&store_dir)));
+        cold.run_sweep(&sweep_spec());
+        let reference = sweep_table(&cold, &sweep_spec()).expect("cold store sweep");
+        let warm = Engine::new(jobs);
+        warm.set_store(Some(open_store(&store_dir)));
+        assert_eq!(
+            warm.run_sweep(&sweep_spec()),
+            0,
+            "warm store must serve every sweep point"
+        );
+        let replayed = sweep_table(&warm, &sweep_spec()).expect("warm store sweep");
+        assert!(
+            replayed.to_json() == reference.to_json(),
+            "store round-trip changed the sweep table"
+        );
+    }
+    eprintln!("[repro] bench: {sweep_points}-point sweep, cold vs warm persistent store...");
+    let store_cold = time_runs(runs, || {
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let engine = Engine::new(jobs);
+        engine.set_store(Some(open_store(&store_dir)));
+        engine.run_sweep(&sweep_spec());
+    });
+    let store_warm = time_runs(runs, || {
+        let engine = Engine::new(jobs);
+        engine.set_store(Some(open_store(&store_dir)));
+        engine.run_sweep(&sweep_spec());
+    });
+    let _ = std::fs::remove_dir_all(&store_dir);
 
     // Policy-evaluation workload: price a policy × slices × leakage
     // grid over the quick suite (a) with the closed-form spectrum
@@ -652,11 +612,14 @@ fn run_bench(args: &[&str], opts: &Options) -> Result<(), String> {
     });
     let traversal_ratio = best(&replay_scalar) / best(&replay_batched);
     let max_lanes = MAX_LANES;
+    let warm_speedup = best(&store_cold) / best(&store_warm);
 
     let json = format!(
-        "{{\n  \"name\": \"repro-bench\",\n  \"budget\": \"quick\",\n  \"jobs\": {jobs},\n  \"runs\": {runs},\n  \"all_quick\": {},\n  \"sweep_fixed_geometry\": {{\"points\": {sweep_points}, {}}},\n  \"batched_sweep\": {{\"points\": {sweep_points}, \"max_lanes\": {max_lanes}, \"scalar\": {}, \"batched\": {}, \"traversal_ratio\": {traversal_ratio:.2}}},\n  \"policy_eval\": {{\"points\": {policy_points}, \"spectrum\": {}, \"interval_replay\": {}, \"speedup_per_point\": {speedup:.1}}}\n}}\n",
+        "{{\n  \"name\": \"repro-bench\",\n  \"budget\": \"quick\",\n  \"jobs\": {jobs},\n  \"runs\": {runs},\n  \"all_quick\": {},\n  \"sweep_fixed_geometry\": {{\"points\": {sweep_points}, {}}},\n  \"store_sweep\": {{\"points\": {sweep_points}, \"cold\": {}, \"warm\": {}, \"warm_speedup\": {warm_speedup:.1}}},\n  \"batched_sweep\": {{\"points\": {sweep_points}, \"max_lanes\": {max_lanes}, \"scalar\": {}, \"batched\": {}, \"traversal_ratio\": {traversal_ratio:.2}}},\n  \"policy_eval\": {{\"points\": {policy_points}, \"spectrum\": {}, \"interval_replay\": {}, \"speedup_per_point\": {speedup:.1}}}\n}}\n",
         json_seconds(&all_quick),
         json_seconds(&sweep).trim_start_matches('{').trim_end_matches('}'),
+        json_seconds(&store_cold),
+        json_seconds(&store_warm),
         json_seconds(&replay_scalar),
         json_seconds(&replay_batched),
         policy_side(&policy_spectrum),
@@ -673,6 +636,117 @@ fn run_bench(args: &[&str], opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs `repro store stats|clear|gc` against the attached store.
+fn run_store(args: &[&str], opts: &Options) -> Result<(), String> {
+    let store = opts
+        .engine
+        .store()
+        .ok_or("repro store needs --store DIR or FULEAK_STORE")?;
+    match args {
+        ["stats"] => {
+            let stats = store.stats();
+            println!("store: {}", store.root().display());
+            for (kind, k) in StoreKind::ALL.into_iter().zip(stats.kinds) {
+                println!(
+                    "{:>8}: {} entries, {} bytes",
+                    kind.dir(),
+                    k.entries,
+                    k.bytes
+                );
+            }
+            println!(
+                "{:>8}: {} entries, {} bytes",
+                "total",
+                stats.entries(),
+                stats.bytes()
+            );
+            Ok(())
+        }
+        ["clear"] => {
+            let removed = store.clear().map_err(|e| format!("store clear: {e}"))?;
+            println!("removed {removed} entries from {}", store.root().display());
+            Ok(())
+        }
+        ["gc", rest @ ..] => {
+            let mut max_mb: Option<u64> = None;
+            let mut it = rest.iter();
+            while let Some(&flag) = it.next() {
+                let (flag, value) = match flag.split_once('=') {
+                    Some((f, v)) => (f, Some(v.to_string())),
+                    None => (flag, None),
+                };
+                match flag {
+                    "--max-mb" => {
+                        let v = match value {
+                            Some(v) => v,
+                            None => it
+                                .next()
+                                .map(|s| s.to_string())
+                                .ok_or_else(|| "--max-mb needs a value".to_string())?,
+                        };
+                        max_mb = Some(
+                            v.parse::<u64>()
+                                .map_err(|_| format!("invalid --max-mb value `{v}`"))?,
+                        );
+                    }
+                    other => return Err(format!("unknown store gc flag `{other}`")),
+                }
+            }
+            let max_mb = max_mb.ok_or("repro store gc needs --max-mb N")?;
+            let report = store.gc(max_mb * 1024 * 1024);
+            println!(
+                "evicted {} entries ({} -> {} bytes, budget {} MiB)",
+                report.evicted, report.bytes_before, report.bytes_after, max_mb
+            );
+            Ok(())
+        }
+        _ => Err("repro store subcommands: stats, clear, gc --max-mb N".to_string()),
+    }
+}
+
+/// Runs `repro serve`: binds the daemon and blocks in its accept loop.
+fn run_serve(args: &[&str], opts: &Options) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut it = args.iter();
+    while let Some(&flag) = it.next() {
+        let (flag, value) = match flag.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (flag, None),
+        };
+        match flag {
+            "--addr" => {
+                addr = match value {
+                    Some(v) => v,
+                    None => it
+                        .next()
+                        .map(|s| s.to_string())
+                        .ok_or_else(|| "--addr needs a value".to_string())?,
+                };
+            }
+            other => return Err(format!("unknown serve flag `{other}`")),
+        }
+    }
+    if opts.format != Format::Text {
+        return Err(
+            "repro serve clients pick the format per request; --format is not supported"
+                .to_string(),
+        );
+    }
+    let server = Server::bind(&addr, Arc::clone(&opts.engine), opts.budget)?;
+    let store = match opts.engine.store() {
+        Some(st) => format!("store {}", st.root().display()),
+        None => "no store".to_string(),
+    };
+    eprintln!(
+        "[repro] serving on http://{} ({} instructions/point, {} workers, {store})",
+        server.local_addr(),
+        opts.budget.instructions(),
+        opts.engine.jobs()
+    );
+    server.run();
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let parsed = parse_options(&args).and_then(|(opts, rest)| {
@@ -686,6 +760,10 @@ fn main() -> ExitCode {
             run_sweep(&rest[1..], &opts)
         } else if rest[0] == "bench" {
             run_bench(&rest[1..], &opts)
+        } else if rest[0] == "store" {
+            run_store(&rest[1..], &opts)
+        } else if rest[0] == "serve" {
+            run_serve(&rest[1..], &opts)
         } else if let Some(flag) = rest.iter().find(|a| a.starts_with("--")) {
             Err(format!("unknown flag `{flag}`"))
         } else {
@@ -709,7 +787,7 @@ mod tests {
     fn options() -> Options {
         Options {
             budget: Budget::Quick,
-            engine: Engine::new(1),
+            engine: Arc::new(Engine::new(1)),
             format: Format::Json,
             out: None,
         }

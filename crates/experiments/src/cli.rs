@@ -1,0 +1,186 @@
+//! Shared sweep-axis argument parsing: one flag grammar for the
+//! `repro sweep` command line and the `repro serve` `/sweep` endpoint
+//! (whose query parameters are the same flags minus the leading
+//! dashes), so a URL and a CLI invocation can never drift apart.
+//!
+//! Value lists mix comma-separated values and inclusive `lo:hi`
+//! ranges (`1:4`, `2,4,8`, `1:2,8`); evaluation axes take fractions
+//! in `[0, 1]` and policy names from the
+//! [`PolicyKind`](crate::policy::PolicyKind) registry.
+
+use crate::policy::PolicyKind;
+use crate::scenario::SweepSpec;
+use fuleak_workloads::Benchmark;
+
+/// Parses a sweep value list: comma-separated values and inclusive
+/// `lo:hi` ranges, e.g. `1:4`, `2,4,8`, `1:2,8`.
+pub fn parse_values(flag: &str, s: &str) -> Result<Vec<u64>, String> {
+    let bad = |part: &str| format!("invalid {flag} value `{part}` (expected N or LO:HI)");
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        if let Some((lo, hi)) = part.split_once(':') {
+            let lo: u64 = lo.parse().map_err(|_| bad(part))?;
+            let hi: u64 = hi.parse().map_err(|_| bad(part))?;
+            if lo > hi {
+                return Err(format!("empty {flag} range `{part}`"));
+            }
+            out.extend(lo..=hi);
+        } else {
+            out.push(part.parse().map_err(|_| bad(part))?);
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("{flag} needs at least one value"));
+    }
+    Ok(out)
+}
+
+/// Parses a comma-separated list of fractions in `[0, 1]` (the
+/// energy-model evaluation axes).
+pub fn parse_fractions(flag: &str, s: &str) -> Result<Vec<f64>, String> {
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        let v: f64 = part
+            .parse()
+            .map_err(|_| format!("invalid {flag} value `{part}` (expected a number)"))?;
+        if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+            return Err(format!("{flag} value `{part}` must lie in [0, 1]"));
+        }
+        out.push(v);
+    }
+    if out.is_empty() {
+        return Err(format!("{flag} needs at least one value"));
+    }
+    Ok(out)
+}
+
+/// Parses a comma-separated list of policy names.
+pub fn parse_policies(s: &str) -> Result<Vec<PolicyKind>, String> {
+    s.split(',')
+        .map(|name| {
+            PolicyKind::parse(name).ok_or_else(|| {
+                format!(
+                    "unknown policy `{name}`; known: {}",
+                    PolicyKind::known_names()
+                )
+            })
+        })
+        .collect()
+}
+
+/// Applies one value-taking sweep flag (`--bench`, `--int-fus`, …,
+/// `--transition`) to a spec. Engine-level toggles (`--no-batch`) and
+/// the shared options are the caller's business; anything else is an
+/// `unknown sweep flag` error.
+pub fn apply_sweep_flag(spec: SweepSpec, flag: &str, value: &str) -> Result<SweepSpec, String> {
+    Ok(match flag {
+        "--bench" => {
+            let mut benches = Vec::new();
+            for name in value.split(',') {
+                let b = Benchmark::by_name(name).ok_or_else(|| {
+                    format!(
+                        "unknown benchmark `{name}`; registered: {}",
+                        Benchmark::registered_names()
+                    )
+                })?;
+                benches.push(b.name);
+            }
+            spec.benches(benches)
+        }
+        "--int-fus" => {
+            let fus = parse_values(flag, value)?;
+            spec.axis_int_fus(fus.into_iter().map(|v| v as usize))
+        }
+        "--l2" => spec.axis_l2_latency(parse_values(flag, value)?),
+        "--width" => {
+            let widths = parse_values(flag, value)?;
+            spec.axis_width(widths.into_iter().map(|v| v as usize))
+        }
+        "--rob" => {
+            let robs = parse_values(flag, value)?;
+            spec.axis_rob(robs.into_iter().map(|v| v as usize))
+        }
+        "--l1d-kb" => spec.axis_l1d(parse_values(flag, value)?.into_iter().map(|kb| kb * 1024)),
+        "--l2-kb" => spec.axis_l2_size(parse_values(flag, value)?.into_iter().map(|kb| kb * 1024)),
+        "--mem" => spec.axis_memory_latency(parse_values(flag, value)?),
+        "--mshrs" => {
+            let mshrs = parse_values(flag, value)?;
+            spec.axis_mshrs(mshrs.into_iter().map(|v| v as usize))
+        }
+        "--policy" => spec.axis_policy(parse_policies(value)?),
+        "--slices" => {
+            let slices = parse_values(flag, value)?;
+            if let Some(&bad) = slices.iter().find(|&&v| v == 0 || v > u64::from(u32::MAX)) {
+                return Err(format!(
+                    "--slices value `{bad}` must lie in 1..={}",
+                    u32::MAX
+                ));
+            }
+            spec.axis_slices(slices.into_iter().map(|v| v as u32))
+        }
+        "--leak" => spec.axis_leak_ratio(parse_fractions(flag, value)?),
+        "--transition" => spec.axis_transition_cost(parse_fractions(flag, value)?),
+        other => return Err(format!("unknown sweep flag `{other}`")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Budget;
+
+    #[test]
+    fn value_lists_mix_ranges_and_commas() {
+        assert_eq!(parse_values("--x", "1:4").unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(parse_values("--x", "2,4,8").unwrap(), vec![2, 4, 8]);
+        assert_eq!(parse_values("--x", "1:2,8").unwrap(), vec![1, 2, 8]);
+        assert!(parse_values("--x", "4:1").unwrap_err().contains("empty"));
+        assert!(parse_values("--x", "abc").unwrap_err().contains("--x"));
+    }
+
+    #[test]
+    fn fractions_are_bounded() {
+        assert_eq!(
+            parse_fractions("--p", "0,0.5,1").unwrap(),
+            vec![0.0, 0.5, 1.0]
+        );
+        assert!(parse_fractions("--p", "1.5")
+            .unwrap_err()
+            .contains("[0, 1]"));
+        assert!(parse_fractions("--p", "nan")
+            .unwrap_err()
+            .contains("[0, 1]"));
+    }
+
+    #[test]
+    fn policies_resolve_through_the_registry() {
+        let kinds = parse_policies("maxsleep,alwaysactive").unwrap();
+        assert_eq!(kinds.len(), 2);
+        assert!(parse_policies("napping").unwrap_err().contains("napping"));
+    }
+
+    #[test]
+    fn flags_shape_the_spec() {
+        let spec = apply_sweep_flag(SweepSpec::new(Budget::Quick), "--int-fus", "1:2").unwrap();
+        let spec = apply_sweep_flag(spec, "--bench", "gzip,vpr").unwrap();
+        let spec = apply_sweep_flag(spec, "--l2", "12,32").unwrap();
+        assert_eq!(spec.scenarios().len(), 2 * 2 * 2);
+        assert!(!spec.has_eval_axes());
+        let spec = apply_sweep_flag(spec, "--policy", "maxsleep").unwrap();
+        assert!(spec.has_eval_axes());
+    }
+
+    #[test]
+    fn bad_flags_and_values_are_reported() {
+        let spec = SweepSpec::new(Budget::Quick);
+        assert!(apply_sweep_flag(spec.clone(), "--bogus", "1")
+            .unwrap_err()
+            .contains("unknown sweep flag `--bogus`"));
+        assert!(apply_sweep_flag(spec.clone(), "--bench", "gziip")
+            .unwrap_err()
+            .contains("unknown benchmark `gziip`"));
+        assert!(apply_sweep_flag(spec, "--slices", "0")
+            .unwrap_err()
+            .contains("--slices"));
+    }
+}

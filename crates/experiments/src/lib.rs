@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod cli;
 pub mod empirical;
 pub mod experiment;
 pub mod harness;
@@ -53,8 +54,11 @@ pub mod policy;
 pub mod render;
 pub mod result;
 pub mod scenario;
+pub mod serve;
+pub mod store;
 
 pub use experiment::{Context, Experiment};
 pub use harness::{Budget, SuiteResult};
 pub use result::{Cell, ResultTable, Value};
 pub use scenario::{AnnotationCache, Engine, Scenario, SimCache, SweepSpec};
+pub use store::ResultStore;

@@ -83,10 +83,13 @@ pub fn engine_line(stats: &crate::scenario::EngineStats) -> String {
 /// `engine total: 72 points simulated, sim cache 101/173 hits (58.4%),
 /// annotation cache 63/72 hits (87.5%, 9 built), trace cache 9/18
 /// hits (50.0%), 9 traces, policy cache 720/1440 hits (50.0%, 720
-/// runs), lane batching 64 points in 4 batches (16.0 lanes/batch,
-/// 8 scalar), 4 workers` — what `repro all` prints last so
-/// cross-experiment sharing of all four cache layers, plus the
-/// batching effectiveness of the replay phase, is visible.
+/// runs), disk store 36/72 hits (50.0%, 36 written, 0 evicted), lane
+/// batching 64 points in 4 batches (16.0 lanes/batch, 8 scalar), 4
+/// workers` — what `repro all` prints last so cross-experiment
+/// sharing of all four in-memory cache layers, the persistent disk
+/// tier behind them, and the batching effectiveness of the replay
+/// phase are visible. Stderr-only: the golden stdout transcript never
+/// sees it.
 pub fn engine_summary_line(stats: &crate::scenario::EngineStats) -> String {
     let pct = |rate: Option<f64>| rate.map_or("n/a".to_string(), |r| format!("{:.1}%", 100.0 * r));
     let batching = match stats.mean_lanes_per_batch() {
@@ -100,9 +103,21 @@ pub fn engine_summary_line(stats: &crate::scenario::EngineStats) -> String {
         ),
         None => format!("lane batching off ({} scalar)", stats.scalar_fallbacks),
     };
+    let disk = if stats.disk {
+        format!(
+            "disk store {}/{} hits ({}, {} written, {} evicted)",
+            stats.disk_hits,
+            stats.disk_hits + stats.disk_misses,
+            pct(stats.disk_hit_rate()),
+            stats.disk_writes,
+            stats.disk_evictions,
+        )
+    } else {
+        "disk store off".to_string()
+    };
     format!(
-        "engine total: {} points simulated, sim cache {}/{} hits ({}), annotation cache {}/{} hits ({}, {} built), trace cache {}/{} hits ({}), {} trace{}, policy cache {}/{} hits ({}, {} run{}), {}, {} worker{}",
-        stats.misses,
+        "engine total: {} points simulated, sim cache {}/{} hits ({}), annotation cache {}/{} hits ({}, {} built), trace cache {}/{} hits ({}), {} trace{}, policy cache {}/{} hits ({}, {} run{}), {disk}, {}, {} worker{}",
+        stats.simulated(),
         stats.hits,
         stats.hits + stats.misses,
         pct(stats.sim_hit_rate()),

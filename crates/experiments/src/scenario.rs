@@ -48,6 +48,7 @@
 
 use crate::harness::Budget;
 use crate::policy::{default_eval_axes, policy_energy_of, EvalPoint, PolicyCache, PolicyKind};
+use crate::store::ResultStore;
 use fuleak_core::accounting::PolicyRun;
 use fuleak_core::fxhash::{FxHashMap, FxHashSet};
 use fuleak_core::policy_eval::PolicyForm;
@@ -665,6 +666,20 @@ pub struct EngineStats {
     /// Points that fell back to the scalar kernel during primed
     /// sweeps (singleton geometry groups, or batching disabled).
     pub scalar_fallbacks: usize,
+    /// Whether a persistent disk store is attached.
+    pub disk: bool,
+    /// Disk-store read hits (results served without simulation from a
+    /// previous process).
+    pub disk_hits: usize,
+    /// The sim-kind subset of [`EngineStats::disk_hits`] — the points
+    /// whose timing simulation the store made unnecessary.
+    pub disk_sim_hits: usize,
+    /// Disk-store read misses (absent, stale, or rejected entries).
+    pub disk_misses: usize,
+    /// Entries written to the disk store.
+    pub disk_writes: usize,
+    /// Entries evicted from the disk store by garbage collection.
+    pub disk_evictions: usize,
 }
 
 impl EngineStats {
@@ -693,7 +708,25 @@ impl EngineStats {
             scalar_fallbacks: self
                 .scalar_fallbacks
                 .saturating_sub(earlier.scalar_fallbacks),
+            disk: self.disk,
+            disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
+            disk_sim_hits: self.disk_sim_hits.saturating_sub(earlier.disk_sim_hits),
+            disk_misses: self.disk_misses.saturating_sub(earlier.disk_misses),
+            disk_writes: self.disk_writes.saturating_sub(earlier.disk_writes),
+            disk_evictions: self.disk_evictions.saturating_sub(earlier.disk_evictions),
         }
+    }
+
+    /// Points actually simulated: sim-cache misses minus the ones the
+    /// disk store answered.
+    pub fn simulated(&self) -> usize {
+        self.misses.saturating_sub(self.disk_sim_hits)
+    }
+
+    /// Disk-store hit rate over all lookups, if any were made.
+    pub fn disk_hit_rate(&self) -> Option<f64> {
+        let total = self.disk_hits + self.disk_misses;
+        (total > 0).then(|| self.disk_hits as f64 / total as f64)
     }
 
     /// Simulation-cache hit rate over all lookups, if any were made.
@@ -925,6 +958,12 @@ pub struct Engine {
     batches: AtomicUsize,
     batched_lanes: AtomicUsize,
     scalar_fallbacks: AtomicUsize,
+    /// Optional persistent tier behind the sim/annotation/policy
+    /// caches: read-through on a memory miss, write-behind on every
+    /// computed result. Results are identical with or without it —
+    /// the store only changes *where* a pure function's value comes
+    /// from.
+    store: Mutex<Option<Arc<ResultStore>>>,
 }
 
 impl Default for Engine {
@@ -948,7 +987,20 @@ impl Engine {
             batches: AtomicUsize::new(0),
             batched_lanes: AtomicUsize::new(0),
             scalar_fallbacks: AtomicUsize::new(0),
+            store: Mutex::new(None),
         }
+    }
+
+    /// Attaches (or, with `None`, detaches) a persistent result
+    /// store. The in-memory caches stay authoritative; the store is
+    /// consulted on their misses and populated behind their inserts.
+    pub fn set_store(&self, store: Option<Arc<ResultStore>>) {
+        *lock_unpoisoned(&self.store) = store;
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<Arc<ResultStore>> {
+        lock_unpoisoned(&self.store).clone()
     }
 
     /// Enables or disables lane batching in [`Engine::prime`]. With
@@ -1011,8 +1063,18 @@ impl Engine {
         if let Some(run) = self.policies.get(s, form, model_fp) {
             return run;
         }
+        let store = self.store();
+        if let Some(run) = store
+            .as_ref()
+            .and_then(|st| st.load_policy(s, form, model_fp))
+        {
+            return self.policies.insert(s.clone(), form, model_fp, run);
+        }
         let sim = self.result(s.clone());
         let run = policy_energy_of(model, form, &sim);
+        if let Some(st) = &store {
+            st.save_policy(s, form, model_fp, run);
+        }
         self.policies.insert(s.clone(), form, model_fp, run)
     }
 
@@ -1035,9 +1097,21 @@ impl Engine {
         if let Some(a) = self.annotations.get(bench, budget, geometry) {
             return a;
         }
+        let store = self.store();
+        if let Some(ann) = store
+            .as_ref()
+            .and_then(|st| st.load_annotation(bench, budget, geometry))
+        {
+            return self
+                .annotations
+                .insert(bench, budget, geometry, Arc::new(ann));
+        }
         self.annotations.built.fetch_add(1, Ordering::Relaxed);
         let trace = self.trace(bench, budget);
         let ann = annotate(machine.config(), &trace);
+        if let Some(st) = &store {
+            st.save_annotation(bench, budget, geometry, &ann);
+        }
         self.annotations
             .insert(bench, budget, geometry, Arc::new(ann))
     }
@@ -1069,6 +1143,7 @@ impl Engine {
 
     /// Cache-effectiveness snapshot.
     pub fn stats(&self) -> EngineStats {
+        let store = self.store();
         EngineStats {
             jobs: self.jobs,
             points: self.cache.len(),
@@ -1086,6 +1161,14 @@ impl Engine {
             batches: self.batches.load(Ordering::Relaxed),
             batched_lanes: self.batched_lanes.load(Ordering::Relaxed),
             scalar_fallbacks: self.scalar_fallbacks.load(Ordering::Relaxed),
+            disk: store.is_some(),
+            disk_hits: store.as_ref().map_or(0, |st| st.hits()),
+            disk_sim_hits: store
+                .as_ref()
+                .map_or(0, |st| st.hits_for(crate::store::StoreKind::Sim)),
+            disk_misses: store.as_ref().map_or(0, |st| st.misses()),
+            disk_writes: store.as_ref().map_or(0, |st| st.writes()),
+            disk_evictions: store.as_ref().map_or(0, |st| st.evictions()),
         }
     }
 
@@ -1117,22 +1200,24 @@ impl Engine {
                 todo.push(s.clone());
             }
         }
-        let mut trace_keys: Vec<(&'static str, Budget)> = Vec::new();
-        let mut seen_keys = FxHashSet::default();
-        for s in &todo {
-            let key = (s.bench, s.budget);
-            if seen_keys.insert(key) && !self.traces.contains(key.0, key.1) {
-                trace_keys.push(key);
-            }
-        }
-        self.traces
-            .captures
-            .fetch_add(trace_keys.len(), Ordering::Relaxed);
-        for ((bench, budget), trace) in parallel_map(self.jobs, trace_keys, |(bench, budget)| {
-            let trace = capture_trace(bench, budget).unwrap_or_else(|e| panic!("{e}"));
-            ((bench, budget), Arc::new(trace))
-        }) {
-            self.traces.insert(bench, budget, trace);
+        let store = self.store();
+        if let Some(st) = &store {
+            // Disk read-through for whole points: store hits fill the
+            // sim cache directly, so a fully warm store leaves nothing
+            // to capture, annotate, or replay — and `prime` returns 0.
+            todo = parallel_map(self.jobs, todo, |s| {
+                let sim = st.load_sim(&s);
+                (s, sim)
+            })
+            .into_iter()
+            .filter_map(|(s, sim)| match sim {
+                Some(r) => {
+                    self.cache.insert(s, Arc::new(r));
+                    None
+                }
+                None => Some(s),
+            })
+            .collect();
         }
         let mut ann_work: Vec<(&'static str, Budget, u64, MachineConfig)> = Vec::new();
         let mut seen_geometries = FxHashSet::default();
@@ -1145,6 +1230,48 @@ impl Engine {
                 ann_work.push((s.bench, s.budget, geometry, s.machine.clone()));
             }
         }
+        if let Some(st) = &store {
+            // Disk read-through for annotations, before the trace
+            // phase: a geometry served from disk needs no functional
+            // trace at all.
+            ann_work =
+                parallel_map(
+                    self.jobs,
+                    ann_work,
+                    |(bench, budget, geometry, machine)| match st
+                        .load_annotation(bench, budget, geometry)
+                    {
+                        Some(a) => {
+                            self.annotations
+                                .insert(bench, budget, geometry, Arc::new(a));
+                            None
+                        }
+                        None => Some((bench, budget, geometry, machine)),
+                    },
+                )
+                .into_iter()
+                .flatten()
+                .collect();
+        }
+        // Functional traces are only consumed by the annotation pass,
+        // so capture exactly what the remaining builds need.
+        let mut trace_keys: Vec<(&'static str, Budget)> = Vec::new();
+        let mut seen_keys = FxHashSet::default();
+        for &(bench, budget, _, _) in &ann_work {
+            let key = (bench, budget);
+            if seen_keys.insert(key) && !self.traces.contains(bench, budget) {
+                trace_keys.push(key);
+            }
+        }
+        self.traces
+            .captures
+            .fetch_add(trace_keys.len(), Ordering::Relaxed);
+        for ((bench, budget), trace) in parallel_map(self.jobs, trace_keys, |(bench, budget)| {
+            let trace = capture_trace(bench, budget).unwrap_or_else(|e| panic!("{e}"));
+            ((bench, budget), Arc::new(trace))
+        }) {
+            self.traces.insert(bench, budget, trace);
+        }
         self.annotations
             .built
             .fetch_add(ann_work.len(), Ordering::Relaxed);
@@ -1152,18 +1279,29 @@ impl Engine {
             parallel_map(self.jobs, ann_work, |(bench, budget, geometry, machine)| {
                 let trace = self.trace(bench, budget);
                 let ann = annotate(machine.config(), &trace);
+                if let Some(st) = &store {
+                    st.save_annotation(bench, budget, geometry, &ann);
+                }
                 ((bench, budget, geometry), Arc::new(ann))
             })
         {
             self.annotations.insert(bench, budget, geometry, ann);
         }
         let simulated = todo.len();
-        for (s, r) in parallel_map(self.jobs, self.replay_work(todo), |work| match work {
-            ReplayWork::Batch(chunk) => self.run_batch(chunk),
-            ReplayWork::Single(s) => {
-                let result = Arc::new(self.run_point(&s));
-                vec![(s, result)]
+        for (s, r) in parallel_map(self.jobs, self.replay_work(todo), |work| {
+            let results = match work {
+                ReplayWork::Batch(chunk) => self.run_batch(chunk),
+                ReplayWork::Single(s) => {
+                    let result = Arc::new(self.run_point(&s));
+                    vec![(s, result)]
+                }
+            };
+            if let Some(st) = &store {
+                for (s, r) in &results {
+                    st.save_sim(s, r);
+                }
             }
+            results
         })
         .into_iter()
         .flatten()
@@ -1259,7 +1397,14 @@ impl Engine {
         if let Some(r) = self.cache.get(&s) {
             return r;
         }
+        let store = self.store();
+        if let Some(sim) = store.as_ref().and_then(|st| st.load_sim(&s)) {
+            return self.cache.insert(s, Arc::new(sim));
+        }
         let result = Arc::new(self.run_point(&s));
+        if let Some(st) = &store {
+            st.save_sim(&s, &result);
+        }
         self.cache.insert(s, result)
     }
 }

@@ -1,0 +1,429 @@
+//! `repro serve` — a warm result daemon over the scenario engine.
+//!
+//! A hand-rolled, dependency-free HTTP/1.1 server (`std::net` only)
+//! holding one [`Engine`] — and, through it, the four in-memory cache
+//! layers and the optional persistent [`crate::store::ResultStore`] —
+//! alive across requests, so repeated sweeps and experiment
+//! regenerations cost a table render instead of a simulation.
+//!
+//! Endpoints (GET only):
+//!
+//! * `/health` — liveness probe, `ok` as `text/plain`;
+//! * `/experiments` — the experiment registry as a JSON name array;
+//! * `/experiment/<name>?format=json|csv` — one registry experiment's
+//!   table;
+//! * `/sweep?<axis>=<values>&format=json|csv` — an ad-hoc sweep; the
+//!   query keys are the `repro sweep` axis flags minus the leading
+//!   dashes (`bench=gzip,vpr&int-fus=1:4&l2=12,32&policy=maxsleep`),
+//!   parsed by the same [`crate::cli`] grammar.
+//!
+//! Responses are the *exact* [`crate::result::ResultTable::to_json`] /
+//! [`to_csv`](crate::result::ResultTable::to_csv) bytes the CLI
+//! prints with `--format json|csv` — the determinism contract extends
+//! over the wire, and CI diffs a served sweep against the CLI output
+//! byte for byte. Request logs go to stderr; the server never touches
+//! stdout.
+
+use crate::cli;
+use crate::experiment::{self, sweep_table, Context};
+use crate::harness::Budget;
+use crate::scenario::{Engine, SweepSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One HTTP response: status line suffix, content type, body.
+struct Response {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn ok(content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            reason: "OK",
+            content_type,
+            body: body.into(),
+        }
+    }
+
+    fn error(status: u16, reason: &'static str, message: &str) -> Response {
+        Response {
+            status,
+            reason,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{message}\n").into_bytes(),
+        }
+    }
+}
+
+/// A bound, not-yet-serving daemon: [`Server::bind`] reserves the
+/// address (port 0 picks a free one, for tests), then [`Server::run`]
+/// blocks in the accept loop or [`Server::spawn`] serves from a
+/// background thread.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    budget: Budget,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`; port 0 for an ephemeral
+    /// port), serving tables from `engine` at `budget`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the address if the bind fails.
+    pub fn bind(addr: &str, engine: Arc<Engine>, budget: Budget) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+        Ok(Server {
+            listener,
+            engine,
+            budget,
+        })
+    }
+
+    /// The bound socket address (resolves port 0 to the actual port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the just-bound listener cannot report its address —
+    /// an OS-level invariant violation, not a recoverable state.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("a bound listener has an address")
+    }
+
+    /// Serves until `stop` is set (checked per accepted connection —
+    /// [`ServerHandle::stop`] wakes the loop with a dummy connection).
+    /// One thread per connection; the engine is shared, so concurrent
+    /// requests cooperate through its caches like engine workers do.
+    fn serve(self, stop: &AtomicBool) {
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(stream) => {
+                    let engine = Arc::clone(&self.engine);
+                    let budget = self.budget;
+                    std::thread::spawn(move || handle_connection(stream, &engine, budget));
+                }
+                Err(e) => eprintln!("[serve] accept error: {e}"),
+            }
+        }
+    }
+
+    /// Blocks the calling thread in the accept loop forever (the
+    /// `repro serve` foreground mode).
+    pub fn run(self) {
+        let never = AtomicBool::new(false);
+        self.serve(&never);
+    }
+
+    /// Serves from a background thread, returning a handle that stops
+    /// and joins it.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let join = std::thread::spawn(move || self.serve(&flag));
+        ServerHandle {
+            addr,
+            stop,
+            join: Some(join),
+        }
+    }
+}
+
+/// A running background server (see [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The serving address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. In-flight
+    /// request threads finish on their own.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Reads one request off `stream`, routes it, and writes the response.
+/// All errors degrade to HTTP error responses or a dropped connection;
+/// nothing here can take the accept loop down.
+fn handle_connection(stream: TcpStream, engine: &Engine, budget: Budget) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "?".to_string(), |a| a.to_string());
+    // Request timing is log-only telemetry on stderr; no result ever
+    // depends on it (serve.rs is wallclock-scope-exempt for exactly
+    // this line of business — see fuleak-lint's rules).
+    let started = std::time::Instant::now();
+    let mut reader = BufReader::new(&stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the headers; GET requests carry no body.
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => return,
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m.to_string(), t.to_string()),
+        _ => return,
+    };
+    let response = if method != "GET" {
+        Response::error(405, "Method Not Allowed", "only GET is supported")
+    } else {
+        route(&target, engine, budget)
+    };
+    let mut out = Vec::with_capacity(response.body.len() + 128);
+    let _ = write!(
+        out,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.reason,
+        response.content_type,
+        response.body.len()
+    );
+    out.extend_from_slice(&response.body);
+    let ok = (&stream).write_all(&out).is_ok() && (&stream).flush().is_ok();
+    eprintln!(
+        "[serve] {peer} {method} {target} -> {}{} ({} bytes, {:.1} ms)",
+        response.status,
+        if ok { "" } else { " (client gone)" },
+        response.body.len(),
+        1e3 * started.elapsed().as_secs_f64()
+    );
+}
+
+/// Routes one request target to a response.
+fn route(target: &str, engine: &Engine, budget: Budget) -> Response {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/health" => Response::ok("text/plain; charset=utf-8", "ok\n"),
+        "/experiments" => {
+            let names: Vec<String> = experiment::all_names()
+                .iter()
+                .map(|n| format!("\"{n}\""))
+                .collect();
+            Response::ok("application/json", format!("[{}]\n", names.join(", ")))
+        }
+        "/sweep" => match sweep_response(query, engine, budget) {
+            Ok(r) => r,
+            Err(e) => Response::error(400, "Bad Request", &e),
+        },
+        _ => match path.strip_prefix("/experiment/") {
+            Some(name) => match experiment_response(name, query, engine, budget) {
+                Ok(r) => r,
+                Err(e) => e,
+            },
+            None => Response::error(404, "Not Found", &format!("no route for `{path}`")),
+        },
+    }
+}
+
+/// The served table format — JSON unless `format=csv`.
+enum WireFormat {
+    Json,
+    Csv,
+}
+
+impl WireFormat {
+    fn content_type(&self) -> &'static str {
+        match self {
+            WireFormat::Json => "application/json",
+            WireFormat::Csv => "text/csv; charset=utf-8",
+        }
+    }
+}
+
+/// Splits a query string into decoded `(key, value)` pairs, pulling
+/// out the `format` selector.
+fn parse_query(query: &str) -> Result<(Vec<(String, String)>, WireFormat), String> {
+    let mut params = Vec::new();
+    let mut format = WireFormat::Json;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("query parameter `{pair}` needs a value"))?;
+        let key = percent_decode(key)?;
+        let value = percent_decode(value)?;
+        if key == "format" {
+            format = match value.as_str() {
+                "json" => WireFormat::Json,
+                "csv" => WireFormat::Csv,
+                other => return Err(format!("invalid format value `{other}` (json or csv)")),
+            };
+        } else {
+            params.push((key, value));
+        }
+    }
+    Ok((params, format))
+}
+
+/// Runs one registry experiment and serves its table.
+fn experiment_response(
+    name: &str,
+    query: &str,
+    engine: &Engine,
+    budget: Budget,
+) -> Result<Response, Response> {
+    let (params, format) =
+        parse_query(query).map_err(|e| Response::error(400, "Bad Request", &e))?;
+    if let Some((key, _)) = params.first() {
+        return Err(Response::error(
+            400,
+            "Bad Request",
+            &format!("unknown experiment parameter `{key}` (only format=)"),
+        ));
+    }
+    let exp = experiment::by_name(name).ok_or_else(|| {
+        Response::error(
+            404,
+            "Not Found",
+            &format!(
+                "unknown experiment `{name}`; known: {}",
+                experiment::all_names().join(" ")
+            ),
+        )
+    })?;
+    let mut ctx = Context::new(engine, budget);
+    let table = exp.run(&mut ctx);
+    let body = match format {
+        WireFormat::Json => table.to_json(),
+        WireFormat::Csv => table.to_csv(),
+    };
+    Ok(Response::ok(format.content_type(), body))
+}
+
+/// Builds a sweep from the query's axis parameters and serves its
+/// table — the same spec the CLI would build from the equivalent
+/// `repro sweep` flags, over the same shared engine.
+fn sweep_response(query: &str, engine: &Engine, budget: Budget) -> Result<Response, String> {
+    let (params, format) = parse_query(query)?;
+    let mut spec = SweepSpec::new(budget);
+    for (key, value) in &params {
+        spec = cli::apply_sweep_flag(spec, &format!("--{key}"), value)?;
+    }
+    let table = sweep_table(engine, &spec).map_err(|e| format!("invalid sweep: {e}"))?;
+    let body = match format {
+        WireFormat::Json => table.to_json(),
+        WireFormat::Csv => table.to_csv(),
+    };
+    Ok(Response::ok(format.content_type(), body))
+}
+
+/// Decodes `%XX` escapes and `+` spaces in a query component.
+fn percent_decode(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| format!("truncated %-escape in `{s}`"))?;
+                out.push(hex);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("query component `{s}` is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("1%3A4").unwrap(), "1:4");
+        assert_eq!(percent_decode("a+b").unwrap(), "a b");
+        assert_eq!(percent_decode("plain").unwrap(), "plain");
+        assert!(percent_decode("%zz").is_err());
+        assert!(percent_decode("%4").is_err());
+    }
+
+    #[test]
+    fn query_parsing_extracts_format() {
+        let (params, format) = parse_query("bench=gzip&int-fus=1%3A2&format=csv").unwrap();
+        assert_eq!(
+            params,
+            vec![
+                ("bench".to_string(), "gzip".to_string()),
+                ("int-fus".to_string(), "1:2".to_string())
+            ]
+        );
+        assert!(matches!(format, WireFormat::Csv));
+        assert!(parse_query("format=xml").is_err());
+        assert!(parse_query("novalue").is_err());
+    }
+
+    #[test]
+    fn routes_reject_unknowns_without_simulation() {
+        let engine = Engine::sequential();
+        let r = route("/nope", &engine, Budget::Quick);
+        assert_eq!(r.status, 404);
+        let r = route("/experiment/not-a-table", &engine, Budget::Quick);
+        assert_eq!(r.status, 404);
+        let r = route("/sweep?bogus=1", &engine, Budget::Quick);
+        assert_eq!(r.status, 400);
+        assert!(String::from_utf8(r.body).unwrap().contains("--bogus"));
+        let r = route("/health", &engine, Budget::Quick);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, b"ok\n");
+    }
+
+    #[test]
+    fn experiments_listing_is_json() {
+        let engine = Engine::sequential();
+        let r = route("/experiments", &engine, Budget::Quick);
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.starts_with('['));
+        assert!(body.contains("\"table1\""));
+    }
+}

@@ -1,0 +1,767 @@
+//! Persistent, content-addressed result store.
+//!
+//! The engine's four in-memory cache layers die with the process; this
+//! module gives the three *result* layers — sim, annotation, policy —
+//! a disk tier keyed by the same platform-stable identities
+//! ([`MachineConfig::fingerprint`](fuleak_uarch::MachineConfig::fingerprint),
+//! [`MachineConfig::frontend_fingerprint`](fuleak_uarch::MachineConfig::frontend_fingerprint),
+//! [`EnergyModel`](fuleak_core::EnergyModel) fingerprints) that make
+//! the in-memory keys sound. Payloads are the [`fuleak_core::codec`]
+//! binary encodings, so a round-trip through disk is field-exact and
+//! stdout stays byte-identical with the store on or off.
+//!
+//! On-disk layout (`DESIGN.md` §11):
+//!
+//! ```text
+//! <root>/
+//!   sim/<fnv1a(key) as 16 hex>      one SimResult per file
+//!   ann/<fnv1a(key) as 16 hex>      one AnnotatedTrace per file
+//!   policy/<fnv1a(key) as 16 hex>   one PolicyRun per file
+//!   tmp/                            atomic-write staging
+//! ```
+//!
+//! Every entry file is `magic "FLKS" | format version u32 | codec
+//! version u32 | key (length-prefixed) | payload (length-prefixed) |
+//! FNV-1a checksum u64 over everything before it`. Reads verify all
+//! five in order; *any* anomaly — short file, bad checksum, version
+//! skew, or a filename-hash collision caught by the stored key — is a
+//! miss, never a panic and never a wrong result. Writes go through a
+//! unique temp file plus `rename`, so readers only ever observe
+//! complete entries. Eviction is size-budgeted LRU by access time
+//! ([`ResultStore::gc`]); read hits re-touch their entry's access
+//! time so hot entries survive, with mtime as the fallback ordering
+//! on filesystems that don't track atime.
+
+use crate::harness::Budget;
+use crate::scenario::Scenario;
+use fuleak_core::accounting::PolicyRun;
+use fuleak_core::codec::{fnv1a, put_bytes, put_u32, put_u64, put_u8, ByteReader};
+use fuleak_core::policy_eval::PolicyForm;
+use fuleak_core::{Codec, CODEC_VERSION};
+use fuleak_uarch::SimResult;
+use fuleak_workloads::AnnotatedTrace;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Version of the store's *container* format (the entry header and
+/// directory layout). Orthogonal to [`CODEC_VERSION`], which names
+/// the payload encodings: either moving invalidates old entries.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The entry-file magic.
+const MAGIC: &[u8; 4] = b"FLKS";
+
+/// The result kinds the store persists, each in its own subdirectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// Timing-simulation results ([`SimResult`]).
+    Sim,
+    /// Annotated traces ([`AnnotatedTrace`]).
+    Annotation,
+    /// Policy evaluations ([`PolicyRun`]).
+    Policy,
+}
+
+impl StoreKind {
+    /// Every kind, in display order.
+    pub const ALL: [StoreKind; 3] = [StoreKind::Sim, StoreKind::Annotation, StoreKind::Policy];
+
+    /// The kind's subdirectory name (doubles as its display name).
+    pub fn dir(self) -> &'static str {
+        match self {
+            StoreKind::Sim => "sim",
+            StoreKind::Annotation => "ann",
+            StoreKind::Policy => "policy",
+        }
+    }
+
+    /// The kind's key-tag byte (first byte of every key, so a key can
+    /// never alias across kinds even if the files were shuffled).
+    fn tag(self) -> u8 {
+        match self {
+            StoreKind::Sim => 1,
+            StoreKind::Annotation => 2,
+            StoreKind::Policy => 3,
+        }
+    }
+
+    /// The kind's index into per-kind counter arrays ([`StoreKind::ALL`]
+    /// order).
+    fn idx(self) -> usize {
+        match self {
+            StoreKind::Sim => 0,
+            StoreKind::Annotation => 1,
+            StoreKind::Policy => 2,
+        }
+    }
+}
+
+/// Per-kind occupancy, from a directory scan ([`ResultStore::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Entry files present.
+    pub entries: usize,
+    /// Total bytes they occupy.
+    pub bytes: u64,
+}
+
+/// Whole-store occupancy, from a directory scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Per-kind occupancy, in [`StoreKind::ALL`] order.
+    pub kinds: [KindStats; 3],
+}
+
+impl StoreStats {
+    /// Entry files across all kinds.
+    pub fn entries(&self) -> usize {
+        self.kinds.iter().map(|k| k.entries).sum()
+    }
+
+    /// Bytes across all kinds.
+    pub fn bytes(&self) -> u64 {
+        self.kinds.iter().map(|k| k.bytes).sum()
+    }
+}
+
+/// What one [`ResultStore::gc`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries deleted (oldest access first).
+    pub evicted: usize,
+    /// Occupancy before the pass.
+    pub bytes_before: u64,
+    /// Occupancy after the pass.
+    pub bytes_after: u64,
+}
+
+/// Entry access (or modification) timestamps, read back from file
+/// metadata. They order LRU eviction only — results never depend on
+/// them, which is why the wallclock exemption is confined to this
+/// alias.
+type Atime = std::time::SystemTime; // lint:allow(wallclock)
+
+/// A content-addressed on-disk result store (see the [module
+/// docs](self)). Cheap to share: all methods take `&self`, and the
+/// counters are atomics, so one store serves every engine worker.
+#[derive(Debug)]
+pub struct ResultStore {
+    root: PathBuf,
+    hits: [AtomicUsize; 3],
+    misses: [AtomicUsize; 3],
+    writes: AtomicUsize,
+    evictions: AtomicUsize,
+    corrupt: AtomicUsize,
+    tmp_seq: AtomicUsize,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`io::Error`] if the directory tree
+    /// cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        for kind in StoreKind::ALL {
+            fs::create_dir_all(root.join(kind.dir()))?;
+        }
+        fs::create_dir_all(root.join("tmp"))?;
+        Ok(ResultStore {
+            root,
+            hits: Default::default(),
+            misses: Default::default(),
+            writes: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            corrupt: AtomicUsize::new(0),
+            tmp_seq: AtomicUsize::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Read hits since construction, across all kinds.
+    pub fn hits(&self) -> usize {
+        self.hits.iter().map(|h| h.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Read misses since construction (absent, stale, or rejected
+    /// entries), across all kinds.
+    pub fn misses(&self) -> usize {
+        self.misses.iter().map(|m| m.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Read hits for one kind since construction.
+    pub fn hits_for(&self, kind: StoreKind) -> usize {
+        self.hits[kind.idx()].load(Ordering::Relaxed)
+    }
+
+    /// Read misses for one kind since construction.
+    pub fn misses_for(&self, kind: StoreKind) -> usize {
+        self.misses[kind.idx()].load(Ordering::Relaxed)
+    }
+
+    /// Entries written since construction.
+    pub fn writes(&self) -> usize {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by [`ResultStore::gc`] since construction.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Structurally invalid entries encountered since construction (a
+    /// subset of the misses; version skew is *not* counted here).
+    pub fn corrupt(&self) -> usize {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
+    /// The cached [`SimResult`] for a scenario, if present and valid.
+    pub fn load_sim(&self, s: &Scenario) -> Option<SimResult> {
+        self.load_value(StoreKind::Sim, &sim_key(s))
+    }
+
+    /// Persists a scenario's [`SimResult`] (best-effort: I/O errors
+    /// degrade to a future miss).
+    pub fn save_sim(&self, s: &Scenario, result: &SimResult) {
+        self.save(StoreKind::Sim, &sim_key(s), &result.to_bytes());
+    }
+
+    /// The cached [`AnnotatedTrace`] for `(bench, budget, geometry)`,
+    /// if present and valid.
+    pub fn load_annotation(
+        &self,
+        bench: &str,
+        budget: Budget,
+        geometry: u64,
+    ) -> Option<AnnotatedTrace> {
+        self.load_value(
+            StoreKind::Annotation,
+            &annotation_key(bench, budget, geometry),
+        )
+    }
+
+    /// Persists an annotated trace (best-effort).
+    pub fn save_annotation(
+        &self,
+        bench: &str,
+        budget: Budget,
+        geometry: u64,
+        ann: &AnnotatedTrace,
+    ) {
+        self.save(
+            StoreKind::Annotation,
+            &annotation_key(bench, budget, geometry),
+            &ann.to_bytes(),
+        );
+    }
+
+    /// The cached [`PolicyRun`] for `(scenario, policy form, energy
+    /// model)`, if present and valid.
+    pub fn load_policy(&self, s: &Scenario, form: PolicyForm, model_fp: u64) -> Option<PolicyRun> {
+        self.load_value(StoreKind::Policy, &policy_key(s, form, model_fp))
+    }
+
+    /// Persists a policy evaluation (best-effort).
+    pub fn save_policy(&self, s: &Scenario, form: PolicyForm, model_fp: u64, run: PolicyRun) {
+        self.save(
+            StoreKind::Policy,
+            &policy_key(s, form, model_fp),
+            &run.to_bytes(),
+        );
+    }
+
+    /// Loads and decodes one typed entry; decode failures count as
+    /// corruption-misses like any other rejected entry.
+    fn load_value<T: Codec>(&self, kind: StoreKind, key: &[u8]) -> Option<T> {
+        let payload = self.load(kind, key)?;
+        match T::from_bytes(&payload) {
+            Ok(v) => Some(v),
+            Err(_) => {
+                // The container checksum passed but the payload does
+                // not decode — a codec/invariant mismatch the version
+                // header failed to catch. Demote the hit to a miss.
+                self.hits[kind.idx()].fetch_sub(1, Ordering::Relaxed);
+                self.misses[kind.idx()].fetch_add(1, Ordering::Relaxed);
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Loads one raw payload, verifying magic, versions, key, and
+    /// checksum. Any anomaly is a miss.
+    fn load(&self, kind: StoreKind, key: &[u8]) -> Option<Vec<u8>> {
+        let path = self.entry_path(kind, key);
+        let Ok(bytes) = fs::read(&path) else {
+            self.misses[kind.idx()].fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        match parse_entry(&bytes, key) {
+            EntryParse::Valid(payload) => {
+                self.hits[kind.idx()].fetch_add(1, Ordering::Relaxed);
+                self.touch(&path);
+                Some(payload)
+            }
+            EntryParse::Stale => {
+                // A well-formed entry from another format/codec
+                // version: expected after an upgrade, not corruption.
+                self.misses[kind.idx()].fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            EntryParse::Corrupt => {
+                self.misses[kind.idx()].fetch_add(1, Ordering::Relaxed);
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Writes one entry atomically: unique temp file, then `rename`.
+    /// Best-effort — on I/O failure the entry simply stays absent.
+    fn save(&self, kind: StoreKind, key: &[u8], payload: &[u8]) {
+        let entry = encode_entry(FORMAT_VERSION, CODEC_VERSION, key, payload);
+        let tmp = self.root.join("tmp").join(format!(
+            "{}-{}.tmp",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        if fs::write(&tmp, &entry).is_ok() && fs::rename(&tmp, self.entry_path(kind, key)).is_ok() {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    /// The entry file a key addresses.
+    fn entry_path(&self, kind: StoreKind, key: &[u8]) -> PathBuf {
+        self.root
+            .join(kind.dir())
+            .join(format!("{:016x}", fnv1a(key)))
+    }
+
+    /// Re-touches an entry's access time on a read hit, so LRU
+    /// eviction sees it as recently used even on `noatime` mounts.
+    /// Best-effort; failure only makes eviction ordering coarser.
+    fn touch(&self, path: &Path) {
+        // The access time feeds only `gc`'s eviction order, never a
+        // result — the wallclock read cannot reach stdout.
+        let now = std::time::SystemTime::now(); // lint:allow(wallclock)
+        if let Ok(f) = fs::File::options().append(true).open(path) {
+            let _ = f.set_times(fs::FileTimes::new().set_accessed(now));
+        }
+    }
+
+    /// Scans the store's occupancy (entry counts and bytes per kind).
+    pub fn stats(&self) -> StoreStats {
+        let mut stats = StoreStats::default();
+        for (i, kind) in StoreKind::ALL.into_iter().enumerate() {
+            for (_, _, len) in self.scan(kind) {
+                stats.kinds[i].entries += 1;
+                stats.kinds[i].bytes += len;
+            }
+        }
+        stats
+    }
+
+    /// Deletes every entry (the `repro store clear` operation),
+    /// returning how many were removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`io::Error`] hit while deleting; entries
+    /// already removed stay removed.
+    pub fn clear(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        for kind in StoreKind::ALL {
+            for (path, _, _) in self.scan(kind) {
+                fs::remove_file(path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Evicts least-recently-accessed entries until the store fits in
+    /// `max_bytes` (the `repro store gc` operation). Ordering is
+    /// `(access time, file name)` — mtime standing in where atime is
+    /// unavailable, the name breaking ties deterministically.
+    pub fn gc(&self, max_bytes: u64) -> GcReport {
+        let mut entries: Vec<(Atime, PathBuf, u64)> = Vec::new();
+        for kind in StoreKind::ALL {
+            for (path, accessed, len) in self.scan(kind) {
+                entries.push((accessed, path, len));
+            }
+        }
+        entries.sort();
+        let bytes_before: u64 = entries.iter().map(|&(_, _, len)| len).sum();
+        let mut report = GcReport {
+            evicted: 0,
+            bytes_before,
+            bytes_after: bytes_before,
+        };
+        for (_, path, len) in entries {
+            if report.bytes_after <= max_bytes {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                report.bytes_after -= len;
+                report.evicted += 1;
+            }
+        }
+        self.evictions.fetch_add(report.evicted, Ordering::Relaxed);
+        report
+    }
+
+    /// Lists one kind's entry files as `(path, accessed-or-mtime,
+    /// len)`, in file-name order (unreadable entries are skipped).
+    fn scan(&self, kind: StoreKind) -> Vec<(PathBuf, Atime, u64)> {
+        let Ok(dir) = fs::read_dir(self.root.join(kind.dir())) else {
+            return Vec::new();
+        };
+        let mut out: Vec<_> = dir
+            .flatten()
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                let when = meta.accessed().or_else(|_| meta.modified()).ok()?;
+                meta.is_file().then(|| (e.path(), when, meta.len()))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// One scenario's sim key: kind tag, benchmark name, instruction
+/// count, and the machine's full-configuration fingerprint. `Quick`
+/// deliberately aliases `Custom(500_000)` — they are the same
+/// simulation.
+fn sim_key(s: &Scenario) -> Vec<u8> {
+    let mut key = Vec::new();
+    put_u8(&mut key, StoreKind::Sim.tag());
+    put_bytes(&mut key, s.bench.as_bytes());
+    put_u64(&mut key, s.budget.instructions());
+    put_u64(&mut key, s.machine.fingerprint());
+    key
+}
+
+/// An annotation key: kind tag, benchmark, instruction count, and the
+/// front-end geometry fingerprint — the same identity the in-memory
+/// [`crate::scenario::AnnotationCache`] keys by.
+fn annotation_key(bench: &str, budget: Budget, geometry: u64) -> Vec<u8> {
+    let mut key = Vec::new();
+    put_u8(&mut key, StoreKind::Annotation.tag());
+    put_bytes(&mut key, bench.as_bytes());
+    put_u64(&mut key, budget.instructions());
+    put_u64(&mut key, geometry);
+    key
+}
+
+/// A policy key: the sim identity plus the policy form's canonical
+/// `(discriminant, param, param)` triple and the energy model's
+/// fingerprint — mirroring the in-memory
+/// [`crate::policy::PolicyCache`] key.
+fn policy_key(s: &Scenario, form: PolicyForm, model_fp: u64) -> Vec<u8> {
+    let mut key = Vec::new();
+    put_u8(&mut key, StoreKind::Policy.tag());
+    put_bytes(&mut key, s.bench.as_bytes());
+    put_u64(&mut key, s.budget.instructions());
+    put_u64(&mut key, s.machine.fingerprint());
+    let (disc, a, b) = form_key(form);
+    put_u8(&mut key, disc);
+    put_u64(&mut key, a);
+    put_u64(&mut key, b);
+    put_u64(&mut key, model_fp);
+    key
+}
+
+/// [`PolicyForm`] as a canonical `(discriminant, param, param)`
+/// triple, `f64` parameters by bit pattern (the same shape the core
+/// crate hashes the form by).
+fn form_key(form: PolicyForm) -> (u8, u64, u64) {
+    match form {
+        PolicyForm::AlwaysActive => (0, 0, 0),
+        PolicyForm::MaxSleep => (1, 0, 0),
+        PolicyForm::NoOverhead => (2, 0, 0),
+        PolicyForm::GradualSleep { slices } => (3, u64::from(slices), 0),
+        PolicyForm::TimeoutSleep { timeout } => (4, timeout, 0),
+        PolicyForm::AdaptiveSleep { breakeven, weight } => {
+            (5, breakeven.to_bits(), weight.to_bits())
+        }
+    }
+}
+
+/// Serializes one entry file. Exposed within the crate so tests can
+/// craft entries under *other* versions and prove they read as
+/// misses.
+pub(crate) fn encode_entry(format: u32, codec: u32, key: &[u8], payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MAGIC.len() + 8 + 16 + key.len() + payload.len() + 8);
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, format);
+    put_u32(&mut out, codec);
+    put_bytes(&mut out, key);
+    put_bytes(&mut out, payload);
+    let checksum = fnv1a(&out);
+    put_u64(&mut out, checksum);
+    out
+}
+
+/// Outcome of validating one entry file against an expected key.
+enum EntryParse {
+    /// Checks passed; the payload bytes.
+    Valid(Vec<u8>),
+    /// Well-formed but written by another format/codec version.
+    Stale,
+    /// Structurally invalid (short, bad magic/checksum, wrong key).
+    Corrupt,
+}
+
+/// Validates one entry file body against `key` (see the [module
+/// docs](self) for the layout).
+fn parse_entry(bytes: &[u8], key: &[u8]) -> EntryParse {
+    let Some(body_len) = bytes.len().checked_sub(8) else {
+        return EntryParse::Corrupt;
+    };
+    let (body, tail) = bytes.split_at(body_len);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte checksum"));
+    if fnv1a(body) != stored {
+        return EntryParse::Corrupt;
+    }
+    let mut r = ByteReader::new(body);
+    let Ok(magic) = r.bytes(MAGIC.len()) else {
+        return EntryParse::Corrupt;
+    };
+    if magic != MAGIC {
+        return EntryParse::Corrupt;
+    }
+    let (Ok(format), Ok(codec)) = (r.u32(), r.u32()) else {
+        return EntryParse::Corrupt;
+    };
+    if format != FORMAT_VERSION || codec != CODEC_VERSION {
+        return EntryParse::Stale;
+    }
+    let stored_key = match r.len(1).and_then(|n| r.bytes(n)) {
+        Ok(k) => k,
+        Err(_) => return EntryParse::Corrupt,
+    };
+    if stored_key != key {
+        // A filename-hash collision: the entry belongs to some other
+        // key. Treat as absent rather than returning a wrong payload.
+        return EntryParse::Corrupt;
+    }
+    let payload = match r.len(1).and_then(|n| r.bytes(n)) {
+        Ok(p) => p.to_vec(),
+        Err(_) => return EntryParse::Corrupt,
+    };
+    if !r.is_empty() {
+        return EntryParse::Corrupt;
+    }
+    EntryParse::Valid(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuleak_core::IntervalSpectrum;
+    use fuleak_uarch::MachineConfig;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A unique scratch directory per test, under the target-adjacent
+    /// temp root (no wall clock or RNG needed: pid + counter).
+    fn scratch(tag: &str) -> PathBuf {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "fuleak-store-test-{}-{}-{}",
+            std::process::id(),
+            tag,
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn sample_sim() -> SimResult {
+        SimResult {
+            cycles: 500,
+            committed: 400,
+            fu_idle: vec![IntervalSpectrum::from_lengths(&[2, 2, 30])],
+            fu_active: vec![466],
+            ..SimResult::default()
+        }
+    }
+
+    fn scenario() -> Scenario {
+        Scenario::paper("mst", 2, 12, Budget::Custom(5_000))
+    }
+
+    #[test]
+    fn round_trips_each_kind() {
+        let dir = scratch("roundtrip");
+        let store = ResultStore::open(&dir).unwrap();
+        let s = scenario();
+
+        assert_eq!(store.load_sim(&s), None);
+        store.save_sim(&s, &sample_sim());
+        assert_eq!(store.load_sim(&s), Some(sample_sim()));
+
+        let mut ann = AnnotatedTrace::with_capacity(1);
+        ann.push_meta(fuleak_workloads::annotated::KIND_INT);
+        ann.set_totals(0, 0, 0, 0);
+        store.save_annotation("mst", Budget::Custom(5_000), 42, &ann);
+        assert_eq!(
+            store.load_annotation("mst", Budget::Custom(5_000), 42),
+            Some(ann)
+        );
+        assert_eq!(
+            store.load_annotation("mst", Budget::Custom(5_000), 43),
+            None
+        );
+
+        let run = PolicyRun {
+            active_cycles: 7,
+            ..PolicyRun::default()
+        };
+        store.save_policy(&s, PolicyForm::MaxSleep, 9, run);
+        assert_eq!(store.load_policy(&s, PolicyForm::MaxSleep, 9), Some(run));
+        assert_eq!(store.load_policy(&s, PolicyForm::AlwaysActive, 9), None);
+
+        assert_eq!(store.writes(), 3);
+        assert_eq!(store.hits(), 3);
+        assert_eq!(store.misses(), 3, "one pre-save probe per kind");
+        assert_eq!(store.corrupt(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quick_budget_aliases_its_instruction_count() {
+        // Budget::Quick and Budget::Custom(500_000) run the same
+        // simulation, so on disk they are deliberately one entry.
+        let dir = scratch("alias");
+        let store = ResultStore::open(&dir).unwrap();
+        let quick = Scenario::paper("mst", 2, 12, Budget::Quick);
+        let custom = Scenario::paper("mst", 2, 12, Budget::Custom(500_000));
+        store.save_sim(&quick, &sample_sim());
+        assert_eq!(store.load_sim(&custom), Some(sample_sim()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_bump_invalidates_but_is_not_corruption() {
+        let dir = scratch("versions");
+        let store = ResultStore::open(&dir).unwrap();
+        let s = scenario();
+        let key = sim_key(&s);
+        let payload = sample_sim().to_bytes();
+        for (format, codec) in [
+            (FORMAT_VERSION + 1, CODEC_VERSION),
+            (FORMAT_VERSION, CODEC_VERSION + 1),
+        ] {
+            let entry = encode_entry(format, codec, &key, &payload);
+            fs::write(store.entry_path(StoreKind::Sim, &key), entry).unwrap();
+            assert_eq!(store.load_sim(&s), None, "{format}/{codec} must miss");
+        }
+        assert_eq!(store.corrupt(), 0, "version skew is stale, not corrupt");
+        // The current version over the same key and payload hits.
+        let entry = encode_entry(FORMAT_VERSION, CODEC_VERSION, &key, &payload);
+        fs::write(store.entry_path(StoreKind::Sim, &key), entry).unwrap();
+        assert_eq!(store.load_sim(&s), Some(sample_sim()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_a_miss_never_a_crash() {
+        let dir = scratch("corrupt");
+        let store = ResultStore::open(&dir).unwrap();
+        let s = scenario();
+        store.save_sim(&s, &sample_sim());
+        let path = store.entry_path(StoreKind::Sim, &sim_key(&s));
+        let pristine = fs::read(&path).unwrap();
+
+        // Flip every byte in turn; truncate at every length. Always a
+        // clean miss.
+        for i in 0..pristine.len() {
+            let mut bent = pristine.clone();
+            bent[i] ^= 0x40;
+            fs::write(&path, &bent).unwrap();
+            assert_eq!(store.load_sim(&s), None, "bit flip at {i} must miss");
+            fs::write(&path, &pristine[..i]).unwrap();
+            assert_eq!(store.load_sim(&s), None, "truncation to {i} must miss");
+        }
+        assert!(store.corrupt() > 0);
+        // A key-colliding entry (right name, different stored key) is
+        // rejected by the key check, not served.
+        let other = Scenario::paper("gzip", 2, 12, Budget::Custom(5_000));
+        let entry = encode_entry(
+            FORMAT_VERSION,
+            CODEC_VERSION,
+            &sim_key(&other),
+            &sample_sim().to_bytes(),
+        );
+        fs::write(&path, entry).unwrap();
+        assert_eq!(store.load_sim(&s), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn machine_variants_key_separate_entries() {
+        let dir = scratch("variants");
+        let store = ResultStore::open(&dir).unwrap();
+        let budget = Budget::Custom(5_000);
+        let narrow = Scenario::new(
+            "mst",
+            MachineConfig::derived(|c| c.width = 2).unwrap(),
+            budget,
+        );
+        let wide = Scenario::new("mst", MachineConfig::baseline(), budget);
+        store.save_sim(&narrow, &sample_sim());
+        assert_eq!(store.load_sim(&wide), None, "variants must not alias");
+        assert_eq!(store.load_sim(&narrow), Some(sample_sim()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_clear_and_gc() {
+        let dir = scratch("maintenance");
+        let store = ResultStore::open(&dir).unwrap();
+        let scenarios: Vec<Scenario> = (1..=4)
+            .map(|fus| Scenario::paper("mst", fus, 12, Budget::Custom(5_000)))
+            .collect();
+        for s in &scenarios {
+            store.save_sim(s, &sample_sim());
+        }
+        let stats = store.stats();
+        assert_eq!(stats.entries(), 4);
+        assert_eq!(stats.kinds[0].entries, 4);
+        assert!(stats.bytes() > 0);
+
+        // Age the first two entries far into the past; gc to a budget
+        // that only two entries fit, and exactly the aged pair dies.
+        let entry_len = stats.kinds[0].bytes / 4;
+        let past = std::time::SystemTime::UNIX_EPOCH; // lint:allow(wallclock)
+        for s in &scenarios[..2] {
+            let f = fs::File::options()
+                .append(true)
+                .open(store.entry_path(StoreKind::Sim, &sim_key(s)))
+                .unwrap();
+            f.set_times(fs::FileTimes::new().set_accessed(past).set_modified(past))
+                .unwrap();
+        }
+        let report = store.gc(2 * entry_len);
+        assert_eq!(report.evicted, 2);
+        assert_eq!(report.bytes_after, report.bytes_before - 2 * entry_len);
+        assert_eq!(store.evictions(), 2);
+        assert_eq!(store.load_sim(&scenarios[0]), None);
+        assert_eq!(store.load_sim(&scenarios[3]), Some(sample_sim()));
+
+        // gc with room to spare is a no-op; clear removes the rest.
+        assert_eq!(store.gc(u64::MAX).evicted, 0);
+        assert_eq!(store.clear().unwrap(), 2);
+        assert_eq!(store.stats().entries(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

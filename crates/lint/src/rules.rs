@@ -12,8 +12,8 @@
 //! |---|---|
 //! | `hot-alloc` | `timing.rs`/`batched.rs` steady state never allocates: `Vec::new`/`vec!`/`Box::new`/`format!`/`.to_string()`/`.collect()`/`.clone()` only inside `new`/`reset*`/`grow*` or behind an allow |
 //! | `stdout` | `println!`/`print!` only in `render.rs`/`bin/repro.rs` — the golden-transcript surface is closed by construction |
-//! | `wallclock` | `Instant::now`/`SystemTime` only in `bin/repro.rs`/`crates/bench` — results never depend on wall time |
-//! | `hash-order` | no default-hasher `HashMap`/`HashSet` in result/render/fingerprint paths — iteration order there must be deterministic |
+//! | `wallclock` | `Instant::now`/`SystemTime` only in `bin/repro.rs`/`crates/bench`/`serve.rs` (request-log timing) — results never depend on wall time |
+//! | `hash-order` | no default-hasher `HashMap`/`HashSet` in result/render/fingerprint/codec/store paths — iteration order there must be deterministic |
 //! | `lock-unwrap` | `.lock().unwrap()` is forbidden in favor of `lock_unpoisoned` — a panicked worker must not cascade |
 
 use crate::lexer::{lex, Tok, TokKind};
@@ -47,9 +47,14 @@ fn applies_stdout(rel: &str) -> bool {
 }
 
 /// Wall-clock reads are confined to the perf harness surfaces
-/// (`repro bench` timing loops and the criterion bench crate).
+/// (`repro bench` timing loops, the criterion bench crate) and the
+/// serve daemon's stderr request logs. The result store is *not*
+/// exempt: its atime touches carry per-line allows, so any new clock
+/// read there must justify itself.
 fn applies_wallclock(rel: &str) -> bool {
-    !(rel.ends_with("crates/experiments/src/bin/repro.rs") || rel.contains("crates/bench/"))
+    !(rel.ends_with("crates/experiments/src/bin/repro.rs")
+        || rel.ends_with("crates/experiments/src/serve.rs")
+        || rel.contains("crates/bench/"))
 }
 
 /// Output- and fingerprint-path files where default-hasher
@@ -61,6 +66,8 @@ fn applies_hash_order(rel: &str) -> bool {
         || rel.ends_with("crates/experiments/src/render.rs")
         || rel.ends_with("crates/uarch/src/machine.rs")
         || rel.ends_with("crates/core/src/model.rs")
+        || rel.ends_with("crates/core/src/codec.rs")
+        || rel.ends_with("crates/experiments/src/store.rs")
 }
 
 /// Function names whose bodies may allocate under `hot-alloc`:
@@ -344,6 +351,36 @@ mod tests {
             lint_at("crates/experiments/src/harness.rs", other),
             [(1, "stdout")]
         );
+    }
+
+    #[test]
+    fn wallclock_exempts_serve_but_not_store() {
+        let src = "fn f() { let t = std::time::Instant::now(); drop(t); }\n";
+        assert!(lint_at("crates/experiments/src/serve.rs", src).is_empty());
+        assert_eq!(
+            lint_at("crates/experiments/src/store.rs", src),
+            [(1, "wallclock")]
+        );
+        let sys = "fn f() { let t = std::time::SystemTime::now(); drop(t); }\n";
+        assert!(lint_at("crates/experiments/src/serve.rs", sys).is_empty());
+        assert_eq!(
+            lint_at("crates/experiments/src/scenario.rs", sys),
+            [(1, "wallclock")]
+        );
+    }
+
+    #[test]
+    fn hash_order_covers_codec_and_store_paths() {
+        let src = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); drop(m); }\n";
+        assert_eq!(
+            lint_at("crates/core/src/codec.rs", src),
+            [(1, "hash-order"), (1, "hash-order")]
+        );
+        assert_eq!(
+            lint_at("crates/experiments/src/store.rs", src),
+            [(1, "hash-order"), (1, "hash-order")]
+        );
+        assert!(lint_at("crates/experiments/src/serve.rs", src).is_empty());
     }
 
     #[test]

@@ -106,10 +106,18 @@ fn wallclock_fixtures() {
         "good_wallclock.rs",
         "crates/core/src/energy.rs",
     );
-    // The bench crate and the repro driver may read the wall clock.
+    // The bench crate, the repro driver, and the serve daemon's
+    // request logging may read the wall clock.
     let bad = fixture("bad_wallclock.rs");
     assert!(rules::lint_source("crates/bench/src/lib.rs", &bad).is_empty());
     assert!(rules::lint_source("crates/experiments/src/bin/repro.rs", &bad).is_empty());
+    assert!(rules::lint_source("crates/experiments/src/serve.rs", &bad).is_empty());
+    // The result store is deliberately *not* exempt: its atime reads
+    // go through per-line allows instead of a scope hole.
+    assert_eq!(
+        found(rules::lint_source("crates/experiments/src/store.rs", &bad)),
+        expected(&bad)
+    );
 }
 
 #[test]
@@ -122,6 +130,17 @@ fn hash_order_fixtures() {
     // The rule is scoped to output/fingerprint paths only.
     let bad = fixture("bad_hash_order.rs");
     assert!(rules::lint_source("crates/experiments/src/scenario.rs", &bad).is_empty());
+    // The codec and the disk store joined the scope: hasher-ordered
+    // iteration there could leak into encoded bytes or eviction order.
+    assert_eq!(
+        found(rules::lint_source("crates/core/src/codec.rs", &bad)),
+        expected(&bad)
+    );
+    assert_eq!(
+        found(rules::lint_source("crates/experiments/src/store.rs", &bad)),
+        expected(&bad)
+    );
+    assert!(rules::lint_source("crates/experiments/src/serve.rs", &bad).is_empty());
 }
 
 #[test]

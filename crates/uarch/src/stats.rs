@@ -1,7 +1,8 @@
 //! Simulation results: IPC, per-FU idle-interval spectra, branch and
 //! cache statistics.
 
-use fuleak_core::{IdleHistogram, IntervalSpectrum};
+use fuleak_core::codec::{put_u64, ByteReader};
+use fuleak_core::{Codec, CodecError, IdleHistogram, IntervalSpectrum};
 
 /// Branch prediction statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -110,6 +111,77 @@ impl SimResult {
     }
 }
 
+impl Codec for SimResult {
+    /// Cycle totals, one FU-count prefix (the idle spectra and active
+    /// counts are parallel per-FU arrays, so they share it), the
+    /// spectra, the active counts, then branch and cache statistics.
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.cycles);
+        put_u64(out, self.committed);
+        debug_assert_eq!(self.fu_idle.len(), self.fu_active.len());
+        put_u64(out, self.fu_idle.len() as u64);
+        for fu in &self.fu_idle {
+            fu.encode(out);
+        }
+        for &active in &self.fu_active {
+            put_u64(out, active);
+        }
+        put_u64(out, self.branch.branches);
+        put_u64(out, self.branch.mispredicts);
+        for count in [
+            self.caches.l1d_accesses,
+            self.caches.l1d_misses,
+            self.caches.l2_accesses,
+            self.caches.l2_misses,
+            self.caches.l1i_misses,
+            self.caches.dtlb_misses,
+            self.caches.itlb_misses,
+        ] {
+            put_u64(out, count);
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let cycles = r.u64()?;
+        let committed = r.u64()?;
+        // Each FU contributes at least an empty spectrum (8 bytes)
+        // plus its active count (8 bytes).
+        let fus = r.len(16)?;
+        let mut fu_idle = Vec::with_capacity(fus);
+        for _ in 0..fus {
+            fu_idle.push(IntervalSpectrum::decode(r)?);
+        }
+        let mut fu_active = Vec::with_capacity(fus);
+        for _ in 0..fus {
+            fu_active.push(r.u64()?);
+        }
+        let branch = BranchStats {
+            branches: r.u64()?,
+            mispredicts: r.u64()?,
+        };
+        if branch.mispredicts > branch.branches {
+            return Err(CodecError::Invalid("more mispredicts than branches"));
+        }
+        let caches = CacheStats {
+            l1d_accesses: r.u64()?,
+            l1d_misses: r.u64()?,
+            l2_accesses: r.u64()?,
+            l2_misses: r.u64()?,
+            l1i_misses: r.u64()?,
+            dtlb_misses: r.u64()?,
+            itlb_misses: r.u64()?,
+        };
+        Ok(SimResult {
+            cycles,
+            committed,
+            fu_idle,
+            fu_active,
+            branch,
+            caches,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +249,40 @@ mod tests {
         let r = SimResult::default();
         assert_eq!(r.ipc(), 0.0);
         assert_eq!(r.idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn codec_round_trips_and_rejects_truncation() {
+        let r = SimResult {
+            cycles: 1_000,
+            committed: 1_500,
+            fu_idle: vec![
+                IntervalSpectrum::from_lengths(&[3, 3, 17]),
+                IntervalSpectrum::new(),
+            ],
+            fu_active: vec![977, 1_000],
+            branch: BranchStats {
+                branches: 120,
+                mispredicts: 7,
+            },
+            caches: CacheStats {
+                l1d_accesses: 400,
+                l1d_misses: 31,
+                l2_accesses: 31,
+                l2_misses: 4,
+                l1i_misses: 2,
+                dtlb_misses: 1,
+                itlb_misses: 0,
+            },
+        };
+        let bytes = r.to_bytes();
+        assert_eq!(SimResult::from_bytes(&bytes).unwrap(), r);
+        for cut in 0..bytes.len() {
+            assert!(SimResult::from_bytes(&bytes[..cut]).is_err(), "{cut}");
+        }
+        assert_eq!(
+            SimResult::from_bytes(&SimResult::default().to_bytes()).unwrap(),
+            SimResult::default()
+        );
     }
 }

@@ -1,0 +1,207 @@
+//! Property tests for the simulator-side codecs: [`SimResult`] and
+//! [`AnnotatedTrace`].
+//!
+//! These are the two payloads the disk store persists that carry
+//! internal cross-array invariants (parallel per-FU arrays; per-kind
+//! record counts vs. address/match array lengths; store-match
+//! ordinals bounded by the store count). The properties pinned here:
+//! encode→decode is the identity for every valid value, and decode of
+//! truncated or bit-flipped bytes returns a clean error or a value
+//! that *itself satisfies the invariants* — never a panic, never an
+//! inconsistent trace.
+
+use fuleak_core::{Codec, IntervalSpectrum};
+use fuleak_uarch::{BranchStats, CacheStats, SimResult};
+use fuleak_workloads::annotated::{
+    AnnotatedTrace, KIND_LOAD, KIND_MASK, KIND_STORE, NO_STORE_MATCH,
+};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn spectrum()(lengths in prop::collection::vec(
+        prop_oneof![1u64..8, 1u64..500], 1..25)) -> IntervalSpectrum {
+        IntervalSpectrum::from_lengths(&lengths)
+    }
+}
+
+/// Mixes a seed with an index into a well-spread `u64` (splitmix64
+/// finalizer) — used to derive per-element values parallel to a
+/// generated vector, since the vendored proptest shim has no tuple
+/// strategies.
+fn mix(seed: u64, i: usize) -> u64 {
+    let mut z = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+prop_compose! {
+    /// `fu_idle` and `fu_active` are parallel arrays sharing one
+    /// length prefix, so the active counts are derived per-FU from a
+    /// seed rather than drawn as a second (differently sized) vector.
+    fn sim_result()(
+        cycles in any::<u64>(),
+        committed in any::<u64>(),
+        fu_idle in prop::collection::vec(spectrum(), 1..6),
+        active_seed in any::<u64>(),
+        branches in any::<u64>(),
+        misrate in 0.0f64..=1.0,
+        cache_seed in any::<u64>(),
+    ) -> SimResult {
+        let fu_active = (0..fu_idle.len()).map(|i| mix(active_seed, i)).collect();
+        SimResult {
+            cycles,
+            committed,
+            fu_idle,
+            fu_active,
+            branch: BranchStats {
+                branches,
+                // Scale into range, clamping the float round-trip: the
+                // codec rejects mispredicts > branches.
+                mispredicts: ((branches as f64 * misrate) as u64).min(branches),
+            },
+            caches: CacheStats {
+                l1d_accesses: mix(cache_seed, 0),
+                l1d_misses: mix(cache_seed, 1),
+                l2_accesses: mix(cache_seed, 2),
+                l2_misses: mix(cache_seed, 3),
+                l1i_misses: mix(cache_seed, 4),
+                dtlb_misses: mix(cache_seed, 5),
+                itlb_misses: mix(cache_seed, 6),
+            },
+        }
+    }
+}
+
+prop_compose! {
+    /// Builds a trace through the real push API so every invariant the
+    /// decoder checks (addrs == loads + stores, matches == loads,
+    /// ordinals < stores) holds by construction. Addresses and
+    /// store-match choices are seed-derived per record.
+    fn annotated_trace()(
+        kinds in prop::collection::vec(0u32..6, 1..60),
+        seed in any::<u64>(),
+        branches in any::<u64>(),
+        misrate in 0.0f64..=1.0,
+    ) -> AnnotatedTrace {
+        let mut t = AnnotatedTrace::with_capacity(kinds.len());
+        for (i, &kind) in kinds.iter().enumerate() {
+            t.push_meta(kind);
+            match kind {
+                KIND_LOAD => {
+                    let r = mix(seed, i);
+                    t.push_mem_addr(r);
+                    let stores = t.stores() as u64;
+                    // Half the loads match an earlier store when one exists.
+                    t.push_store_match(if stores > 0 && r & 1 == 0 {
+                        ((r >> 1) % stores) as u32
+                    } else {
+                        NO_STORE_MATCH
+                    });
+                }
+                KIND_STORE => {
+                    t.push_mem_addr(mix(seed, i));
+                    t.count_store();
+                }
+                _ => {}
+            }
+        }
+        let mispredicts = ((branches as f64 * misrate) as u64).min(branches);
+        t.set_totals(branches, mispredicts, mix(seed, 1 << 20), mix(seed, 1 << 21));
+        t
+    }
+}
+
+/// Whether a decoded trace satisfies the cross-array invariants the
+/// decoder promises to enforce.
+fn trace_is_consistent(t: &AnnotatedTrace) -> bool {
+    let loads = t
+        .meta()
+        .iter()
+        .filter(|&&m| m & KIND_MASK == KIND_LOAD)
+        .count();
+    let stores = t
+        .meta()
+        .iter()
+        .filter(|&&m| m & KIND_MASK == KIND_STORE)
+        .count();
+    t.mem_addrs().len() == loads + stores
+        && t.store_matches().len() == loads
+        && t.stores() == stores
+        && t.store_matches()
+            .iter()
+            .all(|&s| s == NO_STORE_MATCH || (s as usize) < stores)
+}
+
+proptest! {
+    #[test]
+    fn sim_result_round_trips(r in sim_result()) {
+        let bytes = r.to_bytes();
+        prop_assert_eq!(SimResult::from_bytes(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn sim_result_rejects_truncation(r in sim_result()) {
+        let bytes = r.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(SimResult::from_bytes(&bytes[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+
+    #[test]
+    fn sim_result_survives_bit_flips(r in sim_result(), pos in any::<u64>(), bit in 0u32..8) {
+        let bytes = r.to_bytes();
+        let mut bent = bytes.clone();
+        let i = (pos % bytes.len() as u64) as usize;
+        bent[i] ^= 1 << bit;
+        // A flip may still decode (e.g. inside a cycle count); what it
+        // must never do is panic or violate the invariants the decoder
+        // checks.
+        if let Ok(v) = SimResult::from_bytes(&bent) {
+            prop_assert!(v.branch.mispredicts <= v.branch.branches);
+            prop_assert_eq!(v.fu_idle.len(), v.fu_active.len());
+        }
+    }
+
+    #[test]
+    fn annotated_trace_round_trips(t in annotated_trace()) {
+        let bytes = t.to_bytes();
+        prop_assert_eq!(AnnotatedTrace::from_bytes(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn annotated_trace_rejects_truncation(t in annotated_trace()) {
+        let bytes = t.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(AnnotatedTrace::from_bytes(&bytes[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+
+    #[test]
+    fn annotated_trace_flips_decode_consistent_or_error(
+        t in annotated_trace(),
+        pos in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let bytes = t.to_bytes();
+        let mut bent = bytes.clone();
+        let i = (pos % bytes.len() as u64) as usize;
+        bent[i] ^= 1 << bit;
+        if let Ok(v) = AnnotatedTrace::from_bytes(&bent) {
+            prop_assert!(
+                trace_is_consistent(&v),
+                "flip at byte {} decoded an inconsistent trace",
+                i
+            );
+        }
+    }
+
+    /// Garbage that was never an encoding must not panic or
+    /// over-allocate (length prefixes are checked against the buffer
+    /// before reservation).
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 1..200)) {
+        let _ = SimResult::from_bytes(&bytes);
+        let _ = AnnotatedTrace::from_bytes(&bytes);
+    }
+}

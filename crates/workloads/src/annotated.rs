@@ -192,6 +192,82 @@ impl AnnotatedTrace {
     }
 }
 
+impl fuleak_core::Codec for AnnotatedTrace {
+    /// Meta words, memory addresses, store-match ordinals (each
+    /// length-prefixed), store count, then the four outcome totals.
+    fn encode(&self, out: &mut Vec<u8>) {
+        use fuleak_core::codec::{put_u32, put_u64};
+        put_u64(out, self.meta.len() as u64);
+        for &m in &self.meta {
+            put_u32(out, m);
+        }
+        put_u64(out, self.mem_addrs.len() as u64);
+        for &a in &self.mem_addrs {
+            put_u64(out, a);
+        }
+        put_u64(out, self.store_match.len() as u64);
+        for &s in &self.store_match {
+            put_u32(out, s);
+        }
+        put_u32(out, self.stores);
+        put_u64(out, self.branches);
+        put_u64(out, self.mispredicts);
+        put_u64(out, self.l1i_misses);
+        put_u64(out, self.itlb_misses);
+    }
+
+    fn decode(r: &mut fuleak_core::codec::ByteReader<'_>) -> Result<Self, fuleak_core::CodecError> {
+        use fuleak_core::CodecError;
+        let n_meta = r.len(4)?;
+        let mut meta = Vec::with_capacity(n_meta);
+        let (mut loads, mut stores) = (0u64, 0u64);
+        for _ in 0..n_meta {
+            let m = r.u32()?;
+            match m & KIND_MASK {
+                KIND_LOAD => loads += 1,
+                KIND_STORE => stores += 1,
+                KIND_NOP | KIND_INT | KIND_MUL | KIND_FP => {}
+                _ => return Err(CodecError::Invalid("unknown record kind")),
+            }
+            meta.push(m);
+        }
+        let n_addrs = r.len(8)?;
+        if n_addrs as u64 != loads + stores {
+            return Err(CodecError::Invalid("mem_addrs count != loads + stores"));
+        }
+        let mut mem_addrs = Vec::with_capacity(n_addrs);
+        for _ in 0..n_addrs {
+            mem_addrs.push(r.u64()?);
+        }
+        let n_matches = r.len(4)?;
+        if n_matches as u64 != loads {
+            return Err(CodecError::Invalid("store_match count != loads"));
+        }
+        let mut store_match = Vec::with_capacity(n_matches);
+        for _ in 0..n_matches {
+            let ordinal = r.u32()?;
+            if ordinal != NO_STORE_MATCH && u64::from(ordinal) >= stores {
+                return Err(CodecError::Invalid("store-match ordinal out of range"));
+            }
+            store_match.push(ordinal);
+        }
+        let store_count = r.u32()?;
+        if u64::from(store_count) != stores {
+            return Err(CodecError::Invalid("store count != KIND_STORE records"));
+        }
+        Ok(AnnotatedTrace {
+            meta,
+            mem_addrs,
+            store_match,
+            stores: store_count,
+            branches: r.u64()?,
+            mispredicts: r.u64()?,
+            l1i_misses: r.u64()?,
+            itlb_misses: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +315,29 @@ mod tests {
         assert_eq!(t.itlb_misses(), 4);
         assert_eq!(t.annotated_bytes(), 2 * 4 + 2 * 8 + 4);
         assert!(AnnotatedTrace::default().is_empty());
+    }
+
+    #[test]
+    fn codec_round_trips_and_validates() {
+        use fuleak_core::Codec;
+        let mut t = AnnotatedTrace::with_capacity(3);
+        t.push_meta(KIND_STORE);
+        t.push_mem_addr(0x2000);
+        t.count_store();
+        t.push_meta(KIND_LOAD | FLAG_NEW_LINE | FLAG_L1I_MISS);
+        t.push_mem_addr(0x2000);
+        t.push_store_match(0);
+        t.push_meta(KIND_INT | FLAG_MISPREDICT);
+        t.set_totals(1, 1, 1, 0);
+        let bytes = t.to_bytes();
+        assert_eq!(AnnotatedTrace::from_bytes(&bytes).unwrap(), t);
+        // Every truncation is a clean error.
+        for cut in 0..bytes.len() {
+            assert!(AnnotatedTrace::from_bytes(&bytes[..cut]).is_err(), "{cut}");
+        }
+        // A meta word with an undefined kind is rejected.
+        let mut bad = t.clone();
+        bad.push_meta(0b111);
+        assert!(AnnotatedTrace::from_bytes(&bad.to_bytes()).is_err());
     }
 }
