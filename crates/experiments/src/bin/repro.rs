@@ -4,6 +4,7 @@
 //! ```text
 //! repro <experiment>... | all   [options]
 //! repro sweep [axis flags]      [options]
+//! repro explore [axis flags]    [options]
 //! ```
 //!
 //! `<experiment>` is one of `table1`, `table2`, `table3`, `fig3`,
@@ -51,14 +52,24 @@
 //! * `--transition F,G` — sleep-switch overheads `E_slp/E_D` in
 //!   `[0, 1]` (default 0.01).
 //!
+//! `repro explore` prices the same evaluation axes as dense ranges —
+//! `--leak`/`--transition` accept `lo:hi:step` fraction ranges and
+//! `--slices` strided integer ranges — through the grid-batched
+//! kernel (G policy forms per spectrum traversal, no policy cache),
+//! and streams three digests instead of per-point rows: per-benchmark
+//! family optima, exact (E/E_max, transitions) Pareto frontiers, and
+//! the best-GradualSleep-slice-count crossover map per leakage
+//! factor. The default grid prices 1.59M policy points.
+//!
 //! All simulation-backed experiments share one engine, so `repro all`
 //! simulates each (benchmark × machine × budget) point exactly once
 //! and finishes with a cumulative cache-effectiveness summary on
 //! stderr. Beyond the paper's tables, `repro policy-ext` runs the
 //! extension-policy study (not part of `all`).
 
-use fuleak_experiments::cli::apply_sweep_flag;
+use fuleak_experiments::cli::{apply_explore_flag, apply_sweep_flag};
 use fuleak_experiments::experiment::{self, sweep_table, Context};
+use fuleak_experiments::explore::{explore, ExploreSpec};
 use fuleak_experiments::harness::Budget;
 use fuleak_experiments::policy::PolicyKind;
 use fuleak_experiments::render;
@@ -88,10 +99,12 @@ struct Options {
 const USAGE: &str = "usage: repro <experiment>|all [--quick|--budget N] [--jobs N] [--format text|json|csv] [--out DIR] [--store DIR]
        repro sweep [--bench A,B] [--int-fus L] [--l2 L] [--width L] [--rob L] [--l1d-kb L] [--l2-kb L] [--mem L] [--mshrs L]
                    [--policy P,Q] [--slices L] [--leak F,G] [--transition F,G] [--no-batch] [options]
+       repro explore [--bench A,B] [--policy P,Q] [--slices L] [--leak R] [--transition R] [options]
        repro bench [--runs N] [--jobs N] [--out DIR]
        repro store stats|clear|gc --max-mb N   (needs --store DIR or FULEAK_STORE)
        repro serve [--addr HOST:PORT] [--quick|--budget N] [--jobs N] [--store DIR]
-       (value lists L: comma values and lo:hi ranges, e.g. 1:4 or 2,4,8; F,G: fractions in [0,1];
+       (value lists L: comma values and lo:hi[:step] ranges, e.g. 1:4 or 2,4,8; F,G: fractions in [0,1];
+        explore fraction ranges R: fractions and lo:hi:step ranges, e.g. 0:1:0.02;
         --store DIR / FULEAK_STORE=DIR attach a persistent result store behind the engine caches)";
 
 /// Parses the shared options out of `args`, returning the leftover
@@ -309,6 +322,51 @@ fn run_sweep(args: &[&str], opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs `repro explore`: builds an [`ExploreSpec`] from the axis
+/// flags and streams the grid through the batched evaluation kernel,
+/// emitting the optima, frontier, and crossover digests in order.
+fn run_explore(args: &[&str], opts: &Options) -> Result<(), String> {
+    let mut spec = ExploreSpec::new(opts.budget);
+    let mut it = args.iter();
+    while let Some(&flag) = it.next() {
+        let (flag, value) = match flag.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (flag, None),
+        };
+        let value = match value {
+            Some(v) => v,
+            None => it
+                .next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{flag} needs a value"))?,
+        };
+        spec = apply_explore_flag(spec, flag, &value)?;
+    }
+    if opts.format == Format::Text {
+        eprintln!(
+            "[repro] exploring {} technology items x {} policy forms = {} grid points ({} workers)...",
+            spec.items(),
+            spec.form_combos().len(),
+            spec.points(),
+            opts.engine.jobs()
+        );
+    }
+    let start = std::time::Instant::now();
+    let result = explore(&opts.engine, &spec);
+    opts.engine
+        .note_grid_nanos(start.elapsed().as_nanos() as u64);
+    for table in [&result.optima, &result.frontier, &result.crossover] {
+        emit(table, opts)?;
+    }
+    if opts.format == Format::Text {
+        eprintln!(
+            "[repro] {}",
+            render::engine_summary_line(&opts.engine.stats())
+        );
+    }
+    Ok(())
+}
+
 /// Times one closure over `runs` repetitions; returns every wall
 /// clock in seconds, in run order.
 fn time_runs(runs: usize, mut work: impl FnMut()) -> Vec<f64> {
@@ -347,7 +405,12 @@ fn json_seconds(seconds: &[f64]) -> String {
 ///   per-point loop vs the lane-batched kernel chunked to
 ///   [`MAX_LANES`], over identical cached annotations (asserted
 ///   field-equal before timing, so the ratio isolates traversal
-///   cost).
+///   cost),
+/// * a dense policy grid over the quick suite's warm spectra: the
+///   scalar `policy_energy_of` loop vs the `GridEval` kernel
+///   (asserted identical per form before timing), and
+/// * the full default `repro explore` grid end-to-end on a fresh
+///   engine (the ≥10⁶-points acceptance number).
 fn run_bench(args: &[&str], opts: &Options) -> Result<(), String> {
     let mut runs = 3usize;
     let mut it = args.iter();
@@ -563,6 +626,131 @@ fn run_bench(args: &[&str], opts: &Options) -> Result<(), String> {
         )
     };
 
+    // Grid-kernel workload: price a dense policy grid over the quick
+    // suite's warm spectra (a) with the scalar per-point
+    // `policy_energy_of` loop and (b) with `GridEval` — G forms per
+    // spectrum traversal. Results are asserted identical per form
+    // before timing, so the ratio isolates the traversal batching.
+    use fuleak_core::accounting::PolicyRun;
+    use fuleak_core::GridEval;
+    use fuleak_experiments::explore::{explore, fraction_steps, ExploreSpec};
+    // The form grid is exactly the default exploration's per-item
+    // grid (all five families, GradualSleep slices 1..=64), so the
+    // measured ratio is the one `repro explore` actually sees.
+    let grid_combos: Vec<(PolicyKind, Option<u32>)> = ExploreSpec::new(Budget::Quick).form_combos();
+    let grid_models: Vec<_> = fraction_steps(0.0, 1.0, 0.1)
+        .into_iter()
+        .flat_map(|p| [(p, 0.01), (p, 0.5)])
+        .map(|(p, tr)| {
+            EnergyModel::new(
+                TechnologyParams::new(p, 0.001, tr, 0.5).expect("bench fractions in range"),
+                0.5,
+            )
+            .expect("alpha in range")
+        })
+        .collect();
+    let grid_points = grid_combos.len() * grid_models.len() * suite.runs.len();
+    // Models fuse into batches of `PREFERRED_BATCH`: the kernel prices
+    // every (model, form) lane of a batch in the same spectrum
+    // traversal, so per-entry decode and partition walks amortize
+    // across the group while the accumulator working set stays in L1.
+    // Form lists are per model (TimeoutSleep resolves the model's
+    // break-even interval).
+    let grid_forms: Vec<Vec<_>> = grid_models
+        .iter()
+        .map(|model| grid_combos.iter().map(|&(k, s)| k.form(model, s)).collect())
+        .collect();
+    let grid_groups: Vec<Vec<(&EnergyModel, &[_])>> = grid_models
+        .chunks(GridEval::PREFERRED_BATCH)
+        .zip(grid_forms.chunks(GridEval::PREFERRED_BATCH))
+        .map(|(models, forms)| {
+            models
+                .iter()
+                .zip(forms)
+                .map(|(model, forms)| (model, forms.as_slice()))
+                .collect()
+        })
+        .collect();
+    // The warm kernel is built once outside the timed region — the
+    // explorer likewise reuses one kernel per worker — so the timed
+    // loop measures renew (lane rebuild) + traversals, not the
+    // one-time ramp-table construction.
+    let mut grid = GridEval::new_batch(&grid_groups[0]);
+    {
+        // Same batched structure as the timed loop below, so the
+        // assertion covers exactly the code path being timed.
+        let mut totals: Vec<PolicyRun> = Vec::new();
+        for items in &grid_groups {
+            grid.renew_batch(items);
+            for run in &suite.runs {
+                totals.clear();
+                totals.resize(grid.grid_len(), PolicyRun::default());
+                for (fu, spectrum) in run.sim.fu_idle.iter().enumerate() {
+                    for (total, one) in totals
+                        .iter_mut()
+                        .zip(grid.run(run.sim.fu_active[fu], spectrum))
+                    {
+                        *total += *one;
+                    }
+                }
+                for ((model, forms), item_totals) in
+                    items.iter().zip(totals.chunks(grid_combos.len()))
+                {
+                    for (&form, got) in forms.iter().zip(item_totals) {
+                        assert!(
+                            *got == policy_energy_of(model, form, &run.sim),
+                            "grid kernel and scalar loop disagree on a policy point"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    eprintln!(
+        "[repro] bench: grid kernel, {grid_points} points ({} forms/grid), scalar vs grid...",
+        grid_combos.len()
+    );
+    let grid_scalar = time_runs(runs, || {
+        for model in &grid_models {
+            let forms: Vec<_> = grid_combos.iter().map(|&(k, s)| k.form(model, s)).collect();
+            for run in &suite.runs {
+                for &form in &forms {
+                    std::hint::black_box(policy_energy_of(model, form, &run.sim));
+                }
+            }
+        }
+    });
+    let mut totals: Vec<PolicyRun> = Vec::new();
+    let grid_batched = time_runs(runs, || {
+        for items in &grid_groups {
+            grid.renew_batch(items);
+            for run in &suite.runs {
+                totals.clear();
+                totals.resize(grid.grid_len(), PolicyRun::default());
+                for (fu, spectrum) in run.sim.fu_idle.iter().enumerate() {
+                    for (total, one) in totals
+                        .iter_mut()
+                        .zip(grid.run(run.sim.fu_active[fu], spectrum))
+                    {
+                        *total += *one;
+                    }
+                }
+                std::hint::black_box(&mut totals);
+            }
+        }
+    });
+
+    // End-to-end default exploration: the full default grid through
+    // `explore()` on a fresh engine each run (substrate simulation
+    // included), the number the ≥10⁶-points acceptance pins.
+    let explore_spec = ExploreSpec::new(Budget::Quick);
+    let explore_points = explore_spec.points();
+    eprintln!("[repro] bench: default explore, {explore_points} grid points end-to-end...");
+    let explore_runs = time_runs(runs, || {
+        let engine = Engine::new(jobs);
+        std::hint::black_box(explore(&engine, &explore_spec));
+    });
+
     // Lane-batched replay workload: the fixed-geometry sweep's points
     // replayed at the kernel layer — a scalar per-point loop vs the
     // lane-batched kernel chunked to `MAX_LANES` — over the same
@@ -613,9 +801,18 @@ fn run_bench(args: &[&str], opts: &Options) -> Result<(), String> {
     let traversal_ratio = best(&replay_scalar) / best(&replay_batched);
     let max_lanes = MAX_LANES;
     let warm_speedup = best(&store_cold) / best(&store_warm);
+    let grid_side = |secs: &[f64]| {
+        format!(
+            "{{\"best_seconds\": {:.6}, \"points_per_sec\": {:.0}}}",
+            best(secs),
+            grid_points as f64 / best(secs)
+        )
+    };
+    let grid_speedup = best(&grid_scalar) / best(&grid_batched);
+    let explore_pps = explore_points as f64 / best(&explore_runs);
 
     let json = format!(
-        "{{\n  \"name\": \"repro-bench\",\n  \"budget\": \"quick\",\n  \"jobs\": {jobs},\n  \"runs\": {runs},\n  \"all_quick\": {},\n  \"sweep_fixed_geometry\": {{\"points\": {sweep_points}, {}}},\n  \"store_sweep\": {{\"points\": {sweep_points}, \"cold\": {}, \"warm\": {}, \"warm_speedup\": {warm_speedup:.1}}},\n  \"batched_sweep\": {{\"points\": {sweep_points}, \"max_lanes\": {max_lanes}, \"scalar\": {}, \"batched\": {}, \"traversal_ratio\": {traversal_ratio:.2}}},\n  \"policy_eval\": {{\"points\": {policy_points}, \"spectrum\": {}, \"interval_replay\": {}, \"speedup_per_point\": {speedup:.1}}}\n}}\n",
+        "{{\n  \"name\": \"repro-bench\",\n  \"budget\": \"quick\",\n  \"jobs\": {jobs},\n  \"runs\": {runs},\n  \"all_quick\": {},\n  \"sweep_fixed_geometry\": {{\"points\": {sweep_points}, {}}},\n  \"store_sweep\": {{\"points\": {sweep_points}, \"cold\": {}, \"warm\": {}, \"warm_speedup\": {warm_speedup:.1}}},\n  \"batched_sweep\": {{\"points\": {sweep_points}, \"max_lanes\": {max_lanes}, \"scalar\": {}, \"batched\": {}, \"traversal_ratio\": {traversal_ratio:.2}}},\n  \"policy_eval\": {{\"points\": {policy_points}, \"spectrum\": {}, \"interval_replay\": {}, \"speedup_per_point\": {speedup:.1}}},\n  \"explore_grid\": {{\"points\": {grid_points}, \"forms_per_grid\": {}, \"scalar\": {}, \"grid\": {}, \"speedup_per_point\": {grid_speedup:.1}}},\n  \"explore_default\": {{\"points\": {explore_points}, {}, \"points_per_sec\": {explore_pps:.0}}}\n}}\n",
         json_seconds(&all_quick),
         json_seconds(&sweep).trim_start_matches('{').trim_end_matches('}'),
         json_seconds(&store_cold),
@@ -624,6 +821,12 @@ fn run_bench(args: &[&str], opts: &Options) -> Result<(), String> {
         json_seconds(&replay_batched),
         policy_side(&policy_spectrum),
         policy_side(&policy_replay),
+        grid_combos.len(),
+        grid_side(&grid_scalar),
+        grid_side(&grid_batched),
+        json_seconds(&explore_runs)
+            .trim_start_matches('{')
+            .trim_end_matches('}'),
     );
     print!("{json}");
     if let Some(dir) = &opts.out {
@@ -758,6 +961,8 @@ fn main() -> ExitCode {
         }
         if rest[0] == "sweep" {
             run_sweep(&rest[1..], &opts)
+        } else if rest[0] == "explore" {
+            run_explore(&rest[1..], &opts)
         } else if rest[0] == "bench" {
             run_bench(&rest[1..], &opts)
         } else if rest[0] == "store" {

@@ -20,6 +20,8 @@
 //! repro all    [--quick]  # everything
 //! repro sweep --bench gzip --int-fus 1:4 --width 2,4 --l2 12,32
 //!                         # ad-hoc multi-axis machine sweeps
+//! repro explore --leak 0:1:0.02 --transition 0:1:0.02 --slices 1:64
+//!                         # grid-batched design-space exploration
 //! ```
 //!
 //! Every subcommand accepts `--jobs N` to bound the scenario engine's
@@ -49,6 +51,7 @@ pub mod analytic;
 pub mod cli;
 pub mod empirical;
 pub mod experiment;
+pub mod explore;
 pub mod harness;
 pub mod policy;
 pub mod render;
@@ -58,6 +61,7 @@ pub mod serve;
 pub mod store;
 
 pub use experiment::{Context, Experiment};
+pub use explore::{ExploreResult, ExploreSpec};
 pub use harness::{Budget, SuiteResult};
 pub use result::{Cell, ResultTable, Value};
 pub use scenario::{AnnotationCache, Engine, Scenario, SimCache, SweepSpec};

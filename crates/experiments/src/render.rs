@@ -84,8 +84,9 @@ pub fn engine_line(stats: &crate::scenario::EngineStats) -> String {
 /// annotation cache 63/72 hits (87.5%, 9 built), trace cache 9/18
 /// hits (50.0%), 9 traces, policy cache 720/1440 hits (50.0%, 720
 /// runs), disk store 36/72 hits (50.0%, 36 written, 0 evicted), lane
-/// batching 64 points in 4 batches (16.0 lanes/batch, 8 scalar), 4
-/// workers` — what `repro all` prints last so cross-experiment
+/// batching 64 points in 4 batches (16.0 lanes/batch, 8 scalar), grid
+/// eval 96 points in 12 traversals (1.59e6 points/s), 4 workers` —
+/// what `repro all` prints last so cross-experiment
 /// sharing of all four in-memory cache layers, the persistent disk
 /// tier behind them, and the batching effectiveness of the replay
 /// phase are visible. Stderr-only: the golden stdout transcript never
@@ -103,6 +104,19 @@ pub fn engine_summary_line(stats: &crate::scenario::EngineStats) -> String {
         ),
         None => format!("lane batching off ({} scalar)", stats.scalar_fallbacks),
     };
+    let grid = if stats.grid_points > 0 {
+        let rate = stats
+            .grid_points_per_sec()
+            .map_or("n/a".to_string(), |r| format!("{:.2e} points/s", r));
+        format!(
+            "grid eval {} points in {} traversal{} ({rate})",
+            stats.grid_points,
+            stats.grid_batches,
+            if stats.grid_batches == 1 { "" } else { "s" },
+        )
+    } else {
+        "grid eval off".to_string()
+    };
     let disk = if stats.disk {
         format!(
             "disk store {}/{} hits ({}, {} written, {} evicted)",
@@ -116,7 +130,7 @@ pub fn engine_summary_line(stats: &crate::scenario::EngineStats) -> String {
         "disk store off".to_string()
     };
     format!(
-        "engine total: {} points simulated, sim cache {}/{} hits ({}), annotation cache {}/{} hits ({}, {} built), trace cache {}/{} hits ({}), {} trace{}, policy cache {}/{} hits ({}, {} run{}), {disk}, {}, {} worker{}",
+        "engine total: {} points simulated, sim cache {}/{} hits ({}), annotation cache {}/{} hits ({}, {} built), trace cache {}/{} hits ({}), {} trace{}, policy cache {}/{} hits ({}, {} run{}), {disk}, {}, {grid}, {} worker{}",
         stats.simulated(),
         stats.hits,
         stats.hits + stats.misses,

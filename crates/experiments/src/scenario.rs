@@ -61,7 +61,7 @@ use fuleak_workloads::{AnnotatedTrace, Benchmark, EncodedTrace, ExecError};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 thread_local! {
@@ -666,6 +666,16 @@ pub struct EngineStats {
     /// Points that fell back to the scalar kernel during primed
     /// sweeps (singleton geometry groups, or batching disabled).
     pub scalar_fallbacks: usize,
+    /// Grid-kernel batches the explorer dispatched (one spectrum
+    /// traversal pricing a whole policy grid; see [`crate::explore`]).
+    pub grid_batches: usize,
+    /// Policy points priced through the grid kernel (these bypass the
+    /// [`PolicyCache`], so they appear here and not in the policy
+    /// counters).
+    pub grid_points: u64,
+    /// Wall-clock nanoseconds the CLI/daemon attributed to grid
+    /// explorations (end-to-end, substrate simulation included).
+    pub grid_nanos: u64,
     /// Whether a persistent disk store is attached.
     pub disk: bool,
     /// Disk-store read hits (results served without simulation from a
@@ -708,6 +718,9 @@ impl EngineStats {
             scalar_fallbacks: self
                 .scalar_fallbacks
                 .saturating_sub(earlier.scalar_fallbacks),
+            grid_batches: self.grid_batches.saturating_sub(earlier.grid_batches),
+            grid_points: self.grid_points.saturating_sub(earlier.grid_points),
+            grid_nanos: self.grid_nanos.saturating_sub(earlier.grid_nanos),
             disk: self.disk,
             disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
             disk_sim_hits: self.disk_sim_hits.saturating_sub(earlier.disk_sim_hits),
@@ -756,6 +769,12 @@ impl EngineStats {
     /// Mean lanes per dispatched batch, if any batches formed.
     pub fn mean_lanes_per_batch(&self) -> Option<f64> {
         (self.batches > 0).then(|| self.batched_lanes as f64 / self.batches as f64)
+    }
+
+    /// End-to-end grid throughput in points per second, if any grid
+    /// time was attributed.
+    pub fn grid_points_per_sec(&self) -> Option<f64> {
+        (self.grid_nanos > 0).then(|| self.grid_points as f64 / (self.grid_nanos as f64 * 1e-9))
     }
 }
 
@@ -958,6 +977,9 @@ pub struct Engine {
     batches: AtomicUsize,
     batched_lanes: AtomicUsize,
     scalar_fallbacks: AtomicUsize,
+    grid_batches: AtomicUsize,
+    grid_points: AtomicU64,
+    grid_nanos: AtomicU64,
     /// Optional persistent tier behind the sim/annotation/policy
     /// caches: read-through on a memory miss, write-behind on every
     /// computed result. Results are identical with or without it —
@@ -987,6 +1009,9 @@ impl Engine {
             batches: AtomicUsize::new(0),
             batched_lanes: AtomicUsize::new(0),
             scalar_fallbacks: AtomicUsize::new(0),
+            grid_batches: AtomicUsize::new(0),
+            grid_points: AtomicU64::new(0),
+            grid_nanos: AtomicU64::new(0),
             store: Mutex::new(None),
         }
     }
@@ -1014,6 +1039,24 @@ impl Engine {
     /// Whether [`Engine::prime`] may use the lane-batched kernel.
     pub fn batching(&self) -> bool {
         self.batching.load(Ordering::Relaxed)
+    }
+
+    /// Records one grid-kernel contribution from the explorer:
+    /// `batches` spectrum traversals priced `points` policy points
+    /// (see [`crate::explore`]). The grid path bypasses the
+    /// [`PolicyCache`], so these counters — not the policy-cache
+    /// ones — are its footprint in [`EngineStats`].
+    pub fn note_grid(&self, batches: usize, points: u64) {
+        self.grid_batches.fetch_add(batches, Ordering::Relaxed);
+        self.grid_points.fetch_add(points, Ordering::Relaxed);
+    }
+
+    /// Attributes wall-clock nanoseconds to the grid path (measured
+    /// by the CLI/daemon around a whole exploration, so the derived
+    /// [`EngineStats::grid_points_per_sec`] is end-to-end, substrate
+    /// simulation included).
+    pub fn note_grid_nanos(&self, nanos: u64) {
+        self.grid_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
     /// An engine that runs every point on the calling thread.
@@ -1161,6 +1204,9 @@ impl Engine {
             batches: self.batches.load(Ordering::Relaxed),
             batched_lanes: self.batched_lanes.load(Ordering::Relaxed),
             scalar_fallbacks: self.scalar_fallbacks.load(Ordering::Relaxed),
+            grid_batches: self.grid_batches.load(Ordering::Relaxed),
+            grid_points: self.grid_points.load(Ordering::Relaxed),
+            grid_nanos: self.grid_nanos.load(Ordering::Relaxed),
             disk: store.is_some(),
             disk_hits: store.as_ref().map_or(0, |st| st.hits()),
             disk_sim_hits: store

@@ -15,7 +15,12 @@
 //! * `/sweep?<axis>=<values>&format=json|csv` — an ad-hoc sweep; the
 //!   query keys are the `repro sweep` axis flags minus the leading
 //!   dashes (`bench=gzip,vpr&int-fus=1:4&l2=12,32&policy=maxsleep`),
-//!   parsed by the same [`crate::cli`] grammar.
+//!   parsed by the same [`crate::cli`] grammar;
+//! * `/explore?<axis>=<values>&format=json|csv` — a grid-batched
+//!   design-space exploration (`repro explore` axis flags minus the
+//!   dashes, e.g. `bench=gzip&leak=0:1:0.02&transition=0.01`); the
+//!   body is the optima, frontier, and crossover tables concatenated
+//!   in the CLI's emission order.
 //!
 //! Responses are the *exact* [`crate::result::ResultTable::to_json`] /
 //! [`to_csv`](crate::result::ResultTable::to_csv) bytes the CLI
@@ -26,6 +31,7 @@
 
 use crate::cli;
 use crate::experiment::{self, sweep_table, Context};
+use crate::explore::{explore, ExploreSpec};
 use crate::harness::Budget;
 use crate::scenario::{Engine, SweepSpec};
 use std::io::{BufRead, BufReader, Write};
@@ -244,6 +250,10 @@ fn route(target: &str, engine: &Engine, budget: Budget) -> Response {
             Ok(r) => r,
             Err(e) => Response::error(400, "Bad Request", &e),
         },
+        "/explore" => match explore_response(query, engine, budget) {
+            Ok(r) => r,
+            Err(e) => Response::error(400, "Bad Request", &e),
+        },
         _ => match path.strip_prefix("/experiment/") {
             Some(name) => match experiment_response(name, query, engine, budget) {
                 Ok(r) => r,
@@ -345,6 +355,29 @@ fn sweep_response(query: &str, engine: &Engine, budget: Budget) -> Result<Respon
     Ok(Response::ok(format.content_type(), body))
 }
 
+/// Builds an exploration from the query's axis parameters and serves
+/// its three digests concatenated — byte-identical to the
+/// `repro explore --format json|csv` stdout for the equivalent flags
+/// (CI diffs the two).
+fn explore_response(query: &str, engine: &Engine, budget: Budget) -> Result<Response, String> {
+    let (params, format) = parse_query(query)?;
+    let mut spec = ExploreSpec::new(budget);
+    for (key, value) in &params {
+        spec = cli::apply_explore_flag(spec, &format!("--{key}"), value)?;
+    }
+    let started = std::time::Instant::now();
+    let result = explore(engine, &spec);
+    engine.note_grid_nanos(started.elapsed().as_nanos() as u64);
+    let mut body = String::new();
+    for table in [&result.optima, &result.frontier, &result.crossover] {
+        body.push_str(&match format {
+            WireFormat::Json => table.to_json(),
+            WireFormat::Csv => table.to_csv(),
+        });
+    }
+    Ok(Response::ok(format.content_type(), body))
+}
+
 /// Decodes `%XX` escapes and `+` spaces in a query component.
 fn percent_decode(s: &str) -> Result<String, String> {
     let bytes = s.as_bytes();
@@ -412,6 +445,11 @@ mod tests {
         let r = route("/sweep?bogus=1", &engine, Budget::Quick);
         assert_eq!(r.status, 400);
         assert!(String::from_utf8(r.body).unwrap().contains("--bogus"));
+        let r = route("/explore?bogus=1", &engine, Budget::Quick);
+        assert_eq!(r.status, 400);
+        assert!(String::from_utf8(r.body)
+            .unwrap()
+            .contains("unknown explore flag `--bogus`"));
         let r = route("/health", &engine, Budget::Quick);
         assert_eq!(r.status, 200);
         assert_eq!(r.body, b"ok\n");

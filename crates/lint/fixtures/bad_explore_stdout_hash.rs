@@ -1,0 +1,16 @@
+// Fixture: the explorer is inside both the stdout scope (its tables
+// go through render/ResultTable, never raw prints) and the hash-order
+// scope (frontier and crossover folds must merge deterministically).
+// Replayed under the pretend path `crates/experiments/src/explore.rs`.
+
+use std::collections::HashMap; // BAD: hash-order
+
+pub struct Frontier {
+    points: HashMap<u64, f64>, // BAD: hash-order
+}
+
+impl Frontier {
+    fn report(&self) {
+        println!("{} frontier points", self.points.len()); // BAD: stdout
+    }
+}

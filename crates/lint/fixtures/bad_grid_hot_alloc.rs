@@ -1,0 +1,20 @@
+// Fixture: allocation in the grid kernel's steady state — the
+// per-traversal `run` path must only reset and reuse the lane
+// vectors built by `new_batch`/`renew_batch`. Replayed under the
+// pretend path `crates/core/src/policy_eval.rs`.
+
+pub struct GridKernel {
+    lanes: Vec<f64>,
+    out: Vec<f64>,
+}
+
+impl GridKernel {
+    fn run(&mut self, entries: &[(u64, u64)]) -> Vec<f64> {
+        let mut scratch: Vec<f64> = Vec::new(); // BAD: hot-alloc
+        for &(t, count) in entries {
+            scratch.push(t as f64 * count as f64);
+        }
+        self.out = scratch.clone(); // BAD: hot-alloc
+        self.lanes.iter().copied().collect() // BAD: hot-alloc
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: the explorer's deterministic shapes — ordered maps for
+// anything iterated, progress on stderr, tables returned as values
+// for the render layer to print. Replayed under
+// `crates/experiments/src/explore.rs`.
+
+use std::collections::BTreeMap;
+
+pub struct Frontier {
+    points: BTreeMap<u64, f64>,
+}
+
+impl Frontier {
+    fn report(&self) -> String {
+        eprintln!("[explore] {} frontier points", self.points.len());
+        self.points
+            .iter()
+            .map(|(trans, ratio)| format!("{trans} {ratio:.4}\n"))
+            .collect()
+    }
+}

@@ -1,0 +1,47 @@
+// Fixture: the grid kernel's sanctioned allocation shape — lanes
+// built in `new_batch`, refilled in `renew_batch` (slabs grow only to
+// the high-water mark), and a steady-state `run` that only resets and
+// accumulates. Replayed under `crates/core/src/policy_eval.rs`.
+
+pub struct GridKernel {
+    lanes: Vec<f64>,
+    out: Vec<f64>,
+}
+
+impl GridKernel {
+    fn new_batch(n: usize) -> Self {
+        GridKernel {
+            lanes: vec![0.0; n],
+            out: Vec::with_capacity(n),
+        }
+    }
+
+    fn renew_batch(&mut self, consts: &[f64]) {
+        self.lanes.clear();
+        self.lanes.extend(consts.iter().copied());
+        self.out.resize(consts.len(), 0.0);
+    }
+
+    fn run(&mut self, entries: &[(u64, u64)]) -> &[f64] {
+        for slot in self.out.iter_mut() {
+            *slot = 0.0;
+        }
+        for &(t, count) in entries {
+            let c_f = count as f64;
+            let t_f = t as f64;
+            for (slot, lane) in self.out.iter_mut().zip(&self.lanes) {
+                *slot += (lane * t_f) * c_f;
+            }
+        }
+        &self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn collects_are_fine_in_tests() {
+        let v: Vec<u64> = (0..4).collect();
+        assert_eq!(v.len(), 4);
+    }
+}

@@ -1,5 +1,6 @@
 // Fixture: the allowed allocation shapes for the hot path — growth
-// confined to `new`/`reset*`/`grow*`, steady state reusing scratch,
+// confined to `new*`/`reset*`/`renew*`/`grow*`, steady state reusing
+// scratch,
 // test code exempt. Replayed under `crates/uarch/src/timing.rs`.
 
 pub struct Kernel {

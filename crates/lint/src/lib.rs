@@ -16,7 +16,7 @@
 //!   `FRONTEND_GEOMETRY_FIELDS` entry resolves, and
 //!   `EnergyModel::fingerprint` covers every model scalar;
 //! * `hot-alloc` — `timing.rs`/`batched.rs` steady state never
-//!   allocates outside `new`/`reset*`/`grow*`;
+//!   allocates outside `new*`/`reset*`/`renew*`/`grow*`;
 //! * `wallclock` — no `Instant::now`/`SystemTime` outside
 //!   bench/repro timing code;
 //! * `hash-order` — no default-hasher `HashMap`/`HashSet` in

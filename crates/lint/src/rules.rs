@@ -10,7 +10,7 @@
 //!
 //! | rule | contract |
 //! |---|---|
-//! | `hot-alloc` | `timing.rs`/`batched.rs` steady state never allocates: `Vec::new`/`vec!`/`Box::new`/`format!`/`.to_string()`/`.collect()`/`.clone()` only inside `new`/`reset*`/`grow*` or behind an allow |
+//! | `hot-alloc` | `timing.rs`/`batched.rs`/`policy_eval.rs` steady state never allocates: `Vec::new`/`vec!`/`Box::new`/`format!`/`.to_string()`/`.collect()`/`.clone()` only inside `new*`/`reset*`/`renew*`/`grow*` or behind an allow |
 //! | `stdout` | `println!`/`print!` only in `render.rs`/`bin/repro.rs` — the golden-transcript surface is closed by construction |
 //! | `wallclock` | `Instant::now`/`SystemTime` only in `bin/repro.rs`/`crates/bench`/`serve.rs` (request-log timing) — results never depend on wall time |
 //! | `hash-order` | no default-hasher `HashMap`/`HashSet` in result/render/fingerprint/codec/store paths — iteration order there must be deterministic |
@@ -33,7 +33,9 @@ pub const RULES: &[&str] = &[
 /// Hot-path files under the zero-steady-state-allocation contract
 /// (DESIGN.md §6/§9: scratch is reset and reused, never rebuilt).
 fn applies_hot_alloc(rel: &str) -> bool {
-    rel.ends_with("crates/uarch/src/timing.rs") || rel.ends_with("crates/uarch/src/batched.rs")
+    rel.ends_with("crates/uarch/src/timing.rs")
+        || rel.ends_with("crates/uarch/src/batched.rs")
+        || rel.ends_with("crates/core/src/policy_eval.rs")
 }
 
 /// Modules allowed to write to stdout: the render layer and the
@@ -68,13 +70,20 @@ fn applies_hash_order(rel: &str) -> bool {
         || rel.ends_with("crates/core/src/model.rs")
         || rel.ends_with("crates/core/src/codec.rs")
         || rel.ends_with("crates/experiments/src/store.rs")
+        || rel.ends_with("crates/experiments/src/explore.rs")
 }
 
 /// Function names whose bodies may allocate under `hot-alloc`:
-/// constructors, the reset-and-reuse paths, and the explicit
-/// slab-growth escapes counted by `scratch_growths`.
+/// constructors (`new*` — `new_batch` builds the batched grid
+/// kernel), the reset-and-reuse/re-target paths (`reset*`, `renew*` —
+/// a `renew` refills cleared lane vectors, growing slabs only until
+/// the high-water mark), and the explicit slab-growth escapes counted
+/// by `scratch_growths`.
 fn growth_fn(name: &str) -> bool {
-    name == "new" || name.starts_with("reset") || name.starts_with("grow")
+    name.starts_with("new")
+        || name.starts_with("reset")
+        || name.starts_with("renew")
+        || name.starts_with("grow")
 }
 
 /// Runs every path-scoped token rule over one file. `rel` is the
@@ -223,7 +232,7 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
                     line,
                     "hot-alloc",
                     format!(
-                        "`{construct}` in the timing hot path outside `new`/`reset*`/`grow*`: \
+                        "`{construct}` in the timing hot path outside `new*`/`reset*`/`renew*`/`grow*`: \
                          steady state must reset-and-reuse scratch, never allocate \
                          (DESIGN.md §6/§9)"
                     ),

@@ -87,6 +87,40 @@ fn hot_alloc_fixtures() {
 }
 
 #[test]
+fn grid_hot_alloc_fixtures() {
+    // The grid-batched policy kernel joined the hot-alloc scope:
+    // `run` is the steady state, `new_batch`/`renew_batch` the
+    // sanctioned growth points.
+    check_pair(
+        "bad_grid_hot_alloc.rs",
+        "good_grid_hot_alloc.rs",
+        "crates/core/src/policy_eval.rs",
+    );
+    // The same bad source is clean outside the hot-path scope.
+    let bad = fixture("bad_grid_hot_alloc.rs");
+    assert!(rules::lint_source("crates/core/src/spectrum.rs", &bad).is_empty());
+}
+
+#[test]
+fn explore_scope_fixtures() {
+    // The explorer is pinned by both the stdout rule (tables are
+    // returned, never printed) and the hash-order rule (folds merge
+    // in deterministic order).
+    check_pair(
+        "bad_explore_stdout_hash.rs",
+        "good_explore_stdout_hash.rs",
+        "crates/experiments/src/explore.rs",
+    );
+    // Outside explore.rs the hash-order half does not apply.
+    let bad = fixture("bad_explore_stdout_hash.rs");
+    let outside = found(rules::lint_source(
+        "crates/experiments/src/scenario.rs",
+        &bad,
+    ));
+    assert!(outside.iter().all(|(_, rule)| rule == "stdout"));
+}
+
+#[test]
 fn stdout_fixtures() {
     check_pair(
         "bad_stdout.rs",
