@@ -71,11 +71,12 @@ use fuleak_experiments::cli::{apply_explore_flag, apply_sweep_flag};
 use fuleak_experiments::experiment::{self, sweep_table, Context};
 use fuleak_experiments::explore::{explore, ExploreSpec};
 use fuleak_experiments::harness::Budget;
+use fuleak_experiments::loadgen::{self, LoadSpec};
 use fuleak_experiments::policy::PolicyKind;
 use fuleak_experiments::render;
 use fuleak_experiments::result::ResultTable;
 use fuleak_experiments::scenario::{Engine, SweepSpec};
-use fuleak_experiments::serve::Server;
+use fuleak_experiments::serve::{ServeConfig, Server};
 use fuleak_experiments::store::{ResultStore, StoreKind};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -102,7 +103,8 @@ const USAGE: &str = "usage: repro <experiment>|all [--quick|--budget N] [--jobs 
        repro explore [--bench A,B] [--policy P,Q] [--slices L] [--leak R] [--transition R] [options]
        repro bench [--runs N] [--jobs N] [--out DIR]
        repro store stats|clear|gc --max-mb N   (needs --store DIR or FULEAK_STORE)
-       repro serve [--addr HOST:PORT] [--quick|--budget N] [--jobs N] [--store DIR]
+       repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--no-respcache] [--quick|--budget N] [--jobs N] [--store DIR]
+       repro loadgen --addr HOST:PORT [--path TARGET] [--clients N] [--requests N] [--close] [--out DIR]
        (value lists L: comma values and lo:hi[:step] ranges, e.g. 1:4 or 2,4,8; F,G: fractions in [0,1];
         explore fraction ranges R: fractions and lo:hi:step ranges, e.g. 0:1:0.02;
         --store DIR / FULEAK_STORE=DIR attach a persistent result store behind the engine caches)";
@@ -798,6 +800,62 @@ fn run_bench(args: &[&str], opts: &Options) -> Result<(), String> {
             }
         }
     });
+    // Serving-tier workload: the same fixed-geometry sweep over HTTP.
+    // Cold: 8 concurrent clients race one cold sweep — the engine's
+    // single-flight layer must simulate each grid point exactly once,
+    // so the dedup factor is requested/simulated points. Warm:
+    // closed-loop throughput with keep-alive + response cache (the
+    // production path), keep-alive without the cache (render per
+    // request), and connection-per-request without the cache (the
+    // pre-pool thread-per-connection baseline).
+    let serve_target = "/sweep?bench=gzip,vpr&int-fus=1:4&l2=12,18,24,32&format=json";
+    eprintln!("[repro] bench: serving tier, {sweep_points}-point sweep over HTTP...");
+    let serve_engine = std::sync::Arc::new(Engine::new(jobs));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        std::sync::Arc::clone(&serve_engine),
+        Budget::Quick,
+    )
+    .map_err(|e| format!("bench serve: {e}"))?;
+    let serve_addr = server.local_addr().to_string();
+    let handle = server.spawn();
+    let mut cold_spec = LoadSpec::new(serve_addr.clone(), serve_target);
+    cold_spec.clients = 8;
+    cold_spec.requests = 1;
+    let serve_cold = loadgen::run(&cold_spec);
+    let cold_simulated = serve_engine.stats().simulated().max(1);
+    let serve_dedup = (cold_spec.clients * sweep_points) as f64 / cold_simulated as f64;
+    let mut warm_spec = LoadSpec::new(serve_addr, serve_target);
+    warm_spec.clients = 4;
+    warm_spec.requests = 64;
+    let warm_cached = loadgen::run(&warm_spec);
+    handle.stop();
+    // Same warm engine, response cache disabled: every request pays a
+    // render; close mode additionally pays a connection per request.
+    let nocache = ServeConfig {
+        respcache_bytes: 0,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_with("127.0.0.1:0", serve_engine, Budget::Quick, nocache)
+        .map_err(|e| format!("bench serve: {e}"))?;
+    warm_spec.addr = server.local_addr().to_string();
+    let handle = server.spawn();
+    let warm_nocache = loadgen::run(&warm_spec);
+    warm_spec.keep_alive = false;
+    let warm_close = loadgen::run(&warm_spec);
+    handle.stop();
+    let serve_speedup = if warm_close.throughput_rps > 0.0 {
+        warm_cached.throughput_rps / warm_close.throughput_rps
+    } else {
+        0.0
+    };
+    let load_side = |r: &fuleak_experiments::loadgen::LoadReport| {
+        format!(
+            "{{\"throughput_rps\": {:.0}, \"p50_micros\": {}, \"p99_micros\": {}, \"errors\": {}}}",
+            r.throughput_rps, r.p50_micros, r.p99_micros, r.errors
+        )
+    };
+
     let traversal_ratio = best(&replay_scalar) / best(&replay_batched);
     let max_lanes = MAX_LANES;
     let warm_speedup = best(&store_cold) / best(&store_warm);
@@ -812,7 +870,7 @@ fn run_bench(args: &[&str], opts: &Options) -> Result<(), String> {
     let explore_pps = explore_points as f64 / best(&explore_runs);
 
     let json = format!(
-        "{{\n  \"name\": \"repro-bench\",\n  \"budget\": \"quick\",\n  \"jobs\": {jobs},\n  \"runs\": {runs},\n  \"all_quick\": {},\n  \"sweep_fixed_geometry\": {{\"points\": {sweep_points}, {}}},\n  \"store_sweep\": {{\"points\": {sweep_points}, \"cold\": {}, \"warm\": {}, \"warm_speedup\": {warm_speedup:.1}}},\n  \"batched_sweep\": {{\"points\": {sweep_points}, \"max_lanes\": {max_lanes}, \"scalar\": {}, \"batched\": {}, \"traversal_ratio\": {traversal_ratio:.2}}},\n  \"policy_eval\": {{\"points\": {policy_points}, \"spectrum\": {}, \"interval_replay\": {}, \"speedup_per_point\": {speedup:.1}}},\n  \"explore_grid\": {{\"points\": {grid_points}, \"forms_per_grid\": {}, \"scalar\": {}, \"grid\": {}, \"speedup_per_point\": {grid_speedup:.1}}},\n  \"explore_default\": {{\"points\": {explore_points}, {}, \"points_per_sec\": {explore_pps:.0}}}\n}}\n",
+        "{{\n  \"name\": \"repro-bench\",\n  \"budget\": \"quick\",\n  \"jobs\": {jobs},\n  \"runs\": {runs},\n  \"all_quick\": {},\n  \"sweep_fixed_geometry\": {{\"points\": {sweep_points}, {}}},\n  \"store_sweep\": {{\"points\": {sweep_points}, \"cold\": {}, \"warm\": {}, \"warm_speedup\": {warm_speedup:.1}}},\n  \"batched_sweep\": {{\"points\": {sweep_points}, \"max_lanes\": {max_lanes}, \"scalar\": {}, \"batched\": {}, \"traversal_ratio\": {traversal_ratio:.2}}},\n  \"policy_eval\": {{\"points\": {policy_points}, \"spectrum\": {}, \"interval_replay\": {}, \"speedup_per_point\": {speedup:.1}}},\n  \"explore_grid\": {{\"points\": {grid_points}, \"forms_per_grid\": {}, \"scalar\": {}, \"grid\": {}, \"speedup_per_point\": {grid_speedup:.1}}},\n  \"explore_default\": {{\"points\": {explore_points}, {}, \"points_per_sec\": {explore_pps:.0}}},\n  \"serve\": {{\"target\": \"{serve_target}\", \"cold_concurrent\": {{\"clients\": {}, \"grid_points\": {sweep_points}, \"requested_points\": {}, \"simulated\": {cold_simulated}, \"dedup_factor\": {serve_dedup:.1}, \"wall_seconds\": {:.3}}}, \"warm_keepalive_cached\": {}, \"warm_keepalive_nocache\": {}, \"warm_close_nocache\": {}, \"cached_keepalive_vs_close_nocache\": {serve_speedup:.1}}}\n}}\n",
         json_seconds(&all_quick),
         json_seconds(&sweep).trim_start_matches('{').trim_end_matches('}'),
         json_seconds(&store_cold),
@@ -827,6 +885,12 @@ fn run_bench(args: &[&str], opts: &Options) -> Result<(), String> {
         json_seconds(&explore_runs)
             .trim_start_matches('{')
             .trim_end_matches('}'),
+        cold_spec.clients,
+        cold_spec.clients * sweep_points,
+        serve_cold.elapsed_seconds,
+        load_side(&warm_cached),
+        load_side(&warm_nocache),
+        load_side(&warm_close),
     );
     print!("{json}");
     if let Some(dir) = &opts.out {
@@ -910,22 +974,39 @@ fn run_store(args: &[&str], opts: &Options) -> Result<(), String> {
 /// Runs `repro serve`: binds the daemon and blocks in its accept loop.
 fn run_serve(args: &[&str], opts: &Options) -> Result<(), String> {
     let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = ServeConfig::default();
     let mut it = args.iter();
     while let Some(&flag) = it.next() {
         let (flag, value) = match flag.split_once('=') {
             Some((f, v)) => (f, Some(v.to_string())),
             None => (flag, None),
         };
+        let mut take = |name: &str| match value.clone() {
+            Some(v) => Ok(v),
+            None => it
+                .next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{name} needs a value")),
+        };
         match flag {
-            "--addr" => {
-                addr = match value {
-                    Some(v) => v,
-                    None => it
-                        .next()
-                        .map(|s| s.to_string())
-                        .ok_or_else(|| "--addr needs a value".to_string())?,
-                };
+            "--addr" => addr = take("--addr")?,
+            "--workers" => {
+                let v = take("--workers")?;
+                config.workers = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("invalid --workers value `{v}`"))?;
             }
+            "--queue" => {
+                let v = take("--queue")?;
+                config.queue_depth = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("invalid --queue value `{v}`"))?;
+            }
+            "--no-respcache" => config.respcache_bytes = 0,
             other => return Err(format!("unknown serve flag `{other}`")),
         }
     }
@@ -935,18 +1016,98 @@ fn run_serve(args: &[&str], opts: &Options) -> Result<(), String> {
                 .to_string(),
         );
     }
-    let server = Server::bind(&addr, Arc::clone(&opts.engine), opts.budget)?;
+    let respcache = if config.respcache_bytes > 0 {
+        format!("respcache {} MiB", config.respcache_bytes >> 20)
+    } else {
+        "respcache off".to_string()
+    };
     let store = match opts.engine.store() {
         Some(st) => format!("store {}", st.root().display()),
         None => "no store".to_string(),
     };
+    let workers = config.workers;
+    let queue = config.queue_depth;
+    let server = Server::bind_with(&addr, Arc::clone(&opts.engine), opts.budget, config)?;
     eprintln!(
-        "[repro] serving on http://{} ({} instructions/point, {} workers, {store})",
+        "[repro] serving on http://{} ({} instructions/point, {} engine jobs, {workers} pool workers, queue {queue}, {respcache}, {store})",
         server.local_addr(),
         opts.budget.instructions(),
         opts.engine.jobs()
     );
     server.run();
+    Ok(())
+}
+
+/// Runs `repro loadgen`: a closed-loop measurement client against a
+/// running `repro serve` daemon. The report (throughput and latency
+/// percentiles) is wallclock telemetry, printed to stdout as JSON
+/// like `repro bench`.
+fn run_loadgen(args: &[&str], opts: &Options) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut path = "/sweep?bench=gzip&int-fus=1:2&format=json".to_string();
+    let mut clients = 4usize;
+    let mut requests = 32usize;
+    let mut keep_alive = true;
+    let mut it = args.iter();
+    while let Some(&flag) = it.next() {
+        let (flag, value) = match flag.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (flag, None),
+        };
+        let mut take = |name: &str| match value.clone() {
+            Some(v) => Ok(v),
+            None => it
+                .next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{name} needs a value")),
+        };
+        let parse_count = |name: &str, v: String| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("invalid {name} value `{v}`"))
+        };
+        match flag {
+            "--addr" => addr = Some(take("--addr")?),
+            "--path" => path = take("--path")?,
+            "--clients" => clients = parse_count("--clients", take("--clients")?)?,
+            "--requests" => requests = parse_count("--requests", take("--requests")?)?,
+            "--close" => keep_alive = false,
+            other => return Err(format!("unknown loadgen flag `{other}`")),
+        }
+    }
+    let addr = addr.ok_or("repro loadgen needs --addr HOST:PORT")?;
+    if opts.format != Format::Text {
+        return Err("repro loadgen emits JSON only; --format is not supported".to_string());
+    }
+    let mut spec = LoadSpec::new(addr, path);
+    spec.clients = clients;
+    spec.requests = requests;
+    spec.keep_alive = keep_alive;
+    eprintln!(
+        "[repro] loadgen: {} clients x {} requests, {} connections, GET {}",
+        spec.clients,
+        spec.requests,
+        if spec.keep_alive {
+            "keep-alive"
+        } else {
+            "per-request"
+        },
+        spec.path
+    );
+    let report = loadgen::run(&spec);
+    let json = format!("{}\n", report.to_json());
+    print!("{json}");
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create --out directory `{}`: {e}", dir.display()))?;
+        let path = dir.join("loadgen.json");
+        std::fs::write(&path, &json)
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+    }
+    if report.requests == 0 {
+        return Err("loadgen completed no requests (is the server running?)".to_string());
+    }
     Ok(())
 }
 
@@ -969,6 +1130,8 @@ fn main() -> ExitCode {
             run_store(&rest[1..], &opts)
         } else if rest[0] == "serve" {
             run_serve(&rest[1..], &opts)
+        } else if rest[0] == "loadgen" {
+            run_loadgen(&rest[1..], &opts)
         } else if let Some(flag) = rest.iter().find(|a| a.starts_with("--")) {
             Err(format!("unknown flag `{flag}`"))
         } else {

@@ -215,6 +215,26 @@ impl ExploreSpec {
         self.budget
     }
 
+    /// The policy families explored, in user order.
+    pub fn policy_kinds(&self) -> &[PolicyKind] {
+        &self.policies
+    }
+
+    /// The GradualSleep slice counts explored, in user order.
+    pub fn slice_counts(&self) -> &[u32] {
+        &self.slices
+    }
+
+    /// The leakage-ratio axis, in user order.
+    pub fn leak_values(&self) -> &[f64] {
+        &self.leaks
+    }
+
+    /// The transition-cost axis, in user order.
+    pub fn transition_values(&self) -> &[f64] {
+        &self.transitions
+    }
+
     /// The deduplicated `(family, slice override)` grid one
     /// technology point prices: policy-major, slices nested, slice
     /// overrides collapsing for every family but GradualSleep — the

@@ -53,8 +53,10 @@ pub mod empirical;
 pub mod experiment;
 pub mod explore;
 pub mod harness;
+pub mod loadgen;
 pub mod policy;
 pub mod render;
+pub mod respcache;
 pub mod result;
 pub mod scenario;
 pub mod serve;

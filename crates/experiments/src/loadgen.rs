@@ -1,0 +1,351 @@
+//! Closed-loop HTTP load generator for the serving tier.
+//!
+//! Dependency-free measurement client for `repro serve`: N client
+//! threads each issue M requests back-to-back (closed loop — the
+//! next request starts only after the previous response is fully
+//! read), either over one keep-alive connection per client or a
+//! fresh connection per request. The merged per-request latencies
+//! yield throughput and p50/p90/p99, which `repro bench` records in
+//! `BENCH_PR10.json`.
+//!
+//! This module measures wallclock by design; it is exempt from the
+//! fuleak-lint wallclock rule alongside `serve.rs` and the bench
+//! harness, and it never touches result rendering.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// What to run: where, which route, how many clients, how hard.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Request target, e.g. `/sweep?bench=gzip&format=json`.
+    pub path: String,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests issued per client.
+    pub requests: usize,
+    /// Reuse one connection per client (`true`) or open a fresh
+    /// connection with `Connection: close` per request (`false`).
+    pub keep_alive: bool,
+}
+
+impl LoadSpec {
+    /// A spec with the defaults `repro loadgen` advertises.
+    pub fn new(addr: impl Into<String>, path: impl Into<String>) -> Self {
+        LoadSpec {
+            addr: addr.into(),
+            path: path.into(),
+            clients: 4,
+            requests: 32,
+            keep_alive: true,
+        }
+    }
+}
+
+/// Merged results of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Responses completed successfully.
+    pub requests: usize,
+    /// Requests that failed (connect, write, short/invalid read).
+    pub errors: usize,
+    /// Total response body bytes read.
+    pub body_bytes: u64,
+    /// Wallclock for the whole run.
+    pub elapsed_seconds: f64,
+    /// Completed requests per second of wallclock.
+    pub throughput_rps: f64,
+    /// Nearest-rank latency percentiles over completed requests.
+    pub p50_micros: u64,
+    /// 90th percentile.
+    pub p90_micros: u64,
+    /// 99th percentile.
+    pub p99_micros: u64,
+    /// Slowest completed request.
+    pub max_micros: u64,
+}
+
+impl LoadReport {
+    /// Renders the report as JSON with deterministic key order.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"requests\": {}, \"errors\": {}, \"body_bytes\": {}, ",
+                "\"elapsed_seconds\": {:.6}, \"throughput_rps\": {:.1}, ",
+                "\"p50_micros\": {}, \"p90_micros\": {}, \"p99_micros\": {}, ",
+                "\"max_micros\": {}}}"
+            ),
+            self.requests,
+            self.errors,
+            self.body_bytes,
+            self.elapsed_seconds,
+            self.throughput_rps,
+            self.p50_micros,
+            self.p90_micros,
+            self.p99_micros,
+            self.max_micros,
+        )
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One completed exchange: latency and body size.
+struct Exchange {
+    micros: u64,
+    body_len: usize,
+    /// Server asked us to drop the connection (`Connection: close`).
+    close: bool,
+}
+
+/// Writes one GET and reads the full response off an established
+/// connection. Returns the exchange stats or an error (the caller
+/// reconnects on error).
+fn exchange(
+    reader: &mut BufReader<TcpStream>,
+    path: &str,
+    keep_alive: bool,
+) -> io::Result<Exchange> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let request =
+        format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: {connection}\r\n\r\n");
+    let started = Instant::now();
+    reader.get_mut().write_all(request.as_bytes())?;
+    let mut status = String::new();
+    reader.read_line(&mut status)?;
+    if !status.starts_with("HTTP/1.1 200") {
+        return Err(io::Error::other(format!(
+            "unexpected status: {}",
+            status.trim_end()
+        )));
+    }
+    let mut content_length: Option<usize> = None;
+    let mut close = !keep_alive;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().ok();
+            } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close")
+            {
+                close = true;
+            }
+        }
+    }
+    let body_len =
+        content_length.ok_or_else(|| io::Error::other("response without Content-Length"))?;
+    let mut body = vec![0u8; body_len];
+    reader.read_exact(&mut body)?;
+    let micros = started.elapsed().as_micros() as u64;
+    Ok(Exchange {
+        micros,
+        body_len,
+        close,
+    })
+}
+
+struct ClientTally {
+    latencies: Vec<u64>,
+    errors: usize,
+    body_bytes: u64,
+}
+
+/// One closed-loop client: `requests` sequential exchanges, reusing
+/// the connection in keep-alive mode (reconnecting when the server
+/// closes it) or dialing fresh per request otherwise.
+fn run_client(spec: &LoadSpec) -> ClientTally {
+    let mut tally = ClientTally {
+        latencies: Vec::with_capacity(spec.requests),
+        errors: 0,
+        body_bytes: 0,
+    };
+    let mut conn: Option<BufReader<TcpStream>> = None;
+    for _ in 0..spec.requests {
+        if conn.is_none() {
+            match TcpStream::connect(&spec.addr) {
+                Ok(stream) => conn = Some(BufReader::new(stream)),
+                Err(_) => {
+                    tally.errors += 1;
+                    continue;
+                }
+            }
+        }
+        let reader = conn.as_mut().expect("connection established above");
+        match exchange(reader, &spec.path, spec.keep_alive) {
+            Ok(done) => {
+                tally.latencies.push(done.micros);
+                tally.body_bytes += done.body_len as u64;
+                if done.close || !spec.keep_alive {
+                    conn = None;
+                }
+            }
+            Err(_) => {
+                tally.errors += 1;
+                conn = None;
+            }
+        }
+    }
+    tally
+}
+
+/// Runs the closed-loop workload and merges per-client tallies into
+/// one report.
+pub fn run(spec: &LoadSpec) -> LoadReport {
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.clients.max(1))
+            .map(|_| scope.spawn(|| run_client(spec)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client panicked"))
+            .collect()
+    });
+    let elapsed_seconds = started.elapsed().as_secs_f64();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut errors = 0;
+    let mut body_bytes = 0u64;
+    for tally in tallies {
+        latencies.extend(tally.latencies);
+        errors += tally.errors;
+        body_bytes += tally.body_bytes;
+    }
+    latencies.sort_unstable();
+    let requests = latencies.len();
+    LoadReport {
+        requests,
+        errors,
+        body_bytes,
+        elapsed_seconds,
+        throughput_rps: if elapsed_seconds > 0.0 {
+            requests as f64 / elapsed_seconds
+        } else {
+            0.0
+        },
+        p50_micros: percentile(&latencies, 50.0),
+        p90_micros: percentile(&latencies, 90.0),
+        p99_micros: percentile(&latencies, 99.0),
+        max_micros: latencies.last().copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles_match_hand_counts() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 90.0), 90);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn report_json_has_deterministic_keys() {
+        let report = LoadReport {
+            requests: 10,
+            errors: 0,
+            body_bytes: 1234,
+            elapsed_seconds: 0.5,
+            throughput_rps: 20.0,
+            p50_micros: 100,
+            p90_micros: 200,
+            p99_micros: 300,
+            max_micros: 400,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\"requests\": 10, \"errors\": 0"));
+        assert!(json.ends_with("\"max_micros\": 400}"));
+        let requests_pos = json.find("\"requests\"").unwrap();
+        let p99_pos = json.find("\"p99_micros\"").unwrap();
+        assert!(requests_pos < p99_pos);
+    }
+
+    #[test]
+    fn loadgen_drives_a_minimal_server_over_keep_alive_and_close() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // Serve exactly the connections the two runs below open:
+            // 2 keep-alive clients, then 2 close-mode clients x 3
+            // requests each.
+            for _ in 0..8 {
+                let Ok((stream, _)) = listener.accept() else {
+                    return;
+                };
+                let mut reader = BufReader::new(stream);
+                loop {
+                    let mut line = String::new();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        break;
+                    }
+                    if !line.starts_with("GET ") {
+                        continue;
+                    }
+                    let mut close = false;
+                    loop {
+                        let mut header = String::new();
+                        if reader.read_line(&mut header).unwrap_or(0) == 0 {
+                            return;
+                        }
+                        if header.trim_end().is_empty() {
+                            break;
+                        }
+                        if header.to_ascii_lowercase().contains("connection: close") {
+                            close = true;
+                        }
+                    }
+                    let body = b"ok\n";
+                    let head = format!(
+                        "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+                        body.len(),
+                        if close { "close" } else { "keep-alive" }
+                    );
+                    let out = reader.get_mut();
+                    if out.write_all(head.as_bytes()).is_err() || out.write_all(body).is_err() {
+                        break;
+                    }
+                    if close {
+                        break;
+                    }
+                }
+            }
+        });
+
+        let mut spec = LoadSpec::new(addr.clone(), "/health");
+        spec.clients = 2;
+        spec.requests = 3;
+        let kept = run(&spec);
+        assert_eq!(kept.requests, 6);
+        assert_eq!(kept.errors, 0);
+        assert_eq!(kept.body_bytes, 18);
+        assert!(kept.p50_micros <= kept.p99_micros);
+
+        spec.keep_alive = false;
+        let closed = run(&spec);
+        assert_eq!(closed.requests, 6);
+        assert_eq!(closed.errors, 0);
+        server.join().unwrap();
+    }
+}

@@ -25,15 +25,13 @@
 //! history-dependent AdaptiveSleep (canonical ascending order, O(1)
 //! per interval).
 
-use crate::scenario::Scenario;
+use crate::scenario::{Claim, Flight, FlightGuard, Scenario};
 use fuleak_core::accounting::PolicyRun;
-use fuleak_core::fxhash::FxHashMap;
 use fuleak_core::policy_eval::{spectrum_run, PolicyForm};
 use fuleak_core::tech::{DEFAULT_DUTY_CYCLE, DEFAULT_LEAK_RATIO, DEFAULT_SLEEP_OVERHEAD};
 use fuleak_core::{breakeven_interval, EnergyModel, ModelError, TechnologyParams};
 use fuleak_uarch::SimResult;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// The activity factor every policy/technology sweep prices at — the
 /// paper's empirical experiments fix `alpha = 0.5`.
@@ -232,10 +230,10 @@ pub fn policy_energy_of(model: &EnergyModel, form: PolicyForm, sim: &SimResult) 
 /// alias.
 #[derive(Debug, Default)]
 pub struct PolicyCache {
-    #[allow(clippy::type_complexity)]
-    map: Mutex<FxHashMap<(Scenario, PolicyForm, u64), PolicyRun>>,
+    flight: Flight<(Scenario, PolicyForm, u64), PolicyRun>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    waits: AtomicUsize,
 }
 
 impl PolicyCache {
@@ -244,11 +242,12 @@ impl PolicyCache {
         PolicyCache::default()
     }
 
-    /// The cached run for a key, counting a hit or miss.
+    /// The cached run for a key, counting a hit or miss. An in-flight
+    /// evaluation counts as a miss (its value does not exist yet);
+    /// use [`PolicyCache::claim`] (engine-internal) to participate in
+    /// the single-flight protocol instead.
     pub fn get(&self, scenario: &Scenario, form: PolicyForm, model_fp: u64) -> Option<PolicyRun> {
-        let found = crate::scenario::lock_unpoisoned(&self.map)
-            .get(&(scenario.clone(), form, model_fp))
-            .copied();
+        let found = self.flight.peek(&(scenario.clone(), form, model_fp));
         match found {
             Some(r) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -261,6 +260,56 @@ impl PolicyCache {
         }
     }
 
+    /// Claims a key for single-flight evaluation. Counting mirrors
+    /// [`crate::scenario::SimCache::claim`]: `Ready` is a hit,
+    /// `Owner` a miss (this caller evaluates), `Wait` a hit plus a
+    /// wait.
+    pub(crate) fn claim(
+        &self,
+        scenario: &Scenario,
+        form: PolicyForm,
+        model_fp: u64,
+    ) -> Claim<PolicyRun> {
+        let claim = self.flight.claim(&(scenario.clone(), form, model_fp));
+        match &claim {
+            Claim::Ready(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Claim::Owner => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            Claim::Wait(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.waits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        claim
+    }
+
+    /// Publishes a claimed evaluation, waking waiters.
+    pub(crate) fn fulfill(
+        &self,
+        scenario: &Scenario,
+        form: PolicyForm,
+        model_fp: u64,
+        run: PolicyRun,
+    ) -> PolicyRun {
+        self.flight
+            .fulfill(&(scenario.clone(), form, model_fp), run)
+    }
+
+    /// Unwind guard abandoning the claim if the owner never fulfills
+    /// it (see [`crate::scenario::Flight::guard`]).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn guard(
+        &self,
+        scenario: Scenario,
+        form: PolicyForm,
+        model_fp: u64,
+    ) -> FlightGuard<'_, (Scenario, PolicyForm, u64), PolicyRun> {
+        self.flight.guard(vec![(scenario, form, model_fp)])
+    }
+
     /// Inserts a run, keeping the first insertion if the point was
     /// raced (evaluations are pure functions of the key).
     pub fn insert(
@@ -270,14 +319,13 @@ impl PolicyCache {
         model_fp: u64,
         run: PolicyRun,
     ) -> PolicyRun {
-        *crate::scenario::lock_unpoisoned(&self.map)
-            .entry((scenario, form, model_fp))
-            .or_insert(run)
+        self.flight.fulfill(&(scenario, form, model_fp), run)
     }
 
-    /// Number of distinct policy evaluations cached.
+    /// Number of distinct policy evaluations cached (in-flight claims
+    /// excluded).
     pub fn len(&self) -> usize {
-        crate::scenario::lock_unpoisoned(&self.map).len()
+        self.flight.ready_len()
     }
 
     /// Whether the cache is empty.
@@ -293,6 +341,13 @@ impl PolicyCache {
     /// Lookup misses since construction.
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Single-flight waits since construction: lookups that blocked
+    /// on another thread's in-flight evaluation instead of
+    /// duplicating it.
+    pub fn waits(&self) -> usize {
+        self.waits.load(Ordering::Relaxed)
     }
 }
 

@@ -60,9 +60,10 @@ use fuleak_uarch::{
 use fuleak_workloads::{AnnotatedTrace, Benchmark, EncodedTrace, ExecError};
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::hash::Hash;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 thread_local! {
     /// One timing kernel per worker thread: every point the worker
@@ -88,6 +89,209 @@ thread_local! {
 /// the poison flag is sound.
 pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// State of one single-flight computation: pending while the claim
+/// owner computes, then done with the published value — or abandoned
+/// if the owner unwound before fulfilling, telling waiters to
+/// re-claim instead of hanging on a dead computation.
+#[derive(Debug)]
+enum LatchState<V> {
+    Pending,
+    Done(V),
+    Abandoned,
+}
+
+/// The once-latch a single-flight winner publishes through. Losers
+/// block on [`Latch::wait`] until the owner either fulfills the value
+/// or abandons the flight.
+#[derive(Debug)]
+pub(crate) struct Latch<V> {
+    state: Mutex<LatchState<V>>,
+    cv: Condvar,
+}
+
+impl<V: Clone> Latch<V> {
+    fn new() -> Self {
+        Latch {
+            state: Mutex::new(LatchState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, value: V) {
+        *lock_unpoisoned(&self.state) = LatchState::Done(value);
+        self.cv.notify_all();
+    }
+
+    fn abandon(&self) {
+        let mut state = lock_unpoisoned(&self.state);
+        if matches!(*state, LatchState::Pending) {
+            *state = LatchState::Abandoned;
+        }
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the flight resolves. `Some` carries the owner's
+    /// published value; `None` means the owner abandoned (the caller
+    /// should re-claim and possibly compute the value itself).
+    pub(crate) fn wait(&self) -> Option<V> {
+        let mut state = lock_unpoisoned(&self.state);
+        loop {
+            match &*state {
+                LatchState::Pending => {
+                    state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+                }
+                LatchState::Done(v) => return Some(v.clone()),
+                LatchState::Abandoned => return None,
+            }
+        }
+    }
+}
+
+/// One entry of a single-flight memo map: either a published value or
+/// a latch the in-flight owner will publish through.
+#[derive(Debug)]
+enum Slot<V> {
+    Ready(V),
+    InFlight(Arc<Latch<V>>),
+}
+
+/// Outcome of [`Flight::claim`]: the value is ready, the caller won
+/// ownership and must compute-then-fulfill (or abandon), or another
+/// thread owns the computation and the caller should wait on its
+/// latch.
+pub(crate) enum Claim<V> {
+    Ready(V),
+    Owner,
+    Wait(Arc<Latch<V>>),
+}
+
+/// A single-flight memo map: per-key once-latches over an Fx map, so
+/// concurrent requests for the same key compute the value exactly
+/// once — the first claimant becomes the owner, later claimants block
+/// on the owner's latch, and everyone observes the same published
+/// value. The mechanism layer under [`SimCache`], [`TraceCache`],
+/// [`AnnotationCache`], and [`crate::policy::PolicyCache`]; hit/miss
+/// accounting stays in those wrappers.
+#[derive(Debug)]
+pub(crate) struct Flight<K, V> {
+    map: Mutex<FxHashMap<K, Slot<V>>>,
+}
+
+impl<K, V> Default for Flight<K, V> {
+    fn default() -> Self {
+        Flight {
+            map: Mutex::new(FxHashMap::default()),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Flight<K, V> {
+    /// Claims `key`: returns the published value, makes the caller
+    /// the computation's owner, or hands back the current owner's
+    /// latch to wait on.
+    pub(crate) fn claim(&self, key: &K) -> Claim<V> {
+        let mut map = lock_unpoisoned(&self.map);
+        match map.get(key) {
+            Some(Slot::Ready(v)) => Claim::Ready(v.clone()),
+            Some(Slot::InFlight(latch)) => Claim::Wait(Arc::clone(latch)),
+            None => {
+                map.insert(key.clone(), Slot::InFlight(Arc::new(Latch::new())));
+                Claim::Owner
+            }
+        }
+    }
+
+    /// Publishes a value, waking any waiters. First-wins on a Ready
+    /// slot (values are pure functions of the key, so either copy is
+    /// correct — keeping the first makes the choice deterministic in
+    /// effect); returns the canonical copy.
+    pub(crate) fn fulfill(&self, key: &K, value: V) -> V {
+        let mut map = lock_unpoisoned(&self.map);
+        match map.get_mut(key) {
+            Some(Slot::Ready(existing)) => existing.clone(),
+            Some(slot) => {
+                let prev = std::mem::replace(slot, Slot::Ready(value.clone()));
+                drop(map);
+                if let Slot::InFlight(latch) = prev {
+                    latch.fulfill(value.clone());
+                }
+                value
+            }
+            None => {
+                map.insert(key.clone(), Slot::Ready(value.clone()));
+                value
+            }
+        }
+    }
+
+    /// Removes an unfulfilled in-flight entry and wakes its waiters
+    /// empty-handed, so they re-claim (one becomes the new owner). A
+    /// no-op once the flight is fulfilled, which makes unconditional
+    /// unwind guards safe: [`FlightGuard`] abandons on drop whether
+    /// or not the owner got as far as fulfilling.
+    pub(crate) fn abandon(&self, key: &K) {
+        let mut map = lock_unpoisoned(&self.map);
+        if let Some(Slot::InFlight(_)) = map.get(key) {
+            let slot = map.remove(key);
+            drop(map);
+            if let Some(Slot::InFlight(latch)) = slot {
+                latch.abandon();
+            }
+        }
+    }
+
+    /// The published value for `key`, if any; in-flight entries are
+    /// invisible (the value does not exist yet).
+    pub(crate) fn peek(&self, key: &K) -> Option<V> {
+        match lock_unpoisoned(&self.map).get(key) {
+            Some(Slot::Ready(v)) => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    /// Number of published values (in-flight claims excluded).
+    pub(crate) fn ready_len(&self) -> usize {
+        lock_unpoisoned(&self.map)
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// Sums `f` over the published values.
+    pub(crate) fn sum_ready(&self, f: impl Fn(&V) -> usize) -> usize {
+        lock_unpoisoned(&self.map)
+            .values()
+            .map(|s| match s {
+                Slot::Ready(v) => f(v),
+                Slot::InFlight(_) => 0,
+            })
+            .sum()
+    }
+
+    /// An unwind guard over `keys` this caller has claimed as owner:
+    /// on drop it abandons every key not fulfilled by then, so
+    /// waiters blocked on a panicked owner re-claim instead of
+    /// hanging forever. Dropping after fulfillment is a no-op.
+    pub(crate) fn guard(&self, keys: Vec<K>) -> FlightGuard<'_, K, V> {
+        FlightGuard { flight: self, keys }
+    }
+}
+
+/// See [`Flight::guard`].
+pub(crate) struct FlightGuard<'a, K: Eq + Hash + Clone, V: Clone> {
+    flight: &'a Flight<K, V>,
+    keys: Vec<K>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for FlightGuard<'_, K, V> {
+    fn drop(&mut self) {
+        for key in &self.keys {
+            self.flight.abandon(key);
+        }
+    }
 }
 
 /// The FU counts the paper's selection rule chooses among (Section 4)
@@ -566,12 +770,16 @@ impl SweepSpec {
     }
 }
 
-/// A concurrent memo table from [`Scenario`] to its result.
+/// A concurrent, single-flight memo table from [`Scenario`] to its
+/// result: concurrent requests for the same cold point compute it
+/// exactly once — the first claimant simulates, later claimants block
+/// on its latch ([`Flight`]).
 #[derive(Debug, Default)]
 pub struct SimCache {
-    map: Mutex<FxHashMap<Scenario, Arc<SimResult>>>,
+    flight: Flight<Scenario, Arc<SimResult>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    waits: AtomicUsize,
 }
 
 impl SimCache {
@@ -580,10 +788,12 @@ impl SimCache {
         SimCache::default()
     }
 
-    /// Returns the cached result for `s`, counting a hit or miss.
+    /// Returns the cached result for `s`, counting a hit or miss. A
+    /// point still in flight counts as a miss — its value does not
+    /// exist yet; use [`SimCache::claim`] (engine-internal) to
+    /// participate in the single-flight protocol instead.
     pub fn get(&self, s: &Scenario) -> Option<Arc<SimResult>> {
-        let found = lock_unpoisoned(&self.map).get(s).cloned();
-        match found {
+        match self.flight.peek(s) {
             Some(r) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(r)
@@ -595,20 +805,52 @@ impl SimCache {
         }
     }
 
+    /// Claims `s` for single-flight computation. Counting: `Ready` is
+    /// a hit; `Owner` is a miss (this caller will simulate the point);
+    /// `Wait` is a hit plus a wait — the value is served from the
+    /// cache once the owner publishes, without duplicating work, so
+    /// `hits + misses` stays the number of lookups and
+    /// [`EngineStats::simulated`] counts each point once no matter
+    /// how many threads raced for it.
+    pub(crate) fn claim(&self, s: &Scenario) -> Claim<Arc<SimResult>> {
+        let claim = self.flight.claim(s);
+        match &claim {
+            Claim::Ready(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Claim::Owner => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            Claim::Wait(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.waits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        claim
+    }
+
+    /// Publishes a claimed point's result, waking waiters.
+    pub(crate) fn fulfill(&self, s: &Scenario, result: Arc<SimResult>) -> Arc<SimResult> {
+        self.flight.fulfill(s, result)
+    }
+
+    /// Unwind guard abandoning whichever of `keys` this owner never
+    /// fulfills (see [`Flight::guard`]).
+    pub(crate) fn guard(&self, keys: Vec<Scenario>) -> FlightGuard<'_, Scenario, Arc<SimResult>> {
+        self.flight.guard(keys)
+    }
+
     /// Inserts a result, keeping the first insertion if the point was
     /// raced (results are identical by construction, so either is
     /// correct — keeping the first makes the choice deterministic in
     /// effect).
     pub fn insert(&self, s: Scenario, result: Arc<SimResult>) -> Arc<SimResult> {
-        lock_unpoisoned(&self.map)
-            .entry(s)
-            .or_insert(result)
-            .clone()
+        self.flight.fulfill(&s, result)
     }
 
-    /// Number of distinct points cached.
+    /// Number of distinct points cached (in-flight claims excluded).
     pub fn len(&self) -> usize {
-        lock_unpoisoned(&self.map).len()
+        self.flight.ready_len()
     }
 
     /// Whether the cache is empty.
@@ -624,6 +866,13 @@ impl SimCache {
     /// Lookup misses since construction.
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Single-flight waits since construction: lookups that blocked
+    /// on another thread's in-flight simulation instead of
+    /// duplicating it.
+    pub fn waits(&self) -> usize {
+        self.waits.load(Ordering::Relaxed)
     }
 }
 
@@ -657,6 +906,10 @@ pub struct EngineStats {
     pub policy_hits: usize,
     /// Policy evaluations performed (policy-cache misses).
     pub policy_misses: usize,
+    /// Single-flight waits across all caches: lookups that blocked on
+    /// another thread's in-flight computation instead of duplicating
+    /// it (sim, trace, annotation, and policy combined).
+    pub flight_waits: usize,
     /// Lane batches dispatched to the batched kernel (groups of ≥2
     /// timing siblings, after [`MAX_LANES`] chunking).
     pub batches: usize,
@@ -713,6 +966,7 @@ impl EngineStats {
             policy_runs: self.policy_runs.saturating_sub(earlier.policy_runs),
             policy_hits: self.policy_hits.saturating_sub(earlier.policy_hits),
             policy_misses: self.policy_misses.saturating_sub(earlier.policy_misses),
+            flight_waits: self.flight_waits.saturating_sub(earlier.flight_waits),
             batches: self.batches.saturating_sub(earlier.batches),
             batched_lanes: self.batched_lanes.saturating_sub(earlier.batched_lanes),
             scalar_fallbacks: self
@@ -782,9 +1036,10 @@ impl EngineStats {
 /// functional trace, shared by every point of a machine sweep.
 #[derive(Debug, Default)]
 pub struct TraceCache {
-    map: Mutex<FxHashMap<(&'static str, Budget), Arc<EncodedTrace>>>,
+    flight: Flight<(&'static str, Budget), Arc<EncodedTrace>>,
     hits: AtomicUsize,
     captures: AtomicUsize,
+    waits: AtomicUsize,
 }
 
 impl TraceCache {
@@ -796,7 +1051,7 @@ impl TraceCache {
     /// The cached trace for `(bench, budget)`, if present. Counts a
     /// hit so [`TraceCache::hits`] means "replays served from cache".
     pub fn get(&self, bench: &'static str, budget: Budget) -> Option<Arc<EncodedTrace>> {
-        let found = lock_unpoisoned(&self.map).get(&(bench, budget)).cloned();
+        let found = self.flight.peek(&(bench, budget));
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -807,7 +1062,38 @@ impl TraceCache {
     /// bookkeeping probes (capture deduplication) that would
     /// otherwise inflate the hit rate.
     pub fn contains(&self, bench: &'static str, budget: Budget) -> bool {
-        lock_unpoisoned(&self.map).contains_key(&(bench, budget))
+        self.flight.peek(&(bench, budget)).is_some()
+    }
+
+    /// Claims `(bench, budget)` for single-flight capture. Hit and
+    /// capture counting stays with the caller (mirroring the
+    /// `get`/`contains` split: dedup probes claim without counting);
+    /// waits are always counted.
+    pub(crate) fn claim(&self, bench: &'static str, budget: Budget) -> Claim<Arc<EncodedTrace>> {
+        let claim = self.flight.claim(&(bench, budget));
+        if matches!(claim, Claim::Wait(_)) {
+            self.waits.fetch_add(1, Ordering::Relaxed);
+        }
+        claim
+    }
+
+    /// Publishes a claimed trace, waking waiters.
+    pub(crate) fn fulfill(
+        &self,
+        bench: &'static str,
+        budget: Budget,
+        trace: Arc<EncodedTrace>,
+    ) -> Arc<EncodedTrace> {
+        self.flight.fulfill(&(bench, budget), trace)
+    }
+
+    /// Unwind guard abandoning whichever of `keys` this owner never
+    /// fulfills (see [`Flight::guard`]).
+    pub(crate) fn guard(
+        &self,
+        keys: Vec<(&'static str, Budget)>,
+    ) -> FlightGuard<'_, (&'static str, Budget), Arc<EncodedTrace>> {
+        self.flight.guard(keys)
     }
 
     /// Inserts a trace, keeping the first insertion on a race (traces
@@ -818,15 +1104,12 @@ impl TraceCache {
         budget: Budget,
         trace: Arc<EncodedTrace>,
     ) -> Arc<EncodedTrace> {
-        lock_unpoisoned(&self.map)
-            .entry((bench, budget))
-            .or_insert(trace)
-            .clone()
+        self.flight.fulfill(&(bench, budget), trace)
     }
 
-    /// Number of distinct traces cached.
+    /// Number of distinct traces cached (in-flight claims excluded).
     pub fn len(&self) -> usize {
-        lock_unpoisoned(&self.map).len()
+        self.flight.ready_len()
     }
 
     /// Whether the cache is empty.
@@ -840,17 +1123,19 @@ impl TraceCache {
     }
 
     /// Functional executions performed since construction (cache
-    /// misses; raced duplicate captures included).
+    /// misses; single-flight makes raced duplicates impossible).
     pub fn captures(&self) -> usize {
         self.captures.load(Ordering::Relaxed)
     }
 
+    /// Single-flight waits since construction.
+    pub fn waits(&self) -> usize {
+        self.waits.load(Ordering::Relaxed)
+    }
+
     /// Total packed bytes held across all cached traces.
     pub fn encoded_bytes(&self) -> usize {
-        lock_unpoisoned(&self.map)
-            .values()
-            .map(|t| t.encoded_bytes())
-            .sum()
+        self.flight.sum_ready(|t| t.encoded_bytes())
     }
 }
 
@@ -863,10 +1148,10 @@ impl TraceCache {
 /// whole grid shares one front-end geometry.
 #[derive(Debug, Default)]
 pub struct AnnotationCache {
-    #[allow(clippy::type_complexity)]
-    map: Mutex<FxHashMap<(&'static str, Budget, u64), Arc<AnnotatedTrace>>>,
+    flight: Flight<(&'static str, Budget, u64), Arc<AnnotatedTrace>>,
     hits: AtomicUsize,
     built: AtomicUsize,
+    waits: AtomicUsize,
 }
 
 impl AnnotationCache {
@@ -883,9 +1168,7 @@ impl AnnotationCache {
         budget: Budget,
         geometry: u64,
     ) -> Option<Arc<AnnotatedTrace>> {
-        let found = lock_unpoisoned(&self.map)
-            .get(&(bench, budget, geometry))
-            .cloned();
+        let found = self.flight.peek(&(bench, budget, geometry));
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -894,7 +1177,45 @@ impl AnnotationCache {
 
     /// Whether an annotation is cached, without counting a lookup.
     pub fn contains(&self, bench: &'static str, budget: Budget, geometry: u64) -> bool {
-        lock_unpoisoned(&self.map).contains_key(&(bench, budget, geometry))
+        self.flight.peek(&(bench, budget, geometry)).is_some()
+    }
+
+    /// Claims `(bench, budget, geometry)` for single-flight
+    /// annotation. Hit and build counting stays with the caller
+    /// (dedup probes claim without counting; the disk tier can
+    /// fulfill a claim without a build); waits are always counted.
+    pub(crate) fn claim(
+        &self,
+        bench: &'static str,
+        budget: Budget,
+        geometry: u64,
+    ) -> Claim<Arc<AnnotatedTrace>> {
+        let claim = self.flight.claim(&(bench, budget, geometry));
+        if matches!(claim, Claim::Wait(_)) {
+            self.waits.fetch_add(1, Ordering::Relaxed);
+        }
+        claim
+    }
+
+    /// Publishes a claimed annotation, waking waiters.
+    pub(crate) fn fulfill(
+        &self,
+        bench: &'static str,
+        budget: Budget,
+        geometry: u64,
+        ann: Arc<AnnotatedTrace>,
+    ) -> Arc<AnnotatedTrace> {
+        self.flight.fulfill(&(bench, budget, geometry), ann)
+    }
+
+    /// Unwind guard abandoning whichever of `keys` this owner never
+    /// fulfills (see [`Flight::guard`]).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn guard(
+        &self,
+        keys: Vec<(&'static str, Budget, u64)>,
+    ) -> FlightGuard<'_, (&'static str, Budget, u64), Arc<AnnotatedTrace>> {
+        self.flight.guard(keys)
     }
 
     /// Inserts an annotation, keeping the first insertion on a race
@@ -906,15 +1227,13 @@ impl AnnotationCache {
         geometry: u64,
         ann: Arc<AnnotatedTrace>,
     ) -> Arc<AnnotatedTrace> {
-        lock_unpoisoned(&self.map)
-            .entry((bench, budget, geometry))
-            .or_insert(ann)
-            .clone()
+        self.flight.fulfill(&(bench, budget, geometry), ann)
     }
 
-    /// Number of distinct annotations cached.
+    /// Number of distinct annotations cached (in-flight claims
+    /// excluded).
     pub fn len(&self) -> usize {
-        lock_unpoisoned(&self.map).len()
+        self.flight.ready_len()
     }
 
     /// Whether the cache is empty.
@@ -927,18 +1246,21 @@ impl AnnotationCache {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Annotation passes performed since construction (cache misses;
-    /// raced duplicate builds included).
+    /// Annotation passes performed since construction (cache misses
+    /// the disk tier could not answer; single-flight makes raced
+    /// duplicates impossible).
     pub fn built(&self) -> usize {
         self.built.load(Ordering::Relaxed)
     }
 
+    /// Single-flight waits since construction.
+    pub fn waits(&self) -> usize {
+        self.waits.load(Ordering::Relaxed)
+    }
+
     /// Total packed bytes held across all cached annotations.
     pub fn annotated_bytes(&self) -> usize {
-        lock_unpoisoned(&self.map)
-            .values()
-            .map(|a| a.annotated_bytes())
-            .sum()
+        self.flight.sum_ready(|a| a.annotated_bytes())
     }
 }
 
@@ -1103,22 +1425,33 @@ impl Engine {
     /// [`Engine::result`]).
     pub fn policy_run(&self, s: &Scenario, form: PolicyForm, model: &EnergyModel) -> PolicyRun {
         let model_fp = model.fingerprint();
-        if let Some(run) = self.policies.get(s, form, model_fp) {
-            return run;
+        loop {
+            match self.policies.claim(s, form, model_fp) {
+                Claim::Ready(run) => return run,
+                Claim::Wait(latch) => {
+                    if let Some(run) = latch.wait() {
+                        return run;
+                    }
+                    // Owner abandoned (panicked mid-evaluation):
+                    // re-claim; this thread may become the new owner.
+                }
+                Claim::Owner => break,
+            }
         }
+        let _guard = self.policies.guard(s.clone(), form, model_fp);
         let store = self.store();
         if let Some(run) = store
             .as_ref()
             .and_then(|st| st.load_policy(s, form, model_fp))
         {
-            return self.policies.insert(s.clone(), form, model_fp, run);
+            return self.policies.fulfill(s, form, model_fp, run);
         }
         let sim = self.result(s.clone());
         let run = policy_energy_of(model, form, &sim);
         if let Some(st) = &store {
             st.save_policy(s, form, model_fp, run);
         }
-        self.policies.insert(s.clone(), form, model_fp, run)
+        self.policies.fulfill(s, form, model_fp, run)
     }
 
     /// The annotated trace for `(bench, budget)` under `machine`'s
@@ -1137,9 +1470,22 @@ impl Engine {
         machine: &MachineConfig,
     ) -> Arc<AnnotatedTrace> {
         let geometry = machine.frontend_fingerprint();
-        if let Some(a) = self.annotations.get(bench, budget, geometry) {
-            return a;
+        loop {
+            match self.annotations.claim(bench, budget, geometry) {
+                Claim::Ready(a) => {
+                    self.annotations.hits.fetch_add(1, Ordering::Relaxed);
+                    return a;
+                }
+                Claim::Wait(latch) => {
+                    if let Some(a) = latch.wait() {
+                        self.annotations.hits.fetch_add(1, Ordering::Relaxed);
+                        return a;
+                    }
+                }
+                Claim::Owner => break,
+            }
         }
+        let _guard = self.annotations.guard(vec![(bench, budget, geometry)]);
         let store = self.store();
         if let Some(ann) = store
             .as_ref()
@@ -1147,7 +1493,7 @@ impl Engine {
         {
             return self
                 .annotations
-                .insert(bench, budget, geometry, Arc::new(ann));
+                .fulfill(bench, budget, geometry, Arc::new(ann));
         }
         self.annotations.built.fetch_add(1, Ordering::Relaxed);
         let trace = self.trace(bench, budget);
@@ -1156,7 +1502,7 @@ impl Engine {
             st.save_annotation(bench, budget, geometry, &ann);
         }
         self.annotations
-            .insert(bench, budget, geometry, Arc::new(ann))
+            .fulfill(bench, budget, geometry, Arc::new(ann))
     }
 
     /// Runs one point through the two-phase path: cached annotation,
@@ -1176,12 +1522,25 @@ impl Engine {
     /// by [`SweepSpec::benches`] or the [`Benchmark`] registry; use
     /// [`Scenario::capture_trace`] for fallible capture.
     pub fn trace(&self, bench: &'static str, budget: Budget) -> Arc<EncodedTrace> {
-        if let Some(t) = self.traces.get(bench, budget) {
-            return t;
+        loop {
+            match self.traces.claim(bench, budget) {
+                Claim::Ready(t) => {
+                    self.traces.hits.fetch_add(1, Ordering::Relaxed);
+                    return t;
+                }
+                Claim::Wait(latch) => {
+                    if let Some(t) = latch.wait() {
+                        self.traces.hits.fetch_add(1, Ordering::Relaxed);
+                        return t;
+                    }
+                }
+                Claim::Owner => break,
+            }
         }
+        let _guard = self.traces.guard(vec![(bench, budget)]);
         self.traces.captures.fetch_add(1, Ordering::Relaxed);
         let trace = capture_trace(bench, budget).unwrap_or_else(|e| panic!("{e}"));
-        self.traces.insert(bench, budget, Arc::new(trace))
+        self.traces.fulfill(bench, budget, Arc::new(trace))
     }
 
     /// Cache-effectiveness snapshot.
@@ -1201,6 +1560,10 @@ impl Engine {
             policy_runs: self.policies.len(),
             policy_hits: self.policies.hits(),
             policy_misses: self.policies.misses(),
+            flight_waits: self.cache.waits()
+                + self.traces.waits()
+                + self.annotations.waits()
+                + self.policies.waits(),
             batches: self.batches.load(Ordering::Relaxed),
             batched_lanes: self.batched_lanes.load(Ordering::Relaxed),
             scalar_fallbacks: self.scalar_fallbacks.load(Ordering::Relaxed),
@@ -1238,14 +1601,26 @@ impl Engine {
     pub fn prime(&self, scenarios: &[Scenario]) -> usize {
         let mut queued = FxHashSet::with_capacity_and_hasher(scenarios.len(), Default::default());
         let mut todo: Vec<Scenario> = Vec::new();
+        let mut pending: Vec<(Scenario, Arc<Latch<Arc<SimResult>>>)> = Vec::new();
         for s in scenarios {
             if !queued.insert(s.clone()) {
                 continue; // already queued this round; don't double-count
             }
-            if self.cache.get(s).is_none() {
-                todo.push(s.clone());
+            match self.cache.claim(s) {
+                Claim::Ready(_) => {}
+                Claim::Owner => todo.push(s.clone()),
+                // A concurrent caller is already simulating this
+                // point: it is not this sweep's work (or its miss),
+                // but `prime`'s contract is a warm cache, so block on
+                // the owner's latch at the end.
+                Claim::Wait(latch) => pending.push((s.clone(), latch)),
             }
         }
+        // Unwind safety: every claim this call owns must resolve even
+        // if a worker panics below — the guards abandon whatever was
+        // not fulfilled, waking waiters to re-claim rather than hang
+        // on a dead owner. Abandon is a no-op on fulfilled entries.
+        let _sim_guard = self.cache.guard(todo.clone());
         let store = self.store();
         if let Some(st) = &store {
             // Disk read-through for whole points: store hits fill the
@@ -1258,7 +1633,7 @@ impl Engine {
             .into_iter()
             .filter_map(|(s, sim)| match sim {
                 Some(r) => {
-                    self.cache.insert(s, Arc::new(r));
+                    self.cache.fulfill(&s, Arc::new(r));
                     None
                 }
                 None => Some(s),
@@ -1270,12 +1645,24 @@ impl Engine {
         for s in &todo {
             let geometry = s.machine.frontend_fingerprint();
             let key = (s.bench, s.budget, geometry);
-            if seen_geometries.insert(key)
-                && !self.annotations.contains(s.bench, s.budget, geometry)
-            {
+            if !seen_geometries.insert(key) {
+                continue;
+            }
+            // Owner claims become this sweep's annotation passes.
+            // Ready and in-flight geometries are skipped: an
+            // in-flight one is being built by a concurrent caller,
+            // and the replay phase's `annotation` lookup blocks on
+            // its latch if it is still pending by then.
+            if matches!(
+                self.annotations.claim(s.bench, s.budget, geometry),
+                Claim::Owner
+            ) {
                 ann_work.push((s.bench, s.budget, geometry, s.machine.clone()));
             }
         }
+        let _ann_guard = self
+            .annotations
+            .guard(ann_work.iter().map(|&(b, bu, g, _)| (b, bu, g)).collect());
         if let Some(st) = &store {
             // Disk read-through for annotations, before the trace
             // phase: a geometry served from disk needs no functional
@@ -1289,7 +1676,7 @@ impl Engine {
                     {
                         Some(a) => {
                             self.annotations
-                                .insert(bench, budget, geometry, Arc::new(a));
+                                .fulfill(bench, budget, geometry, Arc::new(a));
                             None
                         }
                         None => Some((bench, budget, geometry, machine)),
@@ -1305,10 +1692,11 @@ impl Engine {
         let mut seen_keys = FxHashSet::default();
         for &(bench, budget, _, _) in &ann_work {
             let key = (bench, budget);
-            if seen_keys.insert(key) && !self.traces.contains(bench, budget) {
+            if seen_keys.insert(key) && matches!(self.traces.claim(bench, budget), Claim::Owner) {
                 trace_keys.push(key);
             }
         }
+        let _trace_guard = self.traces.guard(trace_keys.clone());
         self.traces
             .captures
             .fetch_add(trace_keys.len(), Ordering::Relaxed);
@@ -1316,7 +1704,7 @@ impl Engine {
             let trace = capture_trace(bench, budget).unwrap_or_else(|e| panic!("{e}"));
             ((bench, budget), Arc::new(trace))
         }) {
-            self.traces.insert(bench, budget, trace);
+            self.traces.fulfill(bench, budget, trace);
         }
         self.annotations
             .built
@@ -1331,7 +1719,7 @@ impl Engine {
                 ((bench, budget, geometry), Arc::new(ann))
             })
         {
-            self.annotations.insert(bench, budget, geometry, ann);
+            self.annotations.fulfill(bench, budget, geometry, ann);
         }
         let simulated = todo.len();
         for (s, r) in parallel_map(self.jobs, self.replay_work(todo), |work| {
@@ -1352,7 +1740,16 @@ impl Engine {
         .into_iter()
         .flatten()
         {
-            self.cache.insert(s, r);
+            self.cache.fulfill(&s, r);
+        }
+        // Points a concurrent caller claimed first: block until each
+        // resolves, so a returned `prime` leaves every requested
+        // point servable from cache. If an owner abandoned (panicked)
+        // re-claim through `result`, which simulates here if needed.
+        for (s, latch) in pending {
+            if latch.wait().is_none() {
+                let _ = self.result(s);
+            }
         }
         simulated
     }
@@ -1440,18 +1837,29 @@ impl Engine {
     /// Panics if the scenario names an unregistered benchmark; use
     /// [`Scenario::run`] for a fallible one-off point.
     pub fn result(&self, s: Scenario) -> Arc<SimResult> {
-        if let Some(r) = self.cache.get(&s) {
-            return r;
+        loop {
+            match self.cache.claim(&s) {
+                Claim::Ready(r) => return r,
+                Claim::Wait(latch) => {
+                    if let Some(r) = latch.wait() {
+                        return r;
+                    }
+                    // Owner abandoned (panicked mid-simulation):
+                    // re-claim; this thread may become the new owner.
+                }
+                Claim::Owner => break,
+            }
         }
+        let _guard = self.cache.guard(vec![s.clone()]);
         let store = self.store();
         if let Some(sim) = store.as_ref().and_then(|st| st.load_sim(&s)) {
-            return self.cache.insert(s, Arc::new(sim));
+            return self.cache.fulfill(&s, Arc::new(sim));
         }
         let result = Arc::new(self.run_point(&s));
         if let Some(st) = &store {
             st.save_sim(&s, &result);
         }
-        self.cache.insert(s, result)
+        self.cache.fulfill(&s, result)
     }
 }
 
@@ -1710,16 +2118,82 @@ mod tests {
         // Panic while holding the SimCache lock, as a crashing worker
         // would.
         let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = lock_unpoisoned(&engine.cache.map);
+            let _guard = lock_unpoisoned(&engine.cache.flight.map);
             panic!("worker died mid-insert");
         }));
         assert!(poison.is_err());
-        assert!(engine.cache.map.is_poisoned());
+        assert!(engine.cache.flight.map.is_poisoned());
         // Later lookups and inserts keep working instead of dying on
         // a secondary `expect("cache lock")`.
         assert_eq!(engine.cache().len(), 1);
         let r = engine.result(tiny("mst", 2));
         assert!(r.cycles > 0);
         assert_eq!(engine.cache().len(), 2);
+    }
+
+    #[test]
+    fn single_flight_losers_block_on_the_winner() {
+        let flight: Flight<u32, u64> = Flight::default();
+        assert!(matches!(flight.claim(&7), Claim::Owner));
+        let Claim::Wait(latch) = flight.claim(&7) else {
+            panic!("second claim must wait on the owner");
+        };
+        std::thread::scope(|scope| {
+            scope.spawn(|| assert_eq!(latch.wait(), Some(99)));
+            flight.fulfill(&7, 99);
+        });
+        assert!(matches!(flight.claim(&7), Claim::Ready(99)));
+        assert_eq!(flight.ready_len(), 1);
+    }
+
+    #[test]
+    fn abandoned_flights_wake_waiters_to_reclaim() {
+        let flight: Flight<u32, u64> = Flight::default();
+        assert!(matches!(flight.claim(&7), Claim::Owner));
+        let Claim::Wait(latch) = flight.claim(&7) else {
+            panic!("second claim must wait on the owner");
+        };
+        // In-flight entries are invisible to peeks and counts.
+        assert_eq!(flight.peek(&7), None);
+        assert_eq!(flight.ready_len(), 0);
+        // The owner unwinds without fulfilling: its guard abandons.
+        drop(flight.guard(vec![7]));
+        assert_eq!(latch.wait(), None, "abandon must wake waiters empty-handed");
+        assert!(
+            matches!(flight.claim(&7), Claim::Owner),
+            "a waiter re-claims ownership after abandon"
+        );
+        flight.fulfill(&7, 1);
+        // A guard dropped after fulfillment must not clobber the value.
+        drop(flight.guard(vec![7]));
+        assert!(matches!(flight.claim(&7), Claim::Ready(1)));
+    }
+
+    #[test]
+    fn concurrent_identical_sweeps_simulate_each_point_once() {
+        let engine = Engine::new(4);
+        let spec = SweepSpec::new(Budget::Custom(5_000))
+            .benches(["mst", "gzip"])
+            .fu_counts([1, 2])
+            .l2_latencies([12, 32]); // 8 points
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| engine.run_sweep(&spec));
+            }
+        });
+        let stats = engine.stats();
+        assert_eq!(
+            stats.simulated(),
+            8,
+            "8 duplicate concurrent sweeps must simulate each point exactly once"
+        );
+        assert_eq!(stats.points, 8);
+        assert_eq!(stats.captures, 2, "one functional execution per bench");
+        // And every point equals a sequential engine's.
+        let seq = Engine::sequential();
+        seq.run_sweep(&spec);
+        for s in spec.scenarios() {
+            assert_eq!(*engine.result(s.clone()), *seq.result(s), "diverged");
+        }
     }
 }

@@ -4,11 +4,32 @@
 //! holding one [`Engine`] — and, through it, the four in-memory cache
 //! layers and the optional persistent [`crate::store::ResultStore`] —
 //! alive across requests, so repeated sweeps and experiment
-//! regenerations cost a table render instead of a simulation.
+//! regenerations cost a table render instead of a simulation, and a
+//! repeated *request* costs a cache lookup instead of a render (the
+//! [`crate::respcache::ResponseCache`] holds canonical rendered
+//! bodies).
+//!
+//! The connection layer is a production-shaped pool rather than
+//! thread-per-connection:
+//!
+//! * a fixed worker pool ([`ServeConfig::workers`]) drains a bounded
+//!   accept queue ([`ServeConfig::queue_depth`]); when the queue is
+//!   full the accept thread answers `503` with `Retry-After: 1`
+//!   inline and drops the connection — bounded memory under overload;
+//! * connections are HTTP/1.1 keep-alive by default: a worker serves
+//!   up to [`ServeConfig::max_requests_per_conn`] requests per
+//!   connection, honouring `Connection: close` and always sending
+//!   explicit `Content-Length` and `Connection` headers;
+//! * [`ServerHandle::stop`] is graceful: the accept loop exits, the
+//!   queue closes, and every worker finishes its in-flight request
+//!   (and any already-accepted queued connections) before the join
+//!   returns — no response is ever truncated by shutdown.
 //!
 //! Endpoints (GET only):
 //!
 //! * `/health` — liveness probe, `ok` as `text/plain`;
+//! * `/stats` — engine, response-cache, and server counters as JSON
+//!   with deterministic key order (telemetry; never cached);
 //! * `/experiments` — the experiment registry as a JSON name array;
 //! * `/experiment/<name>?format=json|csv` — one registry experiment's
 //!   table;
@@ -26,20 +47,162 @@
 //! [`to_csv`](crate::result::ResultTable::to_csv) bytes the CLI
 //! prints with `--format json|csv` — the determinism contract extends
 //! over the wire, and CI diffs a served sweep against the CLI output
-//! byte for byte. Request logs go to stderr; the server never touches
-//! stdout.
+//! byte for byte, with and without the response cache. Request logs
+//! go to stderr; the server never touches stdout.
 
 use crate::cli;
 use crate::experiment::{self, sweep_table, Context};
 use crate::explore::{explore, ExploreSpec};
 use crate::harness::Budget;
-use crate::scenario::{Engine, SweepSpec};
-use std::io::{BufRead, BufReader, Write};
+use crate::respcache::{self, BodyFormat, ResponseCache};
+use crate::scenario::{lock_unpoisoned, Engine, SweepSpec};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Poll granularity for keep-alive idle waits: how often a parked
+/// worker re-checks the shutdown flag while waiting for the next
+/// request on a connection.
+const IDLE_TICK: Duration = Duration::from_millis(100);
+
+/// How long a keep-alive connection may sit idle (no request bytes)
+/// before the worker closes it.
+const IDLE_LIMIT: Duration = Duration::from_secs(10);
+
+/// Connection-layer tuning for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads draining the accept queue.
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker; beyond this
+    /// the accept thread answers `503` inline.
+    pub queue_depth: usize,
+    /// Requests served per connection before the server closes it
+    /// (`Connection: close` on the last response).
+    pub max_requests_per_conn: usize,
+    /// Response-cache capacity in body bytes; `0` disables the cache.
+    pub respcache_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 64,
+            max_requests_per_conn: 256,
+            respcache_bytes: 8 << 20,
+        }
+    }
+}
+
+/// Monotonic serving-layer counters, all updated with relaxed atomics
+/// and exposed through `/stats` and [`ServerHandle::counters`].
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    connections: AtomicUsize,
+    requests: AtomicUsize,
+    rejected_503: AtomicUsize,
+    queue_depth: AtomicUsize,
+    queue_highwater: AtomicUsize,
+}
+
+impl ServerCounters {
+    /// Connections accepted (including ones later rejected with 503).
+    pub fn connections(&self) -> usize {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered with a routed response.
+    pub fn requests(&self) -> usize {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused with `503` because the queue was full.
+    pub fn rejected_503(&self) -> usize {
+        self.rejected_503.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently waiting for a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Deepest the wait queue has ever been.
+    pub fn queue_highwater(&self) -> usize {
+        self.queue_highwater.load(Ordering::Relaxed)
+    }
+}
+
+/// The bounded hand-off between the accept thread and the workers.
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    depth: usize,
+}
+
+struct QueueState {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(depth: usize) -> Self {
+        ConnQueue {
+            state: Mutex::new(QueueState {
+                conns: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Enqueues an accepted connection, or hands it back when the
+    /// queue is full (the caller answers 503). The depth gauge and
+    /// high-water mark update under the queue lock, so `/stats` never
+    /// reads a stale depth.
+    fn push(&self, stream: TcpStream, counters: &ServerCounters) -> Result<(), TcpStream> {
+        let mut state = lock_unpoisoned(&self.state);
+        if state.closed || state.conns.len() >= self.depth {
+            return Err(stream);
+        }
+        state.conns.push_back(stream);
+        let depth = state.conns.len();
+        counters.queue_depth.store(depth, Ordering::Relaxed);
+        counters.queue_highwater.fetch_max(depth, Ordering::Relaxed);
+        drop(state);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a connection is available; `None` once the queue
+    /// is closed *and* drained (workers finish queued work first).
+    fn pop(&self, counters: &ServerCounters) -> Option<TcpStream> {
+        let mut state = lock_unpoisoned(&self.state);
+        loop {
+            if let Some(conn) = state.conns.pop_front() {
+                counters
+                    .queue_depth
+                    .store(state.conns.len(), Ordering::Relaxed);
+                return Some(conn);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops accepting pushes and wakes every parked worker.
+    fn close(&self) {
+        lock_unpoisoned(&self.state).closed = true;
+        self.cv.notify_all();
+    }
+}
 
 /// One HTTP response: status line suffix, content type, body.
 struct Response {
@@ -59,6 +222,10 @@ impl Response {
         }
     }
 
+    fn ok_shared(content_type: &'static str, body: &Arc<Vec<u8>>) -> Response {
+        Response::ok(content_type, body.as_ref().clone())
+    }
+
     fn error(status: u16, reason: &'static str, message: &str) -> Response {
         Response {
             status,
@@ -69,6 +236,16 @@ impl Response {
     }
 }
 
+/// Everything a request needs to be routed: the shared engine, the
+/// serving budget, the optional response cache, and the server
+/// counters (for `/stats`).
+struct RouteCtx<'a> {
+    engine: &'a Engine,
+    budget: Budget,
+    respcache: Option<&'a ResponseCache>,
+    counters: &'a ServerCounters,
+}
+
 /// A bound, not-yet-serving daemon: [`Server::bind`] reserves the
 /// address (port 0 picks a free one, for tests), then [`Server::run`]
 /// blocks in the accept loop or [`Server::spawn`] serves from a
@@ -77,21 +254,47 @@ pub struct Server {
     listener: TcpListener,
     engine: Arc<Engine>,
     budget: Budget,
+    config: ServeConfig,
+    counters: Arc<ServerCounters>,
+    respcache: Option<Arc<ResponseCache>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:7878`; port 0 for an ephemeral
-    /// port), serving tables from `engine` at `budget`.
+    /// port), serving tables from `engine` at `budget` with the
+    /// default [`ServeConfig`].
     ///
     /// # Errors
     ///
     /// Returns a message naming the address if the bind fails.
     pub fn bind(addr: &str, engine: Arc<Engine>, budget: Budget) -> Result<Server, String> {
+        Server::bind_with(addr, engine, budget, ServeConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit connection-layer tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the address if the bind fails.
+    pub fn bind_with(
+        addr: &str,
+        engine: Arc<Engine>,
+        budget: Budget,
+        config: ServeConfig,
+    ) -> Result<Server, String> {
         let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+        let respcache = (config.respcache_bytes > 0).then(|| {
+            let cache = ResponseCache::new(config.respcache_bytes);
+            cache.set_store(engine.store());
+            Arc::new(cache)
+        });
         Ok(Server {
             listener,
             engine,
             budget,
+            config,
+            counters: Arc::new(ServerCounters::default()),
+            respcache,
         })
     }
 
@@ -107,30 +310,64 @@ impl Server {
             .expect("a bound listener has an address")
     }
 
-    /// Serves until `stop` is set (checked per accepted connection —
-    /// [`ServerHandle::stop`] wakes the loop with a dummy connection).
-    /// One thread per connection; the engine is shared, so concurrent
-    /// requests cooperate through its caches like engine workers do.
-    fn serve(self, stop: &AtomicBool) {
+    /// The serving-layer counters (shared with a spawned handle).
+    pub fn counters(&self) -> Arc<ServerCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Runs the accept loop until `stop` is set, then closes the
+    /// queue and joins the workers — every accepted connection is
+    /// either served or refused with 503, never silently dropped
+    /// mid-response.
+    fn serve(self, stop: &Arc<AtomicBool>) {
+        let queue = Arc::new(ConnQueue::new(self.config.queue_depth));
+        let workers: Vec<JoinHandle<()>> = (0..self.config.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let engine = Arc::clone(&self.engine);
+                let counters = Arc::clone(&self.counters);
+                let respcache = self.respcache.clone();
+                let drain = Arc::clone(stop);
+                let budget = self.budget;
+                let max_requests = self.config.max_requests_per_conn.max(1);
+                std::thread::spawn(move || {
+                    while let Some(stream) = queue.pop(&counters) {
+                        let ctx = RouteCtx {
+                            engine: &engine,
+                            budget,
+                            respcache: respcache.as_deref(),
+                            counters: &counters,
+                        };
+                        handle_connection(stream, &ctx, max_requests, &drain);
+                    }
+                })
+            })
+            .collect();
         for conn in self.listener.incoming() {
             if stop.load(Ordering::SeqCst) {
                 break;
             }
             match conn {
                 Ok(stream) => {
-                    let engine = Arc::clone(&self.engine);
-                    let budget = self.budget;
-                    std::thread::spawn(move || handle_connection(stream, &engine, budget));
+                    self.counters.connections.fetch_add(1, Ordering::Relaxed);
+                    if let Err(stream) = queue.push(stream, &self.counters) {
+                        self.counters.rejected_503.fetch_add(1, Ordering::Relaxed);
+                        write_busy(stream);
+                    }
                 }
                 Err(e) => eprintln!("[serve] accept error: {e}"),
             }
+        }
+        queue.close();
+        for worker in workers {
+            let _ = worker.join();
         }
     }
 
     /// Blocks the calling thread in the accept loop forever (the
     /// `repro serve` foreground mode).
     pub fn run(self) {
-        let never = AtomicBool::new(false);
+        let never = Arc::new(AtomicBool::new(false));
         self.serve(&never);
     }
 
@@ -138,6 +375,9 @@ impl Server {
     /// and joins it.
     pub fn spawn(self) -> ServerHandle {
         let addr = self.local_addr();
+        let counters = Arc::clone(&self.counters);
+        let engine = Arc::clone(&self.engine);
+        let respcache = self.respcache.clone();
         let stop = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&stop);
         let join = std::thread::spawn(move || self.serve(&flag));
@@ -145,6 +385,9 @@ impl Server {
             addr,
             stop,
             join: Some(join),
+            counters,
+            engine,
+            respcache,
         }
     }
 }
@@ -154,6 +397,9 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     join: Option<JoinHandle<()>>,
+    counters: Arc<ServerCounters>,
+    engine: Arc<Engine>,
+    respcache: Option<Arc<ResponseCache>>,
 }
 
 impl ServerHandle {
@@ -162,8 +408,25 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops the accept loop and joins the server thread. In-flight
-    /// request threads finish on their own.
+    /// The serving-layer counters, for in-process assertions.
+    pub fn counters(&self) -> &ServerCounters {
+        &self.counters
+    }
+
+    /// The shared engine, for in-process stats assertions.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The response cache, when enabled.
+    pub fn respcache(&self) -> Option<&ResponseCache> {
+        self.respcache.as_deref()
+    }
+
+    /// Stops the accept loop and joins the server gracefully: the
+    /// queue closes, workers finish their in-flight requests (and any
+    /// queued connections), and only then does this return. No
+    /// response is truncated by shutdown.
     pub fn stop(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection.
@@ -174,71 +437,144 @@ impl ServerHandle {
     }
 }
 
-/// Reads one request off `stream`, routes it, and writes the response.
-/// All errors degrade to HTTP error responses or a dropped connection;
-/// nothing here can take the accept loop down.
-fn handle_connection(stream: TcpStream, engine: &Engine, budget: Budget) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+/// Answers an over-capacity connection inline from the accept thread:
+/// `503` with `Retry-After`, then close. Never blocks on a worker.
+fn write_busy(mut stream: TcpStream) {
+    let body = b"server busy, retry shortly\n";
+    let head = format!(
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body);
+    let _ = stream.flush();
+}
+
+/// Reads a CRLF line through `reader`, tolerating read-timeout ticks:
+/// partial bytes accumulate in `line` across ticks (BufRead keeps
+/// them), and each tick re-checks the shutdown flag and the idle
+/// budget. Returns `false` when the connection should close (EOF,
+/// hard error, idle timeout, or shutdown before any bytes arrived).
+fn read_line_ticking(
+    reader: &mut BufReader<&TcpStream>,
+    line: &mut String,
+    stop: &AtomicBool,
+) -> bool {
+    let mut waited = Duration::ZERO;
+    loop {
+        match reader.read_line(line) {
+            Ok(0) => return false,
+            Ok(_) => return true,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Shutdown closes idle connections immediately, but a
+                // request that has started arriving is drained.
+                if line.is_empty() && stop.load(Ordering::SeqCst) {
+                    return false;
+                }
+                waited += IDLE_TICK;
+                if waited >= IDLE_LIMIT {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Serves up to `max_requests` keep-alive requests off one
+/// connection. All errors degrade to HTTP error responses or a closed
+/// connection; nothing here can take a worker down. On shutdown
+/// (`stop` set), an in-flight request is drained and answered with
+/// `Connection: close`; an idle connection closes at the next tick.
+fn handle_connection(
+    stream: TcpStream,
+    ctx: &RouteCtx<'_>,
+    max_requests: usize,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(IDLE_TICK));
+    let _ = stream.set_nodelay(true);
     let peer = stream
         .peer_addr()
         .map_or_else(|_| "?".to_string(), |a| a.to_string());
-    // Request timing is log-only telemetry on stderr; no result ever
-    // depends on it (serve.rs is wallclock-scope-exempt for exactly
-    // this line of business — see fuleak-lint's rules).
-    let started = std::time::Instant::now();
     let mut reader = BufReader::new(&stream);
-    let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() {
-        return;
-    }
-    // Drain the headers; GET requests carry no body.
-    loop {
-        let mut line = String::new();
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) if line == "\r\n" || line == "\n" => break,
-            Ok(_) => continue,
-            Err(_) => return,
+    for served in 1..=max_requests {
+        let mut request_line = String::new();
+        if !read_line_ticking(&mut reader, &mut request_line, stop) {
+            return;
+        }
+        // Drain the headers (GET requests carry no body), honouring
+        // an explicit `Connection: close`.
+        let mut client_close = false;
+        loop {
+            let mut line = String::new();
+            if !read_line_ticking(&mut reader, &mut line, stop) {
+                return;
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("connection")
+                    && value.trim().eq_ignore_ascii_case("close")
+                {
+                    client_close = true;
+                }
+            }
+        }
+        let mut parts = request_line.split_whitespace();
+        let (method, target) = match (parts.next(), parts.next()) {
+            (Some(m), Some(t)) => (m.to_string(), t.to_string()),
+            _ => return,
+        };
+        // Request timing is log-only telemetry on stderr; no result
+        // ever depends on it (serve.rs is wallclock-scope-exempt for
+        // exactly this line of business — see fuleak-lint's rules).
+        let started = std::time::Instant::now();
+        let response = if method != "GET" {
+            Response::error(405, "Method Not Allowed", "only GET is supported")
+        } else {
+            route(&target, ctx)
+        };
+        ctx.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let close = client_close || served == max_requests || stop.load(Ordering::SeqCst);
+        let mut out = Vec::with_capacity(response.body.len() + 160);
+        let _ = write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            response.status,
+            response.reason,
+            response.content_type,
+            response.body.len(),
+            if close { "close" } else { "keep-alive" }
+        );
+        out.extend_from_slice(&response.body);
+        let ok = (&stream).write_all(&out).is_ok() && (&stream).flush().is_ok();
+        eprintln!(
+            "[serve] {peer} {method} {target} -> {}{} ({} bytes, {:.1} ms, conn req {served})",
+            response.status,
+            if ok { "" } else { " (client gone)" },
+            response.body.len(),
+            1e3 * started.elapsed().as_secs_f64()
+        );
+        if close || !ok {
+            return;
         }
     }
-    let mut parts = request_line.split_whitespace();
-    let (method, target) = match (parts.next(), parts.next()) {
-        (Some(m), Some(t)) => (m.to_string(), t.to_string()),
-        _ => return,
-    };
-    let response = if method != "GET" {
-        Response::error(405, "Method Not Allowed", "only GET is supported")
-    } else {
-        route(&target, engine, budget)
-    };
-    let mut out = Vec::with_capacity(response.body.len() + 128);
-    let _ = write!(
-        out,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        response.status,
-        response.reason,
-        response.content_type,
-        response.body.len()
-    );
-    out.extend_from_slice(&response.body);
-    let ok = (&stream).write_all(&out).is_ok() && (&stream).flush().is_ok();
-    eprintln!(
-        "[serve] {peer} {method} {target} -> {}{} ({} bytes, {:.1} ms)",
-        response.status,
-        if ok { "" } else { " (client gone)" },
-        response.body.len(),
-        1e3 * started.elapsed().as_secs_f64()
-    );
 }
 
-/// Routes one request target to a response.
-fn route(target: &str, engine: &Engine, budget: Budget) -> Response {
+/// Routes one request target to a response, consulting the response
+/// cache for the cacheable table routes.
+fn route(target: &str, ctx: &RouteCtx<'_>) -> Response {
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
     match path {
         "/health" => Response::ok("text/plain; charset=utf-8", "ok\n"),
+        "/stats" => Response::ok("application/json", stats_json(ctx)),
         "/experiments" => {
             let names: Vec<String> = experiment::all_names()
                 .iter()
@@ -246,22 +582,76 @@ fn route(target: &str, engine: &Engine, budget: Budget) -> Response {
                 .collect();
             Response::ok("application/json", format!("[{}]\n", names.join(", ")))
         }
-        "/sweep" => match sweep_response(query, engine, budget) {
+        "/sweep" => match sweep_response(query, ctx) {
             Ok(r) => r,
             Err(e) => Response::error(400, "Bad Request", &e),
         },
-        "/explore" => match explore_response(query, engine, budget) {
+        "/explore" => match explore_response(query, ctx) {
             Ok(r) => r,
             Err(e) => Response::error(400, "Bad Request", &e),
         },
         _ => match path.strip_prefix("/experiment/") {
-            Some(name) => match experiment_response(name, query, engine, budget) {
+            Some(name) => match experiment_response(name, query, ctx) {
                 Ok(r) => r,
                 Err(e) => e,
             },
             None => Response::error(404, "Not Found", &format!("no route for `{path}`")),
         },
     }
+}
+
+/// Renders `/stats`: engine, response-cache, and server counters as
+/// one JSON object with deterministic key order. Telemetry only —
+/// values vary run to run, so this route is never cached and never
+/// printed to stdout.
+fn stats_json(ctx: &RouteCtx<'_>) -> String {
+    let e = ctx.engine.stats();
+    let engine = format!(
+        concat!(
+            "{{\"points\": {}, \"simulated\": {}, \"sim_hits\": {}, \"sim_misses\": {}, ",
+            "\"trace_hits\": {}, \"captures\": {}, \"annotation_hits\": {}, ",
+            "\"annotations_built\": {}, \"policy_hits\": {}, \"policy_misses\": {}, ",
+            "\"flight_waits\": {}, \"disk_hits\": {}, \"disk_writes\": {}}}"
+        ),
+        e.points,
+        e.simulated(),
+        e.hits,
+        e.misses,
+        e.trace_hits,
+        e.captures,
+        e.annotation_hits,
+        e.annotations_built,
+        e.policy_hits,
+        e.policy_misses,
+        e.flight_waits,
+        e.disk_hits,
+        e.disk_writes,
+    );
+    let respcache = match ctx.respcache {
+        Some(c) => format!(
+            "{{\"enabled\": true, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"entries\": {}, \"bytes\": {}}}",
+            c.hits(),
+            c.misses(),
+            c.evictions(),
+            c.len(),
+            c.bytes()
+        ),
+        None => "{\"enabled\": false, \"hits\": 0, \"misses\": 0, \"evictions\": 0, \
+                 \"entries\": 0, \"bytes\": 0}"
+            .to_string(),
+    };
+    let s = ctx.counters;
+    let server = format!(
+        "{{\"connections\": {}, \"requests\": {}, \"queue_depth\": {}, \
+         \"queue_highwater\": {}, \"rejected_503\": {}}}",
+        s.connections(),
+        s.requests(),
+        s.queue_depth(),
+        s.queue_highwater(),
+        s.rejected_503()
+    );
+    format!("{{\"engine\": {engine}, \"respcache\": {respcache}, \"server\": {server}}}\n")
 }
 
 /// The served table format — JSON unless `format=csv`.
@@ -275,6 +665,13 @@ impl WireFormat {
         match self {
             WireFormat::Json => "application/json",
             WireFormat::Csv => "text/csv; charset=utf-8",
+        }
+    }
+
+    fn body(&self) -> BodyFormat {
+        match self {
+            WireFormat::Json => BodyFormat::Json,
+            WireFormat::Csv => BodyFormat::Csv,
         }
     }
 }
@@ -303,13 +700,9 @@ fn parse_query(query: &str) -> Result<(Vec<(String, String)>, WireFormat), Strin
     Ok((params, format))
 }
 
-/// Runs one registry experiment and serves its table.
-fn experiment_response(
-    name: &str,
-    query: &str,
-    engine: &Engine,
-    budget: Budget,
-) -> Result<Response, Response> {
+/// Runs one registry experiment and serves its table, consulting the
+/// response cache first (keyed on name, budget, and format).
+fn experiment_response(name: &str, query: &str, ctx: &RouteCtx<'_>) -> Result<Response, Response> {
     let (params, format) =
         parse_query(query).map_err(|e| Response::error(400, "Bad Request", &e))?;
     if let Some((key, _)) = params.first() {
@@ -329,29 +722,47 @@ fn experiment_response(
             ),
         )
     })?;
-    let mut ctx = Context::new(engine, budget);
-    let table = exp.run(&mut ctx);
+    let key = respcache::experiment_key(name, ctx.budget, format.body());
+    if let Some(body) = ctx.respcache.and_then(|c| c.get(&key)) {
+        return Ok(Response::ok_shared(format.content_type(), &body));
+    }
+    let mut run_ctx = Context::new(ctx.engine, ctx.budget);
+    let table = exp.run(&mut run_ctx);
     let body = match format {
         WireFormat::Json => table.to_json(),
         WireFormat::Csv => table.to_csv(),
     };
+    if let Some(cache) = ctx.respcache {
+        let shared = cache.put(&key, body.into_bytes());
+        return Ok(Response::ok_shared(format.content_type(), &shared));
+    }
     Ok(Response::ok(format.content_type(), body))
 }
 
 /// Builds a sweep from the query's axis parameters and serves its
 /// table — the same spec the CLI would build from the equivalent
-/// `repro sweep` flags, over the same shared engine.
-fn sweep_response(query: &str, engine: &Engine, budget: Budget) -> Result<Response, String> {
+/// `repro sweep` flags, over the same shared engine. The canonical
+/// parsed spec keys the response cache, so `int-fus=1:2` and
+/// `int-fus=1,2` share one cached body.
+fn sweep_response(query: &str, ctx: &RouteCtx<'_>) -> Result<Response, String> {
     let (params, format) = parse_query(query)?;
-    let mut spec = SweepSpec::new(budget);
+    let mut spec = SweepSpec::new(ctx.budget);
     for (key, value) in &params {
         spec = cli::apply_sweep_flag(spec, &format!("--{key}"), value)?;
     }
-    let table = sweep_table(engine, &spec).map_err(|e| format!("invalid sweep: {e}"))?;
+    let key = respcache::sweep_key(&spec, format.body());
+    if let Some(body) = ctx.respcache.and_then(|c| c.get(&key)) {
+        return Ok(Response::ok_shared(format.content_type(), &body));
+    }
+    let table = sweep_table(ctx.engine, &spec).map_err(|e| format!("invalid sweep: {e}"))?;
     let body = match format {
         WireFormat::Json => table.to_json(),
         WireFormat::Csv => table.to_csv(),
     };
+    if let Some(cache) = ctx.respcache {
+        let shared = cache.put(&key, body.into_bytes());
+        return Ok(Response::ok_shared(format.content_type(), &shared));
+    }
     Ok(Response::ok(format.content_type(), body))
 }
 
@@ -359,21 +770,30 @@ fn sweep_response(query: &str, engine: &Engine, budget: Budget) -> Result<Respon
 /// its three digests concatenated — byte-identical to the
 /// `repro explore --format json|csv` stdout for the equivalent flags
 /// (CI diffs the two).
-fn explore_response(query: &str, engine: &Engine, budget: Budget) -> Result<Response, String> {
+fn explore_response(query: &str, ctx: &RouteCtx<'_>) -> Result<Response, String> {
     let (params, format) = parse_query(query)?;
-    let mut spec = ExploreSpec::new(budget);
+    let mut spec = ExploreSpec::new(ctx.budget);
     for (key, value) in &params {
         spec = cli::apply_explore_flag(spec, &format!("--{key}"), value)?;
     }
+    let key = respcache::explore_key(&spec, format.body());
+    if let Some(body) = ctx.respcache.and_then(|c| c.get(&key)) {
+        return Ok(Response::ok_shared(format.content_type(), &body));
+    }
     let started = std::time::Instant::now();
-    let result = explore(engine, &spec);
-    engine.note_grid_nanos(started.elapsed().as_nanos() as u64);
+    let result = explore(ctx.engine, &spec);
+    ctx.engine
+        .note_grid_nanos(started.elapsed().as_nanos() as u64);
     let mut body = String::new();
     for table in [&result.optima, &result.frontier, &result.crossover] {
         body.push_str(&match format {
             WireFormat::Json => table.to_json(),
             WireFormat::Csv => table.to_csv(),
         });
+    }
+    if let Some(cache) = ctx.respcache {
+        let shared = cache.put(&key, body.into_bytes());
+        return Ok(Response::ok_shared(format.content_type(), &shared));
     }
     Ok(Response::ok(format.content_type(), body))
 }
@@ -411,6 +831,19 @@ fn percent_decode(s: &str) -> Result<String, String> {
 mod tests {
     use super::*;
 
+    fn test_ctx<'a>(
+        engine: &'a Engine,
+        counters: &'a ServerCounters,
+        respcache: Option<&'a ResponseCache>,
+    ) -> RouteCtx<'a> {
+        RouteCtx {
+            engine,
+            budget: Budget::Quick,
+            respcache,
+            counters,
+        }
+    }
+
     #[test]
     fn percent_decoding() {
         assert_eq!(percent_decode("1%3A4").unwrap(), "1:4");
@@ -438,19 +871,21 @@ mod tests {
     #[test]
     fn routes_reject_unknowns_without_simulation() {
         let engine = Engine::sequential();
-        let r = route("/nope", &engine, Budget::Quick);
+        let counters = ServerCounters::default();
+        let ctx = test_ctx(&engine, &counters, None);
+        let r = route("/nope", &ctx);
         assert_eq!(r.status, 404);
-        let r = route("/experiment/not-a-table", &engine, Budget::Quick);
+        let r = route("/experiment/not-a-table", &ctx);
         assert_eq!(r.status, 404);
-        let r = route("/sweep?bogus=1", &engine, Budget::Quick);
+        let r = route("/sweep?bogus=1", &ctx);
         assert_eq!(r.status, 400);
         assert!(String::from_utf8(r.body).unwrap().contains("--bogus"));
-        let r = route("/explore?bogus=1", &engine, Budget::Quick);
+        let r = route("/explore?bogus=1", &ctx);
         assert_eq!(r.status, 400);
         assert!(String::from_utf8(r.body)
             .unwrap()
             .contains("unknown explore flag `--bogus`"));
-        let r = route("/health", &engine, Budget::Quick);
+        let r = route("/health", &ctx);
         assert_eq!(r.status, 200);
         assert_eq!(r.body, b"ok\n");
     }
@@ -458,10 +893,84 @@ mod tests {
     #[test]
     fn experiments_listing_is_json() {
         let engine = Engine::sequential();
-        let r = route("/experiments", &engine, Budget::Quick);
+        let counters = ServerCounters::default();
+        let ctx = test_ctx(&engine, &counters, None);
+        let r = route("/experiments", &ctx);
         assert_eq!(r.status, 200);
         let body = String::from_utf8(r.body).unwrap();
         assert!(body.starts_with('['));
         assert!(body.contains("\"table1\""));
+    }
+
+    #[test]
+    fn stats_route_is_deterministic_json_with_flight_waits() {
+        let engine = Engine::sequential();
+        let counters = ServerCounters::default();
+        let ctx = test_ctx(&engine, &counters, None);
+        let r = route("/stats", &ctx);
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        for key in [
+            "\"engine\"",
+            "\"flight_waits\"",
+            "\"respcache\"",
+            "\"server\"",
+            "\"queue_highwater\"",
+            "\"rejected_503\"",
+        ] {
+            assert!(body.contains(key), "missing {key} in {body}");
+        }
+        assert!(
+            body.find("\"engine\"").unwrap() < body.find("\"respcache\"").unwrap()
+                && body.find("\"respcache\"").unwrap() < body.find("\"server\"").unwrap(),
+            "stats keys must render in deterministic order"
+        );
+    }
+
+    #[test]
+    fn cached_sweep_responses_are_byte_identical_to_fresh_renders() {
+        let engine = Engine::sequential();
+        let counters = ServerCounters::default();
+        let cache = ResponseCache::new(1 << 20);
+        let target = "/sweep?bench=gzip&int-fus=1%3A2&format=json";
+        let fresh = {
+            let ctx = test_ctx(&engine, &counters, None);
+            route(target, &ctx)
+        };
+        assert_eq!(fresh.status, 200);
+        let ctx = test_ctx(&engine, &counters, Some(&cache));
+        let miss = route(target, &ctx);
+        assert_eq!(cache.misses(), 1);
+        // Equivalent spelling of the same sweep hits the same entry.
+        let hit = route("/sweep?bench=gzip&int-fus=1%2C2&format=json", &ctx);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(fresh.body, miss.body);
+        assert_eq!(fresh.body, hit.body, "cached bytes must equal fresh render");
+    }
+
+    #[test]
+    fn queue_hands_back_overflow_and_drains_on_close() {
+        let queue = ConnQueue::new(1);
+        let counters = ServerCounters::default();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let b = TcpStream::connect(addr).unwrap();
+        assert!(queue.push(a, &counters).is_ok());
+        assert_eq!(counters.queue_depth(), 1);
+        assert_eq!(counters.queue_highwater(), 1);
+        assert!(
+            queue.push(b, &counters).is_err(),
+            "depth-1 queue must hand back #2"
+        );
+        assert!(queue.pop(&counters).is_some());
+        assert_eq!(counters.queue_depth(), 0);
+        queue.close();
+        let c = TcpStream::connect(addr).unwrap();
+        assert!(
+            queue.push(c, &counters).is_err(),
+            "closed queue accepts nothing"
+        );
+        assert!(queue.pop(&counters).is_none(), "closed and drained");
     }
 }

@@ -62,11 +62,20 @@ pub enum StoreKind {
     Annotation,
     /// Policy evaluations ([`PolicyRun`]).
     Policy,
+    /// Canonical rendered responses (the serving tier's exact
+    /// `to_json()`/`to_csv()` bytes, keyed by the canonicalized
+    /// request; see [`crate::respcache`]).
+    Response,
 }
 
 impl StoreKind {
     /// Every kind, in display order.
-    pub const ALL: [StoreKind; 3] = [StoreKind::Sim, StoreKind::Annotation, StoreKind::Policy];
+    pub const ALL: [StoreKind; 4] = [
+        StoreKind::Sim,
+        StoreKind::Annotation,
+        StoreKind::Policy,
+        StoreKind::Response,
+    ];
 
     /// The kind's subdirectory name (doubles as its display name).
     pub fn dir(self) -> &'static str {
@@ -74,6 +83,7 @@ impl StoreKind {
             StoreKind::Sim => "sim",
             StoreKind::Annotation => "ann",
             StoreKind::Policy => "policy",
+            StoreKind::Response => "resp",
         }
     }
 
@@ -84,6 +94,7 @@ impl StoreKind {
             StoreKind::Sim => 1,
             StoreKind::Annotation => 2,
             StoreKind::Policy => 3,
+            StoreKind::Response => 4,
         }
     }
 
@@ -94,6 +105,7 @@ impl StoreKind {
             StoreKind::Sim => 0,
             StoreKind::Annotation => 1,
             StoreKind::Policy => 2,
+            StoreKind::Response => 3,
         }
     }
 }
@@ -111,7 +123,7 @@ pub struct KindStats {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Per-kind occupancy, in [`StoreKind::ALL`] order.
-    pub kinds: [KindStats; 3],
+    pub kinds: [KindStats; 4],
 }
 
 impl StoreStats {
@@ -149,8 +161,8 @@ type Atime = std::time::SystemTime; // lint:allow(wallclock)
 #[derive(Debug)]
 pub struct ResultStore {
     root: PathBuf,
-    hits: [AtomicUsize; 3],
-    misses: [AtomicUsize; 3],
+    hits: [AtomicUsize; 4],
+    misses: [AtomicUsize; 4],
     writes: AtomicUsize,
     evictions: AtomicUsize,
     corrupt: AtomicUsize,
@@ -276,6 +288,22 @@ impl ResultStore {
             &policy_key(s, form, model_fp),
             &run.to_bytes(),
         );
+    }
+
+    /// The cached rendered response bytes for a canonical request
+    /// key (see [`crate::respcache`]), if present and valid. The
+    /// payload is the exact body the renderer produced — no decode
+    /// step, so "valid" is the container's checksum/version/key
+    /// verification alone; stale or corrupt entries are silent
+    /// misses, never a crash.
+    pub fn load_response(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.load(StoreKind::Response, key)
+    }
+
+    /// Persists rendered response bytes under a canonical request key
+    /// (best-effort).
+    pub fn save_response(&self, key: &[u8], body: &[u8]) {
+        self.save(StoreKind::Response, key, body);
     }
 
     /// Loads and decodes one typed entry; decode failures count as

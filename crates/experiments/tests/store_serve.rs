@@ -105,10 +105,16 @@ fn store_never_changes_rendered_bytes() {
 }
 
 /// Issues one GET against the test server and returns the response
-/// body (the server closes the connection after each response).
+/// body. Sends `Connection: close` so the server ends the connection
+/// after the response and `read_to_end` terminates promptly (the
+/// serving tier keeps connections alive by default).
 fn get(addr: std::net::SocketAddr, target: &str) -> (String, Vec<u8>) {
     let mut stream = TcpStream::connect(addr).expect("connect");
-    write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send request");
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw).expect("read response");
     let split = raw

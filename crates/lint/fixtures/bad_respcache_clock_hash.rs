@@ -1,0 +1,23 @@
+// Fixture: a response cache that stamps recency with the wall clock
+// and buckets entries in a default-hasher map — both would make
+// eviction order (and therefore disk-tier contents) depend on timing
+// and hasher state. Replayed under the pretend path
+// `crates/experiments/src/respcache.rs`.
+
+use std::collections::HashMap; // BAD: hash-order
+
+pub struct Cache {
+    entries: HashMap<u64, Vec<u8>>, // BAD: hash-order
+}
+
+impl Cache {
+    fn stamp(&self) -> u128 {
+        let t = std::time::Instant::now(); // BAD: wallclock
+        t.elapsed().as_nanos()
+    }
+
+    fn epoch(&self) -> u64 {
+        let _ = std::time::SystemTime::now(); // BAD: wallclock
+        0
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: the deterministic shape of the response cache — FxHashMap
+// addressing (iteration never reaches an output), a logical counter
+// for LRU recency instead of the wall clock. Replayed under the
+// pretend path `crates/experiments/src/respcache.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Cache {
+    clock: AtomicU64,
+}
+
+impl Cache {
+    fn stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_read_the_wall_clock() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -178,6 +178,31 @@ fn hash_order_fixtures() {
 }
 
 #[test]
+fn serving_tier_scope_fixtures() {
+    // The response cache joined both deterministic scopes: its LRU
+    // recency must be a logical clock (wallclock) and its entry map
+    // order must never leak into eviction or the disk tier
+    // (hash-order).
+    check_pair(
+        "bad_respcache_clock_hash.rs",
+        "good_respcache_clock_hash.rs",
+        "crates/experiments/src/respcache.rs",
+    );
+    let bad = fixture("bad_respcache_clock_hash.rs");
+    // The load generator measures latency by design, so only the
+    // hash-order half applies there.
+    let loadgen = found(rules::lint_source(
+        "crates/experiments/src/loadgen.rs",
+        &bad,
+    ));
+    assert!(!loadgen.is_empty());
+    assert!(loadgen.iter().all(|(_, rule)| rule == "hash-order"));
+    // The serve daemon keeps its request-log timing exemption and
+    // stays outside the hash-order scope.
+    assert!(rules::lint_source("crates/experiments/src/serve.rs", &bad).is_empty());
+}
+
+#[test]
 fn lock_unwrap_fixtures() {
     check_pair(
         "bad_lock_unwrap.rs",
